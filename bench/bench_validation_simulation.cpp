@@ -1,0 +1,97 @@
+// Validation: the discrete-event token simulator against the analytical
+// fixpoint engine on every example circuit. Two independent implementations
+// of the latch semantics must agree on steady-state departures; the table
+// also reports how many generations and events the simulation needed —
+// versus the 0-3 "iterations" of the paper's Algorithm MLP step, which is
+// the point of solving the fixpoint analytically.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/table.h"
+#include "circuits/appendix_fig1.h"
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+#include "opt/mlp.h"
+#include "sim/token_sim.h"
+#include "sta/fixpoint.h"
+
+using namespace mintc;
+
+namespace {
+
+void print_validation_table() {
+  std::printf("== simulator vs analytical fixpoint (steady-state departures) ==\n");
+  TextTable table({"circuit", "max |sim - fixpoint|", "sim generations", "sim events",
+                   "MLP fixpoint sweeps"});
+  struct Named {
+    const char* name;
+    Circuit circuit;
+  };
+  const Named list[] = {{"example1(d41=80)", circuits::example1(80.0)},
+                        {"example1(d41=120)", circuits::example1(120.0)},
+                        {"example2", circuits::example2()},
+                        {"gaas", circuits::gaas_datapath()},
+                        {"appendix_fig1", circuits::appendix_fig1()}};
+  for (const auto& [name, circuit] : list) {
+    const auto r = opt::minimize_cycle_time(circuit);
+    if (!r) continue;
+    // Simulate a hair above the optimum so zero-gain loops settle quickly.
+    const ClockSchedule sch = r->schedule.scaled(1.01);
+    const sim::SimResult sim = sim::simulate_tokens(circuit, sch);
+    const sta::FixpointResult fix = sta::compute_departures(
+        circuit, sch, std::vector<double>(static_cast<size_t>(circuit.num_elements()), 0.0));
+    double max_err = 0.0;
+    for (int i = 0; i < circuit.num_elements(); ++i) {
+      max_err = std::max(max_err, std::fabs(sim.departure[static_cast<size_t>(i)] -
+                                            fix.departure[static_cast<size_t>(i)]));
+    }
+    char err[32];
+    std::snprintf(err, sizeof err, "%.2e", max_err);
+    table.add_row({name, err, std::to_string(sim.generations),
+                   std::to_string(sim.events), std::to_string(r->fixpoint_sweeps)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_Simulate(benchmark::State& state) {
+  const Circuit c = circuits::gaas_datapath();
+  const auto r = opt::minimize_cycle_time(c);
+  if (!r) {
+    state.SkipWithError("optimization failed");
+    return;
+  }
+  const ClockSchedule sch = r->schedule.scaled(1.01);
+  for (auto _ : state) {
+    auto sim = sim::simulate_tokens(c, sch);
+    benchmark::DoNotOptimize(sim);
+  }
+}
+BENCHMARK(BM_Simulate);
+
+void BM_AnalyticalFixpoint(benchmark::State& state) {
+  const Circuit c = circuits::gaas_datapath();
+  const auto r = opt::minimize_cycle_time(c);
+  if (!r) {
+    state.SkipWithError("optimization failed");
+    return;
+  }
+  const ClockSchedule sch = r->schedule.scaled(1.01);
+  const std::vector<double> zero(static_cast<size_t>(c.num_elements()), 0.0);
+  for (auto _ : state) {
+    auto fix = sta::compute_departures(c, sch, zero);
+    benchmark::DoNotOptimize(fix);
+  }
+}
+BENCHMARK(BM_AnalyticalFixpoint);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_validation_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// File-driven timing analyzer/designer — the library as a command-line tool.
+//
+// Usage:
+//   analyze_file                      demo: writes and analyzes example 1
+//   analyze_file circuit.lct          design: find the optimal schedule
+//   analyze_file circuit.lct sched.lcs    analyze: check the given schedule
+#include <cstdio>
+#include <string>
+
+#include "circuits/example1.h"
+#include "opt/mlp.h"
+#include "parser/lcs.h"
+#include "parser/lct.h"
+#include "sta/analysis.h"
+#include "viz/timing_diagram.h"
+
+using namespace mintc;
+
+namespace {
+
+int design(const Circuit& circuit) {
+  const auto r = opt::minimize_cycle_time(circuit);
+  if (!r) {
+    std::printf("design failed: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("minimum cycle time: %.6g\n", r->min_cycle);
+  std::printf("schedule: %s\n\n", r->schedule.to_string().c_str());
+  std::printf("save this schedule as .lcs:\n%s\n",
+              parser::write_schedule(r->schedule).c_str());
+  std::printf("%s", viz::ascii_timing_diagram(circuit, r->schedule, r->departure).c_str());
+  std::printf("\ncritical constraints:\n");
+  for (const auto& t : r->critical) {
+    std::printf("  %-24s dual=%.4g\n", t.name.c_str(), t.dual);
+  }
+  return 0;
+}
+
+int analyze(const Circuit& circuit, const ClockSchedule& schedule) {
+  sta::AnalysisOptions opt;
+  opt.check_hold = true;
+  const sta::TimingReport rep = sta::check_schedule(circuit, schedule, opt);
+  std::printf("%s", rep.to_string(circuit).c_str());
+  return rep.feasible ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::printf("no arguments: running the built-in demo (example 1, delta41 = 100).\n");
+    std::printf("usage: %s circuit.lct [schedule.lcs]\n\n", argv[0]);
+    const Circuit demo = circuits::example1(100.0);
+    std::printf("circuit file contents (.lct):\n%s\n", parser::write_circuit(demo).c_str());
+    return design(demo);
+  }
+
+  const auto circuit = parser::load_circuit(argv[1]);
+  if (!circuit) {
+    std::printf("cannot load circuit: %s\n", circuit.error().to_string().c_str());
+    return 1;
+  }
+  if (argc == 2) return design(*circuit);
+
+  const auto schedule = parser::load_schedule(argv[2]);
+  if (!schedule) {
+    std::printf("cannot load schedule: %s\n", schedule.error().to_string().c_str());
+    return 1;
+  }
+  return analyze(*circuit, *schedule);
+}

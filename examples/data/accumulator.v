@@ -1,0 +1,16 @@
+// Gate-level two-phase accumulator for `timing_tool` demos:
+// parse with parser/verilog.h, extract with netlist/extract.h.
+module accumulator (clk1, clk2, din);
+  wire in_q, acc_d, acc_q, out_d, out_q, x1, x2, x3, x4;
+
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) IN  (.d(din),   .q(in_q));
+  latch #(.phase(2), .setup(0.3), .dq(0.5)) ACC (.d(acc_d), .q(acc_q));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) OUT (.d(out_d), .q(out_q));
+
+  xor g1 (x1, in_q, x4);
+  and g2 (x2, in_q, x4);
+  or  g3 (x3, x1, x2);
+  buf g4 (acc_d, x3);
+  not g5 (out_d, acc_q);
+  buf g6 (x4, out_q);
+endmodule

@@ -1,0 +1,70 @@
+// minicpu: a 4-bit two-phase accumulator CPU slice, structural subset.
+// Demonstrates the gate-level flow at a more realistic size:
+//   timing_tool works on the extracted .lct; this file feeds
+//   parser/verilog.h -> netlist/extract.h -> opt/mlp.h.
+//
+// phi1 latches: architectural state (ACC, PC, IR); phi2 latches: stage
+// results (ALU output, next-PC). Feedback: ACC -> ALU -> ALUo -> ACC and
+// PC -> incrementer -> PCn -> PC.
+module minicpu (din0, din1, din2, din3);
+  wire ir_d0, ir_d1, ir_q0, ir_q1;            // opcode bits
+  wire acc_d0, acc_d1, acc_d2, acc_d3;
+  wire acc_q0, acc_q1, acc_q2, acc_q3;
+  wire alu_d0, alu_d1, alu_d2, alu_d3;
+  wire alu_q0, alu_q1, alu_q2, alu_q3;
+  wire pc_d0, pc_d1, pc_q0, pc_q1;
+  wire pcn_d0, pcn_d1, pcn_q0, pcn_q1;
+  wire s0, s1, s2, s3, c1, c2, c3;
+  wire x0, x1, x2, x3;
+
+  // Architectural state on phi1.
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) IR0  (.d(ir_d0),  .q(ir_q0));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) IR1  (.d(ir_d1),  .q(ir_q1));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) ACC0 (.d(acc_d0), .q(acc_q0));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) ACC1 (.d(acc_d1), .q(acc_q1));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) ACC2 (.d(acc_d2), .q(acc_q2));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) ACC3 (.d(acc_d3), .q(acc_q3));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) PC0  (.d(pc_d0),  .q(pc_q0));
+  latch #(.phase(1), .setup(0.3), .dq(0.5)) PC1  (.d(pc_d1),  .q(pc_q1));
+
+  // Stage results on phi2.
+  latch #(.phase(2), .setup(0.3), .dq(0.5)) ALUo0 (.d(alu_d0), .q(alu_q0));
+  latch #(.phase(2), .setup(0.3), .dq(0.5)) ALUo1 (.d(alu_d1), .q(alu_q1));
+  latch #(.phase(2), .setup(0.3), .dq(0.5)) ALUo2 (.d(alu_d2), .q(alu_q2));
+  latch #(.phase(2), .setup(0.3), .dq(0.5)) ALUo3 (.d(alu_d3), .q(alu_q3));
+  latch #(.phase(2), .setup(0.3), .dq(0.5)) PCn0  (.d(pcn_d0), .q(pcn_q0));
+  latch #(.phase(2), .setup(0.3), .dq(0.5)) PCn1  (.d(pcn_d1), .q(pcn_q1));
+
+  // ALU: ripple-carry add of ACC and DIN, opcode-gated.
+  and a0 (x0, din0, ir_q0);
+  and a1 (x1, din1, ir_q0);
+  and a2 (x2, din2, ir_q1);
+  and a3 (x3, din3, ir_q1);
+  xor s0g (s0, acc_q0, x0);
+  and c1g (c1, acc_q0, x0);
+  xor s1h (alu_d1, s1, c1);
+  xor s1g (s1, acc_q1, x1);
+  and c2g (c2, s1, c1);
+  xor s2h (alu_d2, s2, c2);
+  xor s2g (s2, acc_q2, x2);
+  and c3g (c3, s2, c2);
+  xor s3h (alu_d3, s3, c3);
+  xor s3g (s3, acc_q3, x3);
+  buf s0b (alu_d0, s0);
+
+  // Writeback: ALU result returns to the accumulator.
+  buf w0 (acc_d0, alu_q0);
+  buf w1 (acc_d1, alu_q1);
+  buf w2 (acc_d2, alu_q2);
+  buf w3 (acc_d3, alu_q3);
+
+  // Next-PC: 2-bit incrementer, branch-gated by the ALU sign bit.
+  not  i0 (pcn_d0, pc_q0);
+  xor  i1 (pcn_d1, pc_q1, pc_q0);
+  buf  p0 (pc_d0, pcn_q0);
+  aoi21 p1 (pc_d1, pcn_q1, alu_q3, ir_q1);
+
+  // Instruction "fetch": opcode bits recirculate through the decoder.
+  nand f0 (ir_d0, pc_q0, pc_q1);
+  nor  f1 (ir_d1, pc_q0, pc_q1);
+endmodule

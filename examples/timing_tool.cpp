@@ -1,0 +1,276 @@
+// timing_tool — the library's functionality behind one command-line front
+// end, in the spirit of the authors' later checkTc/minTc utilities.
+//
+//   timing_tool min <circuit.lct>                 minimum cycle time + schedule
+//   timing_tool check <circuit.lct> <sched.lcs>   verify a schedule (checkTc)
+//   timing_tool loops <circuit.lct>               feedback-loop inventory
+//   timing_tool critical <circuit.lct>            critical segments at the optimum
+//   timing_tool sens <circuit.lct>                dTc*/ddelay for every path
+//   timing_tool bounds <circuit.lct>              closed-form lower bounds vs Tc*
+//   timing_tool sim <circuit.lct> <sched.lcs>     event-driven token simulation
+//   timing_tool corners <circuit.lct> <sched.lcs> slow/typical/fast sign-off
+//   timing_tool svg|dot|vcd <circuit.lct> [out]   diagram / graph / waveform files
+//   timing_tool baselines <circuit.lct>           compare against CPM/Jouppi/NRIP
+//
+// With no arguments, runs every subcommand against the built-in example 1.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "base/strings.h"
+#include "base/table.h"
+#include "baselines/binary_search.h"
+#include "baselines/edge_triggered.h"
+#include "circuits/example1.h"
+#include "opt/critical.h"
+#include "opt/mlp.h"
+#include "opt/sensitivity.h"
+#include "parser/lcs.h"
+#include "parser/lct.h"
+#include "opt/bounds.h"
+#include "sim/token_sim.h"
+#include "sim/vcd.h"
+#include "sta/analysis.h"
+#include "sta/corners.h"
+#include "viz/dot.h"
+#include "viz/svg.h"
+#include "viz/timing_diagram.h"
+
+using namespace mintc;
+
+namespace {
+
+int cmd_min(const Circuit& c) {
+  const auto r = opt::minimize_cycle_time(c);
+  if (!r) {
+    std::printf("error: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("Tc* = %s\n%s\n", fmt_time(r->min_cycle, 6).c_str(),
+              parser::write_schedule(r->schedule).c_str());
+  std::printf("%s", viz::ascii_timing_diagram(c, r->schedule, r->departure).c_str());
+  return 0;
+}
+
+int cmd_check(const Circuit& c, const ClockSchedule& s) {
+  sta::AnalysisOptions opt;
+  opt.check_hold = true;
+  const sta::TimingReport rep = sta::check_schedule(c, s, opt);
+  std::printf("%s", rep.to_string(c).c_str());
+  return rep.feasible ? 0 : 1;
+}
+
+int cmd_loops(const Circuit& c) {
+  const opt::LoopReport rep = opt::analyze_loops(c);
+  std::printf("%zu feedback loop%s%s:\n", rep.loops.size(),
+              rep.loops.size() == 1 ? "" : "s", rep.complete ? "" : " (truncated)");
+  int shown = 0;
+  for (const opt::LoopInfo& loop : rep.loops) {
+    std::printf("  %s\n", loop.to_string(c).c_str());
+    if (++shown >= 20) {
+      std::printf("  ... (%zu more)\n", rep.loops.size() - 20);
+      break;
+    }
+  }
+  if (!rep.loops.empty()) {
+    std::printf("binding loop bound: Tc >= %s\n",
+                fmt_time(rep.loops.front().implied_tc, 4).c_str());
+  }
+  return 0;
+}
+
+int cmd_critical(const Circuit& c) {
+  const auto r = opt::minimize_cycle_time(c);
+  if (!r) {
+    std::printf("error: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("Tc* = %s\n", fmt_time(r->min_cycle, 6).c_str());
+  const opt::CriticalReport rep = opt::find_critical_segments(c, r->schedule, r->departure);
+  std::printf("%s", rep.to_string(c).c_str());
+  return 0;
+}
+
+int cmd_sens(const Circuit& c) {
+  const auto s = opt::delay_sensitivities(c);
+  if (!s) {
+    std::printf("error: %s\n", s.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("Tc* = %s\n", fmt_time(s->min_cycle, 6).c_str());
+  TextTable table({"path", "block", "delay", "dTc*/ddelay"});
+  for (int p = 0; p < c.num_paths(); ++p) {
+    const CombPath& path = c.path(p);
+    table.add_row({c.element(path.from).name + "->" + c.element(path.to).name, path.label,
+                   fmt_time(path.delay, 4),
+                   fmt_time(s->dtc_ddelay[static_cast<size_t>(p)], 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_sim(const Circuit& c, const ClockSchedule& s) {
+  const sim::SimResult r = sim::simulate_tokens(c, s);
+  std::printf("simulated %d generation%s, %ld events: %s\n", r.generations,
+              r.generations == 1 ? "" : "s", r.events,
+              r.converged ? "steady state reached" : "NO steady state");
+  if (!r.setup_ok) {
+    std::printf("setup violation first seen in generation %d\n",
+                r.first_violation_generation);
+  }
+  std::printf("steady-state departures: %s\n",
+              viz::departure_summary(c, r.departure).c_str());
+  return (r.converged && r.setup_ok) ? 0 : 1;
+}
+
+int cmd_svg(const Circuit& c, const std::string& out_path) {
+  const auto r = opt::minimize_cycle_time(c);
+  if (!r) {
+    std::printf("error: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  const std::string svg = viz::svg_timing_diagram(c, r->schedule, r->departure);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << svg;
+  std::printf("wrote %s (%zu bytes, Tc* = %s)\n", out_path.c_str(), svg.size(),
+              fmt_time(r->min_cycle, 6).c_str());
+  return 0;
+}
+
+int cmd_baselines(const Circuit& c) {
+  const auto mlp = opt::minimize_cycle_time(c);
+  if (!mlp) {
+    std::printf("error: %s\n", mlp.error().to_string().c_str());
+    return 1;
+  }
+  TextTable table({"method", "Tc", "vs optimal"});
+  const auto row = [&](const std::string& m, double tc) {
+    table.add_row({m, fmt_time(tc, 4),
+                   "+" + fmt_time(100.0 * (tc / mlp->min_cycle - 1.0), 1) + "%"});
+  };
+  table.add_row({"MLP (optimal)", fmt_time(mlp->min_cycle, 4), "-"});
+  const auto nrip = baselines::nrip_reconstruction(c);
+  const auto jp = baselines::jouppi_borrowing(c);
+  const auto et = baselines::edge_triggered_cpm(c);
+  row(nrip.method, nrip.cycle);
+  row(jp.method, jp.cycle);
+  row(et.method, et.cycle);
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_dot(const Circuit& c, const std::string& out_path) {
+  const auto r = opt::minimize_cycle_time(c);
+  viz::DotOptions dopt;
+  if (r) {
+    const opt::CriticalReport rep = opt::find_critical_segments(c, r->schedule, r->departure);
+    dopt.highlight_paths = rep.tight_paths;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << viz::dot_circuit(c, dopt);
+  std::printf("wrote %s (critical paths highlighted)\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_vcd(const Circuit& c, const std::string& out_path) {
+  const auto r = opt::minimize_cycle_time(c);
+  if (!r) {
+    std::printf("error: %s\n", r.error().to_string().c_str());
+    return 1;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << sim::write_vcd(c, r->schedule, r->departure);
+  std::printf("wrote %s (open with any VCD viewer; Tc* = %s)\n", out_path.c_str(),
+              fmt_time(r->min_cycle, 6).c_str());
+  return 0;
+}
+
+int cmd_corners(const Circuit& c, const ClockSchedule& s) {
+  const sta::CornerReport rep = sta::check_corners(c, s);
+  std::printf("%s", rep.to_string(c).c_str());
+  return rep.all_pass ? 0 : 1;
+}
+
+int cmd_bounds(const Circuit& c) {
+  std::printf("path-span bound: Tc >= %s\n", fmt_time(opt::path_span_bound(c), 6).c_str());
+  std::printf("loop bound:      Tc >= %s\n", fmt_time(opt::loop_bound(c), 6).c_str());
+  const auto r = opt::minimize_cycle_time(c);
+  if (r) {
+    std::printf("exact optimum:   Tc* = %s\n", fmt_time(r->min_cycle, 6).c_str());
+  }
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: timing_tool <min|loops|critical|sens|bounds|baselines> <circuit.lct>\n"
+      "       timing_tool <svg|dot|vcd> <circuit.lct> [out-file]\n"
+      "       timing_tool <check|sim|corners> <circuit.lct> <schedule.lcs>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    // Demo mode: run everything on example 1.
+    const Circuit c = circuits::example1(80.0);
+    std::printf("(demo mode: example 1 with delta41 = 80; pass a .lct file to use yours)\n\n");
+    std::printf("== min ==\n");
+    cmd_min(c);
+    std::printf("\n== loops ==\n");
+    cmd_loops(c);
+    std::printf("\n== critical ==\n");
+    cmd_critical(c);
+    std::printf("\n== sens ==\n");
+    cmd_sens(c);
+    std::printf("\n== bounds ==\n");
+    cmd_bounds(c);
+    std::printf("\n== baselines ==\n");
+    cmd_baselines(c);
+    std::printf("\n== sim (at the optimum) ==\n");
+    const auto r = opt::minimize_cycle_time(c);
+    return r ? cmd_sim(c, r->schedule) : 1;
+  }
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  const auto circuit = parser::load_circuit(argv[2]);
+  if (!circuit) {
+    std::printf("cannot load circuit: %s\n", circuit.error().to_string().c_str());
+    return 1;
+  }
+  if (cmd == "min") return cmd_min(*circuit);
+  if (cmd == "loops") return cmd_loops(*circuit);
+  if (cmd == "critical") return cmd_critical(*circuit);
+  if (cmd == "sens") return cmd_sens(*circuit);
+  if (cmd == "baselines") return cmd_baselines(*circuit);
+  if (cmd == "bounds") return cmd_bounds(*circuit);
+  if (cmd == "svg") return cmd_svg(*circuit, argc >= 4 ? argv[3] : "timing.svg");
+  if (cmd == "dot") return cmd_dot(*circuit, argc >= 4 ? argv[3] : "circuit.dot");
+  if (cmd == "vcd") return cmd_vcd(*circuit, argc >= 4 ? argv[3] : "timing.vcd");
+  if (cmd == "check" || cmd == "sim" || cmd == "corners") {
+    if (argc < 4) return usage();
+    const auto schedule = parser::load_schedule(argv[3]);
+    if (!schedule) {
+      std::printf("cannot load schedule: %s\n", schedule.error().to_string().c_str());
+      return 1;
+    }
+    if (cmd == "check") return cmd_check(*circuit, *schedule);
+    if (cmd == "corners") return cmd_corners(*circuit, *schedule);
+    return cmd_sim(*circuit, *schedule);
+  }
+  return usage();
+}

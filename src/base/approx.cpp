@@ -1,0 +1,14 @@
+#include "base/approx.h"
+
+#include <cmath>
+
+namespace mintc {
+
+double snap_zero(double v, double eps) { return std::fabs(v) <= eps ? 0.0 : v; }
+
+double round_to(double v, int decimals) {
+  const double scale = std::pow(10.0, decimals);
+  return std::round(v * scale) / scale;
+}
+
+}  // namespace mintc

@@ -1,0 +1,48 @@
+// Tolerant floating-point comparison for timing quantities.
+//
+// All times in mintc are doubles in user units (the paper uses ns). Timing
+// constraint checks and LP pivots must not be derailed by 1e-12 noise, so all
+// comparisons in the library go through these helpers with a single global
+// default tolerance.
+#pragma once
+
+#include <cmath>
+
+namespace mintc {
+
+/// Default absolute tolerance for timing comparisons (user units).
+inline constexpr double kTimeEps = 1e-7;
+
+/// True if |a - b| <= eps.
+inline bool approx_eq(double a, double b, double eps = kTimeEps) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// True if a <= b + eps (i.e., "a is at most b" up to tolerance).
+inline bool approx_le(double a, double b, double eps = kTimeEps) {
+  return a <= b + eps;
+}
+
+/// True if a >= b - eps.
+inline bool approx_ge(double a, double b, double eps = kTimeEps) {
+  return a >= b - eps;
+}
+
+/// True if a < b - eps (strictly less, beyond tolerance).
+inline bool definitely_lt(double a, double b, double eps = kTimeEps) {
+  return a < b - eps;
+}
+
+/// True if a > b + eps (strictly greater, beyond tolerance).
+inline bool definitely_gt(double a, double b, double eps = kTimeEps) {
+  return a > b + eps;
+}
+
+/// Snap a value to zero if it is within eps of zero. Used to clean up
+/// LP solutions before they are fed to the fixpoint iteration.
+double snap_zero(double v, double eps = kTimeEps);
+
+/// Round to a fixed number of decimals for stable text output.
+double round_to(double v, int decimals);
+
+}  // namespace mintc

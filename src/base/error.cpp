@@ -1,0 +1,21 @@
+#include "base/error.h"
+
+namespace mintc {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvalidArgument: return "invalid_argument";
+    case ErrorKind::kInvalidCircuit: return "invalid_circuit";
+    case ErrorKind::kInfeasible: return "infeasible";
+    case ErrorKind::kUnbounded: return "unbounded";
+    case ErrorKind::kNotConverged: return "not_converged";
+    case ErrorKind::kIo: return "io";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  return std::string(mintc::to_string(kind)) + ": " + message;
+}
+
+}  // namespace mintc

@@ -1,0 +1,70 @@
+// Lightweight error type and Expected<T> for recoverable failures.
+//
+// mintc is a library: user-input problems (malformed circuit files,
+// structurally invalid circuits, infeasible constraint systems) are reported
+// as values, not exceptions. Internal logic errors still assert.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mintc {
+
+/// Coarse classification of a recoverable error.
+enum class ErrorKind {
+  kInvalidArgument,  // bad parameter or malformed input file
+  kInvalidCircuit,   // circuit fails structural validation
+  kInfeasible,       // constraint system has no solution
+  kUnbounded,        // LP objective unbounded (indicates a modeling bug)
+  kNotConverged,     // iteration limit hit before a fixpoint
+  kIo,               // file could not be read/written
+};
+
+/// Human-readable name of an ErrorKind ("invalid_argument", ...).
+const char* to_string(ErrorKind kind);
+
+/// A recoverable error: a kind plus a human-readable message.
+struct Error {
+  ErrorKind kind = ErrorKind::kInvalidArgument;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Minimal expected/either type: holds either a T or an Error.
+///
+/// Usage:
+///   Expected<Circuit> c = parse_circuit(text);
+///   if (!c) { report(c.error()); return; }
+///   use(c.value());
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const { return std::get<Error>(data_); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience constructors.
+inline Error make_error(ErrorKind kind, std::string message) {
+  return Error{kind, std::move(message)};
+}
+
+}  // namespace mintc

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// Default level is kWarn so library users see nothing unless something is
+// off; tools and benches can raise verbosity to trace simplex pivots and
+// fixpoint iterations.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mintc {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log level.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at the given level (no-op if below the global level).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_trace() { return detail::LogStream(LogLevel::kTrace); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace mintc

@@ -1,0 +1,33 @@
+// Small string utilities used by the parser and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mintc {
+
+/// Remove leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any run of the given delimiter characters; empty tokens dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Split on a single delimiter character; empty tokens kept.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// True if s starts with the given prefix.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a double; returns false on any trailing garbage.
+bool parse_double(std::string_view s, double& out);
+
+/// Parse a non-negative integer; returns false on any trailing garbage.
+bool parse_int(std::string_view s, int& out);
+
+/// printf-style "%.*f" with trailing zeros trimmed ("12.50" -> "12.5",
+/// "12.00" -> "12"). Used everywhere numbers are printed in reports so the
+/// output matches the paper's style.
+std::string fmt_time(double v, int max_decimals = 3);
+
+}  // namespace mintc

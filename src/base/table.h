@@ -1,0 +1,30 @@
+// Column-aligned text tables.
+//
+// The figure/table benches print the paper's rows through this so their
+// output is uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mintc {
+
+/// A simple monospace table: set headers, add rows, render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment, a header underline, and two-space gutters.
+  std::string to_string() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mintc

@@ -1,0 +1,94 @@
+#include "baselines/edge_triggered.h"
+
+#include <algorithm>
+
+#include "sta/analysis.h"
+
+namespace mintc::baselines {
+
+double slot_fraction(int p_from, int p_to, int num_phases) {
+  const double frac = static_cast<double>(p_to - p_from) / num_phases +
+                      static_cast<double>(c_flag(p_from, p_to));
+  return frac;
+}
+
+namespace {
+
+// Worst delay of path `p` measured edge-to-edge: source clock-to-Q +
+// combinational + destination setup.
+double edge_to_edge_delay(const Circuit& c, const CombPath& p) {
+  return c.element(p.from).dq + p.delay + c.element(p.to).setup;
+}
+
+BaselineResult finish(const Circuit& circuit, std::string method, double tc) {
+  BaselineResult res;
+  res.method = std::move(method);
+  res.cycle = tc;
+  res.schedule = symmetric_schedule(circuit.num_phases(), tc);
+  const sta::TimingReport rep = sta::check_schedule(circuit, res.schedule);
+  res.feasible = rep.feasible;
+  return res;
+}
+
+}  // namespace
+
+BaselineResult edge_triggered_cpm(const Circuit& circuit) {
+  double tc = 0.0;
+  for (const CombPath& p : circuit.paths()) {
+    const int pf = circuit.element(p.from).phase;
+    const int pt = circuit.element(p.to).phase;
+    const double frac = slot_fraction(pf, pt, circuit.num_phases());
+    if (frac <= 0.0) continue;
+    tc = std::max(tc, edge_to_edge_delay(circuit, p) / frac);
+  }
+  return finish(circuit, "edge-triggered CPM", tc);
+}
+
+BaselineResult jouppi_borrowing(const Circuit& circuit) {
+  const int k = circuit.num_phases();
+
+  // Feasibility of a cycle time under the one-iteration borrowing model:
+  // a path j->i may arrive `late` past phase p_i's opening edge provided
+  //   (a) it still makes the closing edge: late + setup_i <= T_pi, and
+  //   (b) every continuation i->m absorbs the lateness inside its own slot
+  //       (no second-order borrowing — the paper: "In practice, only one
+  //       borrowing iteration is performed"): late + dq_i + delta_im +
+  //       setup_m <= span(i->m).
+  // Flip-flops sample at the opening edge and cannot be late.
+  const auto feasible = [&](double tc) {
+    for (const CombPath& p : circuit.paths()) {
+      const Element& src = circuit.element(p.from);
+      const Element& dst = circuit.element(p.to);
+      const double span1 = slot_fraction(src.phase, dst.phase, k) * tc;
+      const double arrive = src.dq + p.delay;  // relative to src opening edge
+      const double late = arrive - span1;      // lateness past dst's opening edge
+      if (late <= 0.0) continue;
+      if (!dst.is_latch()) return false;
+      const double width = tc / k;  // symmetric schedule phase width
+      if (late + dst.setup > width) return false;
+      for (const int ne : circuit.fanout(p.to)) {
+        const CombPath& q = circuit.path(ne);
+        const Element& nxt = circuit.element(q.to);
+        const double span2 = slot_fraction(dst.phase, nxt.phase, k) * tc;
+        if (late + dst.dq + q.delay + nxt.setup > span2) return false;
+      }
+    }
+    return true;
+  };
+
+  // Bounded binary search below the CPM estimate (borrowing only relaxes).
+  double hi = edge_triggered_cpm(circuit).cycle;
+  if (hi <= 0.0) return finish(circuit, "Jouppi 1-pass borrowing", 0.0);
+  double lo = 0.0;
+  for (int iter = 0; iter < 64 && hi - lo > 1e-6; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return finish(circuit, "Jouppi 1-pass borrowing", hi);
+}
+
+}  // namespace mintc::baselines

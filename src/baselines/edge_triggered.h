@@ -1,0 +1,48 @@
+// Edge-triggered baselines (paper Section II).
+//
+// Most pre-SMO tools "assume edge triggering to simplify the analysis and
+// then apply some heuristics to approximate the level-sensitive
+// constraints". We implement the two canonical heuristics the paper
+// contrasts against:
+//
+// * edge_triggered_cpm — pretend every synchronizer is an edge-triggered
+//   flip-flop under a symmetric k-slot clock: each path j->i must fit
+//   entirely inside its slot span, giving
+//       Tc >= (Δ_DQj + Δ_ji + Δ_DCi) / frac(p_j -> p_i)
+//   where frac is the fraction of the period between the two latching
+//   edges. This is the classic CPM bound; it is also the "very good initial
+//   guess" the paper suggests seeding the LP with.
+//
+// * jouppi_borrowing — one borrowing iteration on top of CPM (TV-style):
+//   each pair of adjacent paths through a transparent latch may share their
+//   combined slot span, relaxing the single-slot requirement across one
+//   latch. The paper notes that in practice "only one borrowing iteration
+//   is performed to limit the computation cost"; that is exactly what this
+//   implements, so it is an upper bound that is usually better than CPM but
+//   still above the MLP optimum.
+#pragma once
+
+#include <string>
+
+#include "model/circuit.h"
+
+namespace mintc::baselines {
+
+struct BaselineResult {
+  std::string method;
+  double cycle = 0.0;       // estimated minimum Tc
+  ClockSchedule schedule;   // the symmetric schedule at that Tc
+  bool feasible = false;    // verified by the exact analysis engine
+};
+
+/// Fraction of the clock period between the latching edges of p_from and
+/// p_to under a symmetric k-slot schedule (always in (0, 1]).
+double slot_fraction(int p_from, int p_to, int num_phases);
+
+/// CPM bound: every path confined to its slot span.
+BaselineResult edge_triggered_cpm(const Circuit& circuit);
+
+/// CPM plus a single slack-borrowing pass across each transparent latch.
+BaselineResult jouppi_borrowing(const Circuit& circuit);
+
+}  // namespace mintc::baselines

@@ -1,0 +1,58 @@
+#include "circuits/appendix_fig1.h"
+
+#include <array>
+
+namespace mintc::circuits {
+
+Circuit appendix_fig1(const AppendixParams& params) {
+  Circuit c("appendix_fig1", 4);
+  // Latch phases from the Appendix setup constraints (1-based latch names).
+  const std::array<int, 11> phase = {1, 1, 4, 3, 3, 2, 2, 1, 4, 3, 2};
+  for (int i = 0; i < 11; ++i) {
+    c.add_latch("L" + std::to_string(i + 1), phase[static_cast<size_t>(i)], params.setup,
+                params.dq);
+  }
+  // Paths from the Appendix propagation constraints, plus the reconstructed
+  // 9->10 (see header). Pairs are (source latch, destination latch), 1-based.
+  const std::array<std::pair<int, int>, 17> paths = {{{4, 2},
+                                                      {5, 2},
+                                                      {8, 3},
+                                                      {1, 4},
+                                                      {2, 4},
+                                                      {6, 5},
+                                                      {7, 5},
+                                                      {4, 6},
+                                                      {5, 6},
+                                                      {9, 7},
+                                                      {10, 7},
+                                                      {6, 8},
+                                                      {7, 8},
+                                                      {6, 9},
+                                                      {7, 9},
+                                                      {11, 10},
+                                                      {9, 11},
+                                                      }};
+  int idx = 0;
+  for (const auto& [from, to] : paths) {
+    c.add_path(from - 1, to - 1, params.base_delay + 2.0 * idx, 0.0,
+               "d" + std::to_string(from) + "_" + std::to_string(to));
+    ++idx;
+  }
+  c.add_path(10 - 1, 11 - 1, params.base_delay + 2.0 * idx, 0.0, "d10_11");
+  ++idx;
+  // Reconstructed phi4 -> phi3 path completing the paper's K matrix.
+  c.add_path(9 - 1, 10 - 1, params.base_delay + 2.0 * idx, 0.0, "d9_10");
+  return c;
+}
+
+KMatrix appendix_fig1_k_matrix() {
+  KMatrix K(4);
+  // Paper Appendix:  [0 0 1 1; 1 0 1 1; 1 1 0 0; 0 1 1 0].
+  const int rows[4][4] = {{0, 0, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 0}, {0, 1, 1, 0}};
+  for (int i = 1; i <= 4; ++i) {
+    for (int j = 1; j <= 4; ++j) K.set(i, j, rows[i - 1][j - 1] != 0);
+  }
+  return K;
+}
+
+}  // namespace mintc::circuits

@@ -1,0 +1,38 @@
+#include "circuits/example1.h"
+
+#include <algorithm>
+
+namespace mintc::circuits {
+
+Circuit example1(double delta41) {
+  Circuit c("example1", 2);
+  const int l1 = c.add_latch("L1", 1, 10.0, 10.0);
+  const int l2 = c.add_latch("L2", 2, 10.0, 10.0);
+  const int l3 = c.add_latch("L3", 1, 10.0, 10.0);
+  const int l4 = c.add_latch("L4", 2, 10.0, 10.0);
+  c.add_path(l1, l2, 20.0, 0.0, "La");
+  c.add_path(l2, l3, 20.0, 0.0, "Lb");
+  c.add_path(l3, l4, 60.0, 0.0, "Lc");
+  c.add_path(l4, l1, delta41, 0.0, "Ld");
+  return c;
+}
+
+int example1_ld_path() { return 3; }
+
+double example1_optimal_tc(double delta41) {
+  // Three lower bounds, matching the paper's Fig. 7 discussion:
+  //  * each single path j->i must fit within one period, because the
+  //    destination phase closes no later than one period after the source
+  //    phase opens (C3): Tc >= Δ_DQj + Δ_ji + Δ_DCi. Block Lc gives the
+  //    binding 10+60+10 = 80 (the "other delay in the circuit" that sets Tc
+  //    for Δ41 <= 20), block Ld gives 20+Δ41 — equivalently the difference
+  //    between the delays of the two cycles making up the loop;
+  //  * the feedback loop spans two periods, so Tc >= (140+Δ41)/2, the
+  //    average delay around the loop.
+  const double lc_span = 80.0;                 // 10+60+10
+  const double ld_span = 20.0 + delta41;       // 10+Δ41+10
+  const double loop_avg = (140.0 + delta41) / 2.0;
+  return std::max({lc_span, ld_span, loop_avg});
+}
+
+}  // namespace mintc::circuits

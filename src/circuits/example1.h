@@ -1,0 +1,31 @@
+// Example 1 (paper Fig. 5): a two-stage system connected in a loop,
+// controlled by a two-phase clock.
+//
+//   L1(phi1) --La(20)--> L2(phi2) --Lb(20)--> L3(phi1) --Lc(60)--> L4(phi2)
+//      ^                                                             |
+//      +------------------------- Ld(delta41) -----------------------+
+//
+// All four latches have setup = propagation = 10 ns. The delay of block Ld
+// (Δ41) is the experiment's sweep parameter. Published optima:
+//   Δ41 =  80 ns -> Tc* = 110 ns
+//   Δ41 = 100 ns -> Tc* = 120 ns
+//   Δ41 = 120 ns -> Tc* = 140 ns (departures 60/90/140/210 in absolute time)
+// and in closed form Tc* = max(80, (140+Δ41)/2, 20+Δ41): the maximum of the
+// average delay around the loop and the difference between the delays of
+// the two cycles making up the loop (paper, discussion of Fig. 7).
+#pragma once
+
+#include "model/circuit.h"
+
+namespace mintc::circuits {
+
+/// Build example 1 with the given Δ41 (ns).
+Circuit example1(double delta41 = 80.0);
+
+/// Path index of block Ld within example1(), for parametric sweeps.
+int example1_ld_path();
+
+/// The paper's closed-form optimum for example 1.
+double example1_optimal_tc(double delta41);
+
+}  // namespace mintc::circuits

@@ -1,0 +1,42 @@
+#include "circuits/example2.h"
+
+namespace mintc::circuits {
+
+Circuit example2() {
+  Circuit c("example2", 3);
+  const double su = 2.0;
+  const double dq = 3.0;
+
+  // Main loop (phi1 -> phi2 -> phi3 -> phi1) with one long stage.
+  c.add_latch("P1", 1, su, dq);
+  c.add_latch("P2", 2, su, dq);
+  c.add_latch("P3", 3, su, dq);
+  // Side loop sharing the phi2 stage.
+  c.add_latch("Q1", 1, su, dq);
+  c.add_latch("Q2", 2, su, dq);
+  c.add_latch("Q3", 3, su, dq);
+  // Feed-forward pipeline hanging off the main loop.
+  c.add_latch("R2", 2, su, dq);
+  c.add_latch("R3", 3, su, dq);
+
+  c.add_path("P1", "P2", 58.0, 0.0, "M12");  // long, unbalanced stage
+  c.add_path("P2", "P3", 1.5, 0.0, "M23");
+  c.add_path("P3", "P1", 1.5, 0.0, "M31");
+
+  c.add_path("Q1", "Q2", 46.0, 0.0, "S12");
+  c.add_path("Q2", "Q3", 1.5, 0.0, "S23");
+  c.add_path("Q3", "Q1", 1.5, 0.0, "S31");
+
+  // Coupling between the loops.
+  c.add_path("P2", "Q3", 8.0, 0.0, "X23");
+  c.add_path("Q2", "P3", 7.0, 0.0, "X23b");
+
+  // Feed-forward taps.
+  c.add_path("P1", "R2", 40.0, 0.0, "F12");
+  c.add_path("R2", "R3", 12.0, 0.0, "F23");
+  c.add_path("R3", "P1", 1.5, 0.0, "F31");
+
+  return c;
+}
+
+}  // namespace mintc::circuits

@@ -1,0 +1,22 @@
+// Example 2 (paper Figs. 8-9): "a more complicated example" on which the
+// NRIP algorithm's cycle time is significantly higher (35%) than the MLP
+// optimum.
+//
+// The paper's Fig. 8 block diagram gives no delay values, so this circuit is
+// a reconstruction (DESIGN.md §4): a three-phase, eight-latch design with
+// two coupled feedback loops and deliberately *unbalanced* stage delays.
+// The optimal clock schedule is strongly asymmetric (one wide phase
+// absorbing the long stage); any method restricted to symmetric phase
+// widths and separations — the property the paper identifies as the source
+// of NRIP's suboptimality — pays a large penalty. The delays below are
+// calibrated so the reconstructed-NRIP-to-MLP gap matches the published
+// ~35% (pinned by bench_fig9_example2 and tests).
+#pragma once
+
+#include "model/circuit.h"
+
+namespace mintc::circuits {
+
+Circuit example2();
+
+}  // namespace mintc::circuits

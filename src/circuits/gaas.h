@@ -1,0 +1,44 @@
+// Reconstruction of the paper's third example (Section V, Figs. 10-11,
+// Table I): the timing model of the University of Michigan 250 MHz GaAs
+// MIPS-R6000-compatible microcomputer datapath.
+//
+// Published facts reproduced by this model (see DESIGN.md §4 for the
+// substitution rationale — the authors' SPICE-extracted delays were never
+// published, so delays here are calibrated):
+//   * three-phase clock; 18 synchronizing elements, 15 of which are
+//     level-sensitive latches (the rest edge-triggered flip-flops);
+//   * each synchronizer stands for a 32-bit bus;
+//   * 91 timing constraints in the LP;
+//   * optimal cycle time 4.4 ns — 10% above the 4 ns (250 MHz) target;
+//   * phi3 (the register-file precharge clock) is completely overlapped by
+//     phi1 in the optimal schedule, legal because K13 = K31 = 0.
+//
+// The datapath structure follows Fig. 10: I-cache fetch into IR, decode,
+// register-file read (precharged by phi3), ALU / shifter / integer
+// multiply-divide execute paths with full bypassing, D-cache access through
+// the load aligner, and writeback, plus PC / branch-condition / exception
+// flip-flops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/circuit.h"
+
+namespace mintc::circuits {
+
+Circuit gaas_datapath();
+
+/// Table I: transistor counts for the major datapath blocks.
+struct TransistorCount {
+  std::string block;
+  int transistors = 0;
+};
+const std::vector<TransistorCount>& gaas_transistor_table();
+
+/// The published target cycle time (4 ns = 250 MHz) and the paper's optimal
+/// result (4.4 ns).
+inline constexpr double kGaasTargetTc = 4.0;
+inline constexpr double kGaasPaperOptimalTc = 4.4;
+
+}  // namespace mintc::circuits

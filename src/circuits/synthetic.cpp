@@ -1,0 +1,67 @@
+#include "circuits/synthetic.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+
+namespace mintc::circuits {
+
+Circuit synthetic_circuit(const SyntheticParams& p, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> delay(p.min_delay, p.max_delay);
+
+  Circuit c("synthetic_k" + std::to_string(p.num_phases) + "_s" + std::to_string(p.num_stages) +
+                "_l" + std::to_string(p.latches_per_stage),
+            p.num_phases);
+
+  // Latch grid: stage s, slot j -> phase (s mod k)+1.
+  std::vector<std::vector<int>> stage(static_cast<size_t>(p.num_stages));
+  for (int s = 0; s < p.num_stages; ++s) {
+    for (int j = 0; j < p.latches_per_stage; ++j) {
+      const int phase = (s % p.num_phases) + 1;
+      stage[static_cast<size_t>(s)].push_back(
+          c.add_latch("S" + std::to_string(s) + "L" + std::to_string(j), phase, p.setup, p.dq));
+    }
+  }
+
+  // Dense consecutive-stage connectivity (ring: last stage feeds stage 0).
+  std::set<std::pair<int, int>> used;
+  for (int s = 0; s < p.num_stages; ++s) {
+    const auto& prev = stage[static_cast<size_t>(s)];
+    const auto& next = stage[static_cast<size_t>((s + 1) % p.num_stages)];
+    for (const int dst : next) {
+      std::uniform_int_distribution<size_t> pick(0, prev.size() - 1);
+      int added = 0;
+      int guard = 0;
+      while (added < std::min<int>(p.fanin, static_cast<int>(prev.size())) && guard++ < 64) {
+        const int src = prev[pick(rng)];
+        if (!used.insert({src, dst}).second) continue;
+        c.add_path(src, dst, delay(rng));
+        ++added;
+      }
+    }
+  }
+
+  // Long-range forward edges: span >= 2 stages so the phase relationship is
+  // still "forward in time" and never a same-phase latch race (span is kept
+  // a multiple-free offset; any span works for validity, races are allowed
+  // by the model but we avoid trivial ones).
+  if (p.num_stages >= 3) {
+    std::uniform_int_distribution<int> pick_stage(0, p.num_stages - 1);
+    std::uniform_int_distribution<int> pick_span(2, p.num_stages - 1);
+    std::uniform_int_distribution<size_t> pick_slot(0, static_cast<size_t>(p.latches_per_stage) - 1);
+    for (int i = 0; i < p.extra_long_edges; ++i) {
+      const int s = pick_stage(rng);
+      const int t = (s + pick_span(rng)) % p.num_stages;
+      const int src = stage[static_cast<size_t>(s)][pick_slot(rng)];
+      const int dst = stage[static_cast<size_t>(t)][pick_slot(rng)];
+      if (src == dst) continue;
+      if (!used.insert({src, dst}).second) continue;
+      c.add_path(src, dst, delay(rng));
+    }
+  }
+  return c;
+}
+
+}  // namespace mintc::circuits

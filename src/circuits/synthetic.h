@@ -1,0 +1,36 @@
+// Deterministic synthetic circuit generator for scaling and property tests.
+//
+// Generates multi-phase latch pipelines with feedback: latches are placed in
+// a ring of stages (stage s -> phase (s mod k) + 1), consecutive stages are
+// densely connected, and extra long-range edges add loops of varying spans.
+// All delays are drawn from a seeded PRNG, so a (params, seed) pair always
+// produces the same circuit. Because consecutive-stage edges step the phase
+// by exactly one, the circuit is always structurally valid and its LP is
+// always feasible.
+//
+// Used by: bench_scaling_constraints (the paper's Section IV claim that the
+// constraint count is 4k + (F+1)l and simplex cost grows linearly in l),
+// bench_ablation_iteration, and the randomized property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "model/circuit.h"
+
+namespace mintc::circuits {
+
+struct SyntheticParams {
+  int num_phases = 2;
+  int num_stages = 8;           // ring length (wraps around -> feedback)
+  int latches_per_stage = 4;
+  int fanin = 3;                // edges into each latch from previous stage
+  double min_delay = 5.0;
+  double max_delay = 50.0;
+  double setup = 2.0;
+  double dq = 3.0;
+  int extra_long_edges = 4;     // random cross-stage (forward) edges
+};
+
+Circuit synthetic_circuit(const SyntheticParams& params, uint64_t seed);
+
+}  // namespace mintc::circuits

@@ -1,0 +1,42 @@
+// Maximum cycle ratio:  λ* = max over directed cycles C of
+//     Σ_{e in C} weight(e)  /  Σ_{e in C} transit(e),
+// over cycles with positive total transit.
+//
+// Role in the reproduction: for a latch graph with edge weight
+// Δ_DQj + Δ_ji and transit C_{pj,pi} (cycle-boundary crossings), λ* is a
+// lower bound on the optimal cycle time of problem P1/P2 — the LP optimum can
+// exceed it only when setup constraints bind. Tests use this as an
+// independent certificate for the MLP result (the LP and the cycle-ratio
+// computation share no code), and bench_ablation_cycle_ratio compares the
+// two solvers' costs.
+//
+// Two algorithms are provided:
+//   * Lawler's parametric binary search (feasibility check = positive-cycle
+//     detection on reweighted edges via Bellman-Ford), robust and simple;
+//   * Howard-style policy iteration, typically much faster in practice.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace mintc::graph {
+
+struct CycleRatioResult {
+  double ratio = 0.0;
+  /// Edge ids of one critical cycle achieving the ratio (may be empty for
+  /// the binary-search method when only the value was requested).
+  std::vector<int> cycle_edges;
+};
+
+/// Lawler binary search. Requires every cycle to have total transit > 0
+/// (guaranteed for latch graphs: a cycle must cross the clock period at
+/// least once). Returns nullopt if the graph is acyclic.
+std::optional<CycleRatioResult> max_cycle_ratio_lawler(const Digraph& g, double tol = 1e-9);
+
+/// Howard-style policy iteration; also recovers a critical cycle.
+/// Returns nullopt if the graph is acyclic.
+std::optional<CycleRatioResult> max_cycle_ratio_howard(const Digraph& g, double tol = 1e-9);
+
+}  // namespace mintc::graph

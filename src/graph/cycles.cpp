@@ -1,0 +1,88 @@
+#include "graph/cycles.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mintc::graph {
+
+double SimpleCycle::ratio() const {
+  if (transit_sum > 1e-12) return weight_sum / transit_sum;
+  return weight_sum > 1e-12 ? std::numeric_limits<double>::infinity()
+                            : -std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+// DFS enumeration rooted at `root`: only nodes >= root may participate, so
+// each simple cycle is emitted exactly once (from its minimum vertex).
+class Enumerator {
+ public:
+  Enumerator(const Digraph& g, std::vector<SimpleCycle>& out, int max_cycles)
+      : g_(g), out_(out), max_cycles_(max_cycles),
+        on_path_(static_cast<size_t>(g.num_nodes()), false) {}
+
+  bool run() {
+    for (int root = 0; root < g_.num_nodes(); ++root) {
+      root_ = root;
+      if (!dfs(root)) return false;  // truncated
+    }
+    return true;
+  }
+
+ private:
+  bool dfs(int v) {
+    on_path_[static_cast<size_t>(v)] = true;
+    for (const int e : g_.out_edges(v)) {
+      const Edge& edge = g_.edge(e);
+      if (edge.to < root_) continue;
+      if (edge.to == root_) {
+        path_.push_back(e);
+        if (static_cast<int>(out_.size()) >= max_cycles_) {
+          path_.pop_back();
+          on_path_[static_cast<size_t>(v)] = false;
+          return false;
+        }
+        emit();
+        path_.pop_back();
+        continue;
+      }
+      if (on_path_[static_cast<size_t>(edge.to)]) continue;
+      path_.push_back(e);
+      const bool ok = dfs(edge.to);
+      path_.pop_back();
+      if (!ok) {
+        on_path_[static_cast<size_t>(v)] = false;
+        return false;
+      }
+    }
+    on_path_[static_cast<size_t>(v)] = false;
+    return true;
+  }
+
+  void emit() {
+    SimpleCycle c;
+    c.edges = path_;
+    for (const int e : path_) {
+      c.weight_sum += g_.edge(e).weight;
+      c.transit_sum += g_.edge(e).transit;
+    }
+    out_.push_back(std::move(c));
+  }
+
+  const Digraph& g_;
+  std::vector<SimpleCycle>& out_;
+  int max_cycles_;
+  int root_ = 0;
+  std::vector<bool> on_path_;
+  std::vector<int> path_;
+};
+
+}  // namespace
+
+bool enumerate_simple_cycles(const Digraph& g, std::vector<SimpleCycle>& out, int max_cycles) {
+  out.clear();
+  Enumerator en(g, out, max_cycles);
+  return en.run();
+}
+
+}  // namespace mintc::graph

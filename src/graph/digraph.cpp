@@ -1,0 +1,27 @@
+#include "graph/digraph.h"
+
+#include <cassert>
+
+namespace mintc::graph {
+
+Digraph::Digraph(int num_nodes) : num_nodes_(num_nodes) {
+  out_.resize(static_cast<size_t>(num_nodes));
+  in_.resize(static_cast<size_t>(num_nodes));
+}
+
+int Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return num_nodes_++;
+}
+
+int Digraph::add_edge(int from, int to, double weight, double transit, int tag) {
+  assert(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{from, to, weight, transit, tag});
+  out_[static_cast<size_t>(from)].push_back(id);
+  in_[static_cast<size_t>(to)].push_back(id);
+  return id;
+}
+
+}  // namespace mintc::graph

@@ -1,0 +1,51 @@
+// A small weighted directed multigraph.
+//
+// Used for: the latch-to-latch connectivity graph (SCC analysis, cycle-ratio
+// bounds), the gate-level netlist DAGs (per-stage longest paths in the delay
+// calculator), and the CPM baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mintc::graph {
+
+/// An edge with two weights: `weight` (e.g. propagation delay) and `transit`
+/// (e.g. number of clock-cycle boundaries crossed; used by cycle-ratio).
+struct Edge {
+  int from = 0;
+  int to = 0;
+  double weight = 0.0;
+  double transit = 0.0;
+  int tag = -1;  // caller-defined id (e.g. CombPath index)
+};
+
+class Digraph {
+ public:
+  explicit Digraph(int num_nodes = 0);
+
+  int add_node();
+  /// Add an edge; parallel edges and self-loops are allowed. Returns edge id.
+  int add_edge(int from, int to, double weight = 0.0, double transit = 0.0, int tag = -1);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(int e) const { return edges_.at(static_cast<size_t>(e)); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids leaving `node`.
+  const std::vector<int>& out_edges(int node) const {
+    return out_.at(static_cast<size_t>(node));
+  }
+  /// Edge ids entering `node`.
+  const std::vector<int>& in_edges(int node) const { return in_.at(static_cast<size_t>(node)); }
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+}  // namespace mintc::graph

@@ -1,0 +1,34 @@
+// Strongly connected components (Tarjan, iterative).
+//
+// LEADOUT (Szymanski, Section II of the paper) partitions the circuit into
+// its strongly connected components before constraint generation; we use SCCs
+// to find feedback loops of latches for structural validation and to restrict
+// cycle-ratio computation to nontrivial components.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace mintc::graph {
+
+struct SccResult {
+  /// component index of every node; components are numbered in reverse
+  /// topological order (Tarjan's emission order).
+  std::vector<int> component;
+  int num_components = 0;
+
+  /// Nodes of each component.
+  std::vector<std::vector<int>> members;
+
+  /// True if the component has more than one node or a self-loop — i.e.,
+  /// participates in at least one cycle.
+  std::vector<bool> nontrivial;
+};
+
+SccResult strongly_connected_components(const Digraph& g);
+
+/// True if the graph contains at least one directed cycle.
+bool has_cycle(const Digraph& g);
+
+}  // namespace mintc::graph

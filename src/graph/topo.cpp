@@ -1,0 +1,76 @@
+#include "graph/topo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mintc::graph {
+
+std::optional<std::vector<int>> topological_order(const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> indegree(static_cast<size_t>(n), 0);
+  for (const Edge& e : g.edges()) ++indegree[static_cast<size_t>(e.to)];
+
+  std::vector<int> queue;
+  queue.reserve(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    if (indegree[static_cast<size_t>(v)] == 0) queue.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const int v = queue[head];
+    order.push_back(v);
+    for (const int e : g.out_edges(v)) {
+      const int w = g.edge(e).to;
+      if (--indegree[static_cast<size_t>(w)] == 0) queue.push_back(w);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+std::optional<LongestPathResult> dag_longest_paths(const Digraph& g,
+                                                   const std::vector<int>& sources,
+                                                   const std::vector<double>& source_offsets) {
+  assert(sources.size() == source_offsets.size());
+  const auto order = topological_order(g);
+  if (!order) return std::nullopt;
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  LongestPathResult res;
+  res.dist.assign(static_cast<size_t>(g.num_nodes()), kNegInf);
+  res.pred_edge.assign(static_cast<size_t>(g.num_nodes()), -1);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const size_t v = static_cast<size_t>(sources[i]);
+    res.dist[v] = std::max(res.dist[v], source_offsets[i]);
+  }
+  for (const int v : *order) {
+    const double dv = res.dist[static_cast<size_t>(v)];
+    if (dv == kNegInf) continue;
+    for (const int e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      const double cand = dv + edge.weight;
+      if (cand > res.dist[static_cast<size_t>(edge.to)]) {
+        res.dist[static_cast<size_t>(edge.to)] = cand;
+        res.pred_edge[static_cast<size_t>(edge.to)] = e;
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<int> extract_path(const Digraph& g, const LongestPathResult& lp, int sink) {
+  std::vector<int> nodes;
+  int v = sink;
+  nodes.push_back(v);
+  while (lp.pred_edge[static_cast<size_t>(v)] != -1) {
+    const Edge& e = g.edge(lp.pred_edge[static_cast<size_t>(v)]);
+    v = e.from;
+    nodes.push_back(v);
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace mintc::graph

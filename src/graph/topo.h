@@ -1,0 +1,36 @@
+// Topological sort and DAG longest paths (CPM).
+//
+// The classic critical-path method the paper contrasts against: valid only on
+// acyclic constraint graphs. Used by (a) the gate-level delay calculator to
+// compute block delays Δ_ij within a combinational stage, and (b) the
+// edge-triggered baseline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace mintc::graph {
+
+/// Kahn topological order; empty optional if the graph has a cycle.
+std::optional<std::vector<int>> topological_order(const Digraph& g);
+
+struct LongestPathResult {
+  /// dist[v]: longest weighted distance from any source in `sources` to v,
+  /// -inf if unreachable.
+  std::vector<double> dist;
+  /// Predecessor edge on a longest path, -1 at sources/unreachable nodes.
+  std::vector<int> pred_edge;
+};
+
+/// Longest paths on a DAG from the given sources (their dist starts at the
+/// paired offsets). Returns nullopt if the graph is cyclic.
+std::optional<LongestPathResult> dag_longest_paths(const Digraph& g,
+                                                   const std::vector<int>& sources,
+                                                   const std::vector<double>& source_offsets);
+
+/// Reconstruct the node sequence of the longest path ending at `sink`.
+std::vector<int> extract_path(const Digraph& g, const LongestPathResult& lp, int sink);
+
+}  // namespace mintc::graph

@@ -1,0 +1,119 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "base/approx.h"
+#include "base/strings.h"
+
+namespace mintc::lp {
+
+const char* to_string(Sense sense) {
+  switch (sense) {
+    case Sense::kLe: return "<=";
+    case Sense::kGe: return ">=";
+    case Sense::kEq: return "==";
+  }
+  return "?";
+}
+
+int Model::add_variable(std::string name, double lower, double upper) {
+  Variable v;
+  v.name = std::move(name);
+  v.lower = lower;
+  v.upper = upper;
+  variables_.push_back(std::move(v));
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Model::set_objective(int var, double coeff) {
+  variables_.at(static_cast<size_t>(var)).objective = coeff;
+}
+
+int Model::add_row(std::string name, std::vector<LinearTerm> terms, Sense sense, double rhs) {
+  // Normalize: merge duplicate variables, drop zeros, sort by index.
+  std::map<int, double> merged;
+  for (const LinearTerm& t : terms) merged[t.var] += t.coeff;
+  Row row;
+  row.name = std::move(name);
+  row.sense = sense;
+  row.rhs = rhs;
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) row.terms.push_back({var, coeff});
+  }
+  rows_.push_back(std::move(row));
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+double Model::row_activity(int r, const std::vector<double>& x) const {
+  const Row& row = rows_.at(static_cast<size_t>(r));
+  double acc = 0.0;
+  for (const LinearTerm& t : row.terms) acc += t.coeff * x.at(static_cast<size_t>(t.var));
+  return acc;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double eps) const {
+  for (int j = 0; j < num_variables(); ++j) {
+    const Variable& v = variables_[static_cast<size_t>(j)];
+    const double xj = x.at(static_cast<size_t>(j));
+    if (!approx_ge(xj, v.lower, eps) || !approx_le(xj, v.upper, eps)) return false;
+  }
+  for (int r = 0; r < num_rows(); ++r) {
+    const double a = row_activity(r, x);
+    const Row& row = rows_[static_cast<size_t>(r)];
+    switch (row.sense) {
+      case Sense::kLe:
+        if (!approx_le(a, row.rhs, eps)) return false;
+        break;
+      case Sense::kGe:
+        if (!approx_ge(a, row.rhs, eps)) return false;
+        break;
+      case Sense::kEq:
+        if (!approx_eq(a, row.rhs, eps)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Model::to_string() const {
+  std::ostringstream out;
+  out << "minimize ";
+  bool first = true;
+  for (size_t j = 0; j < variables_.size(); ++j) {
+    if (variables_[j].objective == 0.0) continue;
+    const double c = variables_[j].objective;
+    if (!first) out << (c >= 0 ? " + " : " - ");
+    else if (c < 0) out << "-";
+    if (std::fabs(c) != 1.0) out << fmt_time(std::fabs(c)) << "*";
+    out << variables_[j].name;
+    first = false;
+  }
+  if (first) out << "0";
+  out << "\nsubject to\n";
+  for (const Row& row : rows_) {
+    out << "  [" << row.name << "]  ";
+    bool f = true;
+    for (const LinearTerm& t : row.terms) {
+      const double c = t.coeff;
+      if (!f) out << (c >= 0 ? " + " : " - ");
+      else if (c < 0) out << "-";
+      if (std::fabs(c) != 1.0) out << fmt_time(std::fabs(c)) << "*";
+      out << variables_[static_cast<size_t>(t.var)].name;
+      f = false;
+    }
+    if (f) out << "0";
+    out << " " << lp::to_string(row.sense) << " " << fmt_time(row.rhs) << "\n";
+  }
+  for (const Variable& v : variables_) {
+    if (v.lower == 0.0 && v.upper == kInf) continue;
+    out << "  " << fmt_time(v.lower) << " <= " << v.name;
+    if (v.upper != kInf) out << " <= " << fmt_time(v.upper);
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mintc::lp

@@ -1,0 +1,88 @@
+// Linear-program model builder.
+//
+// A Model is a minimization LP over named variables:
+//
+//   minimize    c' x
+//   subject to  a_r' x  {<=, >=, ==}  b_r     for each row r
+//               lb_j <= x_j <= ub_j           for each variable j
+//
+// The SMO constraint generator (src/opt) builds one of these from a circuit;
+// the solver in lp/simplex.h solves it. Rows and variables carry names so
+// that tight constraints can be reported back to the user in circuit terms
+// ("setup:L3", "prop:L2->L4", "C3:phi1/phi2", ...).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mintc::lp {
+
+/// Constraint sense.
+enum class Sense { kLe, kGe, kEq };
+
+const char* to_string(Sense sense);
+
+/// One coefficient of a row: coeff * x[var].
+struct LinearTerm {
+  int var = 0;
+  double coeff = 0.0;
+};
+
+/// A linear constraint row.
+struct Row {
+  std::string name;
+  std::vector<LinearTerm> terms;  // normalized: unique vars, ascending, no zeros
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// Variable metadata.
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = std::numeric_limits<double>::infinity();
+  double objective = 0.0;  // cost coefficient (minimization)
+};
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A minimization LP under construction.
+class Model {
+ public:
+  /// Add a variable with bounds [lower, upper]; returns its index.
+  /// `lower` may be -inf (free variables are handled by the solver).
+  int add_variable(std::string name, double lower = 0.0, double upper = kInf);
+
+  /// Set the objective coefficient of a variable (minimization).
+  void set_objective(int var, double coeff);
+
+  /// Add a constraint row. Duplicate variable mentions are summed; zero
+  /// coefficients are dropped. Returns the row index.
+  int add_row(std::string name, std::vector<LinearTerm> terms, Sense sense, double rhs);
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  const Variable& variable(int j) const { return variables_.at(static_cast<size_t>(j)); }
+  Variable& variable(int j) { return variables_.at(static_cast<size_t>(j)); }
+  const Row& row(int r) const { return rows_.at(static_cast<size_t>(r)); }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Evaluate a row's left-hand side at a point.
+  double row_activity(int r, const std::vector<double>& x) const;
+
+  /// True if the point satisfies every row and bound within `eps`.
+  bool is_feasible(const std::vector<double>& x, double eps) const;
+
+  /// Pretty-print the LP in a human-readable algebraic form (for debugging
+  /// and for the constraint-listing bench).
+  std::string to_string() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mintc::lp

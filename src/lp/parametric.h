@@ -1,0 +1,50 @@
+// Parametric right-hand-side analysis.
+//
+// Section VI of the paper: "We also intend to use parametric programming
+// techniques to quantify the notion of critical path segments and to study
+// the effects on the optimal cycle time of varying the circuit delays."
+//
+// A combinational delay Δ_ji appears only on the RHS of L2R rows
+// (D_i - D_j - s_pj + s_pi + C·Tc >= Δ_DQj + Δ_ji), so varying one delay is
+// exactly a parametric-RHS sweep: z*(θ) is piecewise-linear and convex in θ.
+// This module samples z*(θ) over a range and recovers the breakpoints, which
+// is how bench_fig7 regenerates the paper's three-segment Tc(Δ41) curve.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace mintc::lp {
+
+/// One sampled point of the parametric optimum.
+struct ParametricPoint {
+  double theta = 0.0;
+  double objective = 0.0;
+  SolveStatus status = SolveStatus::kOptimal;
+};
+
+/// A maximal linear segment of the piecewise-linear optimum z*(θ).
+struct ParametricSegment {
+  double theta_begin = 0.0;
+  double theta_end = 0.0;
+  double slope = 0.0;       // dz*/dθ on this segment
+  double value_begin = 0.0; // z*(theta_begin)
+};
+
+struct ParametricResult {
+  std::vector<ParametricPoint> points;
+  std::vector<ParametricSegment> segments;
+};
+
+/// Sweep θ over [lo, hi] in `samples` uniform steps. `apply` must rewrite the
+/// model for a given θ (typically: rebuild, or adjust row RHS values).
+/// Segments are recovered by merging consecutive samples with equal slope
+/// (within slope_eps). Infeasible samples terminate segment recovery.
+ParametricResult sweep_parameter(const std::function<Model(double)>& build, double lo, double hi,
+                                 int samples, const SimplexSolver& solver,
+                                 double slope_eps = 1e-6);
+
+}  // namespace mintc::lp

@@ -1,0 +1,152 @@
+#include "model/circuit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "base/strings.h"
+
+namespace mintc {
+
+Circuit::Circuit(std::string name, int num_phases)
+    : name_(std::move(name)), num_phases_(num_phases) {
+  assert(num_phases >= 1);
+}
+
+int Circuit::add_element(Element element) {
+  assert(by_name_.find(element.name) == by_name_.end() && "duplicate element name");
+  const int id = static_cast<int>(elements_.size());
+  by_name_.emplace(element.name, id);
+  elements_.push_back(std::move(element));
+  fanin_.emplace_back();
+  fanout_.emplace_back();
+  return id;
+}
+
+int Circuit::add_latch(std::string name, int phase, double setup, double dq) {
+  Element e;
+  e.name = std::move(name);
+  e.kind = ElementKind::kLatch;
+  e.phase = phase;
+  e.setup = setup;
+  e.dq = dq;
+  return add_element(std::move(e));
+}
+
+int Circuit::add_flipflop(std::string name, int phase, double setup, double clk_to_q) {
+  Element e;
+  e.name = std::move(name);
+  e.kind = ElementKind::kFlipFlop;
+  e.phase = phase;
+  e.setup = setup;
+  e.dq = clk_to_q;
+  return add_element(std::move(e));
+}
+
+int Circuit::add_path(int from, int to, double delay, double min_delay, std::string label) {
+  assert(from >= 0 && from < num_elements() && to >= 0 && to < num_elements());
+  const int id = static_cast<int>(paths_.size());
+  paths_.push_back(CombPath{from, to, delay, min_delay, std::move(label)});
+  fanout_[static_cast<size_t>(from)].push_back(id);
+  fanin_[static_cast<size_t>(to)].push_back(id);
+  return id;
+}
+
+int Circuit::add_path(const std::string& from, const std::string& to, double delay,
+                      double min_delay, std::string label) {
+  const auto f = find_element(from);
+  const auto t = find_element(to);
+  assert(f && t && "unknown element name in add_path");
+  return add_path(*f, *t, delay, min_delay, std::move(label));
+}
+
+void Circuit::set_path_delay(int p, double delay) {
+  paths_.at(static_cast<size_t>(p)).delay = delay;
+}
+
+std::optional<int> Circuit::find_element(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<int>& Circuit::fanin(int element) const {
+  return fanin_.at(static_cast<size_t>(element));
+}
+
+const std::vector<int>& Circuit::fanout(int element) const {
+  return fanout_.at(static_cast<size_t>(element));
+}
+
+int Circuit::max_fanin() const {
+  size_t f = 0;
+  for (const auto& v : fanin_) f = std::max(f, v.size());
+  return static_cast<int>(f);
+}
+
+KMatrix Circuit::k_matrix() const {
+  KMatrix K(num_phases_);
+  for (const CombPath& p : paths_) {
+    const Element& from = elements_[static_cast<size_t>(p.from)];
+    const Element& to = elements_[static_cast<size_t>(p.to)];
+    if (!from.is_latch() || !to.is_latch()) continue;  // flip-flops cannot race
+    K.set(from.phase, to.phase, true);
+  }
+  return K;
+}
+
+graph::Digraph Circuit::latch_graph() const {
+  graph::Digraph g(num_elements());
+  for (int p = 0; p < num_paths(); ++p) {
+    const CombPath& path = paths_[static_cast<size_t>(p)];
+    const Element& from = elements_[static_cast<size_t>(path.from)];
+    const Element& to = elements_[static_cast<size_t>(path.to)];
+    g.add_edge(path.from, path.to, from.dq + path.delay,
+               static_cast<double>(c_flag(from.phase, to.phase)), p);
+  }
+  return g;
+}
+
+std::vector<std::string> Circuit::validate() const {
+  std::vector<std::string> problems;
+  if (num_phases_ < 1) problems.push_back("circuit must have at least one clock phase");
+  for (int i = 0; i < num_elements(); ++i) {
+    const Element& e = elements_[static_cast<size_t>(i)];
+    if (e.phase < 1 || e.phase > num_phases_) {
+      problems.push_back("element '" + e.name + "' uses phase " + std::to_string(e.phase) +
+                         " outside 1.." + std::to_string(num_phases_));
+    }
+    if (e.setup < 0.0) problems.push_back("element '" + e.name + "' has negative setup time");
+    if (e.dq < 0.0) problems.push_back("element '" + e.name + "' has negative Δ_DQ");
+    if (e.hold < 0.0) problems.push_back("element '" + e.name + "' has negative hold time");
+    if (e.is_latch() && e.dq < e.setup) {
+      problems.push_back("element '" + e.name +
+                         "' violates the paper's assumption Δ_DQ >= Δ_DC (Δ_DQ=" +
+                         fmt_time(e.dq) + ", Δ_DC=" + fmt_time(e.setup) + ")");
+    }
+    if (e.min_dq() > e.dq) {
+      problems.push_back("element '" + e.name + "' has min Δ_DQ greater than max Δ_DQ");
+    }
+  }
+  std::set<std::pair<int, int>> seen;
+  for (const CombPath& p : paths_) {
+    if (p.delay < 0.0) {
+      problems.push_back("path '" + p.label + "' has negative max delay");
+    }
+    if (p.min_delay < 0.0) {
+      problems.push_back("path '" + p.label + "' has negative min delay");
+    }
+    if (p.min_delay > p.delay) {
+      problems.push_back("path '" + p.label + "' has min delay greater than max delay");
+    }
+    if (!seen.insert({p.from, p.to}).second) {
+      problems.push_back("parallel combinational paths between '" +
+                         elements_[static_cast<size_t>(p.from)].name + "' and '" +
+                         elements_[static_cast<size_t>(p.to)].name +
+                         "' (merge them by taking max/min delays)");
+    }
+  }
+  return problems;
+}
+
+}  // namespace mintc

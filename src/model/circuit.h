@@ -1,0 +1,104 @@
+// The circuit timing model: synchronizing elements joined by combinational
+// max/min path delays (paper Fig. 1 and Section III).
+//
+// A Circuit is the input to everything else in the library: the constraint
+// generator (src/opt), the analysis engine (src/sta), the baselines and the
+// renderers all consume this type. It is a *timing abstraction*: each
+// element typically stands for a whole bus of identically-timed latches
+// (the paper lumps 32-bit buses into single synchronizers), and each
+// CombPath carries the worst-case (and optionally best-case) delay through
+// a combinational block between two elements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "model/clock.h"
+#include "model/element.h"
+
+namespace mintc {
+
+/// A combinational path from element `from` to element `to` with worst-case
+/// delay Δ_ij and best-case delay δ_ij. Pairs of elements with no connecting
+/// block simply have no CombPath (the paper's Δ_ij = -inf convention).
+struct CombPath {
+  int from = 0;
+  int to = 0;
+  double delay = 0.0;      // Δ_ij (max)
+  double min_delay = 0.0;  // δ_ij (min), used by the hold/short-path check
+  std::string label;       // e.g. the block name ("La", "ALU", ...)
+};
+
+class Circuit {
+ public:
+  Circuit(std::string name, int num_phases);
+
+  const std::string& name() const { return name_; }
+  int num_phases() const { return num_phases_; }
+  int num_elements() const { return static_cast<int>(elements_.size()); }
+  int num_paths() const { return static_cast<int>(paths_.size()); }
+
+  /// Add a synchronizing element; its name must be unique. Returns the
+  /// element index (0-based).
+  int add_element(Element element);
+
+  /// Convenience constructors.
+  int add_latch(std::string name, int phase, double setup, double dq);
+  int add_flipflop(std::string name, int phase, double setup, double clk_to_q);
+
+  /// Add a combinational path between two elements (by index or name).
+  /// Returns the path index.
+  int add_path(int from, int to, double delay, double min_delay = 0.0, std::string label = "");
+  int add_path(const std::string& from, const std::string& to, double delay,
+               double min_delay = 0.0, std::string label = "");
+
+  const Element& element(int i) const { return elements_.at(static_cast<size_t>(i)); }
+  Element& element(int i) { return elements_.at(static_cast<size_t>(i)); }
+  const std::vector<Element>& elements() const { return elements_; }
+
+  const CombPath& path(int p) const { return paths_.at(static_cast<size_t>(p)); }
+  const std::vector<CombPath>& paths() const { return paths_; }
+
+  /// Change a path's worst-case delay (used by parametric sweeps, e.g.
+  /// varying Δ41 in example 1).
+  void set_path_delay(int p, double delay);
+
+  /// Element index by name, if present.
+  std::optional<int> find_element(const std::string& name) const;
+
+  /// Path indices entering / leaving an element.
+  const std::vector<int>& fanin(int element) const;
+  const std::vector<int>& fanout(int element) const;
+
+  /// Maximum fan-in over all elements ("F" in the paper's constraint-count
+  /// bound 4k + (F+1)l).
+  int max_fanin() const;
+
+  /// The K matrix (eq. 2) computed from latch-to-latch paths only; see
+  /// element.h for why flip-flop endpoints are exempt from nonoverlap.
+  KMatrix k_matrix() const;
+
+  /// The latch connectivity graph: one node per element, one edge per
+  /// CombPath, weight = Δ_DQ(from) + Δ_ij, transit = C_{p_from, p_to}.
+  /// The maximum cycle ratio of this graph lower-bounds the optimal Tc.
+  graph::Digraph latch_graph() const;
+
+  /// Structural validation; returns human-readable problems (empty = OK).
+  /// Checks: phases in range, nonnegative parameters, min <= max delays,
+  /// the paper's Δ_DQ >= Δ_DC assumption, and duplicate parallel paths.
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  int num_phases_;
+  std::vector<Element> elements_;
+  std::vector<CombPath> paths_;
+  std::unordered_map<std::string, int> by_name_;
+  std::vector<std::vector<int>> fanin_;
+  std::vector<std::vector<int>> fanout_;
+};
+
+}  // namespace mintc

@@ -1,0 +1,116 @@
+#include "model/clock.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "base/approx.h"
+#include "base/strings.h"
+
+namespace mintc {
+
+KMatrix::KMatrix(int num_phases) : k_(num_phases) {
+  assert(num_phases >= 1);
+  data_.assign(static_cast<size_t>(k_) * static_cast<size_t>(k_), 0);
+}
+
+bool KMatrix::at(int i, int j) const {
+  assert(i >= 1 && i <= k_ && j >= 1 && j <= k_);
+  return data_[static_cast<size_t>(i - 1) * static_cast<size_t>(k_) +
+               static_cast<size_t>(j - 1)] != 0;
+}
+
+void KMatrix::set(int i, int j, bool v) {
+  assert(i >= 1 && i <= k_ && j >= 1 && j <= k_);
+  data_[static_cast<size_t>(i - 1) * static_cast<size_t>(k_) + static_cast<size_t>(j - 1)] =
+      v ? 1 : 0;
+}
+
+int KMatrix::num_pairs() const {
+  int n = 0;
+  for (const char c : data_) n += (c != 0);
+  return n;
+}
+
+std::string KMatrix::to_string() const {
+  std::ostringstream out;
+  for (int i = 1; i <= k_; ++i) {
+    out << (i == 1 ? "[ " : "  ");
+    for (int j = 1; j <= k_; ++j) out << (at(i, j) ? 1 : 0) << (j < k_ ? " " : "");
+    out << (i == k_ ? " ]" : "") << "\n";
+  }
+  return out.str();
+}
+
+ClockSchedule::ClockSchedule(double tc, std::vector<double> s, std::vector<double> t)
+    : cycle(tc), start(std::move(s)), width(std::move(t)) {
+  assert(start.size() == width.size());
+}
+
+ClockSchedule ClockSchedule::scaled(double factor) const {
+  ClockSchedule out = *this;
+  out.cycle *= factor;
+  for (double& v : out.start) v *= factor;
+  for (double& v : out.width) v *= factor;
+  return out;
+}
+
+std::string ClockSchedule::to_string() const {
+  std::ostringstream out;
+  out << "Tc=" << fmt_time(cycle);
+  for (int p = 1; p <= num_phases(); ++p) {
+    out << "  phi" << p << ":[" << fmt_time(s(p)) << "," << fmt_time(phase_end(p)) << ")";
+  }
+  return out.str();
+}
+
+ClockSchedule symmetric_schedule(int num_phases, double cycle, double duty) {
+  assert(num_phases >= 1 && duty > 0.0 && duty <= 1.0);
+  ClockSchedule sch;
+  sch.cycle = cycle;
+  const double slot = cycle / num_phases;
+  for (int p = 0; p < num_phases; ++p) {
+    sch.start.push_back(slot * p);
+    sch.width.push_back(slot * duty);
+  }
+  return sch;
+}
+
+std::vector<ClockViolation> check_clock_constraints(const ClockSchedule& schedule,
+                                                    const KMatrix& K, double eps) {
+  std::vector<ClockViolation> v;
+  const int k = schedule.num_phases();
+  const double tc = schedule.cycle;
+  auto violated = [&](const std::string& what, double amount) {
+    if (amount > eps) v.push_back({what, amount});
+  };
+
+  // C4 first so that garbage inputs produce the most basic messages.
+  violated("C4 nonnegativity Tc", -tc);
+  for (int i = 1; i <= k; ++i) {
+    violated("C4 nonnegativity T" + std::to_string(i), -schedule.T(i));
+    violated("C4 nonnegativity s" + std::to_string(i), -schedule.s(i));
+  }
+  // C1 periodicity.
+  for (int i = 1; i <= k; ++i) {
+    violated("C1 periodicity T" + std::to_string(i) + "<=Tc", schedule.T(i) - tc);
+    violated("C1 periodicity s" + std::to_string(i) + "<=Tc", schedule.s(i) - tc);
+  }
+  // C2 phase ordering.
+  for (int i = 1; i < k; ++i) {
+    violated("C2 ordering s" + std::to_string(i) + "<=s" + std::to_string(i + 1),
+             schedule.s(i) - schedule.s(i + 1));
+  }
+  // C3 phase nonoverlap (eq. 6): for each I/O pair phi_i/phi_j (K_ij=1):
+  //   s_i >= s_j + T_j - C_ji*Tc.
+  for (int i = 1; i <= k; ++i) {
+    for (int j = 1; j <= k; ++j) {
+      if (!K.at(i, j)) continue;
+      const double lhs = schedule.s(i);
+      const double rhs = schedule.s(j) + schedule.T(j) - c_flag(j, i) * tc;
+      violated("C3 nonoverlap phi" + std::to_string(i) + "/phi" + std::to_string(j), rhs - lhs);
+    }
+  }
+  return v;
+}
+
+}  // namespace mintc

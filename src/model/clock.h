@@ -1,0 +1,87 @@
+// The SMO clock model (paper Section III-A).
+//
+// A k-phase clock is k periodic signals with common period Tc. Phase i has
+// an active interval starting at s_i (relative to the cycle origin) with
+// width T_i. Phases are ordered: s_1 <= s_2 <= ... <= s_k.
+//
+// Phases are 1-based everywhere in this API, matching the paper.
+//
+// Key operators:
+//   C_ij  (eq. 1): 1 if i >= j else 0 — whether going from phase i to phase
+//                  j crosses a clock-cycle boundary.
+//   S_ij  (eq. 12): s_i - s_j - C_ij*Tc — added to a time referenced to the
+//                  start of phase i, re-references it to the start of the
+//                  *next-following* activation of phase j.
+//   K_ij  (eq. 2): 1 if phi_i/phi_j is an input/output phase pair of some
+//                  combinational block (computed from a Circuit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mintc {
+
+/// C matrix entry (eq. 1), 1-based phases.
+inline int c_flag(int i, int j) { return i >= j ? 1 : 0; }
+
+/// The K matrix: K(i,j) == true iff phi_i/phi_j is an input/output phase
+/// pair of some combinational block (data flows from a latch on phi_i to a
+/// latch on phi_j).
+class KMatrix {
+ public:
+  explicit KMatrix(int num_phases);
+
+  int num_phases() const { return k_; }
+  bool at(int i, int j) const;      // 1-based
+  void set(int i, int j, bool v);   // 1-based
+
+  /// Number of I/O phase pairs (entries set to 1).
+  int num_pairs() const;
+
+  /// Render in the paper's bracket style, e.g. for the Appendix bench.
+  std::string to_string() const;
+
+ private:
+  int k_;
+  std::vector<char> data_;
+};
+
+/// A concrete clock schedule: the values of Tc, s_i, T_i.
+struct ClockSchedule {
+  double cycle = 0.0;          // Tc
+  std::vector<double> start;   // s_i, index 0 holds phase 1
+  std::vector<double> width;   // T_i
+
+  ClockSchedule() = default;
+  ClockSchedule(double tc, std::vector<double> s, std::vector<double> t);
+
+  int num_phases() const { return static_cast<int>(start.size()); }
+  double s(int phase) const { return start.at(static_cast<size_t>(phase - 1)); }
+  double T(int phase) const { return width.at(static_cast<size_t>(phase - 1)); }
+  double phase_end(int phase) const { return s(phase) + T(phase); }
+
+  /// Phase-shift operator S_ij (eq. 12), 1-based.
+  double shift(int i, int j) const { return s(i) - s(j) - c_flag(i, j) * cycle; }
+
+  /// Uniformly scale Tc, s_i, T_i by `factor` (the schedule "shape" is kept).
+  ClockSchedule scaled(double factor) const;
+
+  std::string to_string() const;
+};
+
+/// Construct the canonical evenly-spaced, non-overlapping k-phase schedule:
+/// phase i active on [ (i-1)*Tc/k, (i-1)*Tc/k + duty*Tc/k ). duty in (0,1].
+ClockSchedule symmetric_schedule(int num_phases, double cycle, double duty = 1.0);
+
+/// One violated clock constraint.
+struct ClockViolation {
+  std::string constraint;  // e.g. "C3 nonoverlap phi1/phi2"
+  double amount = 0.0;     // positive violation magnitude
+};
+
+/// Check constraints C1 (periodicity), C2 (phase ordering), C4
+/// (nonnegativity); and C3 (nonoverlap, eq. 6) for every pair with K_ij=1.
+std::vector<ClockViolation> check_clock_constraints(const ClockSchedule& schedule,
+                                                    const KMatrix& K, double eps = 1e-7);
+
+}  // namespace mintc

@@ -1,0 +1,44 @@
+// Synchronizing elements (paper Section III-B, plus the flip-flop extension
+// needed by the GaAs datapath example of Section V).
+//
+// * kLatch — a level-sensitive D latch, transparent while its phase is
+//   active. Timing parameters: setup Δ_DC (data to trailing edge) and
+//   propagation delay Δ_DQ (data-to-output while enabled). The paper assumes
+//   Δ_DQ >= Δ_DC; Circuit::validate() warns when this is violated.
+//
+// * kFlipFlop — a leading-edge-triggered flip-flop on its phase. It has no
+//   transparency window: data departs exactly at the phase's leading edge
+//   (departure time pinned to 0), `dq` acts as the clock-to-Q delay, and
+//   setup is measured against the leading edge (arrival A_i <= -Δ_DC).
+//   Because a flip-flop cannot race, combinational paths that start or end
+//   at a flip-flop do not contribute to the K matrix and therefore do not
+//   force phase nonoverlap (C3) — this is exactly what lets the GaAs
+//   example's phi3 be completely overlapped by phi1 (K13 = K31 = 0).
+#pragma once
+
+#include <string>
+
+namespace mintc {
+
+enum class ElementKind { kLatch, kFlipFlop };
+
+const char* to_string(ElementKind kind);
+
+struct Element {
+  std::string name;
+  ElementKind kind = ElementKind::kLatch;
+  int phase = 1;         // p_i, 1-based
+  double setup = 0.0;    // Δ_DC
+  double dq = 0.0;       // Δ_DQ (latch) / clock-to-Q (flip-flop)
+  double hold = 0.0;     // Δ_H, used by the short-path extension
+  double dq_min = -1.0;  // minimum propagation delay; < 0 means "same as dq"
+
+  double min_dq() const { return dq_min < 0.0 ? dq : dq_min; }
+  bool is_latch() const { return kind == ElementKind::kLatch; }
+};
+
+inline const char* to_string(ElementKind kind) {
+  return kind == ElementKind::kLatch ? "latch" : "flipflop";
+}
+
+}  // namespace mintc

@@ -1,0 +1,23 @@
+// Timing-model extraction: gate-level netlist -> SMO Circuit.
+//
+// The combinational graph between storage elements must be acyclic (the
+// paper's Fig. 1 decomposition into "stages of feedback-free combinational
+// logic blocks"); feedback must go through storage. For every pair of
+// storages (j, i) connected through gates, the extractor computes
+//   Δ_ji = longest gate-delay path  from Q(j) to D(i)
+//   δ_ji = shortest best-case path  from Q(j) to D(i)
+// using the DelayModel, and emits one CombPath per connected pair. Storage
+// timing parameters (setup, Δ_DQ, hold) carry over verbatim.
+#pragma once
+
+#include "base/error.h"
+#include "model/circuit.h"
+#include "netlist/netlist.h"
+
+namespace mintc::netlist {
+
+/// Extract the SMO timing model. Fails with kInvalidCircuit if the netlist
+/// is structurally bad or has combinational feedback.
+Expected<Circuit> extract_timing_model(const Netlist& netlist, const DelayModel& model = {});
+
+}  // namespace mintc::netlist

@@ -1,0 +1,52 @@
+#include "netlist/generators.h"
+
+#include <cassert>
+#include <string>
+
+namespace mintc::netlist {
+
+Netlist make_pipelined_datapath(const DatapathConfig& cfg) {
+  assert(cfg.bits >= 1 && cfg.stages >= 2 && cfg.num_phases >= 1);
+  Netlist n("datapath_b" + std::to_string(cfg.bits) + "_s" + std::to_string(cfg.stages),
+            cfg.num_phases);
+
+  // Latch banks: d/q nets per stage per bit.
+  std::vector<std::vector<int>> d(static_cast<size_t>(cfg.stages));
+  std::vector<std::vector<int>> q(static_cast<size_t>(cfg.stages));
+  for (int s = 0; s < cfg.stages; ++s) {
+    for (int b = 0; b < cfg.bits; ++b) {
+      const std::string tag = "s" + std::to_string(s) + "b" + std::to_string(b);
+      d[static_cast<size_t>(s)].push_back(n.add_net("d_" + tag));
+      q[static_cast<size_t>(s)].push_back(n.add_net("q_" + tag));
+    }
+    for (int b = 0; b < cfg.bits; ++b) {
+      n.add_latch("L_s" + std::to_string(s) + "b" + std::to_string(b),
+                  (s % cfg.num_phases) + 1, d[static_cast<size_t>(s)][static_cast<size_t>(b)],
+                  q[static_cast<size_t>(s)][static_cast<size_t>(b)], cfg.setup, cfg.dq);
+    }
+  }
+
+  // Clouds: stage s outputs feed stage (s+1) mod stages through a
+  // ripple-carry adder mixing each bit with the running carry.
+  for (int s = 0; s < cfg.stages; ++s) {
+    const int t = (s + 1) % cfg.stages;
+    const std::string tag = "c" + std::to_string(s);
+    int carry = q[static_cast<size_t>(s)][0];
+    for (int b = 0; b < cfg.bits; ++b) {
+      const int in = q[static_cast<size_t>(s)][static_cast<size_t>(b)];
+      const std::string bit_tag = tag + "b" + std::to_string(b);
+      // sum = in XOR carry  -> next stage bit b
+      n.add_gate("xor_" + bit_tag, GateType::kXor, {in, carry},
+                 d[static_cast<size_t>(t)][static_cast<size_t>(b)]);
+      if (b + 1 < cfg.bits) {
+        // carry' = AND(in, carry)
+        const int next_carry = n.add_net("carry_" + bit_tag);
+        n.add_gate("and_" + bit_tag, GateType::kAnd, {in, carry}, next_carry);
+        carry = next_carry;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace mintc::netlist

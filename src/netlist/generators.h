@@ -1,0 +1,27 @@
+// Parameterized gate-level design generators.
+//
+// Produce realistic multi-stage netlists (latch banks separated by
+// adder/mixer gate clouds, with end-around feedback) for the large-scale
+// extraction tests and benches — the gate-level counterpart of
+// circuits/synthetic.h. Deterministic: same config -> same netlist.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace mintc::netlist {
+
+struct DatapathConfig {
+  int bits = 8;        // datapath width (one latch per bit per stage)
+  int stages = 4;      // pipeline stages; the last feeds back into the first
+  int num_phases = 2;  // stage s is clocked by phase (s mod k) + 1
+  double setup = 0.3;
+  double dq = 0.5;
+};
+
+/// A ring pipeline of latch banks separated by ripple-carry adder clouds.
+/// Stage s's cloud mixes each bit with a carry chain, so the worst path
+/// through a stage grows with `bits` — useful for exercising the extractor's
+/// longest/shortest path machinery at scale.
+Netlist make_pipelined_datapath(const DatapathConfig& config);
+
+}  // namespace mintc::netlist

@@ -1,0 +1,162 @@
+#include "netlist/netlist.h"
+
+#include <cassert>
+
+namespace mintc::netlist {
+
+const char* to_string(GateType type) {
+  switch (type) {
+    case GateType::kBuf: return "buf";
+    case GateType::kInv: return "inv";
+    case GateType::kAnd: return "and";
+    case GateType::kNand: return "nand";
+    case GateType::kOr: return "or";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kMux2: return "mux2";
+    case GateType::kAoi21: return "aoi21";
+  }
+  return "?";
+}
+
+int gate_arity(GateType type) {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kInv:
+      return 1;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 2;
+    case GateType::kMux2:
+    case GateType::kAoi21:
+      return 3;
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+      return 0;  // variadic, >= 2
+  }
+  return 0;
+}
+
+double DelayModel::parasitic(GateType type) const {
+  // Normalized FO4-flavored parasitics (arbitrary time units).
+  switch (type) {
+    case GateType::kBuf: return 0.30;
+    case GateType::kInv: return 0.15;
+    case GateType::kAnd: return 0.45;
+    case GateType::kNand: return 0.30;
+    case GateType::kOr: return 0.50;
+    case GateType::kNor: return 0.35;
+    case GateType::kXor: return 0.70;
+    case GateType::kXnor: return 0.70;
+    case GateType::kMux2: return 0.60;
+    case GateType::kAoi21: return 0.45;
+  }
+  return 0.3;
+}
+
+double DelayModel::effort(GateType type) const {
+  switch (type) {
+    case GateType::kBuf: return 1.0;
+    case GateType::kInv: return 1.0;
+    case GateType::kAnd: return 1.4;
+    case GateType::kNand: return 1.3;
+    case GateType::kOr: return 1.7;
+    case GateType::kNor: return 1.6;
+    case GateType::kXor: return 2.0;
+    case GateType::kXnor: return 2.0;
+    case GateType::kMux2: return 1.8;
+    case GateType::kAoi21: return 1.5;
+  }
+  return 1.0;
+}
+
+double DelayModel::gate_delay(GateType type, int fanout) const {
+  return parasitic(type) + effort(type) * load_per_fanout * std::max(1, fanout);
+}
+
+Netlist::Netlist(std::string name, int num_phases)
+    : name_(std::move(name)), num_phases_(num_phases) {
+  assert(num_phases >= 1);
+}
+
+int Netlist::add_net(std::string name) {
+  assert(net_by_name_.find(name) == net_by_name_.end() && "duplicate net name");
+  const int id = static_cast<int>(net_names_.size());
+  net_by_name_.emplace(name, id);
+  net_names_.push_back(std::move(name));
+  driver_count_.push_back(0);
+  reader_count_.push_back(0);
+  return id;
+}
+
+std::optional<int> Netlist::find_net(const std::string& name) const {
+  const auto it = net_by_name_.find(name);
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Netlist::add_gate(std::string name, GateType type, std::vector<int> inputs, int output) {
+  for (const int n : inputs) ++reader_count_.at(static_cast<size_t>(n));
+  ++driver_count_.at(static_cast<size_t>(output));
+  gates_.push_back(Gate{std::move(name), type, std::move(inputs), output});
+  return static_cast<int>(gates_.size()) - 1;
+}
+
+int Netlist::add_latch(std::string name, int phase, int d_net, int q_net, double setup,
+                       double dq) {
+  ++reader_count_.at(static_cast<size_t>(d_net));
+  ++driver_count_.at(static_cast<size_t>(q_net));
+  Storage s;
+  s.name = std::move(name);
+  s.kind = ElementKind::kLatch;
+  s.phase = phase;
+  s.d_net = d_net;
+  s.q_net = q_net;
+  s.setup = setup;
+  s.dq = dq;
+  storages_.push_back(std::move(s));
+  return static_cast<int>(storages_.size()) - 1;
+}
+
+int Netlist::add_flipflop(std::string name, int phase, int d_net, int q_net, double setup,
+                          double clk_to_q) {
+  const int id = add_latch(std::move(name), phase, d_net, q_net, setup, clk_to_q);
+  storages_.back().kind = ElementKind::kFlipFlop;
+  return id;
+}
+
+int Netlist::fanout_count(int net) const {
+  return reader_count_.at(static_cast<size_t>(net));
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  for (int n = 0; n < num_nets(); ++n) {
+    if (driver_count_[static_cast<size_t>(n)] > 1) {
+      problems.push_back("net '" + net_name(n) + "' has multiple drivers");
+    }
+  }
+  if (storages_.empty()) problems.push_back("netlist has no storage elements");
+  for (const Gate& g : gates_) {
+    const int arity = gate_arity(g.type);
+    if (arity > 0 && static_cast<int>(g.inputs.size()) != arity) {
+      problems.push_back("gate '" + g.name + "' (" + to_string(g.type) + ") expects " +
+                         std::to_string(arity) + " inputs, has " +
+                         std::to_string(g.inputs.size()));
+    }
+    if (arity == 0 && g.inputs.size() < 2) {
+      problems.push_back("gate '" + g.name + "' needs at least two inputs");
+    }
+  }
+  for (const Storage& s : storages_) {
+    if (s.phase < 1 || s.phase > num_phases_) {
+      problems.push_back("storage '" + s.name + "' phase out of range");
+    }
+  }
+  return problems;
+}
+
+}  // namespace mintc::netlist

@@ -1,0 +1,102 @@
+// Gate-level netlist substrate.
+//
+// The paper's GaAs example extracted its Δ_ij / setup parameters "from
+// circuit simulations using SPICE". We do not have SPICE or the authors'
+// transistor netlists, so this module provides the equivalent pipeline at
+// the gate level (DESIGN.md §4): a structural netlist of gates and storage
+// cells, a logical-effort-style delay calculator, and an extractor that
+// computes worst/best-case block delays between storage elements and emits
+// the SMO timing model (a Circuit) consumed by the rest of the library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/element.h"
+
+namespace mintc::netlist {
+
+enum class GateType { kBuf, kInv, kAnd, kNand, kOr, kNor, kXor, kXnor, kMux2, kAoi21 };
+
+const char* to_string(GateType type);
+
+/// A combinational gate: inputs and one output, all net ids.
+struct Gate {
+  std::string name;
+  GateType type = GateType::kBuf;
+  std::vector<int> inputs;
+  int output = -1;
+};
+
+/// A storage cell (level-sensitive latch or edge-triggered flip-flop)
+/// breaking the combinational graph: Q is a source, D is a sink.
+struct Storage {
+  std::string name;
+  ElementKind kind = ElementKind::kLatch;
+  int phase = 1;
+  int d_net = -1;
+  int q_net = -1;
+  double setup = 0.0;
+  double dq = 0.0;
+  double hold = 0.0;
+  double dq_min = -1.0;
+};
+
+/// Logical-effort-flavored delay calculator: a gate's delay is
+///   parasitic(type) + effort(type) * load_per_fanout * fanout(output net)
+/// and its best-case delay is `min_scale` times that.
+struct DelayModel {
+  double load_per_fanout = 0.2;
+  double min_scale = 0.5;
+
+  double parasitic(GateType type) const;
+  double effort(GateType type) const;
+  double gate_delay(GateType type, int fanout) const;
+};
+
+class Netlist {
+ public:
+  Netlist(std::string name, int num_phases);
+
+  const std::string& name() const { return name_; }
+  int num_phases() const { return num_phases_; }
+
+  /// Nets are named wires; ids are dense.
+  int add_net(std::string name);
+  std::optional<int> find_net(const std::string& name) const;
+  const std::string& net_name(int net) const { return net_names_.at(static_cast<size_t>(net)); }
+  int num_nets() const { return static_cast<int>(net_names_.size()); }
+
+  int add_gate(std::string name, GateType type, std::vector<int> inputs, int output);
+  int add_latch(std::string name, int phase, int d_net, int q_net, double setup, double dq);
+  int add_flipflop(std::string name, int phase, int d_net, int q_net, double setup,
+                   double clk_to_q);
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Storage>& storages() const { return storages_; }
+  Storage& storage(int i) { return storages_.at(static_cast<size_t>(i)); }
+
+  /// Number of gate inputs plus storage D pins reading this net.
+  int fanout_count(int net) const;
+
+  /// Structural checks: single driver per net, pins in range, at least one
+  /// storage, gate arity matches type.
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  int num_phases_;
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, int> net_by_name_;
+  std::vector<Gate> gates_;
+  std::vector<Storage> storages_;
+  std::vector<int> driver_count_;   // per net
+  std::vector<int> reader_count_;   // per net
+};
+
+/// Expected input arity of a gate type (0 = variadic >= 2).
+int gate_arity(GateType type);
+
+}  // namespace mintc::netlist

@@ -1,0 +1,35 @@
+#include "opt/bounds.h"
+
+#include <algorithm>
+
+#include "graph/cycle_ratio.h"
+
+namespace mintc::opt {
+
+double path_span_bound(const Circuit& circuit) {
+  double bound = 0.0;
+  for (const CombPath& p : circuit.paths()) {
+    const Element& src = circuit.element(p.from);
+    const Element& dst = circuit.element(p.to);
+    if (!src.is_latch() || !dst.is_latch()) continue;
+    // The path's own C3 nonoverlap row (its I/O phase pair is in K by
+    // construction) caps the time from the source phase's opening edge to
+    // the destination phase's closing edge at one period for distinct
+    // phases — and at two periods for a same-phase path, whose token
+    // crosses a full cycle boundary.
+    const double periods = (src.phase == dst.phase) ? 2.0 : 1.0;
+    bound = std::max(bound, (src.dq + p.delay + dst.setup) / periods);
+  }
+  return bound;
+}
+
+double loop_bound(const Circuit& circuit) {
+  const auto ratio = graph::max_cycle_ratio_howard(circuit.latch_graph());
+  return ratio ? std::max(0.0, ratio->ratio) : 0.0;
+}
+
+double cycle_time_lower_bound(const Circuit& circuit) {
+  return std::max(path_span_bound(circuit), loop_bound(circuit));
+}
+
+}  // namespace mintc::opt

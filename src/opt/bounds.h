@@ -1,0 +1,33 @@
+// Closed-form lower bounds on the optimal cycle time.
+//
+// Two combinatorial quantities bound Tc* from below without solving any LP:
+//
+//  * path-span bound: when the reverse I/O phase pair exists (K makes the
+//    destination phase close at most one period after the source phase
+//    opens), a single path j->i must fit within one period:
+//        Tc >= Δ_DQj + Δ_ji + Δ_DCi.
+//    This is what pins example 1's flat region at 80 ns (the Lc path).
+//
+//  * loop bound: every feedback loop must complete within the clock periods
+//    it spans: Tc >= (loop delay sum) / (loop cycle span) — the maximum
+//    cycle ratio of the latch graph.
+//
+// max(both) <= Tc* always; equality is common (all of the paper's examples
+// except the setup-bound regimes). Property tests assert the inequality on
+// every circuit; benches use it as an optimality certificate.
+#pragma once
+
+#include "model/circuit.h"
+
+namespace mintc::opt {
+
+/// The single-path span bound (0 if no path qualifies).
+double path_span_bound(const Circuit& circuit);
+
+/// The loop (max cycle ratio) bound (0 if the circuit is acyclic).
+double loop_bound(const Circuit& circuit);
+
+/// max(path_span_bound, loop_bound) — a certified lower bound on Tc*.
+double cycle_time_lower_bound(const Circuit& circuit);
+
+}  // namespace mintc::opt

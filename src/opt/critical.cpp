@@ -1,0 +1,124 @@
+#include "opt/critical.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/approx.h"
+#include "base/strings.h"
+#include "graph/cycles.h"
+
+namespace mintc::opt {
+
+std::string LoopInfo::to_string(const Circuit& circuit) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < path_indices.size(); ++i) {
+    const CombPath& p = circuit.path(path_indices[i]);
+    if (i == 0) out << circuit.element(p.from).name;
+    out << " -> " << circuit.element(p.to).name;
+  }
+  out << " (delay " << fmt_time(delay_sum) << ", spans " << cycle_span << " cycle"
+      << (cycle_span == 1 ? "" : "s") << ", Tc >= " << fmt_time(implied_tc, 4) << ")";
+  return out.str();
+}
+
+namespace {
+
+LoopInfo loop_from_cycle(const graph::Digraph& g, const graph::SimpleCycle& cycle) {
+  LoopInfo info;
+  info.delay_sum = cycle.weight_sum;
+  info.cycle_span = static_cast<int>(cycle.transit_sum + 0.5);
+  info.implied_tc = info.cycle_span > 0 ? info.delay_sum / info.cycle_span : 0.0;
+  for (const int e : cycle.edges) info.path_indices.push_back(g.edge(e).tag);
+  return info;
+}
+
+}  // namespace
+
+LoopReport analyze_loops(const Circuit& circuit, int max_loops) {
+  LoopReport report;
+  const graph::Digraph g = circuit.latch_graph();
+  std::vector<graph::SimpleCycle> cycles;
+  report.complete = graph::enumerate_simple_cycles(g, cycles, max_loops);
+  report.loops.reserve(cycles.size());
+  for (const graph::SimpleCycle& c : cycles) {
+    report.loops.push_back(loop_from_cycle(g, c));
+  }
+  std::sort(report.loops.begin(), report.loops.end(),
+            [](const LoopInfo& a, const LoopInfo& b) { return a.implied_tc > b.implied_tc; });
+  return report;
+}
+
+CriticalReport find_critical_segments(const Circuit& circuit, const ClockSchedule& schedule,
+                                      const std::vector<double>& departure, double eps) {
+  CriticalReport report;
+  report.path_slack.resize(static_cast<size_t>(circuit.num_paths()), 0.0);
+
+  // Path slacks at the fixpoint. Flip-flop destinations have no L2R row;
+  // report their slack against the setup deadline instead.
+  for (int p = 0; p < circuit.num_paths(); ++p) {
+    const CombPath& path = circuit.path(p);
+    const Element& src = circuit.element(path.from);
+    const Element& dst = circuit.element(path.to);
+    const double arrival_term = departure[static_cast<size_t>(path.from)] + src.dq +
+                                path.delay + schedule.shift(src.phase, dst.phase);
+    double slack;
+    if (dst.is_latch()) {
+      slack = departure[static_cast<size_t>(path.to)] - arrival_term;
+    } else {
+      slack = -dst.setup - arrival_term;
+    }
+    report.path_slack[static_cast<size_t>(p)] = slack;
+    if (approx_eq(slack, 0.0, eps)) report.tight_paths.push_back(p);
+  }
+
+  // Setup-critical elements.
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    const Element& e = circuit.element(i);
+    if (!e.is_latch()) continue;
+    const double slack = schedule.T(e.phase) - e.setup - departure[static_cast<size_t>(i)];
+    if (approx_eq(slack, 0.0, eps)) report.setup_critical.push_back(i);
+  }
+
+  // Critical loops: cycles within the tight-path subgraph.
+  graph::Digraph tight(circuit.num_elements());
+  for (const int p : report.tight_paths) {
+    const CombPath& path = circuit.path(p);
+    const Element& src = circuit.element(path.from);
+    const Element& dst = circuit.element(path.to);
+    if (!dst.is_latch()) continue;
+    tight.add_edge(path.from, path.to, src.dq + path.delay,
+                   static_cast<double>(c_flag(src.phase, dst.phase)), p);
+  }
+  std::vector<graph::SimpleCycle> cycles;
+  graph::enumerate_simple_cycles(tight, cycles, 1000);
+  for (const graph::SimpleCycle& c : cycles) {
+    report.critical_loops.push_back(loop_from_cycle(tight, c));
+  }
+  std::sort(report.critical_loops.begin(), report.critical_loops.end(),
+            [](const LoopInfo& a, const LoopInfo& b) { return a.implied_tc > b.implied_tc; });
+  return report;
+}
+
+std::string CriticalReport::to_string(const Circuit& circuit) const {
+  std::ostringstream out;
+  out << "critical segments (tight propagation paths):\n";
+  for (const int p : tight_paths) {
+    const CombPath& path = circuit.path(p);
+    out << "  " << circuit.element(path.from).name << " -> "
+        << circuit.element(path.to).name;
+    if (!path.label.empty()) out << " [" << path.label << "]";
+    out << "\n";
+  }
+  if (tight_paths.empty()) out << "  (none)\n";
+  out << "setup-critical elements:";
+  for (const int i : setup_critical) out << " " << circuit.element(i).name;
+  if (setup_critical.empty()) out << " (none)";
+  out << "\ncritical loops:\n";
+  for (const LoopInfo& loop : critical_loops) {
+    out << "  " << loop.to_string(circuit) << "\n";
+  }
+  if (critical_loops.empty()) out << "  (none)\n";
+  return out.str();
+}
+
+}  // namespace mintc::opt

@@ -1,0 +1,226 @@
+#include "opt/graph_solver.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "baselines/edge_triggered.h"
+#include "sta/fixpoint.h"
+
+namespace mintc::opt {
+
+namespace {
+
+// One difference constraint x_u - x_v <= base + tc_coeff * Tc.
+struct DiffEdge {
+  int u = 0;
+  int v = 0;
+  double base = 0.0;
+  double tc_coeff = 0.0;
+};
+
+// The difference system for a circuit: node 0 is the time origin; phases
+// contribute start/end nodes; every element contributes an absolute-departure
+// node.
+struct DiffSystem {
+  int num_nodes = 0;
+  std::vector<DiffEdge> edges;
+  std::vector<int> s_node, e_node, d_node;
+
+  void add(int u, int v, double base, double tc_coeff = 0.0) {
+    edges.push_back({u, v, base, tc_coeff});
+  }
+};
+
+DiffSystem build_system(const Circuit& circuit, const GeneratorOptions& opt) {
+  DiffSystem sys;
+  const int k = circuit.num_phases();
+  const int l = circuit.num_elements();
+  sys.num_nodes = 1 + 2 * k + l;
+  for (int p = 0; p < k; ++p) {
+    sys.s_node.push_back(1 + p);
+    sys.e_node.push_back(1 + k + p);
+  }
+  for (int i = 0; i < l; ++i) sys.d_node.push_back(1 + 2 * k + i);
+  const auto s_of = [&](int phase) { return sys.s_node[static_cast<size_t>(phase - 1)]; };
+  const auto e_of = [&](int phase) { return sys.e_node[static_cast<size_t>(phase - 1)]; };
+
+  // C1 + C4: 0 <= s_i <= Tc, 0 <= T_i <= Tc (as e_i - s_i).
+  for (int p = 1; p <= k; ++p) {
+    sys.add(s_of(p), 0, 0.0, 1.0);   // s - x0 <= Tc
+    sys.add(0, s_of(p), 0.0);        // x0 - s <= 0
+    sys.add(e_of(p), s_of(p), 0.0, 1.0);  // T <= Tc
+    sys.add(s_of(p), e_of(p), 0.0);       // T >= 0
+    if (opt.min_phase_width > 0.0) {
+      sys.add(s_of(p), e_of(p), -opt.min_phase_width);  // T >= width
+    }
+  }
+  // C2 ordering.
+  for (int p = 1; p < k; ++p) sys.add(s_of(p), s_of(p + 1), 0.0);
+  // C3 nonoverlap.
+  if (opt.enforce_nonoverlap) {
+    const KMatrix K = circuit.k_matrix();
+    const double margin = opt.min_phase_separation + opt.clock_skew;
+    for (int i = 1; i <= k; ++i) {
+      for (int j = 1; j <= k; ++j) {
+        if (!K.at(i, j)) continue;
+        // e_j - s_i <= C_ji*Tc - margin
+        sys.add(e_of(j), s_of(i), -margin, static_cast<double>(c_flag(j, i)));
+      }
+    }
+  }
+
+  for (int i = 0; i < l; ++i) {
+    const Element& e = circuit.element(i);
+    const int p = e.phase;
+    const int dn = sys.d_node[static_cast<size_t>(i)];
+    // L3: D >= 0  ->  s_p - dh <= 0.
+    sys.add(s_of(p), dn, 0.0);
+    if (e.is_latch()) {
+      if (!opt.arrival_based_setup) {
+        // L1: dh - e_p <= -setup - skew.
+        sys.add(dn, e_of(p), -(e.setup + opt.clock_skew));
+      } else {
+        for (const int pi : circuit.fanin(i)) {
+          const CombPath& path = circuit.path(pi);
+          const Element& src = circuit.element(path.from);
+          // A_i + setup <= T_p: dh_j - e_p <= C*Tc - dq - delta - setup.
+          sys.add(sys.d_node[static_cast<size_t>(path.from)], e_of(p),
+                  -(src.dq + path.delay + e.setup + opt.clock_skew),
+                  static_cast<double>(c_flag(src.phase, p)));
+        }
+      }
+    } else {
+      // Flip-flop pin: dh == s_p.
+      sys.add(dn, s_of(p), 0.0);
+      sys.add(s_of(p), dn, 0.0);
+      // FF setup: dh_j - s_p <= C*Tc - dq - delta - setup.
+      for (const int pi : circuit.fanin(i)) {
+        const CombPath& path = circuit.path(pi);
+        const Element& src = circuit.element(path.from);
+        sys.add(sys.d_node[static_cast<size_t>(path.from)], s_of(p),
+                -(src.dq + path.delay + e.setup + opt.clock_skew),
+                static_cast<double>(c_flag(src.phase, p)));
+      }
+    }
+    // Hold extension.
+    if (opt.hold_constraints) {
+      for (const int pi : circuit.fanin(i)) {
+        const CombPath& path = circuit.path(pi);
+        const Element& src = circuit.element(path.from);
+        const double c = static_cast<double>(c_flag(src.phase, p));
+        const double rhs_base = -(e.hold - src.min_dq() - path.min_delay);
+        if (e.is_latch()) {
+          // e_p - s_pj <= (1-C)*Tc - hold + delta.
+          sys.add(e_of(p), s_of(src.phase), rhs_base, 1.0 - c);
+        } else {
+          sys.add(s_of(p), s_of(src.phase), rhs_base, 1.0 - c);
+        }
+      }
+    }
+  }
+
+  // L2R propagation: dh_j - dh_i <= C*Tc - dq_j - delta_ji.
+  for (int pi = 0; pi < circuit.num_paths(); ++pi) {
+    const CombPath& path = circuit.path(pi);
+    const Element& src = circuit.element(path.from);
+    const Element& dst = circuit.element(path.to);
+    if (!dst.is_latch()) continue;
+    sys.add(sys.d_node[static_cast<size_t>(path.from)],
+            sys.d_node[static_cast<size_t>(path.to)], -(src.dq + path.delay),
+            static_cast<double>(c_flag(src.phase, dst.phase)));
+  }
+  return sys;
+}
+
+// Bellman-Ford feasibility of the difference system at a concrete Tc.
+// On success fills `x` with a feasible assignment (x[0] == 0).
+bool feasible_at(const DiffSystem& sys, double tc, std::vector<double>& x,
+                 long& relaxations) {
+  x.assign(static_cast<size_t>(sys.num_nodes), 0.0);  // virtual source to all
+  for (int pass = 0; pass < sys.num_nodes; ++pass) {
+    bool improved = false;
+    for (const DiffEdge& e : sys.edges) {
+      // Constraint x_u <= x_v + w: relax dist(u) against dist(v) + w.
+      const double w = e.base + e.tc_coeff * tc;
+      const double cand = x[static_cast<size_t>(e.v)] + w;
+      ++relaxations;
+      if (cand < x[static_cast<size_t>(e.u)] - 1e-12) {
+        x[static_cast<size_t>(e.u)] = cand;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      // Normalize so the origin sits at zero.
+      const double x0 = x[0];
+      for (double& v : x) v -= x0;
+      return true;
+    }
+  }
+  return false;  // negative cycle
+}
+
+}  // namespace
+
+Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
+                                                     const GraphSolveOptions& options) {
+  const std::vector<std::string> problems = circuit.validate();
+  if (!problems.empty()) {
+    return make_error(ErrorKind::kInvalidCircuit,
+                      "circuit '" + circuit.name() + "' failed validation");
+  }
+  const DiffSystem sys = build_system(circuit, options.generator);
+  GraphSolveResult res;
+  std::vector<double> x;
+
+  // Bracket the optimum: CPM is feasible when no extensions bite; otherwise
+  // double until feasible.
+  double hi = std::max(1.0, baselines::edge_triggered_cpm(circuit).cycle);
+  while (!feasible_at(sys, hi, x, res.relaxations)) {
+    hi *= 2.0;
+    if (hi > options.hi_limit) {
+      return make_error(ErrorKind::kInfeasible,
+                        "no feasible cycle time below the search limit for '" +
+                            circuit.name() + "'");
+    }
+  }
+  double lo = 0.0;
+  while (hi - lo > options.tol) {
+    const double mid = 0.5 * (lo + hi);
+    ++res.search_steps;
+    if (feasible_at(sys, mid, x, res.relaxations)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Final feasible solve at the returned Tc.
+  if (!feasible_at(sys, hi, x, res.relaxations)) {
+    return make_error(ErrorKind::kNotConverged, "binary search lost feasibility (tolerance?)");
+  }
+
+  res.min_cycle = hi;
+  res.schedule.cycle = hi;
+  const int k = circuit.num_phases();
+  for (int p = 0; p < k; ++p) {
+    const double s = x[static_cast<size_t>(sys.s_node[static_cast<size_t>(p)])];
+    const double e = x[static_cast<size_t>(sys.e_node[static_cast<size_t>(p)])];
+    res.schedule.start.push_back(s);
+    res.schedule.width.push_back(e - s);
+  }
+  // Snap departures to the L2 fixpoint (steps 3-5 of Algorithm MLP).
+  std::vector<double> d0;
+  d0.reserve(static_cast<size_t>(circuit.num_elements()));
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    const double dh = x[static_cast<size_t>(sys.d_node[static_cast<size_t>(i)])];
+    d0.push_back(std::max(0.0, dh - res.schedule.s(circuit.element(i).phase)));
+  }
+  const sta::FixpointResult fix = sta::compute_departures(circuit, res.schedule, d0);
+  if (!fix.converged) {
+    return make_error(ErrorKind::kNotConverged, "fixpoint did not converge (tolerance?)");
+  }
+  res.departure = fix.departure;
+  return res;
+}
+
+}  // namespace mintc::opt

@@ -1,0 +1,57 @@
+// A second exact optimizer — the graph algorithm the paper anticipates.
+//
+// Section VI: "The LP formulation provides a convenient theoretical
+// foundation ... for developing algorithms that are potentially more
+// efficient than the simplex algorithm. We are currently investigating just
+// such algorithms, noting that the entries of the constraint matrix for
+// this problem are exclusively topological (i.e., 0, ±1)."
+//
+// Realization (the direction later taken by Szymanski '92 and
+// Shenoy-Brayton): after the change of variables
+//     e_i  = s_i + T_i          (phase end)
+//     dh_i = s_{p_i} + D_i      (absolute departure)
+// every SMO constraint with Tc FIXED becomes a pure difference constraint
+// x_u − x_v ≤ w(Tc):
+//     C1:  e_i − s_i ≤ Tc,  s_i − x0 ≤ Tc,  x0 − s_i ≤ 0,  s_i − e_i ≤ 0
+//     C2:  s_i − s_{i+1} ≤ 0
+//     C3:  e_j − s_i ≤ C_ji·Tc − margin
+//     L1:  dh_i − e_{p_i} ≤ −Δ_DC_i
+//     L2R: dh_j − dh_i ≤ C_{p_j,p_i}·Tc − Δ_DQ_j − Δ_ji
+//     L3:  s_{p_i} − dh_i ≤ 0
+// (flip-flop pin/setup rows and the optional width/separation/skew/hold
+// extensions transform the same way). Feasibility of a difference system is
+// the absence of a negative cycle (Bellman-Ford), and every weight is
+// nondecreasing in Tc, so feasibility is monotone and the optimal cycle
+// time falls to a binary search over Bellman-Ford calls — no LP at all.
+//
+// Tests pin this solver to the simplex result on every circuit; the
+// bench_ablation_graph_solver compares their costs.
+#pragma once
+
+#include "base/error.h"
+#include "model/circuit.h"
+#include "opt/constraints.h"
+
+namespace mintc::opt {
+
+struct GraphSolveOptions {
+  GeneratorOptions generator;  // same extension knobs as the LP path
+  double tol = 1e-7;           // absolute Tc tolerance of the binary search
+  double hi_limit = 1e12;
+};
+
+struct GraphSolveResult {
+  double min_cycle = 0.0;
+  ClockSchedule schedule;
+  std::vector<double> departure;  // L2-fixpoint departures under the schedule
+  int search_steps = 0;           // binary-search iterations
+  long relaxations = 0;           // Bellman-Ford edge relaxations, total
+};
+
+/// Minimize the cycle time by binary search over difference-constraint
+/// feasibility. Produces the same optimal Tc as minimize_cycle_time (up to
+/// `tol`); fails with kInfeasible when no Tc below hi_limit works.
+Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
+                                                     const GraphSolveOptions& options = {});
+
+}  // namespace mintc::opt

@@ -1,0 +1,17 @@
+#include "opt/parametric.h"
+
+namespace mintc::opt {
+
+lp::ParametricResult sweep_path_delay(const Circuit& circuit, int path_index, double lo,
+                                      double hi, int samples, const GeneratorOptions& options) {
+  const lp::SimplexSolver solver;
+  return lp::sweep_parameter(
+      [&](double theta) {
+        Circuit c = circuit;
+        c.set_path_delay(path_index, theta);
+        return generate_lp(c, options).model;
+      },
+      lo, hi, samples, solver);
+}
+
+}  // namespace mintc::opt

@@ -1,0 +1,34 @@
+// Delay sensitivities from LP duals (parametric programming, Section VI).
+//
+// A combinational delay Δ_ij appears on the RHS of exactly one row of P2
+// (its L2R row, or the FF setup row when the destination is a flip-flop),
+// so by LP duality the row's dual price IS dTc*/dΔ_ij — the local slope of
+// the paper's Fig. 7 curve, for every path at once, from a single solve.
+// Tests cross-check these against finite differences and against the
+// parametric sweep's recovered segment slopes.
+#pragma once
+
+#include <vector>
+
+#include "base/error.h"
+#include "model/circuit.h"
+#include "opt/mlp.h"
+
+namespace mintc::opt {
+
+struct SensitivityReport {
+  /// Per CombPath: dTc*/dΔ_ij at the current delays. In [0, 1]: 0 means the
+  /// path is non-critical, 1 means Tc* tracks the delay one-for-one, and
+  /// fractions arise when the delay is shared across several clock cycles
+  /// of a critical loop (the paper's "borrowed" 1/2 slope).
+  std::vector<double> dtc_ddelay;
+  double min_cycle = 0.0;
+};
+
+/// Solve P2 once and read every path's sensitivity off the duals. Note the
+/// optimum may be degenerate (a breakpoint of the piecewise-linear curve);
+/// the reported value is then one of the valid subgradients.
+Expected<SensitivityReport> delay_sensitivities(const Circuit& circuit,
+                                                const MlpOptions& options = {});
+
+}  // namespace mintc::opt

@@ -1,0 +1,96 @@
+#include "parser/lcs.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc::parser {
+
+namespace {
+Error parse_error(int line, const std::string& what) {
+  return make_error(ErrorKind::kInvalidArgument,
+                    "line " + std::to_string(line) + ": " + what);
+}
+}  // namespace
+
+Expected<ClockSchedule> parse_schedule(std::string_view text) {
+  ClockSchedule sch;
+  bool have_cycle = false;
+  int line_no = 0;
+  for (std::string_view raw : split(text, '\n')) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string_view> tok = split_ws(line);
+
+    if (tok[0] == "cycle") {
+      if (tok.size() != 2 || !parse_double(tok[1], sch.cycle)) {
+        return parse_error(line_no, "usage: cycle <Tc>");
+      }
+      have_cycle = true;
+    } else if (tok[0] == "phase") {
+      int idx = 0;
+      if (tok.size() != 4 || !parse_int(tok[1], idx)) {
+        return parse_error(line_no, "usage: phase <i> start=<s> width=<T>");
+      }
+      if (idx != static_cast<int>(sch.start.size()) + 1) {
+        return parse_error(line_no, "phases must be declared 1..k in order");
+      }
+      double s = 0.0;
+      double w = 0.0;
+      bool got_s = false;
+      bool got_w = false;
+      for (size_t i = 2; i < tok.size(); ++i) {
+        const auto eq = tok[i].find('=');
+        if (eq == std::string_view::npos) return parse_error(line_no, "expected key=value");
+        const std::string_view key = tok[i].substr(0, eq);
+        const std::string_view value = tok[i].substr(eq + 1);
+        if (key == "start" && parse_double(value, s)) {
+          got_s = true;
+        } else if (key == "width" && parse_double(value, w)) {
+          got_w = true;
+        } else {
+          return parse_error(line_no, "unknown/bad attribute '" + std::string(key) + "'");
+        }
+      }
+      if (!got_s || !got_w) return parse_error(line_no, "phase needs start= and width=");
+      sch.start.push_back(s);
+      sch.width.push_back(w);
+    } else {
+      return parse_error(line_no, "unknown keyword '" + std::string(tok[0]) + "'");
+    }
+  }
+  if (!have_cycle) return make_error(ErrorKind::kInvalidArgument, "missing 'cycle' line");
+  if (sch.start.empty()) return make_error(ErrorKind::kInvalidArgument, "no phases declared");
+  return sch;
+}
+
+Expected<ClockSchedule> load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error(ErrorKind::kIo, "cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_schedule(buf.str());
+}
+
+std::string write_schedule(const ClockSchedule& schedule) {
+  std::ostringstream out;
+  out << "cycle " << fmt_time(schedule.cycle, 6) << "\n";
+  for (int p = 1; p <= schedule.num_phases(); ++p) {
+    out << "phase " << p << " start=" << fmt_time(schedule.s(p), 6)
+        << " width=" << fmt_time(schedule.T(p), 6) << "\n";
+  }
+  return out.str();
+}
+
+Expected<bool> save_schedule(const ClockSchedule& schedule, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return make_error(ErrorKind::kIo, "cannot write '" + path + "'");
+  out << write_schedule(schedule);
+  return true;
+}
+
+}  // namespace mintc::parser

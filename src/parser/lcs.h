@@ -1,0 +1,22 @@
+// Reader/writer for the `.lcs` (latch clock schedule) format:
+//
+//   cycle <Tc>
+//   phase <i> start=<s_i> width=<T_i>
+//
+// Phases must be declared 1..k in order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "base/error.h"
+#include "model/clock.h"
+
+namespace mintc::parser {
+
+Expected<ClockSchedule> parse_schedule(std::string_view text);
+Expected<ClockSchedule> load_schedule(const std::string& path);
+std::string write_schedule(const ClockSchedule& schedule);
+Expected<bool> save_schedule(const ClockSchedule& schedule, const std::string& path);
+
+}  // namespace mintc::parser

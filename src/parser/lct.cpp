@@ -1,0 +1,173 @@
+#include "parser/lct.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc::parser {
+
+namespace {
+
+Error parse_error(int line, const std::string& what) {
+  return make_error(ErrorKind::kInvalidArgument,
+                    "line " + std::to_string(line) + ": " + what);
+}
+
+// Parse "key=value" attributes following the positional tokens.
+std::optional<std::map<std::string, std::string>> parse_attrs(
+    const std::vector<std::string_view>& tokens, size_t first) {
+  std::map<std::string, std::string> attrs;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+    attrs[std::string(tokens[i].substr(0, eq))] = std::string(tokens[i].substr(eq + 1));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Expected<Circuit> parse_circuit(std::string_view text) {
+  std::string name = "unnamed";
+  int phases = -1;
+  std::optional<Circuit> circuit;
+
+  // Accumulated element declarations, applied once `phases` is known.
+  const auto require_circuit = [&]() -> Circuit& {
+    if (!circuit) circuit.emplace(name, phases);
+    return *circuit;
+  };
+
+  int line_no = 0;
+  for (std::string_view raw : split(text, '\n')) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string_view> tok = split_ws(line);
+    const std::string_view kw = tok[0];
+
+    if (kw == "circuit") {
+      if (tok.size() != 2) return parse_error(line_no, "usage: circuit <name>");
+      if (circuit) return parse_error(line_no, "'circuit' must precede all elements");
+      name = std::string(tok[1]);
+    } else if (kw == "phases") {
+      if (tok.size() != 2 || !parse_int(tok[1], phases) || phases < 1) {
+        return parse_error(line_no, "usage: phases <k>, k >= 1");
+      }
+      if (circuit) return parse_error(line_no, "'phases' must precede all elements");
+    } else if (kw == "latch" || kw == "flipflop") {
+      if (phases < 1) return parse_error(line_no, "'phases' must come before elements");
+      if (tok.size() < 2) return parse_error(line_no, "missing element name");
+      const auto attrs = parse_attrs(tok, 2);
+      if (!attrs) return parse_error(line_no, "malformed key=value attribute");
+      Element e;
+      e.name = std::string(tok[1]);
+      e.kind = (kw == "latch") ? ElementKind::kLatch : ElementKind::kFlipFlop;
+      const std::string dq_key = (kw == "latch") ? "dq" : "cq";
+      for (const auto& [key, value] : *attrs) {
+        double dv = 0.0;
+        if (key == "phase") {
+          if (!parse_int(value, e.phase)) return parse_error(line_no, "bad phase");
+        } else if (key == dq_key) {
+          if (!parse_double(value, dv)) return parse_error(line_no, "bad " + dq_key);
+          e.dq = dv;
+        } else if (key == "setup") {
+          if (!parse_double(value, dv)) return parse_error(line_no, "bad setup");
+          e.setup = dv;
+        } else if (key == "hold") {
+          if (!parse_double(value, dv)) return parse_error(line_no, "bad hold");
+          e.hold = dv;
+        } else if (key == "dqmin") {
+          if (!parse_double(value, dv)) return parse_error(line_no, "bad dqmin");
+          e.dq_min = dv;
+        } else {
+          return parse_error(line_no, "unknown attribute '" + key + "'");
+        }
+      }
+      Circuit& c = require_circuit();
+      if (c.find_element(e.name)) {
+        return parse_error(line_no, "duplicate element '" + e.name + "'");
+      }
+      if (e.phase < 1 || e.phase > phases) {
+        return parse_error(line_no, "element '" + e.name + "' phase out of range");
+      }
+      c.add_element(std::move(e));
+    } else if (kw == "path") {
+      if (!circuit) return parse_error(line_no, "'path' before any element");
+      if (tok.size() < 3) return parse_error(line_no, "usage: path <from> <to> delay=<d> ...");
+      const auto attrs = parse_attrs(tok, 3);
+      if (!attrs) return parse_error(line_no, "malformed key=value attribute");
+      const auto from = circuit->find_element(std::string(tok[1]));
+      const auto to = circuit->find_element(std::string(tok[2]));
+      if (!from) return parse_error(line_no, "unknown element '" + std::string(tok[1]) + "'");
+      if (!to) return parse_error(line_no, "unknown element '" + std::string(tok[2]) + "'");
+      double delay = -1.0;
+      double min_delay = 0.0;
+      std::string label;
+      for (const auto& [key, value] : *attrs) {
+        if (key == "delay") {
+          if (!parse_double(value, delay)) return parse_error(line_no, "bad delay");
+        } else if (key == "min") {
+          if (!parse_double(value, min_delay)) return parse_error(line_no, "bad min");
+        } else if (key == "label") {
+          label = value;
+        } else {
+          return parse_error(line_no, "unknown attribute '" + key + "'");
+        }
+      }
+      if (delay < 0.0) return parse_error(line_no, "path requires delay=<nonnegative>");
+      circuit->add_path(*from, *to, delay, min_delay, std::move(label));
+    } else {
+      return parse_error(line_no, "unknown keyword '" + std::string(kw) + "'");
+    }
+  }
+
+  if (phases < 1) {
+    return make_error(ErrorKind::kInvalidArgument, "file declares no 'phases' line");
+  }
+  return require_circuit();
+}
+
+Expected<Circuit> load_circuit(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error(ErrorKind::kIo, "cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_circuit(buf.str());
+}
+
+std::string write_circuit(const Circuit& circuit) {
+  std::ostringstream out;
+  out << "circuit " << circuit.name() << "\n";
+  out << "phases " << circuit.num_phases() << "\n";
+  for (const Element& e : circuit.elements()) {
+    out << (e.is_latch() ? "latch " : "flipflop ") << e.name << " phase=" << e.phase
+        << " setup=" << fmt_time(e.setup, 6) << (e.is_latch() ? " dq=" : " cq=")
+        << fmt_time(e.dq, 6);
+    if (e.hold != 0.0) out << " hold=" << fmt_time(e.hold, 6);
+    if (e.dq_min >= 0.0) out << " dqmin=" << fmt_time(e.dq_min, 6);
+    out << "\n";
+  }
+  for (const CombPath& p : circuit.paths()) {
+    out << "path " << circuit.element(p.from).name << " " << circuit.element(p.to).name
+        << " delay=" << fmt_time(p.delay, 6);
+    if (p.min_delay != 0.0) out << " min=" << fmt_time(p.min_delay, 6);
+    if (!p.label.empty()) out << " label=" << p.label;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Expected<bool> save_circuit(const Circuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return make_error(ErrorKind::kIo, "cannot write '" + path + "'");
+  out << write_circuit(circuit);
+  return true;
+}
+
+}  // namespace mintc::parser

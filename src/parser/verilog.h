@@ -1,0 +1,34 @@
+// Reader for a structural Verilog subset — gate-level input for the
+// netlist substrate, so existing gate-level designs can flow into the
+// timing model without conversion to .lct by hand.
+//
+// Supported subset:
+//   module <name> (...);            port list tolerated and ignored
+//     wire a, b, c;                 optional; nets may also appear implicitly
+//     input/output ...;             tolerated and ignored
+//     nand g1 (out, in1, in2);      primitives: and or nand nor xor xnor buf
+//                                   not, plus the extension cells mux2/aoi21
+//     latch #(.phase(1), .setup(0.3), .dq(0.5))  L1 (.d(din), .q(qout));
+//     dff   #(.phase(2), .setup(0.2), .cq(0.4))  F1 (.d(d2),  .q(q2));
+//   endmodule
+//
+// Comments: // and /* */. One module per file. Gate outputs come first
+// (Verilog primitive convention). Storage cells use named pins and
+// parameters; optional parameters: hold, dqmin.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "base/error.h"
+#include "netlist/netlist.h"
+
+namespace mintc::parser {
+
+/// Parse the subset; `num_phases` of the resulting netlist is the highest
+/// phase referenced by any storage cell.
+Expected<netlist::Netlist> parse_verilog(std::string_view text);
+
+Expected<netlist::Netlist> load_verilog(const std::string& path);
+
+}  // namespace mintc::parser

@@ -1,0 +1,171 @@
+#include "sim/token_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace mintc::sim {
+
+namespace {
+
+struct Ready {
+  double depart_abs;  // earliest possible departure in absolute time
+  int element;
+  int generation;
+  bool operator>(const Ready& o) const { return depart_abs > o.depart_abs; }
+};
+
+}  // namespace
+
+SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
+                          const SimOptions& options) {
+  SimResult res;
+  const int l = circuit.num_elements();
+  const int G = options.max_generations;
+  res.departure.assign(static_cast<size_t>(l), 0.0);
+  if (l == 0 || schedule.cycle <= 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  // expected[i]: fanin contributions needed per generation (g >= 1); for
+  // g = 0, cross-boundary fanins (C = 1) have no token yet.
+  std::vector<int> expected_all(static_cast<size_t>(l), 0);
+  std::vector<int> expected_g0(static_cast<size_t>(l), 0);
+  for (int i = 0; i < l; ++i) {
+    const Element& e = circuit.element(i);
+    for (const int pi : circuit.fanin(i)) {
+      const Element& src = circuit.element(circuit.path(pi).from);
+      ++expected_all[static_cast<size_t>(i)];
+      if (c_flag(src.phase, e.phase) == 0) ++expected_g0[static_cast<size_t>(i)];
+    }
+  }
+
+  // received[i] / arrival[i] track the in-flight generation gen[i].
+  std::vector<int> gen(static_cast<size_t>(l), 0);
+  std::vector<int> received(static_cast<size_t>(l), 0);
+  std::vector<double> arrival(static_cast<size_t>(l),
+                              -std::numeric_limits<double>::infinity());
+  std::vector<double> last_departure(static_cast<size_t>(l), 0.0);
+
+  // Contributions that arrived for a FUTURE generation of their destination
+  // (a C=1 edge delivers into g+1 while the destination is still at g).
+  // Buffered per destination: (generation, time).
+  std::vector<std::vector<std::pair<int, double>>> pending(static_cast<size_t>(l));
+
+  std::vector<int> fired_count(static_cast<size_t>(G), 0);
+  std::vector<double> delta(static_cast<size_t>(G), 0.0);
+
+  std::priority_queue<Ready, std::vector<Ready>, std::greater<Ready>> queue;
+
+  const auto phase_start = [&](int i, int g) {
+    return schedule.s(circuit.element(i).phase) + g * schedule.cycle;
+  };
+
+  const auto push_ready = [&](int i, int g, double arrive_abs) {
+    const double open = phase_start(i, g);
+    queue.push(Ready{std::max(open, arrive_abs), i, g});
+  };
+
+  // Elements needing no fanin for generation 0 are ready immediately.
+  for (int i = 0; i < l; ++i) {
+    if (expected_g0[static_cast<size_t>(i)] == 0) {
+      push_ready(i, 0, -std::numeric_limits<double>::infinity());
+    }
+  }
+
+  const auto deliver = [&](int dst, int g, double t) {
+    if (g >= G) return;
+    if (g != gen[static_cast<size_t>(dst)]) {
+      pending[static_cast<size_t>(dst)].push_back({g, t});
+      return;
+    }
+    arrival[static_cast<size_t>(dst)] = std::max(arrival[static_cast<size_t>(dst)], t);
+    ++received[static_cast<size_t>(dst)];
+    const int need = (g == 0) ? expected_g0[static_cast<size_t>(dst)]
+                              : expected_all[static_cast<size_t>(dst)];
+    if (received[static_cast<size_t>(dst)] == need) {
+      push_ready(dst, g, arrival[static_cast<size_t>(dst)]);
+    }
+  };
+
+  int steady_at = -1;
+  while (!queue.empty()) {
+    const Ready r = queue.top();
+    queue.pop();
+    ++res.events;
+    const Element& e = circuit.element(r.element);
+    const double open = phase_start(r.element, r.generation);
+    const double arrive = arrival[static_cast<size_t>(r.element)];
+
+    double depart_abs;
+    if (e.is_latch()) {
+      depart_abs = std::max(open, arrive);
+      const double d_rel = depart_abs - open;
+      if (d_rel + e.setup > schedule.T(e.phase) + 1e-9 && res.first_violation_generation < 0) {
+        res.setup_ok = false;
+        res.first_violation_generation = r.generation;
+      }
+    } else {
+      depart_abs = open;  // flip-flop: clock edge launches
+      if (arrive > open - e.setup + 1e-9 && res.first_violation_generation < 0) {
+        res.setup_ok = false;
+        res.first_violation_generation = r.generation;
+      }
+    }
+
+    // Steady-state bookkeeping.
+    const double d_rel = depart_abs - open;
+    const size_t gi = static_cast<size_t>(r.generation);
+    delta[gi] = std::max(delta[gi],
+                         std::fabs(d_rel - last_departure[static_cast<size_t>(r.element)]));
+    last_departure[static_cast<size_t>(r.element)] = d_rel;
+    ++fired_count[gi];
+    if (fired_count[gi] == l && r.generation >= 1 && delta[gi] <= options.eps &&
+        steady_at < 0) {
+      steady_at = r.generation;
+      break;
+    }
+
+    // Emit the token to every fanout.
+    for (const int pe : circuit.fanout(r.element)) {
+      const CombPath& path = circuit.path(pe);
+      const Element& dst = circuit.element(path.to);
+      const int target_gen = r.generation + c_flag(e.phase, dst.phase);
+      deliver(path.to, target_gen, depart_abs + e.dq + path.delay);
+    }
+
+    // Advance this element to its next generation.
+    const int next = r.generation + 1;
+    if (next < G) {
+      gen[static_cast<size_t>(r.element)] = next;
+      received[static_cast<size_t>(r.element)] = 0;
+      arrival[static_cast<size_t>(r.element)] = -std::numeric_limits<double>::infinity();
+      // Drain buffered deliveries for the new generation.
+      auto& buf = pending[static_cast<size_t>(r.element)];
+      std::vector<std::pair<int, double>> keep;
+      for (const auto& [g, t] : buf) {
+        if (g == next) {
+          arrival[static_cast<size_t>(r.element)] =
+              std::max(arrival[static_cast<size_t>(r.element)], t);
+          ++received[static_cast<size_t>(r.element)];
+        } else {
+          keep.push_back({g, t});
+        }
+      }
+      buf.swap(keep);
+      if (received[static_cast<size_t>(r.element)] ==
+          expected_all[static_cast<size_t>(r.element)]) {
+        push_ready(r.element, next, arrival[static_cast<size_t>(r.element)]);
+      }
+    }
+  }
+
+  res.converged = steady_at >= 0;
+  res.generations = res.converged ? steady_at : G;
+  res.departure = last_departure;
+  return res;
+}
+
+}  // namespace mintc::sim

@@ -1,0 +1,170 @@
+#include "sta/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "base/approx.h"
+#include "base/strings.h"
+#include "base/table.h"
+
+namespace mintc::sta {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+double early_departure_update(const Circuit& circuit, const ClockSchedule& schedule,
+                              const std::vector<double>& d, int i) {
+  const Element& e = circuit.element(i);
+  if (!e.is_latch()) return 0.0;
+  double earliest = kInf;
+  for (const int pi : circuit.fanin(i)) {
+    const CombPath& path = circuit.path(pi);
+    const Element& src = circuit.element(path.from);
+    const double a = d[static_cast<size_t>(path.from)] + src.min_dq() + path.min_delay +
+                     schedule.shift(src.phase, e.phase);
+    earliest = std::min(earliest, a);
+  }
+  if (earliest == kInf) return 0.0;  // no fanin: departs at the leading edge
+  return std::max(0.0, earliest);
+}
+}  // namespace
+
+FixpointResult compute_early_departures(const Circuit& circuit, const ClockSchedule& schedule,
+                                        const FixpointOptions& options) {
+  const int l = circuit.num_elements();
+  FixpointResult res;
+  res.departure.assign(static_cast<size_t>(l), 0.0);
+  // The min-fixpoint iterated upward from zero is monotone nondecreasing and
+  // bounded by the (max) departure fixpoint, so a plain Gauss-Seidel loop
+  // suffices regardless of the configured scheme.
+  for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+    bool changed = false;
+    for (int i = 0; i < l; ++i) {
+      const double v = early_departure_update(circuit, schedule, res.departure, i);
+      ++res.updates;
+      if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) changed = true;
+      res.departure[static_cast<size_t>(i)] = v;
+    }
+    if (!changed) {
+      res.converged = true;
+      ++res.sweeps;
+      return res;
+    }
+  }
+  return res;
+}
+
+TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedule,
+                            const AnalysisOptions& options) {
+  TimingReport rep;
+  const int l = circuit.num_elements();
+  rep.elements.resize(static_cast<size_t>(l));
+
+  // Clock constraints.
+  rep.clock_violations = check_clock_constraints(schedule, circuit.k_matrix(), options.eps);
+  rep.schedule_ok = rep.clock_violations.empty();
+
+  // Departure fixpoint from below (analysis direction).
+  rep.fixpoint = compute_departures(circuit, schedule,
+                                    std::vector<double>(static_cast<size_t>(l), 0.0),
+                                    options.fixpoint);
+  rep.converged = rep.fixpoint.converged;
+
+  const std::vector<double> arrival = compute_arrivals(circuit, schedule, rep.fixpoint.departure);
+
+  // Setup slacks.
+  rep.setup_ok = true;
+  rep.worst_setup_slack = kInf;
+  for (int i = 0; i < l; ++i) {
+    const Element& e = circuit.element(i);
+    ElementTiming& t = rep.elements[static_cast<size_t>(i)];
+    t.departure = rep.fixpoint.departure[static_cast<size_t>(i)];
+    t.arrival = arrival[static_cast<size_t>(i)];
+    if (e.is_latch()) {
+      t.setup_slack = schedule.T(e.phase) - e.setup - t.departure;
+    } else {
+      // Flip-flop: arrival must precede the leading edge by the setup time.
+      t.setup_slack = (t.arrival == kNegInf) ? kInf : (-e.setup - t.arrival);
+    }
+    if (t.setup_slack < rep.worst_setup_slack) {
+      rep.worst_setup_slack = t.setup_slack;
+      rep.worst_setup_element = i;
+    }
+    if (definitely_lt(t.setup_slack, 0.0, options.eps)) rep.setup_ok = false;
+  }
+  if (l == 0) rep.worst_setup_slack = 0.0;
+
+  // Hold slacks (exact short-path check).
+  rep.hold_ok = true;
+  rep.worst_hold_slack = kInf;
+  for (auto& t : rep.elements) t.hold_slack = kInf;
+  if (options.check_hold) {
+    const FixpointResult early =
+        compute_early_departures(circuit, schedule, options.fixpoint);
+    for (int i = 0; i < l; ++i) {
+      const Element& e = circuit.element(i);
+      ElementTiming& t = rep.elements[static_cast<size_t>(i)];
+      double earliest_next = kInf;
+      for (const int pi : circuit.fanin(i)) {
+        const CombPath& path = circuit.path(pi);
+        const Element& src = circuit.element(path.from);
+        const double a = early.departure[static_cast<size_t>(path.from)] + src.min_dq() +
+                         path.min_delay + schedule.shift(src.phase, e.phase);
+        earliest_next = std::min(earliest_next, schedule.cycle + a);
+      }
+      if (earliest_next == kInf) continue;  // no fanin: nothing to corrupt
+      if (e.is_latch()) {
+        // The next token must arrive at least hold after the trailing edge.
+        t.hold_slack = earliest_next - (schedule.T(e.phase) + e.hold);
+      } else {
+        // ... or after the leading edge for a flip-flop.
+        t.hold_slack = earliest_next - e.hold;
+      }
+      if (t.hold_slack < rep.worst_hold_slack) {
+        rep.worst_hold_slack = t.hold_slack;
+        rep.worst_hold_element = i;
+      }
+      if (definitely_lt(t.hold_slack, 0.0, options.eps)) rep.hold_ok = false;
+    }
+  }
+
+  rep.feasible = rep.schedule_ok && rep.converged && rep.setup_ok && rep.hold_ok;
+  return rep;
+}
+
+std::string TimingReport::to_string(const Circuit& circuit) const {
+  std::ostringstream out;
+  out << "circuit '" << circuit.name() << "': " << (feasible ? "PASS" : "FAIL") << "\n";
+  if (!schedule_ok) {
+    out << "clock constraint violations:\n";
+    for (const ClockViolation& v : clock_violations) {
+      out << "  " << v.constraint << " violated by " << fmt_time(v.amount) << "\n";
+    }
+  }
+  if (!converged) {
+    out << "departure fixpoint did not converge (positive latch loop under "
+           "this schedule)\n";
+    return out.str();
+  }
+  TextTable table({"element", "kind", "phase", "arrival", "departure", "setup slack",
+                   "hold slack"});
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    const Element& e = circuit.element(i);
+    const ElementTiming& t = elements[static_cast<size_t>(i)];
+    const auto inf_fmt = [](double v) {
+      if (v == kInf) return std::string("-");
+      if (v == kNegInf) return std::string("-inf");
+      return fmt_time(v);
+    };
+    table.add_row({e.name, mintc::to_string(e.kind), "phi" + std::to_string(e.phase),
+                   inf_fmt(t.arrival), fmt_time(t.departure), inf_fmt(t.setup_slack),
+                   inf_fmt(t.hold_slack)});
+  }
+  out << table.to_string();
+  return out.str();
+}
+
+}  // namespace mintc::sta

@@ -1,0 +1,69 @@
+// The analysis problem ("checkTc"): given a circuit AND a concrete clock
+// schedule, decide whether all timing constraints are satisfied, and report
+// per-latch slacks.
+//
+// This is the other half of the paper's problem statement (Section I): "The
+// analysis problem seeks to determine if these constraints are indeed
+// satisfied for a given circuit and a given clocking scheme."
+//
+// The engine computes the least-fixpoint departure times of eq. (17), then
+// checks:
+//   * clock constraints C1-C4 (+C3 against the circuit's K matrix),
+//   * setup constraints L1 (departure-based, eq. 16; flip-flops checked
+//     against their leading edge),
+//   * optionally, exact short-path/hold constraints using earliest
+//     departure times (a min-fixpoint over the circuit's min delays).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/circuit.h"
+#include "sta/fixpoint.h"
+
+namespace mintc::sta {
+
+struct AnalysisOptions {
+  FixpointOptions fixpoint;
+  bool check_hold = false;
+  double eps = 1e-7;
+};
+
+/// Per-element timing summary.
+struct ElementTiming {
+  double departure = 0.0;    // D_i
+  double arrival = 0.0;      // A_i (-inf if no fanin)
+  double setup_slack = 0.0;  // >= 0 iff the setup constraint holds
+  double hold_slack = 0.0;   // +inf when not checked / no fanin
+};
+
+struct TimingReport {
+  bool feasible = false;          // everything below passed
+  bool schedule_ok = false;       // clock constraints C1-C4
+  bool converged = false;         // fixpoint reached (false => positive loop)
+  bool setup_ok = false;
+  bool hold_ok = true;
+
+  std::vector<ElementTiming> elements;
+  std::vector<ClockViolation> clock_violations;
+  FixpointResult fixpoint;
+
+  double worst_setup_slack = 0.0;
+  int worst_setup_element = -1;  // element index, -1 if no latches
+  double worst_hold_slack = 0.0;
+  int worst_hold_element = -1;
+
+  /// Render a human-readable report table (used by the analyzer example).
+  std::string to_string(const Circuit& circuit) const;
+};
+
+/// Run the full analysis of `circuit` under `schedule`.
+TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedule,
+                            const AnalysisOptions& options = {});
+
+/// Earliest departure times (min-fixpoint over min delays); used by the
+/// exact hold check and exposed for tests.
+FixpointResult compute_early_departures(const Circuit& circuit, const ClockSchedule& schedule,
+                                        const FixpointOptions& options = {});
+
+}  // namespace mintc::sta

@@ -1,0 +1,73 @@
+#include "sta/corners.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc::sta {
+
+std::vector<Corner> standard_corners(double spread) {
+  return {
+      {"slow", 1.0 + spread, 1.0 + spread},
+      {"typical", 1.0, 1.0},
+      {"fast", 1.0 - spread, 1.0 - spread},
+  };
+}
+
+Circuit derate(const Circuit& circuit, const Corner& corner) {
+  Circuit out(circuit.name() + "@" + corner.name, circuit.num_phases());
+  for (const Element& e : circuit.elements()) {
+    Element d = e;
+    d.setup = e.setup * corner.delay_scale;
+    d.dq = e.dq * corner.delay_scale;
+    if (e.dq_min >= 0.0) {
+      d.dq_min = e.dq_min * corner.min_scale;
+    } else {
+      d.dq_min = e.dq * corner.min_scale;
+    }
+    // Keep min <= max even for unusual corner settings.
+    if (d.dq_min > d.dq) d.dq_min = d.dq;
+    out.add_element(std::move(d));
+  }
+  for (const CombPath& p : circuit.paths()) {
+    const double max_d = p.delay * corner.delay_scale;
+    const double min_d = std::min(p.min_delay * corner.min_scale, max_d);
+    out.add_path(p.from, p.to, max_d, min_d, p.label);
+  }
+  return out;
+}
+
+CornerReport check_corners(const Circuit& circuit, const ClockSchedule& schedule,
+                           const std::vector<Corner>& corners) {
+  CornerReport report;
+  report.all_pass = true;
+  AnalysisOptions options;
+  options.check_hold = true;
+  for (const Corner& corner : corners) {
+    const Circuit derated = derate(circuit, corner);
+    CornerResult result{corner, check_schedule(derated, schedule, options)};
+    report.all_pass = report.all_pass && result.report.feasible;
+    report.corners.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::string CornerReport::to_string(const Circuit& circuit) const {
+  std::ostringstream out;
+  out << "corner analysis of '" << circuit.name() << "': " << (all_pass ? "PASS" : "FAIL")
+      << "\n";
+  for (const CornerResult& c : corners) {
+    out << "  " << c.corner.name << " (x" << fmt_time(c.corner.delay_scale, 3)
+        << "): " << (c.report.feasible ? "pass" : "FAIL");
+    if (c.report.converged && circuit.num_elements() > 0) {
+      out << "  worst setup slack " << fmt_time(c.report.worst_setup_slack, 4);
+      if (c.report.worst_hold_element >= 0) {
+        out << ", worst hold slack " << fmt_time(c.report.worst_hold_slack, 4);
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mintc::sta

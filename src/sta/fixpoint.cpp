@@ -1,0 +1,262 @@
+#include "sta/fixpoint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "graph/scc.h"
+
+namespace mintc::sta {
+
+const char* to_string(UpdateScheme scheme) {
+  switch (scheme) {
+    case UpdateScheme::kJacobi: return "jacobi";
+    case UpdateScheme::kGaussSeidel: return "gauss-seidel";
+    case UpdateScheme::kEventDriven: return "event-driven";
+    case UpdateScheme::kSccOrdered: return "scc-ordered";
+  }
+  return "?";
+}
+
+double departure_update(const Circuit& circuit, const ClockSchedule& schedule,
+                        const std::vector<double>& departure, int i) {
+  const Element& e = circuit.element(i);
+  if (!e.is_latch()) return 0.0;
+  double best = 0.0;
+  for (const int pi : circuit.fanin(i)) {
+    const CombPath& path = circuit.path(pi);
+    const Element& src = circuit.element(path.from);
+    const double a = departure[static_cast<size_t>(path.from)] + src.dq + path.delay +
+                     schedule.shift(src.phase, e.phase);
+    best = std::max(best, a);
+  }
+  return best;
+}
+
+namespace {
+
+// Any departure beyond this bound means a positive loop: in one period a
+// signal cannot legitimately accumulate more than every delay in the circuit
+// plus a full cycle of slack.
+double divergence_bound(const Circuit& circuit, const ClockSchedule& schedule) {
+  double total = std::fabs(schedule.cycle) * (circuit.num_phases() + 1) + 1.0;
+  for (const CombPath& p : circuit.paths()) total += p.delay;
+  for (const Element& e : circuit.elements()) total += e.dq;
+  return total;
+}
+
+}  // namespace
+
+FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& schedule,
+                                  std::vector<double> initial, const FixpointOptions& options) {
+  const int l = circuit.num_elements();
+  assert(static_cast<int>(initial.size()) == l);
+  FixpointResult res;
+  res.departure = std::move(initial);
+  const double bound = divergence_bound(circuit, schedule);
+
+  const auto diverged = [&](double v) { return v > bound; };
+
+  switch (options.scheme) {
+    case UpdateScheme::kJacobi: {
+      std::vector<double> next(static_cast<size_t>(l), 0.0);
+      for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+        bool changed = false;
+        for (int i = 0; i < l; ++i) {
+          next[static_cast<size_t>(i)] = departure_update(circuit, schedule, res.departure, i);
+          ++res.updates;
+          if (std::fabs(next[static_cast<size_t>(i)] - res.departure[static_cast<size_t>(i)]) >
+              options.eps) {
+            changed = true;
+          }
+          if (diverged(next[static_cast<size_t>(i)])) {
+            res.diverged = true;
+            res.departure = next;
+            return res;
+          }
+        }
+        res.departure.swap(next);
+        if (!changed) {
+          res.converged = true;
+          ++res.sweeps;
+          return res;
+        }
+      }
+      return res;
+    }
+
+    case UpdateScheme::kGaussSeidel: {
+      for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+        bool changed = false;
+        for (int i = 0; i < l; ++i) {
+          const double v = departure_update(circuit, schedule, res.departure, i);
+          ++res.updates;
+          if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) changed = true;
+          res.departure[static_cast<size_t>(i)] = v;
+          if (diverged(v)) {
+            res.diverged = true;
+            return res;
+          }
+        }
+        if (!changed) {
+          res.converged = true;
+          ++res.sweeps;
+          return res;
+        }
+      }
+      return res;
+    }
+
+    case UpdateScheme::kSccOrdered: {
+      // Condense the latch graph into SCCs; Tarjan emits components in
+      // reverse topological order, so walking them backwards visits sources
+      // first. Each component is swept (Gauss-Seidel) to its own fixpoint
+      // before any downstream component is touched.
+      const graph::SccResult scc = graph::strongly_connected_components(circuit.latch_graph());
+      for (int comp = scc.num_components - 1; comp >= 0; --comp) {
+        const std::vector<int>& members = scc.members[static_cast<size_t>(comp)];
+        int local_sweeps = 0;
+        while (local_sweeps < options.max_sweeps) {
+          bool changed = false;
+          for (const int i : members) {
+            const double v = departure_update(circuit, schedule, res.departure, i);
+            ++res.updates;
+            if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) {
+              changed = true;
+            }
+            res.departure[static_cast<size_t>(i)] = v;
+            if (diverged(v)) {
+              res.diverged = true;
+              return res;
+            }
+          }
+          ++local_sweeps;
+          if (!changed) break;
+          // Acyclic components converge after one changing sweep.
+          if (!scc.nontrivial[static_cast<size_t>(comp)]) break;
+        }
+        res.sweeps = std::max(res.sweeps, local_sweeps);
+        if (local_sweeps >= options.max_sweeps) return res;  // not converged
+      }
+      res.converged = true;
+      return res;
+    }
+
+    case UpdateScheme::kEventDriven: {
+      // Worklist seeded with every element; a change to D_i re-enqueues the
+      // elements fed by i. This is the paper's suggested enhancement.
+      std::vector<bool> queued(static_cast<size_t>(l), true);
+      std::vector<int> work;
+      work.reserve(static_cast<size_t>(l));
+      for (int i = 0; i < l; ++i) work.push_back(i);
+      const long max_updates =
+          static_cast<long>(options.max_sweeps) * std::max(1, l);
+      size_t head = 0;
+      while (head < work.size()) {
+        if (static_cast<long>(res.updates) >= max_updates) return res;
+        const int i = work[head++];
+        queued[static_cast<size_t>(i)] = false;
+        const double v = departure_update(circuit, schedule, res.departure, i);
+        ++res.updates;
+        if (std::fabs(v - res.departure[static_cast<size_t>(i)]) <= options.eps) continue;
+        res.departure[static_cast<size_t>(i)] = v;
+        if (diverged(v)) {
+          res.diverged = true;
+          return res;
+        }
+        for (const int pe : circuit.fanout(i)) {
+          const int dst = circuit.path(pe).to;
+          if (!queued[static_cast<size_t>(dst)]) {
+            queued[static_cast<size_t>(dst)] = true;
+            work.push_back(dst);
+          }
+        }
+        // Compact the worklist occasionally to bound memory.
+        if (head > 4096 && head * 2 > work.size()) {
+          work.erase(work.begin(), work.begin() + static_cast<long>(head));
+          head = 0;
+        }
+      }
+      res.converged = true;
+      res.sweeps = (res.updates + l - 1) / std::max(1, l);
+      return res;
+    }
+  }
+  return res;
+}
+
+FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& schedule,
+                                  std::vector<double> departure, int changed_path,
+                                  double old_delay, const FixpointOptions& options) {
+  const CombPath& path = circuit.path(changed_path);
+  if (path.delay < old_delay) {
+    // A decrease can lower departures anywhere downstream of the old
+    // critical support; recompute from scratch (event-driven, from zero —
+    // the least fixpoint is the analysis answer).
+    FixpointOptions full = options;
+    full.scheme = UpdateScheme::kEventDriven;
+    return compute_departures(circuit, schedule,
+                              std::vector<double>(departure.size(), 0.0), full);
+  }
+
+  // Increase: the new least fixpoint dominates the old one, and the old
+  // point satisfies every inequality except possibly at the changed path's
+  // destination. Event-driven propagation seeded there converges upward to
+  // the new fixpoint.
+  const int l = circuit.num_elements();
+  FixpointResult res;
+  res.departure = std::move(departure);
+  double bound = std::fabs(schedule.cycle) * (circuit.num_phases() + 1) + 1.0;
+  for (const CombPath& p : circuit.paths()) bound += p.delay;
+  for (const Element& e : circuit.elements()) bound += e.dq;
+
+  std::vector<bool> queued(static_cast<size_t>(l), false);
+  std::vector<int> work;
+  work.push_back(path.to);
+  queued[static_cast<size_t>(path.to)] = true;
+  const long max_updates = static_cast<long>(options.max_sweeps) * std::max(1, l);
+  size_t head = 0;
+  while (head < work.size()) {
+    if (static_cast<long>(res.updates) >= max_updates) return res;
+    const int i = work[head++];
+    queued[static_cast<size_t>(i)] = false;
+    const double v = departure_update(circuit, schedule, res.departure, i);
+    ++res.updates;
+    if (v <= res.departure[static_cast<size_t>(i)] + options.eps) continue;
+    res.departure[static_cast<size_t>(i)] = v;
+    if (v > bound) {
+      res.diverged = true;
+      return res;
+    }
+    for (const int pe : circuit.fanout(i)) {
+      const int dst = circuit.path(pe).to;
+      if (!queued[static_cast<size_t>(dst)]) {
+        queued[static_cast<size_t>(dst)] = true;
+        work.push_back(dst);
+      }
+    }
+  }
+  res.converged = true;
+  res.sweeps = (res.updates + l - 1) / std::max(1, l);
+  return res;
+}
+
+std::vector<double> compute_arrivals(const Circuit& circuit, const ClockSchedule& schedule,
+                                     const std::vector<double>& departure) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> arrival(static_cast<size_t>(circuit.num_elements()), kNegInf);
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    const Element& e = circuit.element(i);
+    for (const int pi : circuit.fanin(i)) {
+      const CombPath& path = circuit.path(pi);
+      const Element& src = circuit.element(path.from);
+      const double a = departure[static_cast<size_t>(path.from)] + src.dq + path.delay +
+                       schedule.shift(src.phase, e.phase);
+      arrival[static_cast<size_t>(i)] = std::max(arrival[static_cast<size_t>(i)], a);
+    }
+  }
+  return arrival;
+}
+
+}  // namespace mintc::sta

@@ -1,0 +1,79 @@
+// Departure-time fixpoint (eq. 17):
+//
+//   D_i = max(0, max_j (D_j + Δ_DQj + Δ_ji + S_{pj,pi}))     (latches)
+//   D_i = 0                                                  (flip-flops)
+//
+// with the clock schedule held fixed. This is the nonlinear heart of the SMO
+// model. The operator is monotone, so:
+//   * iterating from below (D = 0) converges upward to the least fixpoint —
+//     the true departure times for a feasible schedule (analysis problem);
+//   * iterating from above (an LP solution of P2) converges downward to the
+//     same fixpoint — steps 3–5 of Algorithm MLP ("sliding" departures
+//     toward the time origin).
+// If the schedule admits a positive loop (overlapping phases around a
+// feedback loop), the upward iteration diverges; this is detected and
+// reported instead of looping forever.
+//
+// Three update schemes are provided, matching the paper's Section IV
+// discussion: Jacobi (the algorithm as printed), Gauss-Seidel ("obviously
+// possible", usually fewer sweeps) and event-driven (the suggested
+// "only calculate the departure times which have changed" mechanism).
+#pragma once
+
+#include <vector>
+
+#include "model/circuit.h"
+
+namespace mintc::sta {
+
+// kSccOrdered is the LEADOUT-inspired scheme (paper Section II: LEADOUT
+// "first partitioned [the circuit] into its strongest-connected
+// components"): solve each SCC of the latch graph to its local fixpoint in
+// topological order, so acyclic regions converge in a single pass and
+// sweeps are confined to actual feedback loops.
+enum class UpdateScheme { kJacobi, kGaussSeidel, kEventDriven, kSccOrdered };
+
+const char* to_string(UpdateScheme scheme);
+
+struct FixpointOptions {
+  UpdateScheme scheme = UpdateScheme::kGaussSeidel;
+  int max_sweeps = 100000;
+  double eps = 1e-9;
+};
+
+struct FixpointResult {
+  std::vector<double> departure;  // D_i at the fixpoint
+  int sweeps = 0;                 // full passes over the latch set
+  int updates = 0;                // individual D_i recomputations
+  bool converged = false;
+  bool diverged = false;          // departures blew past the divergence bound
+};
+
+/// Evaluate the right-hand side of eq. (17) for element `i` given current
+/// departures. Returns 0 for flip-flops and for latches without fanin.
+double departure_update(const Circuit& circuit, const ClockSchedule& schedule,
+                        const std::vector<double>& departure, int i);
+
+/// Iterate eq. (17) from `initial` until convergence, divergence or the
+/// sweep limit. `initial` must have one entry per element; pass all-zeros
+/// for analysis, or the LP departures for Algorithm MLP.
+FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& schedule,
+                                  std::vector<double> initial,
+                                  const FixpointOptions& options = {});
+
+/// Arrival times A_i (eq. 14) given fixed departures. Latches with no fanin
+/// get -infinity (the paper's "Δ == -inf for unconnected" convention).
+std::vector<double> compute_arrivals(const Circuit& circuit, const ClockSchedule& schedule,
+                                     const std::vector<double>& departure);
+
+/// Incremental re-analysis after one path's delay changed: starting from the
+/// previous fixpoint `departure`, propagate only from the changed path's
+/// destination (event-driven). Exact for delay INCREASES (the fixpoint moves
+/// monotonically up from the old one); for decreases the result can be stale
+/// upstream of clamps, so the implementation falls back to a full event-
+/// driven solve when the new delay is smaller. Returns the updated fixpoint.
+FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& schedule,
+                                  std::vector<double> departure, int changed_path,
+                                  double old_delay, const FixpointOptions& options = {});
+
+}  // namespace mintc::sta

@@ -1,0 +1,41 @@
+#include "viz/dot.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc::viz {
+
+std::string dot_circuit(const Circuit& circuit, const DotOptions& options) {
+  // A small qualitative palette, cycled per phase.
+  static const char* kPhaseColor[] = {"#bcd4e6", "#f6d6ad", "#cdeac0", "#e8c6e0",
+                                      "#f4bfbf", "#d9d2e9"};
+  std::ostringstream out;
+  out << "digraph \"" << circuit.name() << "\" {\n";
+  out << "  rankdir=LR;\n  node [fontname=\"monospace\"];\n";
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    const Element& e = circuit.element(i);
+    out << "  \"" << e.name << "\" [shape=" << (e.is_latch() ? "box" : "doubleoctagon")
+        << ", style=filled, fillcolor=\"" << kPhaseColor[(e.phase - 1) % 6] << "\", label=\""
+        << e.name << "\\nphi" << e.phase << " su=" << fmt_time(e.setup) << " dq="
+        << fmt_time(e.dq) << "\"];\n";
+  }
+  for (int p = 0; p < circuit.num_paths(); ++p) {
+    const CombPath& path = circuit.path(p);
+    const bool hot = std::find(options.highlight_paths.begin(), options.highlight_paths.end(),
+                               p) != options.highlight_paths.end();
+    out << "  \"" << circuit.element(path.from).name << "\" -> \""
+        << circuit.element(path.to).name << "\" [";
+    if (options.show_delays) {
+      out << "label=\"" << (path.label.empty() ? "" : path.label + ": ")
+          << fmt_time(path.delay) << "\"";
+    }
+    if (hot) out << (options.show_delays ? ", " : "") << "color=red, penwidth=2.5";
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mintc::viz

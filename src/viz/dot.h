@@ -1,0 +1,24 @@
+// Graphviz DOT export of the circuit topology.
+//
+// Elements become nodes (latches as boxes, flip-flops as double boxes,
+// colored by clock phase), combinational paths become edges labeled with
+// their delays. An optional highlight set (e.g. the tight paths from
+// opt::find_critical_segments) is drawn bold red — the visual version of
+// the paper's "critical combinational delay segments".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/circuit.h"
+
+namespace mintc::viz {
+
+struct DotOptions {
+  std::vector<int> highlight_paths;  // CombPath indices drawn bold/red
+  bool show_delays = true;
+};
+
+std::string dot_circuit(const Circuit& circuit, const DotOptions& options = {});
+
+}  // namespace mintc::viz

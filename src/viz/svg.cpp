@@ -1,0 +1,101 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc::viz {
+
+namespace {
+
+void rect(std::ostringstream& out, double x, double y, double w, double h,
+          const std::string& fill, double opacity = 1.0) {
+  if (w <= 0.0) return;
+  out << "  <rect x=\"" << fmt_time(x, 2) << "\" y=\"" << fmt_time(y, 2) << "\" width=\""
+      << fmt_time(w, 2) << "\" height=\"" << fmt_time(h, 2) << "\" fill=\"" << fill
+      << "\" fill-opacity=\"" << fmt_time(opacity, 2) << "\"/>\n";
+}
+
+void text(std::ostringstream& out, double x, double y, const std::string& s) {
+  out << "  <text x=\"" << fmt_time(x, 2) << "\" y=\"" << fmt_time(y, 2)
+      << "\" font-family=\"monospace\" font-size=\"12\">" << s << "</text>\n";
+}
+
+void vline(std::ostringstream& out, double x, double y0, double y1) {
+  out << "  <line x1=\"" << fmt_time(x, 2) << "\" y1=\"" << fmt_time(y0, 2) << "\" x2=\""
+      << fmt_time(x, 2) << "\" y2=\"" << fmt_time(y1, 2)
+      << "\" stroke=\"#999\" stroke-dasharray=\"4 3\"/>\n";
+}
+
+}  // namespace
+
+std::string svg_timing_diagram(const Circuit& circuit, const ClockSchedule& schedule,
+                               const std::vector<double>& departure,
+                               const SvgOptions& options) {
+  const double horizon = schedule.cycle * options.cycles;
+  const double margin = 90.0;
+  const double plot_w = options.width - margin - 10.0;
+  const int rows = schedule.num_phases() + circuit.num_elements();
+  const double height = (rows + 2) * options.row_height + 20.0;
+  const auto x_of = [&](double t) { return margin + t / horizon * plot_w; };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << fmt_time(options.width, 0)
+      << "\" height=\"" << fmt_time(height, 0) << "\">\n";
+  out << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (horizon <= 0.0) {
+    out << "</svg>\n";
+    return out.str();
+  }
+
+  double y = 10.0;
+  // Clock waveforms.
+  for (int p = 1; p <= schedule.num_phases(); ++p) {
+    text(out, 5.0, y + options.row_height * 0.7, "phi" + std::to_string(p));
+    for (int cyc = 0; cyc < options.cycles + 1; ++cyc) {
+      const double s = schedule.s(p) + cyc * schedule.cycle;
+      const double e = std::min(s + schedule.T(p), horizon);
+      if (s >= horizon) continue;
+      rect(out, x_of(s), y + 4.0, x_of(e) - x_of(s), options.row_height - 10.0, "#4477aa");
+    }
+    y += options.row_height;
+  }
+  // Element strips.
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    const Element& e = circuit.element(i);
+    text(out, 5.0, y + options.row_height * 0.7, e.name);
+    for (int cyc = 0; cyc < options.cycles + 1; ++cyc) {
+      const double dep =
+          schedule.s(e.phase) + departure[static_cast<size_t>(i)] + cyc * schedule.cycle;
+      if (dep > horizon) continue;
+      const double edge = schedule.s(e.phase) + cyc * schedule.cycle;
+      // Waiting gap (light), latch delay (dark shade), combinational (mid).
+      rect(out, x_of(edge), y + 8.0, x_of(dep) - x_of(edge), options.row_height - 18.0,
+           "#dddddd");
+      rect(out, x_of(dep), y + 4.0, x_of(std::min(dep + e.dq, horizon)) - x_of(dep),
+           options.row_height - 10.0, "#555555");
+      double longest = 0.0;
+      for (const int pe : circuit.fanout(i)) {
+        longest = std::max(longest, circuit.path(pe).delay);
+      }
+      if (longest > 0.0 && dep + e.dq < horizon) {
+        rect(out, x_of(dep + e.dq), y + 4.0,
+             x_of(std::min(dep + e.dq + longest, horizon)) - x_of(dep + e.dq),
+             options.row_height - 10.0, "#cc6677", 0.8);
+      }
+    }
+    y += options.row_height;
+  }
+  // Cycle boundaries.
+  for (int cyc = 0; cyc <= options.cycles; ++cyc) {
+    vline(out, x_of(std::min(cyc * schedule.cycle, horizon)), 6.0, y);
+  }
+  text(out, margin, y + options.row_height * 0.7,
+       "Tc = " + fmt_time(schedule.cycle) + "  (" + std::to_string(options.cycles) +
+           " cycles)");
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace mintc::viz

@@ -1,0 +1,24 @@
+// SVG timing-diagram output — the library's "graphical output routines"
+// (paper Section V). Produces a standalone .svg with clock waveforms and
+// per-element strips, same semantics as the ASCII renderer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/circuit.h"
+
+namespace mintc::viz {
+
+struct SvgOptions {
+  double width = 900.0;
+  double row_height = 26.0;
+  int cycles = 2;
+};
+
+/// Render a full timing diagram (clock waveforms + element strips) as SVG.
+std::string svg_timing_diagram(const Circuit& circuit, const ClockSchedule& schedule,
+                               const std::vector<double>& departure,
+                               const SvgOptions& options = {});
+
+}  // namespace mintc::viz

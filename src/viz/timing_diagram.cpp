@@ -1,0 +1,121 @@
+#include "viz/timing_diagram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc::viz {
+
+namespace {
+
+// Map absolute time to a character column.
+struct Axis {
+  double t_end;
+  int columns;
+
+  int col(double t) const {
+    const int c = static_cast<int>(std::floor(t / t_end * columns));
+    return std::clamp(c, 0, columns - 1);
+  }
+};
+
+void paint(std::string& row, const Axis& ax, double t0, double t1, char ch) {
+  if (t1 <= t0) return;
+  const int c0 = ax.col(t0);
+  const int c1 = ax.col(t1 - 1e-12);
+  for (int c = c0; c <= c1; ++c) row[static_cast<size_t>(c)] = ch;
+}
+
+std::string label_pad(const std::string& label, size_t width) {
+  std::string out = label;
+  if (out.size() > width) out.resize(width);
+  out.append(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string ascii_clock_diagram(const ClockSchedule& schedule, const DiagramOptions& options) {
+  std::ostringstream out;
+  const double horizon = schedule.cycle * options.cycles;
+  if (horizon <= 0.0) return "(empty schedule)\n";
+  const Axis ax{horizon, options.columns};
+  const size_t lw = 10;
+
+  for (int p = 1; p <= schedule.num_phases(); ++p) {
+    std::string row(static_cast<size_t>(options.columns), '_');
+    for (int cyc = 0; cyc < options.cycles + 1; ++cyc) {
+      const double s = schedule.s(p) + cyc * schedule.cycle;
+      paint(row, ax, std::min(s, horizon), std::min(s + schedule.T(p), horizon), '#');
+    }
+    out << label_pad("phi" + std::to_string(p), lw) << row << "\n";
+  }
+  // Time ruler: tick at every cycle boundary.
+  std::string ruler(static_cast<size_t>(options.columns), ' ');
+  for (int cyc = 0; cyc <= options.cycles; ++cyc) {
+    const double t = cyc * schedule.cycle;
+    if (t <= horizon) ruler[static_cast<size_t>(ax.col(std::min(t, horizon - 1e-9)))] = '^';
+  }
+  out << label_pad("", lw) << ruler << "\n";
+  out << label_pad("", lw) << "Tc = " << fmt_time(schedule.cycle) << " (x" << options.cycles
+      << " cycles shown)\n";
+  return out.str();
+}
+
+std::string ascii_timing_diagram(const Circuit& circuit, const ClockSchedule& schedule,
+                                 const std::vector<double>& departure,
+                                 const DiagramOptions& options) {
+  std::ostringstream out;
+  out << ascii_clock_diagram(schedule, options);
+  const double horizon = schedule.cycle * options.cycles;
+  if (horizon <= 0.0) return out.str();
+  const Axis ax{horizon, options.columns};
+  const size_t lw = 10;
+
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    const Element& e = circuit.element(i);
+    std::string row(static_cast<size_t>(options.columns), ' ');
+    for (int cyc = 0; cyc < options.cycles + 1; ++cyc) {
+      // Departure instant in absolute time: the phase start plus D_i.
+      const double dep = schedule.s(e.phase) + departure[static_cast<size_t>(i)] +
+                         cyc * schedule.cycle;
+      if (dep > horizon) continue;
+      // Waiting gap: from the enabling edge to the departure.
+      paint(row, ax, schedule.s(e.phase) + cyc * schedule.cycle, dep, '.');
+      // Latch (or clock-to-Q) propagation.
+      paint(row, ax, dep, std::min(dep + e.dq, horizon), 'X');
+      // Longest combinational fanout.
+      double longest = 0.0;
+      std::string block;
+      for (const int pe : circuit.fanout(i)) {
+        const CombPath& p = circuit.path(pe);
+        if (p.delay > longest) {
+          longest = p.delay;
+          block = p.label;
+        }
+      }
+      if (longest > 0.0) {
+        paint(row, ax, dep + e.dq, std::min(dep + e.dq + longest, horizon), '=');
+      }
+      if (ax.col(dep) >= 0) row[static_cast<size_t>(ax.col(dep))] = '|';
+    }
+    out << label_pad(e.name, lw) << row << "\n";
+  }
+  out << label_pad("", lw)
+      << "('.' wait, '|' departure, 'X' latch delay, '=' combinational)\n";
+  return out.str();
+}
+
+std::string departure_summary(const Circuit& circuit, const std::vector<double>& departure) {
+  std::ostringstream out;
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    if (i > 0) out << "  ";
+    out << "D(" << circuit.element(i).name
+        << ")=" << fmt_time(departure[static_cast<size_t>(i)]);
+  }
+  return out.str();
+}
+
+}  // namespace mintc::viz

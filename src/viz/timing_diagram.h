@@ -1,0 +1,42 @@
+// Timing-diagram rendering in the style of the paper's Fig. 6: clock
+// waveforms over two complete cycles, plus one "strip" per latch showing
+// when its data signal departs, the shaded latch propagation delay, the
+// combinational block it feeds, and any waiting gap before the enabling
+// clock edge.
+//
+// The paper: "The shaded portions in these strips represent propagation
+// through the latches themselves (Δ_DQi), whereas gaps in the strips
+// indicate signals that arrive earlier than (and must thus wait for) the
+// enabling edge of the corresponding clock phase."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/circuit.h"
+
+namespace mintc::viz {
+
+struct DiagramOptions {
+  int columns = 96;  // character columns for the time axis
+  int cycles = 2;    // how many clock cycles to draw
+};
+
+/// Clock waveforms only: one row per phase, '#' while active.
+std::string ascii_clock_diagram(const ClockSchedule& schedule,
+                                const DiagramOptions& options = {});
+
+/// Full diagram: clock waveforms plus one strip per element. `departure`
+/// must be the fixpoint departure times (e.g. MlpResult::departure).
+/// Strip notation per element row, repeated each cycle:
+///   '.' waiting for the enabling edge, 'X' latch Δ_DQ, '=' combinational
+///   propagation of the longest fanout path, '|' the departure instant.
+std::string ascii_timing_diagram(const Circuit& circuit, const ClockSchedule& schedule,
+                                 const std::vector<double>& departure,
+                                 const DiagramOptions& options = {});
+
+/// One-line textual summary of departures ("D1=60 D2=90 ..."), matching how
+/// the paper reports Fig. 6 numbers.
+std::string departure_summary(const Circuit& circuit, const std::vector<double>& departure);
+
+}  // namespace mintc::viz

@@ -1,0 +1,50 @@
+#include "base/approx.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc {
+namespace {
+
+TEST(Approx, EqWithinTolerance) {
+  EXPECT_TRUE(approx_eq(1.0, 1.0));
+  EXPECT_TRUE(approx_eq(1.0, 1.0 + 1e-9));
+  EXPECT_FALSE(approx_eq(1.0, 1.001));
+  EXPECT_TRUE(approx_eq(1.0, 1.0005, 1e-3));
+}
+
+TEST(Approx, EqHandlesNegatives) {
+  EXPECT_TRUE(approx_eq(-5.0, -5.0 + 1e-10));
+  EXPECT_FALSE(approx_eq(-5.0, 5.0));
+}
+
+TEST(Approx, LeGeAreToleranceShifted) {
+  EXPECT_TRUE(approx_le(1.0, 1.0));
+  EXPECT_TRUE(approx_le(1.0 + 1e-9, 1.0));
+  EXPECT_FALSE(approx_le(1.01, 1.0));
+  EXPECT_TRUE(approx_ge(1.0 - 1e-9, 1.0));
+  EXPECT_FALSE(approx_ge(0.99, 1.0));
+}
+
+TEST(Approx, DefinitelyComparisons) {
+  EXPECT_TRUE(definitely_lt(0.9, 1.0));
+  EXPECT_FALSE(definitely_lt(1.0 - 1e-9, 1.0));
+  EXPECT_TRUE(definitely_gt(1.1, 1.0));
+  EXPECT_FALSE(definitely_gt(1.0 + 1e-9, 1.0));
+}
+
+TEST(Approx, SnapZero) {
+  EXPECT_EQ(snap_zero(1e-9), 0.0);
+  EXPECT_EQ(snap_zero(-1e-9), 0.0);
+  EXPECT_EQ(snap_zero(0.5), 0.5);
+  EXPECT_EQ(snap_zero(-0.5), -0.5);
+}
+
+TEST(Approx, RoundTo) {
+  EXPECT_DOUBLE_EQ(round_to(1.23456, 2), 1.23);
+  EXPECT_DOUBLE_EQ(round_to(1.235, 2), 1.24);
+  EXPECT_DOUBLE_EQ(round_to(-1.5, 0), -2.0);  // std::round: away from zero
+  EXPECT_DOUBLE_EQ(round_to(100.0, 3), 100.0);
+}
+
+}  // namespace
+}  // namespace mintc

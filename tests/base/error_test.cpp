@@ -1,0 +1,55 @@
+#include "base/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mintc {
+namespace {
+
+Expected<int> parse_positive(int v) {
+  if (v <= 0) return make_error(ErrorKind::kInvalidArgument, "must be positive");
+  return v;
+}
+
+TEST(Expected, HoldsValue) {
+  const Expected<int> e = parse_positive(5);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e.value(), 5);
+  EXPECT_EQ(*e, 5);
+}
+
+TEST(Expected, HoldsError) {
+  const Expected<int> e = parse_positive(-1);
+  ASSERT_FALSE(e);
+  EXPECT_EQ(e.error().kind, ErrorKind::kInvalidArgument);
+  EXPECT_EQ(e.error().message, "must be positive");
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> e = std::string("abc");
+  EXPECT_EQ(e->size(), 3u);
+}
+
+TEST(Expected, MoveOut) {
+  Expected<std::string> e = std::string("payload");
+  const std::string s = std::move(e).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ErrorKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(ErrorKind::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(ErrorKind::kInvalidCircuit), "invalid_circuit");
+  EXPECT_STREQ(to_string(ErrorKind::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(ErrorKind::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(ErrorKind::kNotConverged), "not_converged");
+  EXPECT_STREQ(to_string(ErrorKind::kIo), "io");
+}
+
+TEST(Error, ToStringIncludesKindAndMessage) {
+  const Error e = make_error(ErrorKind::kInfeasible, "no schedule");
+  EXPECT_EQ(e.to_string(), "infeasible: no schedule");
+}
+
+}  // namespace
+}  // namespace mintc

@@ -1,0 +1,30 @@
+#include "base/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc {
+namespace {
+
+class LogTest : public testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, StreamInterfaceCompiles) {
+  set_log_level(LogLevel::kOff);
+  // Must not crash or emit anything at kOff.
+  log_info() << "value=" << 42 << " name=" << std::string("x");
+  log_error() << "suppressed";
+}
+
+TEST_F(LogTest, DefaultLevelIsWarn) { EXPECT_EQ(log_level(), LogLevel::kWarn); }
+
+}  // namespace
+}  // namespace mintc

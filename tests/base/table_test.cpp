@@ -1,0 +1,42 @@
+#include "base/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  // Header, underline, two rows.
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_NE(s.find("a       1"), std::string::npos);
+}
+
+TEST(TextTable, UnderlineSpansWidth) {
+  TextTable t({"ab", "cd"});
+  t.add_row({"x", "y"});
+  const std::string s = t.to_string();
+  // "ab  cd" is 6 characters wide -> 6 dashes.
+  EXPECT_NE(s.find("------\n"), std::string::npos);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"h"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTable, WideCellStretchesColumn) {
+  TextTable t({"h", "i"});
+  t.add_row({"wide-cell-content", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("wide-cell-content  x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mintc

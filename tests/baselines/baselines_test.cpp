@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "baselines/binary_search.h"
+#include "baselines/edge_triggered.h"
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+
+namespace mintc::baselines {
+namespace {
+
+TEST(SlotFraction, TwoPhase) {
+  EXPECT_DOUBLE_EQ(slot_fraction(1, 2, 2), 0.5);
+  EXPECT_DOUBLE_EQ(slot_fraction(2, 1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(slot_fraction(1, 1, 2), 1.0);  // same phase = full cycle
+  EXPECT_DOUBLE_EQ(slot_fraction(2, 2, 2), 1.0);
+}
+
+TEST(SlotFraction, FourPhase) {
+  EXPECT_DOUBLE_EQ(slot_fraction(1, 3, 4), 0.5);
+  EXPECT_DOUBLE_EQ(slot_fraction(3, 2, 4), 0.75);
+  EXPECT_DOUBLE_EQ(slot_fraction(4, 1, 4), 0.25);
+}
+
+TEST(EdgeTriggeredCpm, Example1HandComputed) {
+  // Max over paths of (dq + delay + setup)/frac; Ld at Δ41=80 dominates:
+  // (10+80+10)/0.5 = 200.
+  const BaselineResult r = edge_triggered_cpm(circuits::example1(80.0));
+  EXPECT_NEAR(r.cycle, 200.0, 1e-9);
+  EXPECT_EQ(r.method, "edge-triggered CPM");
+}
+
+TEST(EdgeTriggeredCpm, AlwaysFeasibleWhenVerified) {
+  // The CPM bound under the symmetric clock must pass the exact analysis:
+  // edge-triggered margins are sufficient for latches.
+  for (const double d41 : {0.0, 40.0, 80.0, 120.0}) {
+    const BaselineResult r = edge_triggered_cpm(circuits::example1(d41));
+    EXPECT_TRUE(r.feasible) << "d41=" << d41;
+  }
+}
+
+TEST(JouppiBorrowing, BetweenMlpAndCpm) {
+  for (const double d41 : {40.0, 80.0, 120.0}) {
+    const Circuit c = circuits::example1(d41);
+    const auto mlp = opt::minimize_cycle_time(c);
+    ASSERT_TRUE(mlp);
+    const BaselineResult et = edge_triggered_cpm(c);
+    const BaselineResult jp = jouppi_borrowing(c);
+    EXPECT_LE(jp.cycle, et.cycle + 1e-6) << "d41=" << d41;
+    EXPECT_GE(jp.cycle, mlp->min_cycle - 1e-6) << "d41=" << d41;
+  }
+}
+
+TEST(JouppiBorrowing, ActuallyBorrowsOnExample2) {
+  const Circuit c = circuits::example2();
+  const BaselineResult et = edge_triggered_cpm(c);
+  const BaselineResult jp = jouppi_borrowing(c);
+  EXPECT_LT(jp.cycle, et.cycle - 1.0);  // strictly better
+}
+
+TEST(ClockShape, SymmetricAndScaling) {
+  const ClockShape s = ClockShape::symmetric(4);
+  const ClockSchedule sch = s.at_cycle(200.0);
+  EXPECT_DOUBLE_EQ(sch.s(3), 100.0);
+  EXPECT_DOUBLE_EQ(sch.T(2), 50.0);
+  EXPECT_EQ(sch.num_phases(), 4);
+}
+
+TEST(FixedShapeSearch, FindsMinimalFeasibleCycle) {
+  const Circuit c = circuits::example1(60.0);
+  const BaselineResult r = fixed_shape_search(c, ClockShape::symmetric(2));
+  ASSERT_TRUE(r.feasible);
+  // Just feasible at its own Tc; infeasible 1% below.
+  EXPECT_TRUE(sta::check_schedule(c, r.schedule).feasible);
+  EXPECT_FALSE(
+      sta::check_schedule(c, ClockShape::symmetric(2).at_cycle(r.cycle * 0.99)).feasible);
+}
+
+TEST(NripReconstruction, OptimalExactlyAtSixty) {
+  // The paper: "The NRIP algorithm produces an optimal solution for
+  // Δ41 = 60 ns. For all other values of Δ41, the cycle time found by NRIP
+  // is suboptimal."
+  const auto mlp60 = opt::minimize_cycle_time(circuits::example1(60.0));
+  ASSERT_TRUE(mlp60);
+  const BaselineResult n60 = nrip_reconstruction(circuits::example1(60.0));
+  EXPECT_NEAR(n60.cycle, mlp60->min_cycle, 1e-4);
+
+  for (const double d41 : {80.0, 100.0}) {
+    const auto mlp = opt::minimize_cycle_time(circuits::example1(d41));
+    ASSERT_TRUE(mlp);
+    const BaselineResult n = nrip_reconstruction(circuits::example1(d41));
+    EXPECT_GT(n.cycle, mlp->min_cycle + 1.0) << "d41=" << d41;
+  }
+}
+
+TEST(NripReconstruction, NeverBelowMlp) {
+  for (double d41 = 0.0; d41 <= 160.0; d41 += 20.0) {
+    const auto mlp = opt::minimize_cycle_time(circuits::example1(d41));
+    ASSERT_TRUE(mlp);
+    const BaselineResult n = nrip_reconstruction(circuits::example1(d41));
+    EXPECT_GE(n.cycle, mlp->min_cycle - 1e-4) << "d41=" << d41;
+  }
+}
+
+TEST(NripReconstruction, Example2GapMatchesPaper) {
+  // Figs. 8-9: NRIP lands ~35% above the MLP optimum.
+  const Circuit c = circuits::example2();
+  const auto mlp = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(mlp);
+  const BaselineResult n = nrip_reconstruction(c);
+  const double gap = n.cycle / mlp->min_cycle - 1.0;
+  EXPECT_NEAR(gap, 0.35, 0.02);
+}
+
+TEST(FixedShapeSearch, ImpossibleShapeGivesInfeasible) {
+  // Zero-width phases cannot satisfy any setup time.
+  const Circuit c = circuits::example1(80.0);
+  ClockShape shape = ClockShape::symmetric(2);
+  shape.width_frac = {0.0, 0.0};
+  BinarySearchOptions opt;
+  opt.hi_limit = 1e5;
+  const BaselineResult r = fixed_shape_search(c, shape, opt);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(BestDutySearch, NeverWorseThanNrip) {
+  for (const Circuit& c : {circuits::example1(80.0), circuits::example2()}) {
+    const auto nrip = nrip_reconstruction(c);
+    const auto best = best_duty_search(c, 10);
+    ASSERT_TRUE(best.feasible) << c.name();
+    EXPECT_LE(best.cycle, nrip.cycle + 1e-4) << c.name();
+    const auto mlp = opt::minimize_cycle_time(c);
+    ASSERT_TRUE(mlp);
+    EXPECT_GE(best.cycle, mlp->min_cycle - 1e-4) << c.name();
+  }
+}
+
+TEST(BestDutySearch, ReportsChosenDuty) {
+  const auto best = best_duty_search(circuits::example1(80.0), 4);
+  ASSERT_TRUE(best.feasible);
+  EXPECT_NE(best.method.find("duty"), std::string::npos);
+  // The found schedule is verified feasible by construction.
+  EXPECT_TRUE(sta::check_schedule(circuits::example1(80.0), best.schedule).feasible);
+}
+
+TEST(Baselines, EmptyCircuitIsZero) {
+  Circuit c("empty", 2);
+  EXPECT_DOUBLE_EQ(edge_triggered_cpm(c).cycle, 0.0);
+  EXPECT_DOUBLE_EQ(jouppi_borrowing(c).cycle, 0.0);
+}
+
+}  // namespace
+}  // namespace mintc::baselines

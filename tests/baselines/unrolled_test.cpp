@@ -1,0 +1,123 @@
+#include "baselines/unrolled.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/example1.h"
+#include "sta/analysis.h"
+#include "sta/fixpoint.h"
+
+namespace mintc::baselines {
+namespace {
+
+// A two-phase ring of 2n latches: the single feedback loop spans n cycles,
+// so an unrolling window shorter than ~n cycles cannot see the loop
+// constraint (the paper's critique of ATV).
+Circuit long_ring(int n, double stage_delay) {
+  Circuit c("ring" + std::to_string(n), 2);
+  const int total = 2 * n;
+  for (int i = 0; i < total; ++i) {
+    c.add_latch("R" + std::to_string(i), (i % 2) + 1, 1.0, 2.0);
+  }
+  for (int i = 0; i < total; ++i) c.add_path(i, (i + 1) % total, stage_delay);
+  return c;
+}
+
+TEST(Unrolled, AnalysisMatchesFixpointWhenConverged) {
+  // On example 1 (loop spans 2 cycles) a generous window converges to the
+  // exact least fixpoint.
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  const UnrolledAnalysis u = unrolled_analysis(c, sch, 16);
+  EXPECT_TRUE(u.setup_ok);
+  const sta::FixpointResult exact =
+      sta::compute_departures(c, sch, std::vector<double>(4, 0.0));
+  ASSERT_TRUE(exact.converged);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(u.final_departure[static_cast<size_t>(i)],
+                exact.departure[static_cast<size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Unrolled, DetectsViolationWithinWindow) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule bad(90.0, {0.0, 60.0}, {60.0, 30.0});  // below Tc* = 110
+  const UnrolledAnalysis u = unrolled_analysis(c, bad, 16);
+  EXPECT_FALSE(u.setup_ok);
+  EXPECT_GE(u.first_violation_cycle, 0);
+}
+
+TEST(Unrolled, MinTcMonotoneInWindow) {
+  const Circuit c = long_ring(6, 60.0);
+  const ClockShape shape = ClockShape::symmetric(2);
+  double prev = 0.0;
+  for (const int nc : {1, 2, 4, 8, 16, 32}) {
+    const BaselineResult r = atv_unrolled(c, shape, nc);
+    EXPECT_GE(r.cycle, prev - 1e-6) << "n_c=" << nc;
+    prev = r.cycle;
+  }
+}
+
+TEST(Unrolled, ShortWindowUnderestimatesLongLoop) {
+  // The headline deficiency: with the loop spanning 6 cycles, n_c = 2 finds
+  // a cycle time far below what the exact analysis accepts.
+  const Circuit c = long_ring(6, 60.0);
+  const ClockShape shape = ClockShape::symmetric(2);
+  const BaselineResult narrow = atv_unrolled(c, shape, 2);
+  const BaselineResult wide = atv_unrolled(c, shape, 64);
+  const BaselineResult exact = fixed_shape_search(c, shape);
+  EXPECT_LT(narrow.cycle, exact.cycle - 1.0);  // unsound underestimate
+  // Near the threshold lateness accrues only ~1 ns per cycle, so even a
+  // 64-cycle window still sits slightly below the exact answer — ATV-style
+  // bounded unrolling approaches the truth from below, slowly.
+  EXPECT_GT(wide.cycle, narrow.cycle + 1.0);
+  EXPECT_LE(wide.cycle, exact.cycle + 1e-6);
+  EXPECT_GT(wide.cycle, exact.cycle * 0.98);
+  // And the exact engine rejects the narrow window's "solution".
+  EXPECT_FALSE(sta::check_schedule(c, shape.at_cycle(narrow.cycle)).feasible);
+}
+
+TEST(Unrolled, AlwaysAnUnderestimateOfTheExactAnswer) {
+  // The unrolled window checks a subset of the steady-state constraints, so
+  // its minimum Tc can never exceed the exact fixed-shape answer.
+  const ClockShape shape = ClockShape::symmetric(2);
+  for (const int n : {2, 4, 6}) {
+    const Circuit c = long_ring(n, 40.0);
+    const BaselineResult exact = fixed_shape_search(c, shape);
+    for (const int nc : {1, 2, 8, 32}) {
+      const BaselineResult r = atv_unrolled(c, shape, nc);
+      EXPECT_LE(r.cycle, exact.cycle + 1e-6) << "ring " << n << " n_c " << nc;
+    }
+  }
+}
+
+TEST(Unrolled, PowerOnTokensAbsentInFirstCycle) {
+  // In cycle 0, cross-boundary fanin terms (C = 1) have no token yet: a
+  // latch fed only across the boundary departs at its opening edge.
+  Circuit c("t", 2);
+  c.add_latch("A", 2, 1.0, 2.0);
+  c.add_latch("B", 1, 1.0, 2.0);
+  c.add_path("A", "B", 30.0);  // phi2 -> phi1 crosses the boundary
+  const ClockSchedule sch = symmetric_schedule(2, 100.0);
+  Circuit c1 = c;
+  const UnrolledAnalysis one = unrolled_analysis(c1, sch, 1);
+  EXPECT_DOUBLE_EQ(one.final_departure[1], 0.0);
+  const UnrolledAnalysis two = unrolled_analysis(c1, sch, 2);
+  // By cycle 1 the token exists: arrival = 0 + 2 + 30 + (50 - 0 - 100) = -18
+  // -> still waits; bump the delay to check a positive case.
+  EXPECT_DOUBLE_EQ(two.final_departure[1], 0.0);
+  Circuit c2("t2", 2);
+  c2.add_latch("A", 2, 1.0, 2.0);
+  c2.add_latch("B", 1, 1.0, 2.0);
+  c2.add_path("A", "B", 60.0);
+  const UnrolledAnalysis late = unrolled_analysis(c2, sch, 2);
+  EXPECT_NEAR(late.final_departure[1], 12.0, 1e-9);  // 2 + 60 - 50
+}
+
+TEST(Unrolled, MethodLabelCarriesWindow) {
+  const Circuit c = circuits::example1(80.0);
+  const BaselineResult r = atv_unrolled(c, ClockShape::symmetric(2), 7);
+  EXPECT_NE(r.method.find("n_c=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mintc::baselines

@@ -1,0 +1,100 @@
+#include "circuits/appendix_fig1.h"
+
+#include <gtest/gtest.h>
+
+#include "opt/constraints.h"
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+
+namespace mintc::circuits {
+namespace {
+
+TEST(Appendix, ElevenLatchesFourPhases) {
+  const Circuit c = appendix_fig1();
+  EXPECT_EQ(c.num_phases(), 4);
+  EXPECT_EQ(c.num_elements(), 11);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(Appendix, LatchPhasesMatchSetupConstraints) {
+  // From the Appendix: T1 covers latches 1,2,8; T2: 6,7,11; T3: 4,5,10;
+  // T4: 3,9.
+  const Circuit c = appendix_fig1();
+  const auto phase_of = [&](const std::string& n) {
+    return c.element(*c.find_element(n)).phase;
+  };
+  for (const char* n : {"L1", "L2", "L8"}) EXPECT_EQ(phase_of(n), 1) << n;
+  for (const char* n : {"L6", "L7", "L11"}) EXPECT_EQ(phase_of(n), 2) << n;
+  for (const char* n : {"L4", "L5", "L10"}) EXPECT_EQ(phase_of(n), 3) << n;
+  for (const char* n : {"L3", "L9"}) EXPECT_EQ(phase_of(n), 4) << n;
+}
+
+TEST(Appendix, KMatrixMatchesPaper) {
+  const KMatrix computed = appendix_fig1().k_matrix();
+  const KMatrix paper = appendix_fig1_k_matrix();
+  for (int i = 1; i <= 4; ++i) {
+    for (int j = 1; j <= 4; ++j) {
+      EXPECT_EQ(computed.at(i, j), paper.at(i, j)) << "K(" << i << "," << j << ")";
+    }
+  }
+  // "Thus there are nine I/O phase pairs".
+  EXPECT_EQ(computed.num_pairs(), 9);
+}
+
+TEST(Appendix, NineNonoverlapRows) {
+  const opt::GeneratedLp g = opt::generate_lp(appendix_fig1());
+  EXPECT_EQ(g.counts.c3, 9);
+  // Periodicity 2k = 8, ordering k-1 = 3, setup l = 11.
+  EXPECT_EQ(g.counts.c1, 8);
+  EXPECT_EQ(g.counts.c2, 3);
+  EXPECT_EQ(g.counts.l1, 11);
+  // One propagation row per path: the 18 Appendix fanin terms plus the
+  // reconstructed 9->10 (see header).
+  EXPECT_EQ(g.counts.l2r, 19);
+}
+
+TEST(Appendix, LatchOneIsPrimaryInput) {
+  // D1 has no propagation constraint in the paper: no fanin.
+  const Circuit c = appendix_fig1();
+  EXPECT_TRUE(c.fanin(*c.find_element("L1")).empty());
+}
+
+TEST(Appendix, PropagationFaninsMatchPaper) {
+  // Spot-check the max-term sources of a few departure equations.
+  const Circuit c = appendix_fig1();
+  const auto fanin_names = [&](const std::string& n) {
+    std::vector<std::string> out;
+    for (const int p : c.fanin(*c.find_element(n))) {
+      out.push_back(c.element(c.path(p).from).name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(fanin_names("L2"), (std::vector<std::string>{"L4", "L5"}));
+  EXPECT_EQ(fanin_names("L3"), (std::vector<std::string>{"L8"}));
+  EXPECT_EQ(fanin_names("L7"), (std::vector<std::string>{"L10", "L9"}));
+  EXPECT_EQ(fanin_names("L9"), (std::vector<std::string>{"L6", "L7"}));
+  EXPECT_EQ(fanin_names("L11"), (std::vector<std::string>{"L10", "L9"}));
+}
+
+TEST(Appendix, SolvesAndVerifies) {
+  const Circuit c = appendix_fig1();
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_GT(r->min_cycle, 0.0);
+  EXPECT_TRUE(sta::check_schedule(c, r->schedule).feasible);
+  EXPECT_TRUE(opt::satisfies_p1(c, r->schedule, r->departure, 1e-5));
+}
+
+TEST(Appendix, ParameterOverrides) {
+  AppendixParams p;
+  p.setup = 1.0;
+  p.dq = 1.5;
+  p.base_delay = 4.0;
+  const Circuit c = appendix_fig1(p);
+  EXPECT_DOUBLE_EQ(c.element(0).setup, 1.0);
+  EXPECT_DOUBLE_EQ(c.path(0).delay, 4.0);
+}
+
+}  // namespace
+}  // namespace mintc::circuits

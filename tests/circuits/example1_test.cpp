@@ -1,0 +1,76 @@
+#include "circuits/example1.h"
+
+#include <gtest/gtest.h>
+
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+
+namespace mintc::circuits {
+namespace {
+
+TEST(Example1, StructureMatchesFig5) {
+  const Circuit c = example1(80.0);
+  EXPECT_EQ(c.num_phases(), 2);
+  EXPECT_EQ(c.num_elements(), 4);
+  EXPECT_EQ(c.num_paths(), 4);
+  EXPECT_EQ(c.element(0).phase, 1);
+  EXPECT_EQ(c.element(1).phase, 2);
+  EXPECT_EQ(c.element(2).phase, 1);
+  EXPECT_EQ(c.element(3).phase, 2);
+  for (const Element& e : c.elements()) {
+    EXPECT_DOUBLE_EQ(e.setup, 10.0);
+    EXPECT_DOUBLE_EQ(e.dq, 10.0);
+  }
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(Example1, LdPathIndexAndSweepParameter) {
+  Circuit c = example1(0.0);
+  EXPECT_EQ(c.path(example1_ld_path()).label, "Ld");
+  c.set_path_delay(example1_ld_path(), 120.0);
+  EXPECT_DOUBLE_EQ(c.path(example1_ld_path()).delay, 120.0);
+}
+
+TEST(Example1, ClosedFormSegments) {
+  // Flat 80 until 20, then slope 1/2, then slope 1 after 100 (Fig. 7).
+  EXPECT_DOUBLE_EQ(example1_optimal_tc(0.0), 80.0);
+  EXPECT_DOUBLE_EQ(example1_optimal_tc(20.0), 80.0);
+  EXPECT_DOUBLE_EQ(example1_optimal_tc(60.0), 100.0);
+  EXPECT_DOUBLE_EQ(example1_optimal_tc(100.0), 120.0);
+  EXPECT_DOUBLE_EQ(example1_optimal_tc(120.0), 140.0);
+}
+
+TEST(Example1, KMatrixIsTwoPhaseLoop) {
+  const KMatrix k = example1(80.0).k_matrix();
+  EXPECT_TRUE(k.at(1, 2));
+  EXPECT_TRUE(k.at(2, 1));
+  EXPECT_EQ(k.num_pairs(), 2);
+}
+
+TEST(Example1, PublishedDeparturesAtDelta120) {
+  // Fig. 6(c): Tc = 140 with signals departing latches 1-4 at 60, 90, 140,
+  // and 210 ns in absolute time, and "the input to latch 3 becomes valid at
+  // 120 ns, 20 ns earlier than the rising edge of phi1; thus departure from
+  // latch 3 must wait until phi1 rises at 140 ns". The published schedule
+  // shape is phi1 = [0, 70), phi2 = [70, 130); analyzing it reproduces the
+  // figure's departure times exactly.
+  const Circuit c = example1(120.0);
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->min_cycle, 140.0, 1e-6);
+
+  const ClockSchedule paper_schedule(140.0, {0.0, 70.0}, {70.0, 60.0});
+  const sta::TimingReport rep = sta::check_schedule(c, paper_schedule);
+  ASSERT_TRUE(rep.feasible);  // the published schedule achieves Tc* = 140
+  // Relative departures (60, 20, 0, 0) -> absolute (60, 90, 140, 210),
+  // L3/L4 drawn in the following cycle.
+  EXPECT_NEAR(paper_schedule.s(1) + rep.elements[0].departure, 60.0, 1e-6);
+  EXPECT_NEAR(paper_schedule.s(2) + rep.elements[1].departure, 90.0, 1e-6);
+  EXPECT_NEAR(paper_schedule.s(1) + rep.elements[2].departure + 140.0, 140.0, 1e-6);
+  EXPECT_NEAR(paper_schedule.s(2) + rep.elements[3].departure + 140.0, 210.0, 1e-6);
+  // The 20 ns early arrival at L3: arrival = -20 relative to phi1.
+  EXPECT_NEAR(rep.elements[2].arrival, -20.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mintc::circuits

@@ -1,0 +1,72 @@
+#include "circuits/example2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/binary_search.h"
+#include "graph/cycle_ratio.h"
+#include "graph/scc.h"
+#include "opt/mlp.h"
+
+namespace mintc::circuits {
+namespace {
+
+TEST(Example2, StructurallyValid) {
+  const Circuit c = example2();
+  EXPECT_EQ(c.num_phases(), 3);
+  EXPECT_EQ(c.num_elements(), 8);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(Example2, HasCoupledFeedbackLoops) {
+  // "More complicated" than example 1: multiple latches in one SCC.
+  const auto scc = graph::strongly_connected_components(example2().latch_graph());
+  int nontrivial = 0;
+  size_t biggest = 0;
+  for (int comp = 0; comp < scc.num_components; ++comp) {
+    if (scc.nontrivial[static_cast<size_t>(comp)]) {
+      ++nontrivial;
+      biggest = std::max(biggest, scc.members[static_cast<size_t>(comp)].size());
+    }
+  }
+  EXPECT_GE(nontrivial, 1);
+  EXPECT_GE(biggest, 6u);  // the two coupled loops share one component
+}
+
+TEST(Example2, OptimumEqualsCycleRatio) {
+  // No setup constraint binds at the optimum in this design, so the LP
+  // optimum coincides with the max cycle ratio bound.
+  const Circuit c = example2();
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r);
+  const auto ratio = graph::max_cycle_ratio_howard(c.latch_graph());
+  ASSERT_TRUE(ratio);
+  EXPECT_NEAR(r->min_cycle, ratio->ratio, 1e-5);
+}
+
+TEST(Example2, NripGapIsThirtyFivePercent) {
+  // The headline Fig. 9 number.
+  const Circuit c = example2();
+  const auto mlp = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(mlp);
+  const auto nrip = baselines::nrip_reconstruction(c);
+  EXPECT_NEAR(nrip.cycle / mlp->min_cycle, 1.35, 0.01);
+}
+
+TEST(Example2, OptimalScheduleIsAsymmetric) {
+  // The reason symmetric-clock methods lose: the optimal phase widths are
+  // strongly unequal.
+  const auto r = opt::minimize_cycle_time(example2());
+  ASSERT_TRUE(r);
+  double min_w = 1e18;
+  double max_w = 0.0;
+  for (int p = 1; p <= 3; ++p) {
+    min_w = std::min(min_w, r->schedule.T(p));
+    max_w = std::max(max_w, r->schedule.T(p));
+  }
+  EXPECT_GT(max_w, 2.0 * min_w);
+}
+
+}  // namespace
+}  // namespace mintc::circuits

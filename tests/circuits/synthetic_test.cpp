@@ -1,0 +1,66 @@
+#include "circuits/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.h"
+#include "parser/lct.h"
+
+namespace mintc::circuits {
+namespace {
+
+TEST(Synthetic, Deterministic) {
+  const SyntheticParams p;
+  const Circuit a = synthetic_circuit(p, 42);
+  const Circuit b = synthetic_circuit(p, 42);
+  ASSERT_EQ(a.num_paths(), b.num_paths());
+  for (int i = 0; i < a.num_paths(); ++i) {
+    EXPECT_EQ(a.path(i).from, b.path(i).from);
+    EXPECT_DOUBLE_EQ(a.path(i).delay, b.path(i).delay);
+  }
+  // Serialized forms are identical.
+  EXPECT_EQ(parser::write_circuit(a), parser::write_circuit(b));
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const SyntheticParams p;
+  const Circuit a = synthetic_circuit(p, 1);
+  const Circuit b = synthetic_circuit(p, 2);
+  EXPECT_NE(parser::write_circuit(a), parser::write_circuit(b));
+}
+
+TEST(Synthetic, SizesMatchParams) {
+  SyntheticParams p;
+  p.num_phases = 3;
+  p.num_stages = 6;
+  p.latches_per_stage = 4;
+  const Circuit c = synthetic_circuit(p, 7);
+  EXPECT_EQ(c.num_elements(), 24);
+  EXPECT_EQ(c.num_phases(), 3);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(Synthetic, RingCreatesFeedback) {
+  const Circuit c = synthetic_circuit(SyntheticParams{}, 3);
+  EXPECT_TRUE(graph::has_cycle(c.latch_graph()));
+}
+
+TEST(Synthetic, DelaysWithinRange) {
+  SyntheticParams p;
+  p.min_delay = 7.0;
+  p.max_delay = 9.0;
+  const Circuit c = synthetic_circuit(p, 5);
+  for (const CombPath& path : c.paths()) {
+    EXPECT_GE(path.delay, 7.0);
+    EXPECT_LE(path.delay, 9.0);
+  }
+}
+
+TEST(Synthetic, NoDuplicateParallelPaths) {
+  SyntheticParams p;
+  p.extra_long_edges = 20;
+  const Circuit c = synthetic_circuit(p, 11);
+  EXPECT_TRUE(c.validate().empty());  // validate() rejects parallel paths
+}
+
+}  // namespace
+}  // namespace mintc::circuits

@@ -1,0 +1,58 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc::graph {
+namespace {
+
+TEST(Digraph, ConstructionAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3);
+  const int e0 = g.add_edge(0, 1, 2.5, 1.0, 7);
+  const int e1 = g.add_edge(1, 2, -1.0);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(e0).weight, 2.5);
+  EXPECT_EQ(g.edge(e0).transit, 1.0);
+  EXPECT_EQ(g.edge(e0).tag, 7);
+  EXPECT_EQ(g.edge(e1).to, 2);
+}
+
+TEST(Digraph, AddNodeGrows) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  const int a = g.add_node();
+  const int b = g.add_node();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_EQ(g.in_edges(b).size(), 1u);
+}
+
+TEST(Digraph, ParallelEdgesAndSelfLoops) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 0, 3.0);
+  EXPECT_EQ(g.out_edges(0).size(), 3u);
+  EXPECT_EQ(g.in_edges(0).size(), 1u);
+  EXPECT_EQ(g.in_edges(1).size(), 2u);
+}
+
+TEST(Digraph, AdjacencyListsConsistent) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  int out_total = 0;
+  int in_total = 0;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    out_total += static_cast<int>(g.out_edges(v).size());
+    in_total += static_cast<int>(g.in_edges(v).size());
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+}  // namespace
+}  // namespace mintc::graph

@@ -1,0 +1,88 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mintc::graph {
+namespace {
+
+TEST(Scc, SingleCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 1);
+  EXPECT_TRUE(r.nontrivial[0]);
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Scc, PureDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 4);
+  for (int c = 0; c < r.num_components; ++c) EXPECT_FALSE(r.nontrivial[static_cast<size_t>(c)]);
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(Scc, SelfLoopIsNontrivial) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 2);
+  EXPECT_TRUE(r.nontrivial[static_cast<size_t>(r.component[0])]);
+  EXPECT_FALSE(r.nontrivial[static_cast<size_t>(r.component[1])]);
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Scc, TwoComponentsBridged) {
+  // {0,1} cycle -> {2,3} cycle; bridge 1->2.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 2);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+  // Tarjan emits components in reverse topological order: the sink component
+  // {2,3} gets the smaller index.
+  EXPECT_LT(r.component[2], r.component[0]);
+}
+
+TEST(Scc, MembersListsArePartition) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  const SccResult r = strongly_connected_components(g);
+  size_t total = 0;
+  for (const auto& m : r.members) total += m.size();
+  EXPECT_EQ(total, 5u);
+  for (int c = 0; c < r.num_components; ++c) {
+    for (const int v : r.members[static_cast<size_t>(c)]) {
+      EXPECT_EQ(r.component[static_cast<size_t>(v)], c);
+    }
+  }
+}
+
+TEST(Scc, DeepChainDoesNotOverflow) {
+  // The iterative Tarjan must survive a recursion-hostile chain.
+  const int n = 200000;
+  Digraph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, n);
+}
+
+}  // namespace
+}  // namespace mintc::graph

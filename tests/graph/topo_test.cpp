@@ -1,0 +1,74 @@
+#include "graph/topo.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace mintc::graph {
+namespace {
+
+TEST(Topo, OrdersDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) pos[static_cast<size_t>((*order)[i])] = static_cast<int>(i);
+  for (const Edge& e : g.edges()) EXPECT_LT(pos[static_cast<size_t>(e.from)], pos[static_cast<size_t>(e.to)]);
+}
+
+TEST(Topo, RejectsCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+}
+
+TEST(LongestPath, SimpleDiamond) {
+  //      1
+  //  0 <   > 3 ; top path weight 5+1, bottom 2+9.
+  //      2
+  Digraph g(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(2, 3, 9.0);
+  const auto lp = dag_longest_paths(g, {0}, {0.0});
+  ASSERT_TRUE(lp.has_value());
+  EXPECT_DOUBLE_EQ(lp->dist[3], 11.0);
+  const std::vector<int> path = extract_path(g, *lp, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 2);
+  EXPECT_EQ(path[2], 3);
+}
+
+TEST(LongestPath, UnreachableIsMinusInf) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto lp = dag_longest_paths(g, {0}, {0.0});
+  ASSERT_TRUE(lp.has_value());
+  EXPECT_EQ(lp->dist[2], -std::numeric_limits<double>::infinity());
+}
+
+TEST(LongestPath, MultipleSourcesWithOffsets) {
+  Digraph g(3);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto lp = dag_longest_paths(g, {0, 1}, {0.0, 5.0});
+  ASSERT_TRUE(lp.has_value());
+  EXPECT_DOUBLE_EQ(lp->dist[2], 6.0);  // through source 1 with offset 5
+}
+
+TEST(LongestPath, CyclicGraphRejected) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);
+  EXPECT_FALSE(dag_longest_paths(g, {0}, {0.0}).has_value());
+}
+
+}  // namespace
+}  // namespace mintc::graph

@@ -1,0 +1,110 @@
+// Full-stack flows: gate-level netlist -> delay extraction -> file
+// round-trip -> optimization -> refinement -> analysis -> rendering.
+#include <gtest/gtest.h>
+
+#include "baselines/edge_triggered.h"
+#include "netlist/extract.h"
+#include "opt/mlp.h"
+#include "parser/lcs.h"
+#include "parser/lct.h"
+#include "sta/analysis.h"
+#include "viz/svg.h"
+#include "viz/timing_diagram.h"
+
+namespace mintc {
+namespace {
+
+// A small two-phase accumulator datapath at the gate level:
+// master/slave latch pairs around an adder-ish gate cloud.
+netlist::Netlist accumulator_netlist() {
+  using netlist::GateType;
+  netlist::Netlist n("accumulator", 2);
+  const int in_d = n.add_net("in_d");
+  const int in_q = n.add_net("in_q");
+  const int acc_d = n.add_net("acc_d");
+  const int acc_q = n.add_net("acc_q");
+  const int out_d = n.add_net("out_d");
+  const int out_q = n.add_net("out_q");
+  const int x1 = n.add_net("x1");
+  const int x2 = n.add_net("x2");
+  const int x3 = n.add_net("x3");
+  const int x4 = n.add_net("x4");
+
+  n.add_latch("IN", 1, in_d, in_q, 0.3, 0.5);
+  n.add_latch("ACC", 2, acc_d, acc_q, 0.3, 0.5);
+  n.add_latch("OUT", 1, out_d, out_q, 0.3, 0.5);
+
+  // "Adder": xor/and/or tree from IN.q and ACC.q (fed back through OUT).
+  n.add_gate("g1", GateType::kXor, {in_q, x4}, x1);
+  n.add_gate("g2", GateType::kAnd, {in_q, x4}, x2);
+  n.add_gate("g3", GateType::kOr, {x1, x2}, x3);
+  n.add_gate("g4", GateType::kBuf, {x3}, acc_d);
+  n.add_gate("g5", GateType::kInv, {acc_q}, out_d);
+  n.add_gate("g6", GateType::kBuf, {out_q}, x4);
+  return n;
+}
+
+TEST(EndToEnd, NetlistToOptimalSchedule) {
+  const auto circuit = netlist::extract_timing_model(accumulator_netlist());
+  ASSERT_TRUE(circuit) << circuit.error().to_string();
+  EXPECT_EQ(circuit->num_elements(), 3);
+  EXPECT_TRUE(circuit->validate().empty());
+
+  const auto r = opt::minimize_cycle_time(*circuit);
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_GT(r->min_cycle, 0.0);
+
+  // Verify, render, and compare against the edge-triggered baseline.
+  EXPECT_TRUE(sta::check_schedule(*circuit, r->schedule).feasible);
+  const auto et = baselines::edge_triggered_cpm(*circuit);
+  EXPECT_LE(r->min_cycle, et.cycle + 1e-6);
+  const std::string diagram = viz::ascii_timing_diagram(*circuit, r->schedule, r->departure);
+  EXPECT_NE(diagram.find("ACC"), std::string::npos);
+}
+
+TEST(EndToEnd, FileRoundTripPreservesOptimum) {
+  const auto circuit = netlist::extract_timing_model(accumulator_netlist());
+  ASSERT_TRUE(circuit);
+  const auto direct = opt::minimize_cycle_time(*circuit);
+  ASSERT_TRUE(direct);
+
+  const std::string dir = testing::TempDir();
+  ASSERT_TRUE(parser::save_circuit(*circuit, dir + "/acc.lct"));
+  const auto loaded = parser::load_circuit(dir + "/acc.lct");
+  ASSERT_TRUE(loaded) << loaded.error().to_string();
+  const auto reloaded = opt::minimize_cycle_time(*loaded);
+  ASSERT_TRUE(reloaded);
+  EXPECT_NEAR(direct->min_cycle, reloaded->min_cycle, 1e-6);
+
+  // Schedule round trip through .lcs, then re-analysis.
+  ASSERT_TRUE(parser::save_schedule(direct->schedule, dir + "/acc.lcs"));
+  const auto sched = parser::load_schedule(dir + "/acc.lcs");
+  ASSERT_TRUE(sched);
+  EXPECT_TRUE(sta::check_schedule(*loaded, *sched).feasible);
+}
+
+TEST(EndToEnd, RefinedScheduleSurvivesSerialization) {
+  const auto circuit = netlist::extract_timing_model(accumulator_netlist());
+  ASSERT_TRUE(circuit);
+  const auto base = opt::minimize_cycle_time(*circuit);
+  ASSERT_TRUE(base);
+  const auto refined = opt::refine_schedule(*circuit, base->min_cycle,
+                                            opt::SecondaryObjective::kMinTotalWidth);
+  ASSERT_TRUE(refined);
+  const auto back = parser::parse_schedule(parser::write_schedule(refined->schedule));
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(sta::check_schedule(*circuit, *back).feasible);
+}
+
+TEST(EndToEnd, SvgProducedForExtractedDesign) {
+  const auto circuit = netlist::extract_timing_model(accumulator_netlist());
+  ASSERT_TRUE(circuit);
+  const auto r = opt::minimize_cycle_time(*circuit);
+  ASSERT_TRUE(r);
+  const std::string svg = viz::svg_timing_diagram(*circuit, r->schedule, r->departure);
+  EXPECT_NE(svg.find(">IN<"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mintc

@@ -1,0 +1,70 @@
+// End-to-end on the shipped gate-level showcase: examples/data/minicpu.v
+// through the Verilog reader, delay extractor, optimizer, analysis engine,
+// simulator and baselines. MINTC_DATA_DIR is provided by CMake.
+#include <gtest/gtest.h>
+
+#include "baselines/edge_triggered.h"
+#include "netlist/extract.h"
+#include "opt/bounds.h"
+#include "opt/mlp.h"
+#include "parser/verilog.h"
+#include "sim/token_sim.h"
+#include "sta/analysis.h"
+
+namespace mintc {
+namespace {
+
+#ifndef MINTC_DATA_DIR
+#error "MINTC_DATA_DIR must be defined by the build"
+#endif
+
+Expected<netlist::Netlist> load_minicpu() {
+  return parser::load_verilog(std::string(MINTC_DATA_DIR) + "/minicpu.v");
+}
+
+TEST(MiniCpu, ParsesAndValidates) {
+  const auto nl = load_minicpu();
+  ASSERT_TRUE(nl) << nl.error().to_string();
+  EXPECT_EQ(nl->name(), "minicpu");
+  EXPECT_EQ(nl->storages().size(), 14u);
+  EXPECT_GE(nl->gates().size(), 25u);
+  EXPECT_TRUE(nl->validate().empty());
+}
+
+TEST(MiniCpu, ExtractsRippleCarryDepths) {
+  const auto nl = load_minicpu();
+  ASSERT_TRUE(nl);
+  const auto c = netlist::extract_timing_model(*nl);
+  ASSERT_TRUE(c) << c.error().to_string();
+  EXPECT_EQ(c->num_elements(), 14);
+  // The carry chain makes paths into higher ALU bits strictly longer.
+  const auto max_into = [&](const std::string& name) {
+    double best = 0.0;
+    for (const CombPath& p : c->paths()) {
+      if (c->element(p.to).name == name) best = std::max(best, p.delay);
+    }
+    return best;
+  };
+  EXPECT_GT(max_into("ALUo3"), max_into("ALUo1") + 0.2);
+}
+
+TEST(MiniCpu, OptimizesVerifiesAndSimulates) {
+  const auto nl = load_minicpu();
+  ASSERT_TRUE(nl);
+  const auto c = netlist::extract_timing_model(*nl);
+  ASSERT_TRUE(c);
+  const auto r = opt::minimize_cycle_time(*c);
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_GT(r->min_cycle, 0.0);
+  EXPECT_TRUE(opt::satisfies_p1(*c, r->schedule, r->departure, 1e-6));
+  EXPECT_TRUE(sta::check_schedule(*c, r->schedule).feasible);
+  EXPECT_GE(r->min_cycle, opt::cycle_time_lower_bound(*c) - 1e-6);
+  EXPECT_LE(r->min_cycle, baselines::edge_triggered_cpm(*c).cycle + 1e-6);
+
+  const sim::SimResult sim = sim::simulate_tokens(*c, r->schedule.scaled(1.01));
+  ASSERT_TRUE(sim.converged);
+  EXPECT_TRUE(sim.setup_ok);
+}
+
+}  // namespace
+}  // namespace mintc

@@ -1,0 +1,84 @@
+#include "lp/model.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc::lp {
+namespace {
+
+TEST(LpModel, AddVariablesAndRows) {
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y", 1.0, 5.0);
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_EQ(m.variable(x).name, "x");
+  EXPECT_EQ(m.variable(y).lower, 1.0);
+  EXPECT_EQ(m.variable(y).upper, 5.0);
+
+  m.add_row("r0", {{x, 1.0}, {y, 2.0}}, Sense::kLe, 10.0);
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_EQ(m.row(0).name, "r0");
+}
+
+TEST(LpModel, RowNormalizationMergesDuplicates) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.add_row("r", {{x, 1.0}, {x, 2.0}}, Sense::kGe, 0.0);
+  ASSERT_EQ(m.row(0).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row(0).terms[0].coeff, 3.0);
+}
+
+TEST(LpModel, RowNormalizationDropsZeros) {
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.add_row("r", {{x, 1.0}, {y, 1.0}, {y, -1.0}}, Sense::kEq, 0.0);
+  ASSERT_EQ(m.row(0).terms.size(), 1u);
+  EXPECT_EQ(m.row(0).terms[0].var, x);
+}
+
+TEST(LpModel, RowActivity) {
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.add_row("r", {{x, 2.0}, {y, -1.0}}, Sense::kLe, 0.0);
+  EXPECT_DOUBLE_EQ(m.row_activity(0, {3.0, 4.0}), 2.0);
+}
+
+TEST(LpModel, FeasibilityChecksBoundsAndRows) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 2.0);
+  m.add_row("r", {{x, 1.0}}, Sense::kGe, 1.0);
+  EXPECT_TRUE(m.is_feasible({1.5}, 1e-9));
+  EXPECT_FALSE(m.is_feasible({0.5}, 1e-9));   // row violated
+  EXPECT_FALSE(m.is_feasible({2.5}, 1e-9));   // upper bound violated
+  EXPECT_FALSE(m.is_feasible({-0.5}, 1e-9));  // lower bound violated
+}
+
+TEST(LpModel, FeasibilityEqualityRow) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.add_row("r", {{x, 1.0}}, Sense::kEq, 3.0);
+  EXPECT_TRUE(m.is_feasible({3.0}, 1e-9));
+  EXPECT_FALSE(m.is_feasible({3.1}, 1e-9));
+}
+
+TEST(LpModel, ToStringRendersAlgebra) {
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.set_objective(x, 1.0);
+  m.add_row("budget", {{x, 1.0}, {y, -2.0}}, Sense::kLe, 7.0);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("minimize x"), std::string::npos);
+  EXPECT_NE(s.find("[budget]"), std::string::npos);
+  EXPECT_NE(s.find("x - 2*y <= 7"), std::string::npos);
+}
+
+TEST(LpModel, SenseNames) {
+  EXPECT_STREQ(to_string(Sense::kLe), "<=");
+  EXPECT_STREQ(to_string(Sense::kGe), ">=");
+  EXPECT_STREQ(to_string(Sense::kEq), "==");
+}
+
+}  // namespace
+}  // namespace mintc::lp

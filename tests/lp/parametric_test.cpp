@@ -1,0 +1,62 @@
+#include "lp/parametric.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc::lp {
+namespace {
+
+// z*(θ) = max(2, θ): min x s.t. x >= 2, x >= θ.
+Model hinge_model(double theta) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.set_objective(x, 1.0);
+  m.add_row("floor", {{x, 1.0}}, Sense::kGe, 2.0);
+  m.add_row("theta", {{x, 1.0}}, Sense::kGe, theta);
+  return m;
+}
+
+TEST(Parametric, RecoversHingeSegments) {
+  const SimplexSolver solver;
+  const ParametricResult r = sweep_parameter(hinge_model, 0.0, 4.0, 9, solver);
+  ASSERT_EQ(r.points.size(), 9u);
+  EXPECT_NEAR(r.points.front().objective, 2.0, 1e-7);  // θ=0 -> 2
+  EXPECT_NEAR(r.points.back().objective, 4.0, 1e-7);   // θ=4 -> 4
+  // Two segments: slope 0 then slope 1, breaking at θ=2.
+  ASSERT_EQ(r.segments.size(), 2u);
+  EXPECT_NEAR(r.segments[0].slope, 0.0, 1e-6);
+  EXPECT_NEAR(r.segments[1].slope, 1.0, 1e-6);
+  EXPECT_NEAR(r.segments[0].theta_end, 2.0, 1e-6);
+  EXPECT_NEAR(r.segments[1].theta_begin, 2.0, 1e-6);
+}
+
+TEST(Parametric, SingleSegmentWhenLinear) {
+  const SimplexSolver solver;
+  const auto build = [](double theta) {
+    Model m;
+    const int x = m.add_variable("x");
+    m.set_objective(x, 1.0);
+    m.add_row("t", {{x, 1.0}}, Sense::kGe, 3.0 * theta);
+    return m;
+  };
+  const ParametricResult r = sweep_parameter(build, 1.0, 5.0, 5, solver);
+  ASSERT_EQ(r.segments.size(), 1u);
+  EXPECT_NEAR(r.segments[0].slope, 3.0, 1e-6);
+}
+
+TEST(Parametric, DegenerateRangeReturnsEmpty) {
+  const SimplexSolver solver;
+  EXPECT_TRUE(sweep_parameter(hinge_model, 4.0, 4.0, 5, solver).points.empty());
+  EXPECT_TRUE(sweep_parameter(hinge_model, 0.0, 4.0, 1, solver).points.empty());
+}
+
+TEST(Parametric, ObjectiveIsConvexInRhs) {
+  const SimplexSolver solver;
+  const ParametricResult r = sweep_parameter(hinge_model, 0.0, 8.0, 17, solver);
+  // Slopes of consecutive segments must be nondecreasing (convexity).
+  for (size_t i = 1; i < r.segments.size(); ++i) {
+    EXPECT_GE(r.segments[i].slope, r.segments[i - 1].slope - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mintc::lp

@@ -1,0 +1,160 @@
+// Randomized cross-check of the simplex solver against brute-force vertex
+// enumeration. For small LPs (n variables, m rows, all-<= with nonneg
+// variables), every vertex of the feasible polytope is the solution of n
+// tight constraints chosen among rows and variable bounds; enumerating all
+// combinations and taking the best feasible point gives an independent
+// optimum to compare against.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace mintc::lp {
+namespace {
+
+// Solve a 2-variable LP by vertex enumeration.
+// Rows: a1*x + a2*y <= b. Variables nonnegative. Minimize c1*x + c2*y.
+struct TinyLp {
+  std::vector<std::array<double, 3>> rows;  // a1, a2, b
+  double c1 = 0.0, c2 = 0.0;
+};
+
+std::optional<double> brute_force(const TinyLp& lp) {
+  // Candidate tight pairs: every pair among {rows, x=0, y=0}.
+  std::vector<std::array<double, 3>> all = lp.rows;
+  all.push_back({1.0, 0.0, 0.0});  // x = 0 (as x <= 0 combined with x >= 0)
+  all.push_back({0.0, 1.0, 0.0});  // y = 0
+  const auto feasible = [&](double x, double y) {
+    if (x < -1e-7 || y < -1e-7) return false;
+    for (const auto& r : lp.rows) {
+      if (r[0] * x + r[1] * y > r[2] + 1e-7) return false;
+    }
+    return true;
+  };
+  std::optional<double> best;
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      const double det = all[i][0] * all[j][1] - all[i][1] * all[j][0];
+      if (std::fabs(det) < 1e-9) continue;
+      const double x = (all[i][2] * all[j][1] - all[i][1] * all[j][2]) / det;
+      const double y = (all[i][0] * all[j][2] - all[i][2] * all[j][0]) / det;
+      if (!feasible(x, y)) continue;
+      const double v = lp.c1 * x + lp.c2 * y;
+      if (!best || v < *best) best = v;
+    }
+  }
+  return best;
+}
+
+TEST(SimplexProperty, MatchesBruteForceOnRandom2dLps) {
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> coeff(-5.0, 5.0);
+  std::uniform_real_distribution<double> rhs(1.0, 20.0);
+  std::uniform_int_distribution<int> nrows(1, 6);
+
+  int solved = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    TinyLp lp;
+    const int m = nrows(rng);
+    for (int r = 0; r < m; ++r) lp.rows.push_back({coeff(rng), coeff(rng), rhs(rng)});
+    // Nonnegative objective keeps the problem bounded (variables >= 0).
+    lp.c1 = std::fabs(coeff(rng));
+    lp.c2 = std::fabs(coeff(rng));
+
+    Model model;
+    const int x = model.add_variable("x");
+    const int y = model.add_variable("y");
+    model.set_objective(x, lp.c1);
+    model.set_objective(y, lp.c2);
+    for (size_t r = 0; r < lp.rows.size(); ++r) {
+      model.add_row("r" + std::to_string(r), {{x, lp.rows[r][0]}, {y, lp.rows[r][1]}},
+                    Sense::kLe, lp.rows[r][2]);
+    }
+    const Solution s = SimplexSolver().solve(model);
+    const std::optional<double> expect = brute_force(lp);
+    // All-<= rows with positive rhs admit the origin: always feasible.
+    ASSERT_TRUE(expect.has_value());
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(s.objective, *expect, 1e-5) << "trial " << trial;
+    ++solved;
+  }
+  EXPECT_EQ(solved, 200);
+}
+
+TEST(SimplexProperty, SolutionAlwaysFeasibleOnRandomMixedLps) {
+  // Random LPs with mixed senses; whenever the solver claims optimality the
+  // returned point must satisfy the model, and the objective must match c'x.
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> coeff(-4.0, 4.0);
+  std::uniform_real_distribution<double> rhs(-10.0, 10.0);
+  std::uniform_int_distribution<int> nvars(2, 5);
+  std::uniform_int_distribution<int> nrows(1, 8);
+  std::uniform_int_distribution<int> sense(0, 2);
+
+  int optimal_count = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Model m;
+    const int n = nvars(rng);
+    for (int j = 0; j < n; ++j) {
+      const int v = m.add_variable("v" + std::to_string(j));
+      m.set_objective(v, std::fabs(coeff(rng)) + 0.1);  // bounded below
+    }
+    const int k = nrows(rng);
+    for (int r = 0; r < k; ++r) {
+      std::vector<LinearTerm> terms;
+      for (int j = 0; j < n; ++j) terms.push_back({j, coeff(rng)});
+      m.add_row("r" + std::to_string(r), std::move(terms),
+                static_cast<Sense>(sense(rng)), rhs(rng));
+    }
+    const Solution s = SimplexSolver().solve(m);
+    if (s.status != SolveStatus::kOptimal) continue;
+    ++optimal_count;
+    EXPECT_TRUE(m.is_feasible(s.x, 1e-5)) << "trial " << trial;
+    double cx = 0.0;
+    for (int j = 0; j < n; ++j) cx += m.variable(j).objective * s.x[static_cast<size_t>(j)];
+    EXPECT_NEAR(cx, s.objective, 1e-6) << "trial " << trial;
+  }
+  // Most random instances should be solvable; guard against silent skips.
+  EXPECT_GT(optimal_count, 100);
+}
+
+TEST(SimplexProperty, StrongDualityOnRandomFeasibleLps) {
+  // For >=-form LPs (min c'x, Ax >= b, x >= 0, c >= 0): if optimal, then
+  // b'y == c'x and duals are nonnegative.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> coeff(0.1, 4.0);
+  std::uniform_real_distribution<double> rhs(0.5, 10.0);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    Model m;
+    const int n = 3;
+    for (int j = 0; j < n; ++j) {
+      const int v = m.add_variable("v" + std::to_string(j));
+      m.set_objective(v, coeff(rng));
+    }
+    const int k = 4;
+    std::vector<double> b;
+    for (int r = 0; r < k; ++r) {
+      std::vector<LinearTerm> terms;
+      for (int j = 0; j < n; ++j) terms.push_back({j, coeff(rng)});
+      b.push_back(rhs(rng));
+      m.add_row("r" + std::to_string(r), std::move(terms), Sense::kGe, b.back());
+    }
+    const Solution s = SimplexSolver().solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << "trial " << trial;
+    double by = 0.0;
+    for (int r = 0; r < k; ++r) {
+      EXPECT_GE(s.duals[static_cast<size_t>(r)], -1e-6) << "trial " << trial;
+      by += b[static_cast<size_t>(r)] * s.duals[static_cast<size_t>(r)];
+    }
+    EXPECT_NEAR(by, s.objective, 1e-5) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mintc::lp

@@ -1,0 +1,163 @@
+// Stress tests for the simplex solver: equality systems cross-checked
+// against Gaussian elimination, scaling robustness, and SMO-shaped LPs
+// (the ±1/topological constraint matrices the paper highlights).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace mintc::lp {
+namespace {
+
+// Solve a dense square linear system by Gaussian elimination with partial
+// pivoting; returns false if singular.
+bool gauss_solve(std::vector<std::vector<double>> a, std::vector<double> b,
+                 std::vector<double>& x) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[piv][col])) piv = r;
+    }
+    if (std::fabs(a[piv][col]) < 1e-10) return false;
+    std::swap(a[piv], a[col]);
+    std::swap(b[piv], b[col]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (size_t c2 = col; c2 < n; ++c2) a[r][c2] -= f * a[col][c2];
+      b[r] -= f * b[col];
+    }
+  }
+  x.resize(n);
+  for (size_t i = 0; i < n; ++i) x[i] = b[i] / a[i][i];
+  return true;
+}
+
+TEST(SimplexStress, EqualitySystemsMatchGaussianElimination) {
+  // Square nonsingular Ax == b with x free: the LP's feasible set is one
+  // point, so any objective returns the Gaussian solution.
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> coeff(-3.0, 3.0);
+  int checked = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 2 + static_cast<size_t>(trial % 4);
+    std::vector<std::vector<double>> a(n, std::vector<double>(n));
+    std::vector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a[i][j] = coeff(rng);
+      b[i] = coeff(rng);
+    }
+    std::vector<double> expect;
+    if (!gauss_solve(a, b, expect)) continue;  // singular draw
+
+    Model m;
+    for (size_t j = 0; j < n; ++j) {
+      const int v = m.add_variable("x" + std::to_string(j), -kInf);
+      m.set_objective(v, coeff(rng));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<LinearTerm> terms;
+      for (size_t j = 0; j < n; ++j) terms.push_back({static_cast<int>(j), a[i][j]});
+      m.add_row("eq" + std::to_string(i), std::move(terms), Sense::kEq, b[i]);
+    }
+    const Solution s = SimplexSolver().solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << "trial " << trial;
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(s.x[j], expect[j], 1e-6) << "trial " << trial << " var " << j;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 80);
+}
+
+TEST(SimplexStress, ScaleInvarianceOfTheOptimum) {
+  // Scaling all RHS values scales the optimum linearly (SMO LPs are
+  // homogeneous in time units: ns vs ps must not matter).
+  Model base;
+  const int x = base.add_variable("x");
+  const int y = base.add_variable("y");
+  base.set_objective(x, 1.0);
+  base.add_row("r1", {{x, 1.0}, {y, -1.0}}, Sense::kGe, 3.0);
+  base.add_row("r2", {{y, 1.0}}, Sense::kGe, 2.0);
+  const double v1 = SimplexSolver().solve(base).objective;
+
+  Model scaled;
+  const int xs = scaled.add_variable("x");
+  const int ys = scaled.add_variable("y");
+  scaled.set_objective(xs, 1.0);
+  scaled.add_row("r1", {{xs, 1.0}, {ys, -1.0}}, Sense::kGe, 3000.0);
+  scaled.add_row("r2", {{ys, 1.0}}, Sense::kGe, 2000.0);
+  const double v2 = SimplexSolver().solve(scaled).objective;
+  EXPECT_NEAR(v2, 1000.0 * v1, 1e-6);
+}
+
+TEST(SimplexStress, TopologicalMatricesLikeSmo) {
+  // Random difference-constraint systems (coefficients in {-1, 0, +1} plus a
+  // period variable), the structure Section VI points out. Feasibility and
+  // optimality must be numerically clean.
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> rhs(0.5, 30.0);
+  std::uniform_int_distribution<int> pick(0, 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Model m;
+    const int tc = m.add_variable("Tc");
+    m.set_objective(tc, 1.0);
+    std::vector<int> vars;
+    for (int j = 0; j < 8; ++j) vars.push_back(m.add_variable("d" + std::to_string(j)));
+    for (int r = 0; r < 16; ++r) {
+      const int a = pick(rng);
+      int b = pick(rng);
+      if (a == b) b = (b + 1) % 8;
+      // d_a - d_b + Tc >= delta  — an L2R-shaped row.
+      m.add_row("p" + std::to_string(r),
+                {{vars[static_cast<size_t>(a)], 1.0},
+                 {vars[static_cast<size_t>(b)], -1.0},
+                 {tc, 1.0}},
+                Sense::kGe, rhs(rng));
+    }
+    const Solution s = SimplexSolver().solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << trial;
+    EXPECT_TRUE(m.is_feasible(s.x, 1e-6)) << trial;
+    EXPECT_GE(s.objective, 0.0);
+  }
+}
+
+TEST(SimplexStress, ManyRedundantRowsStayConsistent) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.set_objective(x, 1.0);
+  for (int r = 0; r < 40; ++r) {
+    m.add_row("r" + std::to_string(r), {{x, 1.0 + 0.0 * r}}, Sense::kGe, 5.0);
+  }
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-7);
+}
+
+TEST(SimplexStress, AlternatingTightLoop) {
+  // A chain of equalities x_{i+1} == x_i + 1 with x_0 == 0: unique point,
+  // exercises artificial-variable handling on long equality chains.
+  Model m;
+  const int n = 30;
+  std::vector<int> v;
+  for (int i = 0; i < n; ++i) v.push_back(m.add_variable("x" + std::to_string(i), -kInf));
+  m.set_objective(v.back(), 1.0);
+  m.add_row("anchor", {{v[0], 1.0}}, Sense::kEq, 0.0);
+  for (int i = 0; i + 1 < n; ++i) {
+    m.add_row("c" + std::to_string(i),
+              {{v[static_cast<size_t>(i + 1)], 1.0}, {v[static_cast<size_t>(i)], -1.0}},
+              Sense::kEq, 1.0);
+  }
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, n - 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<size_t>(n / 2)], n / 2, 1e-6);
+}
+
+}  // namespace
+}  // namespace mintc::lp

@@ -1,0 +1,230 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mintc::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, TrivialSingleVariable) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.set_objective(x, 1.0);
+  m.add_row("lb", {{x, 1.0}}, Sense::kGe, 3.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, kTol);
+  EXPECT_NEAR(s.x[0], 3.0, kTol);
+}
+
+TEST(Simplex, ClassicTwoVariableMax) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier-Lieberman).
+  // Optimum (2, 6), value 36. Cast as minimization of the negative.
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.set_objective(x, -3.0);
+  m.set_objective(y, -5.0);
+  m.add_row("r1", {{x, 1.0}}, Sense::kLe, 4.0);
+  m.add_row("r2", {{y, 2.0}}, Sense::kLe, 12.0);
+  m.add_row("r3", {{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, kTol);
+  EXPECT_NEAR(s.x[0], 2.0, kTol);
+  EXPECT_NEAR(s.x[1], 6.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y  s.t. x + y == 5, x - y == 1  ->  (3, 2).
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.set_objective(x, 1.0);
+  m.set_objective(y, 1.0);
+  m.add_row("sum", {{x, 1.0}, {y, 1.0}}, Sense::kEq, 5.0);
+  m.add_row("diff", {{x, 1.0}, {y, -1.0}}, Sense::kEq, 1.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, kTol);
+  EXPECT_NEAR(s.x[1], 2.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.add_row("lo", {{x, 1.0}}, Sense::kGe, 5.0);
+  m.add_row("hi", {{x, 1.0}}, Sense::kLe, 3.0);
+  EXPECT_EQ(SimplexSolver().solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.set_objective(x, -1.0);  // minimize -x with x unbounded above
+  m.add_row("lo", {{x, 1.0}}, Sense::kGe, 0.0);
+  EXPECT_EQ(SimplexSolver().solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x  s.t. x >= -7, with x free: optimum -7.
+  Model m;
+  const int x = m.add_variable("x", -kInf);
+  m.set_objective(x, 1.0);
+  m.add_row("lo", {{x, 1.0}}, Sense::kGe, -7.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], -7.0, kTol);
+}
+
+TEST(Simplex, ShiftedLowerBound) {
+  // min x with x in [2.5, inf): optimum 2.5 with no rows at all.
+  Model m;
+  const int x = m.add_variable("x", 2.5);
+  m.set_objective(x, 1.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.5, kTol);
+}
+
+TEST(Simplex, UpperBoundBecomesRow) {
+  // max x with x in [0, 9].
+  Model m;
+  const int x = m.add_variable("x", 0.0, 9.0);
+  m.set_objective(x, -1.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 9.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min y  s.t. -x <= -4 (i.e. x >= 4), y >= x - 10.
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.set_objective(y, 1.0);
+  m.add_row("r1", {{x, -1.0}}, Sense::kLe, -4.0);
+  m.add_row("r2", {{y, 1.0}, {x, -1.0}}, Sense::kGe, -10.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, kTol);
+  EXPECT_GE(s.x[0], 4.0 - kTol);
+}
+
+TEST(Simplex, DegenerateBeale) {
+  // Beale's classic cycling example; Bland fallback must terminate it.
+  // min -0.75x4 + 150x5 - 0.02x6 + 6x7
+  // s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+  //      0.50x4 - 90x5 - 0.02x6 + 3x7 <= 0
+  //      x6 <= 1;   optimum value -0.05.
+  Model m;
+  const int x4 = m.add_variable("x4");
+  const int x5 = m.add_variable("x5");
+  const int x6 = m.add_variable("x6");
+  const int x7 = m.add_variable("x7");
+  m.set_objective(x4, -0.75);
+  m.set_objective(x5, 150.0);
+  m.set_objective(x6, -0.02);
+  m.set_objective(x7, 6.0);
+  m.add_row("r1", {{x4, 0.25}, {x5, -60.0}, {x6, -0.04}, {x7, 9.0}}, Sense::kLe, 0.0);
+  m.add_row("r2", {{x4, 0.5}, {x5, -90.0}, {x6, -0.02}, {x7, 3.0}}, Sense::kLe, 0.0);
+  m.add_row("r3", {{x6, 1.0}}, Sense::kLe, 1.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y == 4 stated twice plus their sum: phase 1 must drop redundancy.
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.set_objective(x, 1.0);
+  m.add_row("a", {{x, 1.0}, {y, 1.0}}, Sense::kEq, 4.0);
+  m.add_row("b", {{x, 1.0}, {y, 1.0}}, Sense::kEq, 4.0);
+  m.add_row("c", {{x, 2.0}, {y, 2.0}}, Sense::kEq, 8.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, kTol);
+  EXPECT_NEAR(s.x[0] + s.x[1], 4.0, kTol);
+}
+
+TEST(Simplex, DualsOnTightRows) {
+  // min x1 + 2x2  s.t. x1 + x2 >= 3, x2 >= 1. Optimum (2,1), value 4.
+  // Duals: y1 = 1 (first row), y2 = 1 (second row).
+  Model m;
+  const int x1 = m.add_variable("x1");
+  const int x2 = m.add_variable("x2");
+  m.set_objective(x1, 1.0);
+  m.set_objective(x2, 2.0);
+  m.add_row("r1", {{x1, 1.0}, {x2, 1.0}}, Sense::kGe, 3.0);
+  m.add_row("r2", {{x2, 1.0}}, Sense::kGe, 1.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, kTol);
+  // Strong duality: b'y == c'x.
+  EXPECT_NEAR(3.0 * s.duals[0] + 1.0 * s.duals[1], 4.0, kTol);
+  EXPECT_NEAR(s.duals[0], 1.0, kTol);
+  EXPECT_NEAR(s.duals[1], 1.0, kTol);
+}
+
+TEST(Simplex, ActivityAndSlackReported) {
+  Model m;
+  const int x = m.add_variable("x");
+  m.set_objective(x, 1.0);
+  m.add_row("lo", {{x, 1.0}}, Sense::kGe, 2.0);
+  m.add_row("hi", {{x, 1.0}}, Sense::kLe, 10.0);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.activity[0], 2.0, kTol);
+  EXPECT_NEAR(s.row_slack(m, 0), 0.0, kTol);  // tight
+  EXPECT_NEAR(s.row_slack(m, 1), 8.0, kTol);  // slack
+}
+
+TEST(Simplex, EmptyModelIsTriviallyOptimal) {
+  Model m;
+  const Solution s = SimplexSolver().solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, StatusNames) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kIterLimit), "iteration_limit");
+}
+
+TEST(Simplex, BlandFromStartOptionStillSolves) {
+  SimplexSolver::Options opt;
+  opt.bland_from_start = true;
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.set_objective(x, -1.0);
+  m.set_objective(y, -1.0);
+  m.add_row("r", {{x, 1.0}, {y, 1.0}}, Sense::kLe, 10.0);
+  const Solution s = SimplexSolver(opt).solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -10.0, kTol);
+}
+
+TEST(Simplex, IterLimitReported) {
+  SimplexSolver::Options opt;
+  opt.max_pivots = 1;
+  Model m;
+  const int x = m.add_variable("x");
+  const int y = m.add_variable("y");
+  m.set_objective(x, 1.0);
+  m.set_objective(y, 1.0);
+  m.add_row("r1", {{x, 1.0}, {y, 2.0}}, Sense::kGe, 4.0);
+  m.add_row("r2", {{x, 2.0}, {y, 1.0}}, Sense::kGe, 4.0);
+  const Solution s = SimplexSolver(opt).solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kIterLimit);
+}
+
+}  // namespace
+}  // namespace mintc::lp

@@ -1,0 +1,153 @@
+#include "model/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc {
+namespace {
+
+TEST(CMatrix, PaperDefinition) {
+  // Eq. (1): C_ij = 0 for i < j, 1 for i >= j.
+  EXPECT_EQ(c_flag(1, 2), 0);
+  EXPECT_EQ(c_flag(1, 3), 0);
+  EXPECT_EQ(c_flag(2, 2), 1);
+  EXPECT_EQ(c_flag(3, 1), 1);
+  EXPECT_EQ(c_flag(2, 1), 1);
+}
+
+TEST(ShiftOperator, MatchesAppendixOperators) {
+  // The Appendix lists, for a 4-phase clock:
+  //   S13 = s1 - s3          S21 = s2 - s1 - Tc    S31 = s3 - s1 - Tc
+  //   S14 = s1 - s4          S23 = s2 - s3         S32 = s3 - s2 - Tc
+  //   S24 = s2 - s4          S42 = s4 - s2 - Tc    S43 = s4 - s3 - Tc
+  ClockSchedule sch(100.0, {0.0, 10.0, 30.0, 70.0}, {5.0, 15.0, 35.0, 20.0});
+  EXPECT_DOUBLE_EQ(sch.shift(1, 3), 0.0 - 30.0);
+  EXPECT_DOUBLE_EQ(sch.shift(1, 4), 0.0 - 70.0);
+  EXPECT_DOUBLE_EQ(sch.shift(2, 1), 10.0 - 0.0 - 100.0);
+  EXPECT_DOUBLE_EQ(sch.shift(2, 3), 10.0 - 30.0);
+  EXPECT_DOUBLE_EQ(sch.shift(2, 4), 10.0 - 70.0);
+  EXPECT_DOUBLE_EQ(sch.shift(3, 1), 30.0 - 0.0 - 100.0);
+  EXPECT_DOUBLE_EQ(sch.shift(3, 2), 30.0 - 10.0 - 100.0);
+  EXPECT_DOUBLE_EQ(sch.shift(4, 2), 70.0 - 10.0 - 100.0);
+  EXPECT_DOUBLE_EQ(sch.shift(4, 3), 70.0 - 30.0 - 100.0);
+}
+
+TEST(ShiftOperator, SamePhaseCrossesFullCycle) {
+  ClockSchedule sch(50.0, {0.0, 20.0}, {10.0, 10.0});
+  EXPECT_DOUBLE_EQ(sch.shift(1, 1), -50.0);
+  EXPECT_DOUBLE_EQ(sch.shift(2, 2), -50.0);
+}
+
+TEST(ClockSchedule, Accessors) {
+  ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  EXPECT_EQ(sch.num_phases(), 2);
+  EXPECT_DOUBLE_EQ(sch.s(1), 0.0);
+  EXPECT_DOUBLE_EQ(sch.T(2), 30.0);
+  EXPECT_DOUBLE_EQ(sch.phase_end(2), 110.0);
+}
+
+TEST(ClockSchedule, Scaling) {
+  ClockSchedule sch(100.0, {0.0, 50.0}, {40.0, 40.0});
+  const ClockSchedule d = sch.scaled(2.0);
+  EXPECT_DOUBLE_EQ(d.cycle, 200.0);
+  EXPECT_DOUBLE_EQ(d.s(2), 100.0);
+  EXPECT_DOUBLE_EQ(d.T(1), 80.0);
+}
+
+TEST(SymmetricSchedule, PaperFig3TwoPhase) {
+  // Fig. 3 two-phase: back-to-back half-period phases.
+  const ClockSchedule sch = symmetric_schedule(2, 100.0);
+  EXPECT_DOUBLE_EQ(sch.s(1), 0.0);
+  EXPECT_DOUBLE_EQ(sch.s(2), 50.0);
+  EXPECT_DOUBLE_EQ(sch.T(1), 50.0);
+  EXPECT_DOUBLE_EQ(sch.T(2), 50.0);
+}
+
+TEST(SymmetricSchedule, DutyCycle) {
+  const ClockSchedule sch = symmetric_schedule(4, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(sch.s(3), 50.0);
+  EXPECT_DOUBLE_EQ(sch.T(3), 12.5);
+}
+
+TEST(KMatrix, SetAndCount) {
+  KMatrix k(3);
+  EXPECT_EQ(k.num_pairs(), 0);
+  k.set(1, 2, true);
+  k.set(2, 1, true);
+  EXPECT_TRUE(k.at(1, 2));
+  EXPECT_FALSE(k.at(1, 3));
+  EXPECT_EQ(k.num_pairs(), 2);
+  k.set(1, 2, false);
+  EXPECT_EQ(k.num_pairs(), 1);
+}
+
+TEST(ClockConstraints, ValidSymmetricSchedulesPass) {
+  // Fig. 3: canonical 2-, 3-, 4-phase clocks satisfy C1-C4 with fully
+  // populated K matrices (any phase pair).
+  for (int k = 2; k <= 4; ++k) {
+    KMatrix K(k);
+    for (int i = 1; i <= k; ++i) {
+      for (int j = 1; j <= k; ++j) K.set(i, j, true);
+    }
+    const ClockSchedule sch = symmetric_schedule(k, 100.0);
+    EXPECT_TRUE(check_clock_constraints(sch, K).empty()) << "k=" << k;
+  }
+}
+
+TEST(ClockConstraints, C1ViolationDetected) {
+  KMatrix K(2);
+  ClockSchedule sch(10.0, {0.0, 5.0}, {20.0, 2.0});  // T1 > Tc
+  const auto v = check_clock_constraints(sch, K);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].constraint.find("C1"), std::string::npos);
+}
+
+TEST(ClockConstraints, C2OrderingViolationDetected) {
+  KMatrix K(2);
+  ClockSchedule sch(100.0, {50.0, 10.0}, {10.0, 10.0});  // s1 > s2
+  const auto v = check_clock_constraints(sch, K);
+  ASSERT_FALSE(v.empty());
+  bool found = false;
+  for (const auto& viol : v) found |= viol.constraint.find("C2") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(ClockConstraints, C3OverlapViolationOnlyForKPairs) {
+  // phi1 = [0,60), phi2 = [50,90): overlapping.
+  ClockSchedule sch(100.0, {0.0, 50.0}, {60.0, 40.0});
+  KMatrix none(2);
+  EXPECT_TRUE(check_clock_constraints(sch, none).empty());
+
+  KMatrix k21(2);
+  k21.set(2, 1, true);  // data phi2 -> phi1: requires phi1 end before phi2 start
+  const auto v = check_clock_constraints(sch, k21);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].constraint.find("C3"), std::string::npos);
+  EXPECT_NEAR(v[0].amount, 10.0, 1e-9);  // s2 >= s1 + T1 violated by 10
+}
+
+TEST(ClockConstraints, C4NegativeValuesDetected) {
+  KMatrix K(1);
+  ClockSchedule sch(-5.0, {-1.0}, {-2.0});
+  const auto v = check_clock_constraints(sch, K);
+  EXPECT_GE(v.size(), 3u);
+}
+
+TEST(ClockConstraints, ExampleOneOptimalSchedulePasses) {
+  // The example-1 optimum from Section V: Tc=110 with phi1=[0,80),
+  // phi2=[80,110); K = {12, 21}.
+  KMatrix K(2);
+  K.set(1, 2, true);
+  K.set(2, 1, true);
+  ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  EXPECT_TRUE(check_clock_constraints(sch, K).empty());
+}
+
+TEST(KMatrix, ToStringPaperStyle) {
+  KMatrix k(2);
+  k.set(1, 2, true);
+  const std::string s = k.to_string();
+  EXPECT_NE(s.find("[ 0 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mintc

@@ -1,0 +1,84 @@
+#include "netlist/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/extract.h"
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+
+namespace mintc::netlist {
+namespace {
+
+TEST(Generators, StructureMatchesConfig) {
+  DatapathConfig cfg;
+  cfg.bits = 4;
+  cfg.stages = 3;
+  const Netlist n = make_pipelined_datapath(cfg);
+  EXPECT_EQ(n.storages().size(), 12u);  // bits * stages latches
+  // Per stage: bits XORs + (bits-1) ANDs.
+  EXPECT_EQ(n.gates().size(), static_cast<size_t>(3 * (4 + 3)));
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(Generators, Deterministic) {
+  DatapathConfig cfg;
+  const Netlist a = make_pipelined_datapath(cfg);
+  const Netlist b = make_pipelined_datapath(cfg);
+  EXPECT_EQ(a.gates().size(), b.gates().size());
+  EXPECT_EQ(a.num_nets(), b.num_nets());
+  for (size_t i = 0; i < a.gates().size(); ++i) {
+    EXPECT_EQ(a.gates()[i].name, b.gates()[i].name);
+    EXPECT_EQ(a.gates()[i].output, b.gates()[i].output);
+  }
+}
+
+TEST(Generators, ExtractsToValidCircuit) {
+  DatapathConfig cfg;
+  cfg.bits = 6;
+  cfg.stages = 4;
+  const auto circuit = extract_timing_model(make_pipelined_datapath(cfg));
+  ASSERT_TRUE(circuit) << circuit.error().to_string();
+  EXPECT_EQ(circuit->num_elements(), 24);
+  EXPECT_TRUE(circuit->validate().empty());
+  // Carry chain: the worst path into the last bit of the next stage must be
+  // strictly longer than into bit 0 (ripple).
+  double into_b0 = 0.0;
+  double into_bLast = 0.0;
+  for (const CombPath& p : circuit->paths()) {
+    const std::string& dst = circuit->element(p.to).name;
+    if (dst == "L_s1b0") into_b0 = std::max(into_b0, p.delay);
+    if (dst == "L_s1b5") into_bLast = std::max(into_bLast, p.delay);
+  }
+  EXPECT_GT(into_bLast, into_b0 + 0.5);
+}
+
+TEST(Generators, OptimizesAtScale) {
+  DatapathConfig cfg;
+  cfg.bits = 8;
+  cfg.stages = 6;
+  const auto circuit = extract_timing_model(make_pipelined_datapath(cfg));
+  ASSERT_TRUE(circuit);
+  EXPECT_EQ(circuit->num_elements(), 48);
+  const auto r = opt::minimize_cycle_time(*circuit);
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_GT(r->min_cycle, 0.0);
+  EXPECT_TRUE(opt::satisfies_p1(*circuit, r->schedule, r->departure, 1e-5));
+  EXPECT_TRUE(sta::check_schedule(*circuit, r->schedule).feasible);
+  EXPECT_FALSE(sta::check_schedule(*circuit, r->schedule.scaled(0.98)).feasible);
+}
+
+TEST(Generators, MultiPhaseVariant) {
+  DatapathConfig cfg;
+  cfg.bits = 3;
+  cfg.stages = 6;
+  cfg.num_phases = 3;
+  const auto circuit = extract_timing_model(make_pipelined_datapath(cfg));
+  ASSERT_TRUE(circuit);
+  EXPECT_EQ(circuit->num_phases(), 3);
+  const auto r = opt::minimize_cycle_time(*circuit);
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_TRUE(sta::check_schedule(*circuit, r->schedule).feasible);
+}
+
+}  // namespace
+}  // namespace mintc::netlist

@@ -1,0 +1,106 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc::netlist {
+namespace {
+
+TEST(Netlist, NetsAndLookup) {
+  Netlist n("t", 2);
+  const int a = n.add_net("a");
+  const int b = n.add_net("b");
+  EXPECT_EQ(n.num_nets(), 2);
+  EXPECT_EQ(n.find_net("a"), std::optional<int>(a));
+  EXPECT_EQ(n.find_net("b"), std::optional<int>(b));
+  EXPECT_FALSE(n.find_net("zz").has_value());
+  EXPECT_EQ(n.net_name(a), "a");
+}
+
+TEST(Netlist, GatesTrackFanout) {
+  Netlist n("t", 2);
+  const int a = n.add_net("a");
+  const int b = n.add_net("b");
+  const int c = n.add_net("c");
+  const int d = n.add_net("d");
+  n.add_gate("g1", GateType::kInv, {a}, b);
+  n.add_gate("g2", GateType::kNand, {a, b}, c);
+  n.add_gate("g3", GateType::kInv, {b}, d);
+  EXPECT_EQ(n.fanout_count(a), 2);
+  EXPECT_EQ(n.fanout_count(b), 2);
+  EXPECT_EQ(n.fanout_count(c), 0);
+}
+
+TEST(Netlist, StorageReadsAndDrives) {
+  Netlist n("t", 2);
+  const int d = n.add_net("d");
+  const int q = n.add_net("q");
+  n.add_latch("L", 1, d, q, 0.5, 1.0);
+  EXPECT_EQ(n.fanout_count(d), 1);
+  ASSERT_EQ(n.storages().size(), 1u);
+  EXPECT_EQ(n.storages()[0].kind, ElementKind::kLatch);
+  n.add_flipflop("F", 2, d, q, 0.5, 1.0);  // q now has two drivers (L and F)
+  EXPECT_FALSE(n.validate().empty());
+}
+
+TEST(NetlistValidate, CleanPasses) {
+  Netlist n("t", 2);
+  const int d = n.add_net("d");
+  const int q = n.add_net("q");
+  n.add_latch("L", 1, d, q, 0.5, 1.0);
+  n.add_gate("g", GateType::kBuf, {q}, d);
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(NetlistValidate, MultipleDriversCaught) {
+  Netlist n("t", 1);
+  const int a = n.add_net("a");
+  const int b = n.add_net("b");
+  const int q = n.add_net("q");
+  n.add_latch("L", 1, a, q, 0.5, 1.0);
+  n.add_gate("g1", GateType::kInv, {q}, b);
+  n.add_gate("g2", GateType::kInv, {b}, b);  // b driven twice
+  const auto p = n.validate();
+  ASSERT_FALSE(p.empty());
+  EXPECT_NE(p[0].find("multiple drivers"), std::string::npos);
+}
+
+TEST(NetlistValidate, ArityChecked) {
+  Netlist n("t", 1);
+  const int a = n.add_net("a");
+  const int b = n.add_net("b");
+  const int q = n.add_net("q");
+  n.add_latch("L", 1, a, q, 0.5, 1.0);
+  n.add_gate("bad", GateType::kInv, {q, a}, b);  // inv with 2 inputs
+  EXPECT_FALSE(n.validate().empty());
+}
+
+TEST(NetlistValidate, NoStorageCaught) {
+  Netlist n("t", 1);
+  const int a = n.add_net("a");
+  const int b = n.add_net("b");
+  n.add_gate("g", GateType::kInv, {a}, b);
+  EXPECT_FALSE(n.validate().empty());
+}
+
+TEST(DelayModel, MonotoneInFanout) {
+  const DelayModel m;
+  EXPECT_LT(m.gate_delay(GateType::kInv, 1), m.gate_delay(GateType::kInv, 4));
+  EXPECT_GT(m.gate_delay(GateType::kXor, 1), m.gate_delay(GateType::kInv, 1));
+  // Fanout 0 treated as 1 (output still drives something downstream).
+  EXPECT_DOUBLE_EQ(m.gate_delay(GateType::kBuf, 0), m.gate_delay(GateType::kBuf, 1));
+}
+
+TEST(GateTypes, ArityTable) {
+  EXPECT_EQ(gate_arity(GateType::kInv), 1);
+  EXPECT_EQ(gate_arity(GateType::kXor), 2);
+  EXPECT_EQ(gate_arity(GateType::kMux2), 3);
+  EXPECT_EQ(gate_arity(GateType::kNand), 0);  // variadic
+}
+
+TEST(GateTypes, Names) {
+  EXPECT_STREQ(to_string(GateType::kNand), "nand");
+  EXPECT_STREQ(to_string(GateType::kAoi21), "aoi21");
+}
+
+}  // namespace
+}  // namespace mintc::netlist

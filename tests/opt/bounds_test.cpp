@@ -1,0 +1,84 @@
+#include "opt/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/appendix_fig1.h"
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+#include "circuits/synthetic.h"
+#include "opt/mlp.h"
+
+namespace mintc::opt {
+namespace {
+
+TEST(Bounds, Example1ComponentsMatchClosedForm) {
+  // Fig. 7 closed form: max(80 [Lc span], 20+Δ41 [Ld span], loop avg).
+  const Circuit c = circuits::example1(80.0);
+  EXPECT_DOUBLE_EQ(path_span_bound(c), 100.0);  // Ld at Δ41 = 80: 10+80+10
+  EXPECT_NEAR(loop_bound(c), 110.0, 1e-6);      // (140+80)/2
+  EXPECT_NEAR(cycle_time_lower_bound(c), 110.0, 1e-6);
+}
+
+TEST(Bounds, FlatRegimeDominatedByPathSpan) {
+  const Circuit c = circuits::example1(0.0);
+  EXPECT_DOUBLE_EQ(path_span_bound(c), 80.0);  // Lc
+  EXPECT_NEAR(loop_bound(c), 70.0, 1e-6);
+  EXPECT_NEAR(cycle_time_lower_bound(c), 80.0, 1e-6);
+}
+
+TEST(Bounds, TightAcrossTheWholeFig7Sweep) {
+  // On example 1 the bound is exact for every Δ41 — the closed form IS the
+  // lower bound.
+  for (double d41 = 0.0; d41 <= 160.0; d41 += 10.0) {
+    const Circuit c = circuits::example1(d41);
+    const auto r = minimize_cycle_time(c);
+    ASSERT_TRUE(r);
+    EXPECT_NEAR(cycle_time_lower_bound(c), r->min_cycle, 1e-5) << d41;
+  }
+}
+
+TEST(Bounds, NeverExceedsOptimum) {
+  std::vector<Circuit> circuits = {circuits::example1(40.0), circuits::example2(),
+                                   circuits::gaas_datapath(), circuits::appendix_fig1()};
+  circuits::SyntheticParams p;
+  for (const uint64_t seed : {21u, 22u, 23u}) {
+    circuits.push_back(circuits::synthetic_circuit(p, seed));
+  }
+  for (const Circuit& c : circuits) {
+    const auto r = minimize_cycle_time(c);
+    ASSERT_TRUE(r) << c.name();
+    EXPECT_LE(cycle_time_lower_bound(c), r->min_cycle + 1e-6) << c.name();
+  }
+}
+
+TEST(Bounds, SamePhasePathGetsTwoPeriods) {
+  Circuit c("self", 1);
+  c.add_latch("A", 1, 2.0, 3.0);
+  c.add_latch("B", 1, 2.0, 3.0);
+  c.add_path("A", "B", 50.0);
+  // Same-phase path: token crosses a full boundary, span up to 2 Tc.
+  EXPECT_DOUBLE_EQ(path_span_bound(c), 27.5);  // (3+50+2)/2
+}
+
+TEST(Bounds, AcyclicCircuitHasZeroLoopBound) {
+  Circuit c("pipe", 2);
+  c.add_latch("A", 1, 1.0, 2.0);
+  c.add_latch("B", 2, 1.0, 2.0);
+  c.add_path("A", "B", 10.0);
+  EXPECT_DOUBLE_EQ(loop_bound(c), 0.0);
+  EXPECT_GT(path_span_bound(c), 0.0);
+}
+
+TEST(Bounds, FlipFlopPathsExcludedFromSpan) {
+  Circuit c("ff", 2);
+  c.add_latch("L", 1, 1.0, 2.0);
+  c.add_flipflop("F", 2, 1.0, 2.0);
+  c.add_path("L", "F", 100.0);
+  // FF destinations are pinned differently; the latch-to-latch span
+  // argument does not apply.
+  EXPECT_DOUBLE_EQ(path_span_bound(c), 0.0);
+}
+
+}  // namespace
+}  // namespace mintc::opt

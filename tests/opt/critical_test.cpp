@@ -1,0 +1,118 @@
+#include "opt/critical.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "graph/cycle_ratio.h"
+#include "opt/mlp.h"
+
+namespace mintc::opt {
+namespace {
+
+TEST(LoopAnalysis, Example1SingleLoop) {
+  const LoopReport report = analyze_loops(circuits::example1(80.0));
+  ASSERT_TRUE(report.complete);
+  ASSERT_EQ(report.loops.size(), 1u);
+  const LoopInfo& loop = report.loops[0];
+  EXPECT_EQ(loop.path_indices.size(), 4u);
+  EXPECT_DOUBLE_EQ(loop.delay_sum, 220.0);  // 4*10 dq + 20+20+60+80
+  EXPECT_EQ(loop.cycle_span, 2);
+  EXPECT_DOUBLE_EQ(loop.implied_tc, 110.0);
+}
+
+TEST(LoopAnalysis, TopLoopEqualsCycleRatio) {
+  for (const Circuit& c : {circuits::example1(120.0), circuits::example2()}) {
+    const LoopReport report = analyze_loops(c);
+    ASSERT_TRUE(report.complete);
+    ASSERT_FALSE(report.loops.empty());
+    const auto ratio = graph::max_cycle_ratio_howard(c.latch_graph());
+    ASSERT_TRUE(ratio);
+    EXPECT_NEAR(report.loops.front().implied_tc, ratio->ratio, 1e-6) << c.name();
+  }
+}
+
+TEST(LoopAnalysis, SortedDescending) {
+  const LoopReport report = analyze_loops(circuits::example2());
+  for (size_t i = 1; i < report.loops.size(); ++i) {
+    EXPECT_GE(report.loops[i - 1].implied_tc, report.loops[i].implied_tc - 1e-9);
+  }
+}
+
+TEST(LoopAnalysis, ToStringMentionsLatches) {
+  const LoopReport report = analyze_loops(circuits::example1(80.0));
+  const std::string s = report.loops[0].to_string(circuits::example1(80.0));
+  EXPECT_NE(s.find("L1"), std::string::npos);
+  EXPECT_NE(s.find("Tc >= 110"), std::string::npos);
+  EXPECT_NE(s.find("spans 2 cycles"), std::string::npos);
+}
+
+TEST(CriticalSegments, Example1LoopCriticalAtOptimum) {
+  const Circuit c = circuits::example1(80.0);
+  const auto r = minimize_cycle_time(c);
+  ASSERT_TRUE(r);
+  const CriticalReport rep = find_critical_segments(c, r->schedule, r->departure);
+  // The whole feedback loop binds at Δ41 = 80 (loop-average regime): the
+  // critical-loop list contains the 4-path ring with implied Tc = 110.
+  ASSERT_FALSE(rep.critical_loops.empty());
+  EXPECT_NEAR(rep.critical_loops.front().implied_tc, 110.0, 1e-6);
+  EXPECT_EQ(rep.critical_loops.front().path_indices.size(), 4u);
+}
+
+TEST(CriticalSegments, PathSlacksNonNegativeAtFixpoint) {
+  const Circuit c = circuits::example2();
+  const auto r = minimize_cycle_time(c);
+  ASSERT_TRUE(r);
+  const CriticalReport rep = find_critical_segments(c, r->schedule, r->departure);
+  ASSERT_EQ(rep.path_slack.size(), static_cast<size_t>(c.num_paths()));
+  for (const double s : rep.path_slack) EXPECT_GE(s, -1e-7);
+}
+
+TEST(CriticalSegments, Example2HasMultipleDisjointSegments) {
+  // The paper's observation: several critical segments, not one path.
+  const Circuit c = circuits::example2();
+  const auto r = minimize_cycle_time(c);
+  ASSERT_TRUE(r);
+  const CriticalReport rep = find_critical_segments(c, r->schedule, r->departure);
+  EXPECT_GE(rep.tight_paths.size(), 6u);
+  EXPECT_GE(rep.critical_loops.size(), 2u);  // P loop and the cross loop
+  for (const LoopInfo& loop : rep.critical_loops) {
+    EXPECT_NEAR(loop.implied_tc, r->min_cycle, 1e-6);
+  }
+}
+
+TEST(CriticalSegments, SetupCriticalInFlatRegime) {
+  // Δ41 = 0: Tc* = 80 is set by the Lc path span; L4's setup must be tight
+  // in a schedule that achieves it.
+  const Circuit c = circuits::example1(0.0);
+  const ClockSchedule sch(80.0, {0.0, 40.0}, {40.0, 40.0});
+  const auto fix = sta::compute_departures(c, sch, std::vector<double>(4, 0.0));
+  ASSERT_TRUE(fix.converged);
+  const CriticalReport rep = find_critical_segments(c, sch, fix.departure);
+  ASSERT_FALSE(rep.setup_critical.empty());
+  EXPECT_EQ(c.element(rep.setup_critical.front()).name, "L4");
+}
+
+TEST(CriticalSegments, SlackGrowsAwayFromOptimum) {
+  // At a relaxed Tc no loop should be critical.
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule relaxed(200.0, {0.0, 120.0}, {120.0, 80.0});
+  const auto fix = sta::compute_departures(c, relaxed, std::vector<double>(4, 0.0));
+  ASSERT_TRUE(fix.converged);
+  const CriticalReport rep = find_critical_segments(c, relaxed, fix.departure);
+  EXPECT_TRUE(rep.critical_loops.empty());
+}
+
+TEST(CriticalSegments, ReportRendering) {
+  const Circuit c = circuits::example1(80.0);
+  const auto r = minimize_cycle_time(c);
+  ASSERT_TRUE(r);
+  const CriticalReport rep = find_critical_segments(c, r->schedule, r->departure);
+  const std::string s = rep.to_string(c);
+  EXPECT_NE(s.find("critical segments"), std::string::npos);
+  EXPECT_NE(s.find("critical loops"), std::string::npos);
+  EXPECT_NE(s.find("Ld"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mintc::opt

@@ -1,0 +1,133 @@
+// The Bellman-Ford/binary-search optimizer must agree with the simplex
+// everywhere — two exact algorithms, no shared machinery beyond the model.
+#include "opt/graph_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/appendix_fig1.h"
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+#include "circuits/synthetic.h"
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+
+namespace mintc::opt {
+namespace {
+
+void expect_matches_lp(const Circuit& c, const MlpOptions& lp_opts = {},
+                       const GraphSolveOptions& g_opts = {}) {
+  const auto lp = minimize_cycle_time(c, lp_opts);
+  const auto bf = minimize_cycle_time_graph(c, g_opts);
+  ASSERT_TRUE(lp) << c.name();
+  ASSERT_TRUE(bf) << c.name() << ": " << bf.error().to_string();
+  EXPECT_NEAR(bf->min_cycle, lp->min_cycle, 1e-4) << c.name();
+  EXPECT_TRUE(satisfies_p1(c, bf->schedule, bf->departure, 1e-5)) << c.name();
+  EXPECT_TRUE(sta::check_schedule(c, bf->schedule).feasible) << c.name();
+}
+
+TEST(GraphSolver, MatchesLpOnExample1Sweep) {
+  for (double d41 = 0.0; d41 <= 160.0; d41 += 20.0) {
+    const Circuit c = circuits::example1(d41);
+    const auto bf = minimize_cycle_time_graph(c);
+    ASSERT_TRUE(bf) << d41;
+    EXPECT_NEAR(bf->min_cycle, circuits::example1_optimal_tc(d41), 1e-4) << d41;
+  }
+}
+
+TEST(GraphSolver, MatchesLpOnPaperCircuits) {
+  expect_matches_lp(circuits::example2());
+  expect_matches_lp(circuits::gaas_datapath());
+  expect_matches_lp(circuits::appendix_fig1());
+}
+
+TEST(GraphSolver, MatchesLpOnSynthetics) {
+  circuits::SyntheticParams p;
+  for (const int k : {2, 3}) {
+    p.num_phases = k;
+    p.num_stages = 2 * k + 2;
+    for (const uint64_t seed : {401u, 402u}) {
+      expect_matches_lp(circuits::synthetic_circuit(p, seed));
+    }
+  }
+}
+
+TEST(GraphSolver, MatchesLpWithExtensions) {
+  const Circuit c = circuits::example1(80.0);
+  MlpOptions lp_opts;
+  GraphSolveOptions g_opts;
+  lp_opts.generator.min_phase_width = 55.0;
+  g_opts.generator.min_phase_width = 55.0;
+  lp_opts.generator.clock_skew = 3.0;
+  g_opts.generator.clock_skew = 3.0;
+  lp_opts.generator.min_phase_separation = 4.0;
+  g_opts.generator.min_phase_separation = 4.0;
+  expect_matches_lp(c, lp_opts, g_opts);
+}
+
+TEST(GraphSolver, MatchesLpWithHoldRows) {
+  Circuit c = circuits::example1(80.0);
+  for (int i = 0; i < c.num_elements(); ++i) {
+    c.element(i).hold = 2.0;
+    c.element(i).dq_min = 5.0;
+  }
+  MlpOptions lp_opts;
+  GraphSolveOptions g_opts;
+  lp_opts.generator.hold_constraints = true;
+  g_opts.generator.hold_constraints = true;
+  expect_matches_lp(c, lp_opts, g_opts);
+}
+
+TEST(GraphSolver, MatchesLpWithArrivalBasedSetup) {
+  MlpOptions lp_opts;
+  GraphSolveOptions g_opts;
+  lp_opts.generator.arrival_based_setup = true;
+  g_opts.generator.arrival_based_setup = true;
+  expect_matches_lp(circuits::example1(100.0), lp_opts, g_opts);
+}
+
+TEST(GraphSolver, InfeasibleHoldReported) {
+  // The same degenerate hold system the LP path rejects (see mlp_test).
+  Circuit c("infeasible", 1);
+  c.add_latch("A", 1, 1.0, 2.0);
+  Element b;
+  b.name = "B";
+  b.phase = 1;
+  b.setup = 1.0;
+  b.dq = 2.0;
+  b.hold = 1e6;
+  c.add_element(b);
+  c.add_path("A", "B", 10.0, 0.0);
+  GraphSolveOptions g_opts;
+  g_opts.generator.hold_constraints = true;
+  const auto bf = minimize_cycle_time_graph(c, g_opts);
+  ASSERT_FALSE(bf);
+  EXPECT_EQ(bf.error().kind, ErrorKind::kInfeasible);
+}
+
+TEST(GraphSolver, InvalidCircuitRejected) {
+  Circuit c("bad", 1);
+  c.add_latch("X", 9, 1.0, 2.0);
+  const auto bf = minimize_cycle_time_graph(c);
+  ASSERT_FALSE(bf);
+  EXPECT_EQ(bf.error().kind, ErrorKind::kInvalidCircuit);
+}
+
+TEST(GraphSolver, ReportsWork) {
+  const auto bf = minimize_cycle_time_graph(circuits::gaas_datapath());
+  ASSERT_TRUE(bf);
+  EXPECT_GT(bf->search_steps, 10);  // ~log2(range/tol)
+  EXPECT_GT(bf->relaxations, 0);
+}
+
+TEST(GraphSolver, FlipFlopCircuits) {
+  Circuit c("ff", 2);
+  c.add_latch("L", 1, 1.0, 2.0);
+  c.add_flipflop("F", 2, 1.0, 2.0);
+  c.add_path("L", "F", 10.0);
+  c.add_path("F", "L", 10.0);
+  expect_matches_lp(c);
+}
+
+}  // namespace
+}  // namespace mintc::opt

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "circuits/example1.h"
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+
+namespace mintc::opt {
+namespace {
+
+TEST(Refine, KeepsOptimalCycleTime) {
+  const Circuit c = circuits::example1(80.0);
+  const auto base = minimize_cycle_time(c);
+  ASSERT_TRUE(base);
+  for (const auto obj :
+       {SecondaryObjective::kMinTotalWidth, SecondaryObjective::kMaxTotalWidth,
+        SecondaryObjective::kMinPhaseStarts, SecondaryObjective::kMaxPhaseStarts}) {
+    const auto r = refine_schedule(c, base->min_cycle, obj);
+    ASSERT_TRUE(r) << to_string(obj);
+    EXPECT_NEAR(r->schedule.cycle, base->min_cycle, 1e-6) << to_string(obj);
+    EXPECT_TRUE(satisfies_p1(c, r->schedule, r->departure)) << to_string(obj);
+    EXPECT_TRUE(sta::check_schedule(c, r->schedule).feasible) << to_string(obj);
+  }
+}
+
+TEST(Refine, MinWidthIsNarrowerThanMaxWidth) {
+  const Circuit c = circuits::example1(80.0);
+  const auto base = minimize_cycle_time(c);
+  ASSERT_TRUE(base);
+  const auto narrow = refine_schedule(c, base->min_cycle, SecondaryObjective::kMinTotalWidth);
+  const auto wide = refine_schedule(c, base->min_cycle, SecondaryObjective::kMaxTotalWidth);
+  ASSERT_TRUE(narrow && wide);
+  double narrow_sum = 0.0;
+  double wide_sum = 0.0;
+  for (int p = 1; p <= c.num_phases(); ++p) {
+    narrow_sum += narrow->schedule.T(p);
+    wide_sum += wide->schedule.T(p);
+  }
+  EXPECT_LE(narrow_sum, wide_sum + 1e-7);
+  // Minimum duty: each width is exactly what its latches' setup needs.
+  EXPECT_LT(narrow_sum, wide_sum);
+}
+
+TEST(Refine, MinWidthStillSatisfiesSetups) {
+  // The minimum-duty schedule keeps T_p >= D_i + setup_i for every latch.
+  const Circuit c = circuits::example1(100.0);
+  const auto base = minimize_cycle_time(c);
+  ASSERT_TRUE(base);
+  const auto r = refine_schedule(c, base->min_cycle, SecondaryObjective::kMinTotalWidth);
+  ASSERT_TRUE(r);
+  for (int i = 0; i < c.num_elements(); ++i) {
+    const Element& e = c.element(i);
+    EXPECT_LE(r->departure[static_cast<size_t>(i)] + e.setup,
+              r->schedule.T(e.phase) + 1e-7);
+  }
+}
+
+TEST(Refine, InfeasibleBelowOptimum) {
+  const Circuit c = circuits::example1(80.0);
+  const auto r = refine_schedule(c, 100.0, SecondaryObjective::kMinTotalWidth);  // < 110
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().kind, ErrorKind::kInfeasible);
+}
+
+TEST(Refine, FeasibleAboveOptimumToo) {
+  // Refinement works for any achievable cycle time, not just the optimum —
+  // e.g. designing for a slacker target clock.
+  const Circuit c = circuits::example1(80.0);
+  const auto r = refine_schedule(c, 150.0, SecondaryObjective::kMinTotalWidth);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->schedule.cycle, 150.0, 1e-6);
+  EXPECT_TRUE(sta::check_schedule(c, r->schedule).feasible);
+}
+
+TEST(Refine, ObjectiveNames) {
+  EXPECT_STREQ(to_string(SecondaryObjective::kMinTotalWidth), "min-total-width");
+  EXPECT_STREQ(to_string(SecondaryObjective::kMaxTotalWidth), "max-total-width");
+  EXPECT_STREQ(to_string(SecondaryObjective::kMinPhaseStarts), "min-phase-starts");
+  EXPECT_STREQ(to_string(SecondaryObjective::kMaxPhaseStarts), "max-phase-starts");
+}
+
+TEST(Refine, NonUniquenessDemonstrated) {
+  // The paper shows two different optimal schedules for Δ41 = 80 (Fig. 6a):
+  // produce two distinct schedules sharing Tc = 110.
+  const Circuit c = circuits::example1(80.0);
+  const auto a = refine_schedule(c, 110.0, SecondaryObjective::kMinPhaseStarts);
+  const auto b = refine_schedule(c, 110.0, SecondaryObjective::kMaxPhaseStarts);
+  ASSERT_TRUE(a && b);
+  const bool same = std::equal(a->schedule.start.begin(), a->schedule.start.end(),
+                               b->schedule.start.begin(),
+                               [](double x, double y) { return std::abs(x - y) < 1e-9; });
+  EXPECT_FALSE(same);
+}
+
+}  // namespace
+}  // namespace mintc::opt

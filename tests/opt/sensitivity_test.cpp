@@ -1,0 +1,97 @@
+#include "opt/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/example1.h"
+#include "circuits/gaas.h"
+#include "opt/mlp.h"
+
+namespace mintc::opt {
+namespace {
+
+TEST(Sensitivity, Fig7SlopesFromDuals) {
+  // Example 1: dTc*/dΔ41 is the Fig. 7 slope at the operating point:
+  // 1/2 in the borrowing regime, 1 beyond Δ41 = 100, 0 below Δ41 = 20.
+  const int ld = circuits::example1_ld_path();
+  {
+    const auto s = delay_sensitivities(circuits::example1(60.0));
+    ASSERT_TRUE(s);
+    EXPECT_NEAR(s->dtc_ddelay[static_cast<size_t>(ld)], 0.5, 1e-6);
+  }
+  {
+    const auto s = delay_sensitivities(circuits::example1(120.0));
+    ASSERT_TRUE(s);
+    EXPECT_NEAR(s->dtc_ddelay[static_cast<size_t>(ld)], 1.0, 1e-6);
+  }
+  {
+    const auto s = delay_sensitivities(circuits::example1(10.0));
+    ASSERT_TRUE(s);
+    EXPECT_NEAR(s->dtc_ddelay[static_cast<size_t>(ld)], 0.0, 1e-6);
+  }
+}
+
+TEST(Sensitivity, MatchesFiniteDifferences) {
+  // Central finite differences across every path of example 1 at a
+  // non-degenerate point.
+  const Circuit base = circuits::example1(80.0);
+  const auto s = delay_sensitivities(base);
+  ASSERT_TRUE(s);
+  const double h = 0.5;
+  for (int p = 0; p < base.num_paths(); ++p) {
+    Circuit up = base;
+    up.set_path_delay(p, base.path(p).delay + h);
+    Circuit dn = base;
+    dn.set_path_delay(p, base.path(p).delay - h);
+    const auto ru = minimize_cycle_time(up);
+    const auto rd = minimize_cycle_time(dn);
+    ASSERT_TRUE(ru && rd);
+    const double fd = (ru->min_cycle - rd->min_cycle) / (2.0 * h);
+    EXPECT_NEAR(s->dtc_ddelay[static_cast<size_t>(p)], fd, 1e-6) << "path " << p;
+  }
+}
+
+TEST(Sensitivity, BoundsAndCriticality) {
+  const Circuit c = circuits::gaas_datapath();
+  const auto s = delay_sensitivities(c);
+  ASSERT_TRUE(s);
+  EXPECT_NEAR(s->min_cycle, 4.4, 1e-6);
+  int critical = 0;
+  for (const double v : s->dtc_ddelay) {
+    EXPECT_GE(v, -1e-7);
+    EXPECT_LE(v, 1.0 + 1e-7);
+    if (v > 1e-6) ++critical;
+  }
+  // Only the critical loop's paths carry nonzero price.
+  EXPECT_GE(critical, 3);
+  EXPECT_LT(critical, c.num_paths() / 2);
+}
+
+TEST(Sensitivity, InvalidCircuitRejected) {
+  Circuit c("bad", 1);
+  c.add_latch("X", 9, 1.0, 2.0);
+  const auto s = delay_sensitivities(c);
+  ASSERT_FALSE(s);
+  EXPECT_EQ(s.error().kind, ErrorKind::kInvalidCircuit);
+}
+
+TEST(Sensitivity, DelayRowMappingComplete) {
+  const Circuit c = circuits::gaas_datapath();
+  const GeneratedLp g = generate_lp(c);
+  ASSERT_EQ(g.delay_row_of_path.size(), static_cast<size_t>(c.num_paths()));
+  for (int p = 0; p < c.num_paths(); ++p) {
+    const int row = g.delay_row_of_path[static_cast<size_t>(p)];
+    ASSERT_GE(row, 0) << "path " << p;
+    // The row's RHS must contain the path's delay contribution.
+    const CombPath& path = c.path(p);
+    const double rhs = g.model.row(row).rhs;
+    if (c.element(path.to).is_latch()) {
+      EXPECT_NEAR(rhs, c.element(path.from).dq + path.delay, 1e-9);
+    } else {
+      EXPECT_NEAR(rhs, -(c.element(path.from).dq + path.delay + c.element(path.to).setup),
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mintc::opt

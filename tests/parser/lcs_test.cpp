@@ -1,0 +1,69 @@
+#include "parser/lcs.h"
+
+#include <gtest/gtest.h>
+
+namespace mintc::parser {
+namespace {
+
+TEST(LcsParser, ParsesSchedule) {
+  const auto s = parse_schedule(
+      "# optimal for example 1\ncycle 110\nphase 1 start=0 width=80\nphase 2 start=80 "
+      "width=30\n");
+  ASSERT_TRUE(s) << s.error().to_string();
+  EXPECT_DOUBLE_EQ(s->cycle, 110.0);
+  EXPECT_EQ(s->num_phases(), 2);
+  EXPECT_DOUBLE_EQ(s->s(2), 80.0);
+  EXPECT_DOUBLE_EQ(s->T(2), 30.0);
+}
+
+TEST(LcsParser, PhasesMustBeInOrder) {
+  const auto s = parse_schedule("cycle 10\nphase 2 start=0 width=1\n");
+  ASSERT_FALSE(s);
+  EXPECT_NE(s.error().message.find("in order"), std::string::npos);
+}
+
+TEST(LcsParser, MissingCycleRejected) {
+  EXPECT_FALSE(parse_schedule("phase 1 start=0 width=1\n"));
+}
+
+TEST(LcsParser, NoPhasesRejected) {
+  EXPECT_FALSE(parse_schedule("cycle 10\n"));
+}
+
+TEST(LcsParser, MissingAttrRejected) {
+  EXPECT_FALSE(parse_schedule("cycle 10\nphase 1 start=0\n"));
+  EXPECT_FALSE(parse_schedule("cycle 10\nphase 1 width=1\n"));
+}
+
+TEST(LcsParser, UnknownKeywordRejected) {
+  EXPECT_FALSE(parse_schedule("cycle 10\nbogus\n"));
+}
+
+TEST(LcsWriter, RoundTrip) {
+  ClockSchedule sch(4.4, {0.0, 0.9, 4.4}, {0.8, 0.9, 0.15});
+  const auto back = parse_schedule(write_schedule(sch));
+  ASSERT_TRUE(back) << back.error().to_string();
+  EXPECT_NEAR(back->cycle, sch.cycle, 1e-6);
+  for (int p = 1; p <= 3; ++p) {
+    EXPECT_NEAR(back->s(p), sch.s(p), 1e-6);
+    EXPECT_NEAR(back->T(p), sch.T(p), 1e-6);
+  }
+}
+
+TEST(LcsFiles, SaveAndLoad) {
+  const std::string path = testing::TempDir() + "/sched.lcs";
+  ClockSchedule sch(100.0, {0.0, 50.0}, {50.0, 50.0});
+  ASSERT_TRUE(save_schedule(sch, path));
+  const auto back = load_schedule(path);
+  ASSERT_TRUE(back);
+  EXPECT_DOUBLE_EQ(back->cycle, 100.0);
+}
+
+TEST(LcsFiles, MissingFileIsIoError) {
+  const auto s = load_schedule("/nonexistent/nope.lcs");
+  ASSERT_FALSE(s);
+  EXPECT_EQ(s.error().kind, ErrorKind::kIo);
+}
+
+}  // namespace
+}  // namespace mintc::parser

@@ -1,0 +1,106 @@
+// Parser robustness: hostile and degenerate inputs must produce errors (or
+// valid results), never crashes, across all three readers.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "parser/lcs.h"
+#include "parser/lct.h"
+#include "parser/verilog.h"
+
+namespace mintc::parser {
+namespace {
+
+TEST(Robustness, LctGarbageNeverCrashes) {
+  const char* cases[] = {
+      "\n\n\n",
+      "circuit",
+      "circuit a b c",
+      "phases -3",
+      "phases 999999",
+      "latch",
+      "phases 1\nlatch X phase=",
+      "phases 1\nlatch X phase=1 setup=1 dq=2\npath X X delay=-5",
+      "phases 1\nlatch X phase=1 setup=1 dq=2 setup=2",
+      "circuit c\nphases 2\nlatch \xc3\xa9 phase=1 setup=1 dq=2",  // UTF-8 name
+      "path",
+      "# only a comment",
+      "phases 1\n# trailing comment with no newline",
+  };
+  for (const char* text : cases) {
+    const auto c = parse_circuit(text);
+    if (c) {
+      // Accepted inputs must at least be structurally sane.
+      EXPECT_GE(c->num_phases(), 1) << text;
+    }
+  }
+}
+
+TEST(Robustness, LctRandomTokenSoup) {
+  std::mt19937_64 rng(8);
+  const char* words[] = {"circuit", "phases",  "latch", "flipflop", "path", "delay=1",
+                         "phase=1", "setup=1", "dq=2",  "L1",       "2",    "#x",
+                         "=",       "min=",    "\n"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    std::uniform_int_distribution<size_t> pick(0, std::size(words) - 1);
+    const int len = 3 + trial % 20;
+    for (int i = 0; i < len; ++i) {
+      text += words[pick(rng)];
+      text += ' ';
+    }
+    const auto c = parse_circuit(text);  // must not crash or hang
+    (void)c;
+  }
+}
+
+TEST(Robustness, LcsGarbageNeverCrashes) {
+  const char* cases[] = {
+      "cycle", "cycle x", "phase 1", "cycle 10\nphase 0 start=0 width=1",
+      "cycle 10\nphase 1 start=a width=b", "cycle 1e309\nphase 1 start=0 width=1",
+  };
+  for (const char* text : cases) {
+    const auto s = parse_schedule(text);
+    (void)s;
+  }
+}
+
+TEST(Robustness, VerilogGarbageNeverCrashes) {
+  const char* cases[] = {
+      "module",
+      "module ;",
+      "module m (",
+      "module m (x); latch",
+      "module m (x); latch #(",
+      "module m (x); latch #(.phase(1) L (.d(a), .q(b)); endmodule",
+      "module m (x); and g (a); endmodule",
+      "module m (x); /*",
+      "module m (x); latch #(.phase(1.9), .setup(1), .dq(2)) L (.d(a), .q(b)); endmodule",
+      "endmodule",
+  };
+  for (const char* text : cases) {
+    const auto nl = parse_verilog(text);
+    (void)nl;
+  }
+}
+
+TEST(Robustness, LargeGeneratedFileParses) {
+  // A 4000-line circuit file must parse quickly and correctly.
+  std::string text = "circuit big\nphases 2\n";
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    text += "latch L" + std::to_string(i) + " phase=" + std::to_string(i % 2 + 1) +
+            " setup=1 dq=2\n";
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    text += "path L" + std::to_string(i) + " L" + std::to_string(i + 1) + " delay=5\n";
+  }
+  const auto c = parse_circuit(text);
+  ASSERT_TRUE(c) << c.error().to_string();
+  EXPECT_EQ(c->num_elements(), n);
+  EXPECT_EQ(c->num_paths(), n - 1);
+}
+
+}  // namespace
+}  // namespace mintc::parser

@@ -1,0 +1,121 @@
+// The simulator is an independent implementation of the latch semantics;
+// its steady state must agree with the analytical fixpoint everywhere.
+#include "sim/token_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/appendix_fig1.h"
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+#include "circuits/synthetic.h"
+#include "opt/mlp.h"
+#include "sta/fixpoint.h"
+
+namespace mintc::sim {
+namespace {
+
+void expect_sim_matches_fixpoint(const Circuit& c, const ClockSchedule& sch) {
+  const SimResult sim = simulate_tokens(c, sch);
+  ASSERT_TRUE(sim.converged) << c.name();
+  const sta::FixpointResult fix = sta::compute_departures(
+      c, sch, std::vector<double>(static_cast<size_t>(c.num_elements()), 0.0));
+  ASSERT_TRUE(fix.converged) << c.name();
+  for (int i = 0; i < c.num_elements(); ++i) {
+    EXPECT_NEAR(sim.departure[static_cast<size_t>(i)],
+                fix.departure[static_cast<size_t>(i)], 1e-7)
+        << c.name() << " element " << c.element(i).name;
+  }
+}
+
+TEST(TokenSim, MatchesFixpointOnExample1) {
+  expect_sim_matches_fixpoint(circuits::example1(80.0),
+                              ClockSchedule(110.0, {0.0, 80.0}, {80.0, 30.0}));
+  expect_sim_matches_fixpoint(circuits::example1(120.0),
+                              ClockSchedule(140.0, {0.0, 70.0}, {70.0, 60.0}));
+}
+
+TEST(TokenSim, MatchesFixpointOnOptimizedCircuits) {
+  for (const Circuit& c : {circuits::example2(), circuits::gaas_datapath(),
+                           circuits::appendix_fig1()}) {
+    const auto r = opt::minimize_cycle_time(c);
+    ASSERT_TRUE(r) << c.name();
+    // Simulate slightly above the optimum so the steady state is strictly
+    // feasible (at the exact optimum, zero-slack loops converge but the
+    // simulator's generation count can be large).
+    expect_sim_matches_fixpoint(c, r->schedule.scaled(1.01));
+  }
+}
+
+TEST(TokenSim, MatchesFixpointOnSyntheticCircuits) {
+  circuits::SyntheticParams p;
+  p.num_phases = 3;
+  p.num_stages = 6;
+  p.latches_per_stage = 3;
+  for (const uint64_t seed : {5u, 6u, 7u}) {
+    const Circuit c = circuits::synthetic_circuit(p, seed);
+    const auto r = opt::minimize_cycle_time(c);
+    ASSERT_TRUE(r);
+    expect_sim_matches_fixpoint(c, r->schedule.scaled(1.02));
+  }
+}
+
+TEST(TokenSim, SetupViolationDetectedBelowOptimum) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule bad(95.0, {0.0, 65.0}, {65.0, 30.0});
+  const SimResult sim = simulate_tokens(c, bad);
+  EXPECT_FALSE(sim.setup_ok);
+  EXPECT_GE(sim.first_violation_generation, 0);
+}
+
+TEST(TokenSim, DivergentLoopDoesNotReachSteadyState) {
+  Circuit c("race", 1);
+  c.add_latch("A", 1, 1.0, 2.0);
+  c.add_latch("B", 1, 1.0, 2.0);
+  c.add_path("A", "B", 30.0);
+  c.add_path("B", "A", 30.0);
+  SimOptions opt;
+  opt.max_generations = 64;
+  const SimResult sim = simulate_tokens(c, ClockSchedule(10.0, {0.0}, {10.0}), opt);
+  EXPECT_FALSE(sim.converged);
+  EXPECT_FALSE(sim.setup_ok);  // lateness eventually blows the setup window
+}
+
+TEST(TokenSim, ConvergesQuicklyWithSlack) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule roomy(150.0, {0.0, 100.0}, {100.0, 50.0});
+  const SimResult sim = simulate_tokens(c, roomy);
+  ASSERT_TRUE(sim.converged);
+  EXPECT_LE(sim.generations, 8);
+  EXPECT_TRUE(sim.setup_ok);
+}
+
+TEST(TokenSim, FlipFlopLaunchesAtEdge) {
+  Circuit c("ff", 2);
+  c.add_latch("L", 1, 1.0, 2.0);
+  c.add_flipflop("F", 2, 1.0, 2.0);
+  c.add_path("L", "F", 5.0);
+  c.add_path("F", "L", 5.0);
+  const ClockSchedule sch(60.0, {0.0, 30.0}, {25.0, 25.0});
+  const SimResult sim = simulate_tokens(c, sch);
+  ASSERT_TRUE(sim.converged);
+  EXPECT_DOUBLE_EQ(sim.departure[1], 0.0);
+  EXPECT_TRUE(sim.setup_ok);
+}
+
+TEST(TokenSim, EmptyAndDegenerateInputs) {
+  Circuit empty("empty", 1);
+  EXPECT_TRUE(simulate_tokens(empty, ClockSchedule(10.0, {0.0}, {5.0})).converged);
+  const Circuit c = circuits::example1(80.0);
+  EXPECT_TRUE(simulate_tokens(c, ClockSchedule(0.0, {0.0, 0.0}, {0.0, 0.0})).converged);
+}
+
+TEST(TokenSim, EventCountIsBoundedByGenerations) {
+  const Circuit c = circuits::example1(80.0);
+  const SimResult sim = simulate_tokens(c, ClockSchedule(110.0, {0.0, 80.0}, {80.0, 30.0}));
+  ASSERT_TRUE(sim.converged);
+  EXPECT_LE(sim.events, static_cast<long>(sim.generations + 1) * c.num_elements());
+}
+
+}  // namespace
+}  // namespace mintc::sim

@@ -1,0 +1,71 @@
+#include "sim/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/example1.h"
+#include "opt/mlp.h"
+
+namespace mintc::sim {
+namespace {
+
+TEST(Vcd, WellFormedDocument) {
+  const Circuit c = circuits::example1(80.0);
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r.has_value());
+  const std::string vcd = write_vcd(c, r->schedule, r->departure);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("phi1 $end"), std::string::npos);
+  EXPECT_NE(vcd.find("phi2 $end"), std::string::npos);
+  for (const Element& e : c.elements()) {
+    EXPECT_NE(vcd.find(" " + e.name + " $end"), std::string::npos);
+  }
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+}
+
+TEST(Vcd, TimesAreMonotone) {
+  const Circuit c = circuits::example1(100.0);
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r.has_value());
+  const std::string vcd = write_vcd(c, r->schedule, r->departure);
+  long last = -1;
+  int stamps = 0;
+  std::istringstream lines(vcd);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '#') continue;
+    const long t = std::stol(line.substr(1));
+    EXPECT_GE(t, last);
+    last = t;
+    ++stamps;
+  }
+  EXPECT_GT(stamps, 4);
+}
+
+TEST(Vcd, ClockEdgesAtScheduleTimes) {
+  // phi2 opens at 80 ns = 80000 ps in cycle 0.
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  const std::string vcd = write_vcd(c, sch, {60.0, 10.0, 10.0, 0.0});
+  EXPECT_NE(vcd.find("#80000"), std::string::npos);
+  // Cycle boundary at 110 ns appears (phi1 reopens).
+  EXPECT_NE(vcd.find("#110000"), std::string::npos);
+}
+
+TEST(Vcd, CycleCountControlsLength) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  VcdOptions two;
+  two.cycles = 2;
+  VcdOptions eight;
+  eight.cycles = 8;
+  const std::string a = write_vcd(c, sch, {0, 0, 0, 0}, two);
+  const std::string b = write_vcd(c, sch, {0, 0, 0, 0}, eight);
+  EXPECT_GT(b.size(), a.size());
+}
+
+}  // namespace
+}  // namespace mintc::sim

@@ -1,0 +1,135 @@
+#include "sta/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/example1.h"
+
+namespace mintc::sta {
+namespace {
+
+TEST(Analysis, OptimalSchedulePasses) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  const TimingReport rep = check_schedule(c, sch);
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_TRUE(rep.schedule_ok);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_TRUE(rep.setup_ok);
+}
+
+TEST(Analysis, OptimumIsTight) {
+  // At Δ41 = 80 the binding constraint at the optimum is the loop average,
+  // which manifests as fixpoint divergence (not a zero setup slack) the
+  // moment the schedule is shrunk: worst slack is positive but the design
+  // has no headroom.
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  const TimingReport rep = check_schedule(c, sch);
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_GE(rep.worst_setup_slack, 0.0);
+  EXPECT_GE(rep.worst_setup_element, 0);
+  EXPECT_FALSE(check_schedule(c, sch.scaled(0.999)).feasible);
+}
+
+TEST(Analysis, WorstSlackIsZeroWhenSetupBinds) {
+  // At Δ41 = 0 the optimum Tc = 80 is set by the Lc path span (Section V:
+  // "set by some other delay in the circuit"); there the setup constraint
+  // of L4 is exactly tight in the optimal schedule.
+  const Circuit c = circuits::example1(0.0);
+  // An optimal schedule: phi1=[0,40), phi2=[40,80). L4 departs at 30 after
+  // waiting out the Lc path, leaving exactly its 10 ns setup inside T2.
+  const ClockSchedule sch(80.0, {0.0, 40.0}, {40.0, 40.0});
+  const TimingReport rep = check_schedule(c, sch);
+  ASSERT_TRUE(rep.feasible);
+  EXPECT_NEAR(rep.worst_setup_slack, 0.0, 1e-7);
+  EXPECT_EQ(rep.worst_setup_element, 3);  // L4
+}
+
+TEST(Analysis, SubOptimalCycleFails) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(100.0, {0.0, 72.0}, {72.0, 28.0});  // ~0.91 scale
+  const TimingReport rep = check_schedule(c, sch);
+  EXPECT_FALSE(rep.feasible);
+}
+
+TEST(Analysis, GenerousCyclePassesWithSlack) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(200.0, {0.0, 120.0}, {120.0, 80.0});
+  const TimingReport rep = check_schedule(c, sch);
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_GT(rep.worst_setup_slack, 1.0);
+}
+
+TEST(Analysis, BadClockConstraintsReported) {
+  const Circuit c = circuits::example1(80.0);
+  // Overlapping phases where K requires nonoverlap.
+  const ClockSchedule sch(110.0, {0.0, 40.0}, {80.0, 30.0});
+  const TimingReport rep = check_schedule(c, sch);
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_FALSE(rep.schedule_ok);
+  EXPECT_FALSE(rep.clock_violations.empty());
+}
+
+TEST(Analysis, DivergentLoopReportedAsNotConverged) {
+  Circuit c("race", 1);
+  c.add_latch("A", 1, 1.0, 2.0);
+  c.add_latch("B", 1, 1.0, 2.0);
+  c.add_path("A", "B", 30.0);
+  c.add_path("B", "A", 30.0);
+  const ClockSchedule sch(10.0, {0.0}, {10.0});
+  const TimingReport rep = check_schedule(c, sch);
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_FALSE(rep.converged);
+}
+
+TEST(Analysis, FlipFlopSetupAgainstLeadingEdge) {
+  // Latch L(phi1) feeds FF F(phi2) with delay making arrival exactly at
+  // -setup relative to phi2's leading edge: slack 0.
+  Circuit c("ff", 2);
+  c.add_latch("L", 1, 1.0, 2.0);
+  c.add_flipflop("F", 2, 1.0, 2.0);
+  c.add_path("L", "F", 47.0);
+  // Arrival at F = D_L + 2 + 47 + S(1,2) = 49 - 50 = -1 == -setup.
+  const ClockSchedule sch(100.0, {0.0, 50.0}, {40.0, 40.0});
+  const TimingReport rep = check_schedule(c, sch);
+  ASSERT_TRUE(rep.converged);
+  EXPECT_NEAR(rep.elements[1].setup_slack, 0.0, 1e-9);
+  EXPECT_TRUE(rep.setup_ok);
+  // One more ps of delay and it fails.
+  Circuit c2("ff2", 2);
+  c2.add_latch("L", 1, 1.0, 2.0);
+  c2.add_flipflop("F", 2, 1.0, 2.0);
+  c2.add_path("L", "F", 47.5);
+  EXPECT_FALSE(check_schedule(c2, sch).setup_ok);
+}
+
+TEST(Analysis, ReportRendering) {
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  const TimingReport rep = check_schedule(c, sch);
+  const std::string s = rep.to_string(c);
+  EXPECT_NE(s.find("PASS"), std::string::npos);
+  EXPECT_NE(s.find("L1"), std::string::npos);
+  EXPECT_NE(s.find("setup slack"), std::string::npos);
+}
+
+TEST(Analysis, FailReportExplainsDivergence) {
+  Circuit c("race", 1);
+  c.add_latch("A", 1, 1.0, 2.0);
+  c.add_latch("B", 1, 1.0, 2.0);
+  c.add_path("A", "B", 30.0);
+  c.add_path("B", "A", 30.0);
+  const TimingReport rep = check_schedule(c, ClockSchedule(10.0, {0.0}, {10.0}));
+  const std::string s = rep.to_string(c);
+  EXPECT_NE(s.find("FAIL"), std::string::npos);
+  EXPECT_NE(s.find("positive latch loop"), std::string::npos);
+}
+
+TEST(Analysis, EmptyCircuit) {
+  Circuit c("empty", 1);
+  const TimingReport rep = check_schedule(c, ClockSchedule(10.0, {0.0}, {5.0}));
+  EXPECT_TRUE(rep.feasible);
+}
+
+}  // namespace
+}  // namespace mintc::sta

@@ -1,0 +1,186 @@
+// Short-path (hold) analysis — the Unger-style early-arrival problem the
+// paper cites as Section II context; implemented as an extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sta/analysis.h"
+
+namespace mintc::sta {
+namespace {
+
+// A(phi1) -> B(phi2), Tc=100, phi1=[0,50), phi2=[50,100).
+// Earliest next-token arrival at B, measured from phi2's start:
+//   Tc + d_A + dq_min(A) + min_delay + S(1,2) = 100 + 0 + 1 + m - 50.
+// Latch hold requirement: arrival >= T_2 + hold = 50 + hold.
+Circuit hold_circuit(double min_delay, double hold) {
+  Circuit c("hold", 2);
+  Element a;
+  a.name = "A";
+  a.phase = 1;
+  a.setup = 1.0;
+  a.dq = 2.0;
+  a.dq_min = 1.0;
+  c.add_element(a);
+  Element b;
+  b.name = "B";
+  b.phase = 2;
+  b.setup = 1.0;
+  b.dq = 2.0;
+  b.hold = hold;
+  c.add_element(b);
+  c.add_path("A", "B", 30.0, min_delay);
+  return c;
+}
+
+const ClockSchedule kSched(100.0, {0.0, 50.0}, {50.0, 50.0});
+
+AnalysisOptions with_hold() {
+  AnalysisOptions o;
+  o.check_hold = true;
+  return o;
+}
+
+TEST(Hold, SlackComputedExactly) {
+  // min_delay = 10: earliest next arrival = 100+1+10-50 = 61;
+  // requirement = 50 + 5 = 55; slack = +6.
+  const TimingReport rep = check_schedule(hold_circuit(10.0, 5.0), kSched, with_hold());
+  EXPECT_TRUE(rep.feasible);
+  EXPECT_NEAR(rep.elements[1].hold_slack, 6.0, 1e-9);
+  EXPECT_NEAR(rep.worst_hold_slack, 6.0, 1e-9);
+  EXPECT_EQ(rep.worst_hold_element, 1);
+}
+
+TEST(Hold, ViolationDetected) {
+  // min_delay = 2: earliest = 53 < 55 -> slack -2.
+  const TimingReport rep = check_schedule(hold_circuit(2.0, 5.0), kSched, with_hold());
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_FALSE(rep.hold_ok);
+  EXPECT_NEAR(rep.elements[1].hold_slack, -2.0, 1e-9);
+}
+
+TEST(Hold, BoundaryIsExactlyZeroSlack) {
+  const TimingReport rep = check_schedule(hold_circuit(4.0, 5.0), kSched, with_hold());
+  EXPECT_TRUE(rep.hold_ok);
+  EXPECT_NEAR(rep.elements[1].hold_slack, 0.0, 1e-9);
+}
+
+TEST(Hold, SkippedWhenNotRequested) {
+  const TimingReport rep = check_schedule(hold_circuit(2.0, 5.0), kSched);
+  EXPECT_TRUE(rep.hold_ok);  // not checked
+  EXPECT_TRUE(std::isinf(rep.elements[1].hold_slack));
+}
+
+TEST(Hold, FlipFlopHoldAgainstLeadingEdge) {
+  // Latch A(phi1) -> FF F(phi2). Requirement: Tc + a >= hold, where
+  // a = d_A + dq_min + min_delay + S(1,2) = 1 + m - 50.
+  Circuit c("ffhold", 2);
+  Element a;
+  a.name = "A";
+  a.phase = 1;
+  a.setup = 1.0;
+  a.dq = 2.0;
+  a.dq_min = 1.0;
+  c.add_element(a);
+  Element f;
+  f.name = "F";
+  f.kind = ElementKind::kFlipFlop;
+  f.phase = 2;
+  f.setup = 1.0;
+  f.dq = 2.0;
+  f.hold = 53.0;
+  c.add_element(f);
+  c.add_path("A", "F", 30.0, 4.0);
+  // earliest next = 100 + (1+4-50) = 55; hold 53 -> slack 2.
+  const TimingReport rep = check_schedule(c, kSched, with_hold());
+  EXPECT_NEAR(rep.elements[1].hold_slack, 2.0, 1e-9);
+  EXPECT_TRUE(rep.hold_ok);
+}
+
+TEST(Hold, EarlyDeparturesClampToPhaseStart) {
+  // Early arrival before the phase opens departs at the opening edge (0).
+  Circuit c("clamp", 2);
+  Element a;
+  a.name = "A";
+  a.phase = 1;
+  a.setup = 1.0;
+  a.dq = 2.0;
+  a.dq_min = 1.0;
+  c.add_element(a);
+  Element b;
+  b.name = "B";
+  b.phase = 2;
+  b.setup = 1.0;
+  b.dq = 2.0;
+  b.dq_min = 1.0;
+  c.add_element(b);
+  Element d;
+  d.name = "C";
+  d.phase = 1;
+  d.setup = 1.0;
+  d.dq = 2.0;
+  d.dq_min = 1.0;
+  c.add_element(d);
+  c.add_path("A", "B", 30.0, 2.0);
+  c.add_path("B", "C", 30.0, 2.0);
+  const FixpointResult early = compute_early_departures(c, kSched);
+  ASSERT_TRUE(early.converged);
+  EXPECT_DOUBLE_EQ(early.departure[0], 0.0);
+  // At B: 0 + 1 + 2 - 50 < 0 -> clamps to 0.
+  EXPECT_DOUBLE_EQ(early.departure[1], 0.0);
+  EXPECT_DOUBLE_EQ(early.departure[2], 0.0);
+}
+
+TEST(Hold, EarlyDeparturesPropagateLateness) {
+  // Long min delays push the early departure past the opening edge.
+  Circuit c("late", 2);
+  Element a;
+  a.name = "A";
+  a.phase = 1;
+  a.setup = 1.0;
+  a.dq = 2.0;
+  a.dq_min = 2.0;
+  c.add_element(a);
+  Element b;
+  b.name = "B";
+  b.phase = 2;
+  b.setup = 1.0;
+  b.dq = 2.0;
+  b.dq_min = 2.0;
+  c.add_element(b);
+  c.add_path("A", "B", 80.0, 60.0);
+  const FixpointResult early = compute_early_departures(c, kSched);
+  ASSERT_TRUE(early.converged);
+  // 0 + 2 + 60 - 50 = 12.
+  EXPECT_NEAR(early.departure[1], 12.0, 1e-9);
+}
+
+TEST(Hold, MinTakenOverMultipleFanins) {
+  // Two fanin paths; the hold check must use the EARLIEST (minimum).
+  Circuit c("fanin", 2);
+  Element a1;
+  a1.name = "A1";
+  a1.phase = 1;
+  a1.setup = 1.0;
+  a1.dq = 2.0;
+  a1.dq_min = 1.0;
+  c.add_element(a1);
+  Element a2 = a1;
+  a2.name = "A2";
+  c.add_element(a2);
+  Element b;
+  b.name = "B";
+  b.phase = 2;
+  b.setup = 1.0;
+  b.dq = 2.0;
+  b.hold = 5.0;
+  c.add_element(b);
+  c.add_path("A1", "B", 30.0, 20.0);  // earliest 100+1+20-50 = 71
+  c.add_path("A2", "B", 30.0, 2.0);   // earliest 100+1+2-50  = 53  <- governs
+  const TimingReport rep = check_schedule(c, kSched, with_hold());
+  EXPECT_NEAR(rep.elements[2].hold_slack, 53.0 - 55.0, 1e-9);
+  EXPECT_FALSE(rep.hold_ok);
+}
+
+}  // namespace
+}  // namespace mintc::sta

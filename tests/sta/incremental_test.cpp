@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "circuits/example1.h"
+#include "circuits/synthetic.h"
+#include "opt/mlp.h"
+#include "sta/fixpoint.h"
+
+namespace mintc::sta {
+namespace {
+
+// Full reference solve from zero.
+std::vector<double> reference(const Circuit& c, const ClockSchedule& sch) {
+  const FixpointResult r = compute_departures(
+      c, sch, std::vector<double>(static_cast<size_t>(c.num_elements()), 0.0));
+  EXPECT_TRUE(r.converged);
+  return r.departure;
+}
+
+TEST(Incremental, IncreaseMatchesFullRecompute) {
+  Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(150.0, {0.0, 100.0}, {100.0, 50.0});  // slack everywhere
+  const std::vector<double> before = reference(c, sch);
+
+  const int ld = circuits::example1_ld_path();
+  const double old_delay = c.path(ld).delay;
+  c.set_path_delay(ld, old_delay + 25.0);
+  const FixpointResult inc = incremental_update(c, sch, before, ld, old_delay);
+  ASSERT_TRUE(inc.converged);
+  const std::vector<double> full = reference(c, sch);
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(inc.departure[i], full[i], 1e-9) << i;
+  }
+}
+
+TEST(Incremental, DecreaseFallsBackAndMatches) {
+  Circuit c = circuits::example1(120.0);
+  const ClockSchedule sch(160.0, {0.0, 100.0}, {100.0, 60.0});
+  const std::vector<double> before = reference(c, sch);
+  const int ld = circuits::example1_ld_path();
+  const double old_delay = c.path(ld).delay;
+  c.set_path_delay(ld, 40.0);
+  const FixpointResult inc = incremental_update(c, sch, before, ld, old_delay);
+  ASSERT_TRUE(inc.converged);
+  const std::vector<double> full = reference(c, sch);
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(inc.departure[i], full[i], 1e-9) << i;
+  }
+}
+
+TEST(Incremental, TouchesFewerNodesThanFullSolve) {
+  // A wide synthetic circuit: bumping one path must not re-visit everything.
+  circuits::SyntheticParams p;
+  p.num_phases = 2;
+  p.num_stages = 10;
+  p.latches_per_stage = 4;
+  Circuit c = circuits::synthetic_circuit(p, 12);
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r.has_value());
+  const ClockSchedule sch = r->schedule.scaled(1.3);  // roomy
+  const std::vector<double> before = reference(c, sch);
+
+  const double old_delay = c.path(0).delay;
+  c.set_path_delay(0, old_delay + 1.0);  // small bump, localized effect
+  const FixpointResult inc = incremental_update(c, sch, before, 0, old_delay);
+  ASSERT_TRUE(inc.converged);
+  FixpointOptions evd;
+  evd.scheme = UpdateScheme::kEventDriven;
+  const FixpointResult full = compute_departures(
+      c, sch, std::vector<double>(static_cast<size_t>(c.num_elements()), 0.0), evd);
+  EXPECT_LT(inc.updates, full.updates);
+  for (size_t i = 0; i < full.departure.size(); ++i) {
+    EXPECT_NEAR(inc.departure[i], full.departure[i], 1e-9) << i;
+  }
+}
+
+TEST(Incremental, DivergenceDetectedOnRunawayIncrease) {
+  Circuit c("race", 1);
+  c.add_latch("A", 1, 1.0, 2.0);
+  c.add_latch("B", 1, 1.0, 2.0);
+  c.add_path("A", "B", 1.0);
+  c.add_path("B", "A", 1.0);
+  const ClockSchedule sch(10.0, {0.0}, {10.0});
+  const std::vector<double> before = reference(c, sch);  // feasible: tiny delays
+  c.set_path_delay(0, 30.0);  // now the loop gains every traversal
+  const FixpointResult inc = incremental_update(c, sch, before, 0, 1.0);
+  EXPECT_TRUE(inc.diverged);
+}
+
+TEST(Incremental, NoChangeIsCheap) {
+  Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(150.0, {0.0, 100.0}, {100.0, 50.0});
+  const std::vector<double> before = reference(c, sch);
+  const FixpointResult inc =
+      incremental_update(c, sch, before, 0, c.path(0).delay);  // same delay
+  ASSERT_TRUE(inc.converged);
+  EXPECT_LE(inc.updates, 2);
+}
+
+}  // namespace
+}  // namespace mintc::sta

@@ -1,0 +1,47 @@
+#include "viz/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/example1.h"
+#include "circuits/gaas.h"
+#include "opt/critical.h"
+#include "opt/mlp.h"
+
+namespace mintc::viz {
+namespace {
+
+TEST(Dot, BasicStructure) {
+  const std::string dot = dot_circuit(circuits::example1(80.0));
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("\"L1\" [shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("\"L4\" -> \"L1\""), std::string::npos);
+  EXPECT_NE(dot.find("Ld: 80"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, FlipFlopsGetDistinctShape) {
+  const std::string dot = dot_circuit(circuits::gaas_datapath());
+  EXPECT_NE(dot.find("\"PC\" [shape=doubleoctagon"), std::string::npos);
+  EXPECT_NE(dot.find("\"IR\" [shape=box"), std::string::npos);
+}
+
+TEST(Dot, HighlightsCriticalPaths) {
+  const Circuit c = circuits::example1(80.0);
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r.has_value());
+  const opt::CriticalReport rep = opt::find_critical_segments(c, r->schedule, r->departure);
+  DotOptions opt;
+  opt.highlight_paths = rep.tight_paths;
+  const std::string dot = dot_circuit(c, opt);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(Dot, DelaysCanBeHidden) {
+  DotOptions opt;
+  opt.show_delays = false;
+  const std::string dot = dot_circuit(circuits::example1(80.0), opt);
+  EXPECT_EQ(dot.find("label=\"La"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mintc::viz
