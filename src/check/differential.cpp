@@ -1,0 +1,224 @@
+#include "check/differential.h"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "base/strings.h"
+#include "opt/graph_solver.h"
+#include "opt/mlp.h"
+#include "sim/token_sim.h"
+#include "sta/fixpoint.h"
+
+namespace mintc::check {
+
+const char* to_string(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kSolverAgreement: return "solver-agreement";
+    case CheckKind::kP1Satisfaction: return "p1-satisfaction";
+    case CheckKind::kSchemeAgreement: return "scheme-agreement";
+    case CheckKind::kIncrementalAgreement: return "incremental-agreement";
+    case CheckKind::kSimAgreement: return "sim-agreement";
+  }
+  return "?";
+}
+
+bool DifferentialReport::has(CheckKind kind) const {
+  for (const CheckFailure& f : failures) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+std::string DifferentialReport::to_string() const {
+  if (ok()) return "all engines agree";
+  std::ostringstream out;
+  for (const CheckFailure& f : failures) {
+    out << "[" << check::to_string(f.kind) << "] " << f.detail << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+std::vector<double> zeros(const Circuit& circuit) {
+  return std::vector<double>(static_cast<size_t>(circuit.num_elements()), 0.0);
+}
+
+// Largest per-element difference, with the index where it occurs.
+struct VecDiff {
+  double amount = 0.0;
+  int element = -1;
+};
+
+VecDiff max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  VecDiff d;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double v = std::fabs(a[i] - b[i]);
+    if (v > d.amount) {
+      d.amount = v;
+      d.element = static_cast<int>(i);
+    }
+  }
+  return d;
+}
+
+std::string flag_string(const sta::FixpointResult& r) {
+  if (r.converged) return "converged";
+  if (r.diverged) return "diverged";
+  return "hit the sweep limit";
+}
+
+}  // namespace
+
+DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
+                                 const DifferentialOptions& options) {
+  DifferentialReport rep;
+  const auto fail = [&rep](CheckKind kind, std::string detail) {
+    rep.failures.push_back({kind, std::move(detail)});
+  };
+
+  // Engines 1 and 2: simplex MLP and the difference-constraint graph
+  // solver. The graph solver optionally sees a skewed copy (fault
+  // injection for the shrinker demo).
+  opt::MlpOptions lp_opts;
+  lp_opts.generator = options.generator;
+  const auto lp = opt::minimize_cycle_time(circuit, lp_opts);
+  Circuit graph_input = circuit;
+  if (options.inject_solver_skew != 0.0 && circuit.num_paths() > 0) {
+    graph_input.set_path_delay(0,
+                               circuit.path(0).delay * (1.0 + options.inject_solver_skew));
+  }
+  opt::GraphSolveOptions bf_opts;
+  bf_opts.generator = options.generator;
+  const auto bf = opt::minimize_cycle_time_graph(graph_input, bf_opts);
+
+  if (!lp || !bf) {
+    if (lp.has_value() != bf.has_value()) {
+      std::ostringstream out;
+      out << "simplex " << (lp ? "found Tc*=" + fmt_time(lp->min_cycle, 6) : lp.error().to_string())
+          << " but graph solver "
+          << (bf ? "found Tc*=" + fmt_time(bf->min_cycle, 6) : bf.error().to_string());
+      fail(CheckKind::kSolverAgreement, out.str());
+    } else if (lp.error().kind != bf.error().kind) {
+      fail(CheckKind::kSolverAgreement,
+           std::string("error kinds differ: simplex ") + mintc::to_string(lp.error().kind) +
+               " vs graph " + mintc::to_string(bf.error().kind));
+    }
+    return rep;  // no schedule to run the remaining checks against
+  }
+
+  rep.feasible = true;
+  rep.min_cycle = lp->min_cycle;
+  const double tc_scale = std::max(1.0, std::fabs(lp->min_cycle));
+  if (std::fabs(lp->min_cycle - bf->min_cycle) > options.tc_tol * tc_scale) {
+    fail(CheckKind::kSolverAgreement,
+         "simplex Tc*=" + fmt_time(lp->min_cycle, 8) + " vs graph Tc*=" +
+             fmt_time(bf->min_cycle, 8) + " (tol " + fmt_time(options.tc_tol * tc_scale, 8) + ")");
+  }
+
+  // Each engine's solution must satisfy the nonlinear problem P1 exactly —
+  // not just the relaxed LP rows.
+  if (!opt::satisfies_p1(circuit, lp->schedule, lp->departure, options.p1_eps)) {
+    fail(CheckKind::kP1Satisfaction, "simplex (schedule, departures) violates P1");
+  }
+  if (!opt::satisfies_p1(graph_input, bf->schedule, bf->departure, options.p1_eps)) {
+    fail(CheckKind::kP1Satisfaction, "graph-solver (schedule, departures) violates P1");
+  }
+
+  // Engine 3, internal consistency: every UpdateScheme must reach the same
+  // least fixpoint from zero under the optimal schedule.
+  const sta::UpdateScheme schemes[] = {
+      sta::UpdateScheme::kJacobi, sta::UpdateScheme::kGaussSeidel,
+      sta::UpdateScheme::kEventDriven, sta::UpdateScheme::kSccOrdered};
+  std::vector<double> scheme_ref;
+  for (const sta::UpdateScheme scheme : schemes) {
+    sta::FixpointOptions fo;
+    fo.scheme = scheme;
+    const sta::FixpointResult r = sta::compute_departures(circuit, lp->schedule, zeros(circuit), fo);
+    if (!r.converged) {
+      fail(CheckKind::kSchemeAgreement,
+           std::string(sta::to_string(scheme)) + " " + flag_string(r) + " at the LP optimum");
+      continue;
+    }
+    if (scheme_ref.empty()) {
+      scheme_ref = r.departure;
+      continue;
+    }
+    const VecDiff d = max_abs_diff(scheme_ref, r.departure);
+    if (d.amount > options.departure_tol) {
+      fail(CheckKind::kSchemeAgreement,
+           std::string(sta::to_string(scheme)) + " differs from " +
+               sta::to_string(schemes[0]) + " by " + fmt_time(d.amount, 9) + " at element '" +
+               circuit.element(d.element).name + "'");
+    }
+  }
+
+  // The token simulator re-derives the same steady state dynamically.
+  // Simulate slightly above the optimum (as the sim tests do) so zero-slack
+  // loops do not stretch the generation count.
+  if (options.check_simulation) {
+    const ClockSchedule sim_sch = lp->schedule.scaled(1.02);
+    sim::SimOptions so;
+    so.max_generations = options.sim_max_generations;
+    const sim::SimResult sim = sim::simulate_tokens(circuit, sim_sch, so);
+    const sta::FixpointResult fix = sta::compute_departures(circuit, sim_sch, zeros(circuit));
+    if (sim.converged != fix.converged) {
+      fail(CheckKind::kSimAgreement,
+           std::string("simulation ") + (sim.converged ? "reached" : "missed") +
+               " steady state but the fixpoint " + flag_string(fix));
+    } else if (sim.converged) {
+      const VecDiff d = max_abs_diff(sim.departure, fix.departure);
+      if (d.amount > options.departure_tol) {
+        fail(CheckKind::kSimAgreement,
+             "steady state differs from the fixpoint by " + fmt_time(d.amount, 9) +
+                 " at element '" + circuit.element(d.element).name + "'");
+      }
+    }
+  }
+
+  // Incremental re-analysis vs from-scratch after a random perturbation,
+  // at a relaxed schedule. With slack_factor > 1 + max_perturb every loop
+  // keeps strictly negative gain (a path's delay is at most its loop's sum,
+  // which the optimal Tc covers), so both routes must stay convergent.
+  if (circuit.num_paths() > 0) {
+    std::mt19937_64 rng(rng_seed);
+    std::uniform_int_distribution<int> pick_path(0, circuit.num_paths() - 1);
+    std::uniform_real_distribution<double> magnitude(0.05, options.max_perturb);
+    const int p = pick_path(rng);
+    const ClockSchedule relaxed = lp->schedule.scaled(options.slack_factor);
+    const sta::FixpointResult before = sta::compute_departures(circuit, relaxed, zeros(circuit));
+    if (before.converged) {
+      Circuit mutated = circuit;
+      const double old_delay = circuit.path(p).delay;
+      const double delta = magnitude(rng) * std::max(old_delay, 1.0);
+      const bool increase = (rng() & 1) != 0;
+      const double new_delay =
+          increase ? old_delay + delta
+                   : std::max(circuit.path(p).min_delay, old_delay - delta);
+      mutated.set_path_delay(p, new_delay);
+      const sta::FixpointResult inc =
+          sta::incremental_update(mutated, relaxed, before.departure, p, old_delay);
+      const sta::FixpointResult full = sta::compute_departures(mutated, relaxed, zeros(mutated));
+      const std::string what = "path " + circuit.element(circuit.path(p).from).name + "->" +
+                               circuit.element(circuit.path(p).to).name + " delay " +
+                               fmt_time(old_delay, 6) + " -> " + fmt_time(new_delay, 6);
+      if (inc.converged != full.converged || inc.diverged != full.diverged) {
+        fail(CheckKind::kIncrementalAgreement,
+             what + ": incremental " + flag_string(inc) + " but from-scratch " +
+                 flag_string(full));
+      } else if (inc.converged) {
+        const VecDiff d = max_abs_diff(inc.departure, full.departure);
+        if (d.amount > options.departure_tol) {
+          fail(CheckKind::kIncrementalAgreement,
+               what + ": departures differ by " + fmt_time(d.amount, 9) + " at element '" +
+                   circuit.element(d.element).name + "'");
+        }
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace mintc::check

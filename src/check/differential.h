@@ -1,0 +1,86 @@
+// Differential cross-checking of the library's independent Tc engines.
+//
+// The repo computes the optimal cycle time by three routes that share no
+// machinery beyond the circuit model: Algorithm MLP over the simplex
+// (opt/mlp.h), the difference-constraint/Bellman-Ford solver anticipated by
+// the paper's Section VI (opt/graph_solver.h), and the eq. (17) departure
+// fixpoint validated dynamically by the token simulator (sta/fixpoint.h,
+// sim/token_sim.h). check_circuit() asserts the full agreement matrix on
+// one circuit:
+//
+//   * the simplex and graph-solver optima agree on Tc* (or both report the
+//     same infeasibility),
+//   * each engine's (schedule, departures) satisfies the nonlinear problem
+//     P1 exactly,
+//   * all four UpdateSchemes converge to the same least fixpoint,
+//   * incremental_update after a random delay perturbation matches a
+//     from-scratch solve, and
+//   * the token simulator's steady state matches the analytic fixpoint.
+//
+// This is the oracle behind the fuzzer (fuzzer.h) and the shrinker
+// (shrink.h): any failure here is a bug in at least one engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/circuit.h"
+#include "opt/constraints.h"
+
+namespace mintc::check {
+
+enum class CheckKind {
+  kSolverAgreement,       // simplex Tc* vs graph-solver Tc* (or error kinds)
+  kP1Satisfaction,        // an engine's (schedule, departures) violates P1
+  kSchemeAgreement,       // the four UpdateSchemes disagree on the fixpoint
+  kIncrementalAgreement,  // incremental_update != from-scratch recompute
+  kSimAgreement,          // token-sim steady state != analytic fixpoint
+};
+
+const char* to_string(CheckKind kind);
+
+struct CheckFailure {
+  CheckKind kind = CheckKind::kSolverAgreement;
+  std::string detail;  // human-readable description of the disagreement
+};
+
+struct DifferentialOptions {
+  /// Constraint-generation knobs (hold constraints, nonoverlap, skew, ...)
+  /// handed identically to both optimizing engines.
+  opt::GeneratorOptions generator;
+  double tc_tol = 1e-4;         // |Tc_simplex - Tc_graph| tolerance
+  double departure_tol = 1e-6;  // per-element departure tolerance
+  double p1_eps = 1e-5;         // tolerance handed to satisfies_p1
+  /// The perturbation checks run at the optimum scaled by this factor, so
+  /// every loop has strictly negative gain and all schemes stay convergent.
+  double slack_factor = 1.25;
+  /// Relative size of the random delay perturbation. Must stay below
+  /// slack_factor - 1 - margin or an increase on a tight loop could
+  /// legitimately diverge incrementally (see differential.cpp).
+  double max_perturb = 0.2;
+  bool check_simulation = true;
+  int sim_max_generations = 1024;
+  /// Fault injection for demos and shrinker tests: bump path 0's delay by
+  /// this relative amount in the copy handed to the graph solver only, so
+  /// the engines see different circuits and must disagree. 0 = off.
+  double inject_solver_skew = 0.0;
+};
+
+struct DifferentialReport {
+  std::vector<CheckFailure> failures;
+  bool feasible = false;  // the engines produced a schedule (vs. infeasible)
+  double min_cycle = 0.0; // simplex Tc* when feasible
+
+  bool ok() const { return failures.empty(); }
+  bool has(CheckKind kind) const;
+  std::string to_string() const;
+};
+
+/// Run every cross-engine check on one circuit. `rng_seed` drives the
+/// random delay perturbation of the incremental check; the same seed always
+/// perturbs the same path by the same amount.
+DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
+                                 const DifferentialOptions& options = {});
+
+}  // namespace mintc::check

@@ -1,0 +1,97 @@
+#include "check/shrink.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace mintc::check {
+
+Circuit without_path(const Circuit& circuit, int skip) {
+  Circuit out(circuit.name(), circuit.num_phases());
+  for (const Element& e : circuit.elements()) out.add_element(e);
+  for (int p = 0; p < circuit.num_paths(); ++p) {
+    if (p == skip) continue;
+    const CombPath& cp = circuit.path(p);
+    out.add_path(cp.from, cp.to, cp.delay, cp.min_delay, cp.label);
+  }
+  return out;
+}
+
+Circuit without_element(const Circuit& circuit, int skip) {
+  Circuit out(circuit.name(), circuit.num_phases());
+  std::vector<int> remap(static_cast<size_t>(circuit.num_elements()), -1);
+  for (int i = 0; i < circuit.num_elements(); ++i) {
+    if (i == skip) continue;
+    remap[static_cast<size_t>(i)] = out.add_element(circuit.element(i));
+  }
+  for (const CombPath& p : circuit.paths()) {
+    if (p.from == skip || p.to == skip) continue;
+    out.add_path(remap[static_cast<size_t>(p.from)], remap[static_cast<size_t>(p.to)], p.delay,
+                 p.min_delay, p.label);
+  }
+  return out;
+}
+
+namespace {
+
+Circuit with_cleared_labels(const Circuit& circuit) {
+  Circuit out(circuit.name(), circuit.num_phases());
+  for (const Element& e : circuit.elements()) out.add_element(e);
+  for (const CombPath& p : circuit.paths()) out.add_path(p.from, p.to, p.delay, p.min_delay);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_circuit(const Circuit& failing, const FailurePredicate& still_fails,
+                            const ShrinkOptions& options) {
+  assert(still_fails(failing));
+  ShrinkResult res{failing, 0, 0};
+  const auto try_candidate = [&](Circuit cand) {
+    ++res.attempts;
+    if (!still_fails(cand)) return false;
+    res.circuit = std::move(cand);
+    ++res.accepted;
+    return true;
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool progress = false;
+
+    // Drop paths, highest index first so lower indices survive an accepted
+    // drop unchanged.
+    for (int p = res.circuit.num_paths() - 1; p >= 0; --p) {
+      progress |= try_candidate(without_path(res.circuit, p));
+    }
+
+    // Drop elements (with their incident paths).
+    for (int e = res.circuit.num_elements() - 1; e >= 0; --e) {
+      progress |= try_candidate(without_element(res.circuit, e));
+    }
+
+    // Round delays onto a coarse grid so the repro prints cleanly.
+    for (int p = 0; p < res.circuit.num_paths(); ++p) {
+      const CombPath& path = res.circuit.path(p);
+      double rounded = std::round(path.delay / options.delay_grid) * options.delay_grid;
+      rounded = std::max({rounded, path.min_delay, 0.0});
+      if (std::fabs(rounded - path.delay) < 1e-12) continue;
+      Circuit cand = res.circuit;
+      cand.set_path_delay(p, rounded);
+      progress |= try_candidate(std::move(cand));
+    }
+
+    // Labels are pure annotation; drop them all at once if possible.
+    for (const CombPath& p : res.circuit.paths()) {
+      if (!p.label.empty()) {
+        progress |= try_candidate(with_cleared_labels(res.circuit));
+        break;
+      }
+    }
+
+    if (!progress) break;
+  }
+  return res;
+}
+
+}  // namespace mintc::check

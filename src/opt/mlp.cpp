@@ -14,17 +14,19 @@ namespace {
 Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
                                     const MlpOptions& options);
 
+Error validation_error(const Circuit& circuit, const std::vector<std::string>& problems) {
+  std::ostringstream msg;
+  msg << "circuit '" << circuit.name() << "' failed validation:";
+  for (const std::string& p : problems) msg << "\n  " << p;
+  return make_error(ErrorKind::kInvalidCircuit, msg.str());
+}
+
 }  // namespace
 
 Expected<MlpResult> minimize_cycle_time(const Circuit& circuit, const MlpOptions& options) {
   // Structural validation first: the LP would happily "solve" nonsense.
   const std::vector<std::string> problems = circuit.validate();
-  if (!problems.empty()) {
-    std::ostringstream msg;
-    msg << "circuit '" << circuit.name() << "' failed validation:";
-    for (const std::string& p : problems) msg << "\n  " << p;
-    return make_error(ErrorKind::kInvalidCircuit, msg.str());
-  }
+  if (!problems.empty()) return validation_error(circuit, problems);
   return solve_and_slide(circuit, generate_lp(circuit, options.generator), options);
 }
 
@@ -41,10 +43,7 @@ const char* to_string(SecondaryObjective objective) {
 Expected<MlpResult> refine_schedule(const Circuit& circuit, double cycle_time,
                                     SecondaryObjective objective, const MlpOptions& options) {
   const std::vector<std::string> problems = circuit.validate();
-  if (!problems.empty()) {
-    return make_error(ErrorKind::kInvalidCircuit,
-                      "circuit '" + circuit.name() + "' failed validation");
-  }
+  if (!problems.empty()) return validation_error(circuit, problems);
   GeneratedLp gen = generate_lp(circuit, options.generator);
   // Pin the cycle time and swap in the secondary objective.
   gen.model.add_row("REFINE:Tc", {{gen.vars.tc, 1.0}}, lp::Sense::kEq, cycle_time);

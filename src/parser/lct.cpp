@@ -1,5 +1,6 @@
 #include "parser/lct.h"
 
+#include <cctype>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -16,6 +17,72 @@ Error parse_error(int line, const std::string& what) {
                     "line " + std::to_string(line) + ": " + what);
 }
 
+// Strip a '#' comment, ignoring '#' inside double-quoted values.
+std::string_view strip_comment(std::string_view raw) {
+  bool in_quote = false;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (in_quote) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_quote = false;
+    } else if (c == '"') {
+      in_quote = true;
+    } else if (c == '#') {
+      return raw.substr(0, i);
+    }
+  }
+  return raw;
+}
+
+// Split into whitespace-separated tokens, keeping double-quoted spans (with
+// backslash escapes) inside a single token. Returns nullopt on an
+// unterminated quote.
+std::optional<std::vector<std::string_view>> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    bool in_quote = false;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (in_quote) {
+        if (c == '\\' && i + 1 < line.size()) ++i;
+        else if (c == '"') in_quote = false;
+      } else if (c == '"') {
+        in_quote = true;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      ++i;
+    }
+    if (in_quote) return std::nullopt;
+    tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+// Undo the writer's quoting: `"a\"b"` -> `a"b`. Values not starting with a
+// quote pass through verbatim. Returns nullopt on a malformed quoted value.
+std::optional<std::string> unquote(std::string_view v) {
+  if (v.empty() || v.front() != '"') return std::string(v);
+  if (v.size() < 2 || v.back() != '"') return std::nullopt;
+  std::string out;
+  out.reserve(v.size() - 2);
+  for (size_t i = 1; i + 1 < v.size(); ++i) {
+    if (v[i] == '\\') {
+      if (i + 2 >= v.size()) return std::nullopt;
+      ++i;
+      if (v[i] != '"' && v[i] != '\\') return std::nullopt;
+    }
+    out.push_back(v[i]);
+  }
+  return out;
+}
+
 // Parse "key=value" attributes following the positional tokens.
 std::optional<std::map<std::string, std::string>> parse_attrs(
     const std::vector<std::string_view>& tokens, size_t first) {
@@ -23,9 +90,26 @@ std::optional<std::map<std::string, std::string>> parse_attrs(
   for (size_t i = first; i < tokens.size(); ++i) {
     const auto eq = tokens[i].find('=');
     if (eq == std::string_view::npos || eq == 0) return std::nullopt;
-    attrs[std::string(tokens[i].substr(0, eq))] = std::string(tokens[i].substr(eq + 1));
+    const auto value = unquote(tokens[i].substr(eq + 1));
+    if (!value) return std::nullopt;
+    attrs[std::string(tokens[i].substr(0, eq))] = *value;
   }
   return attrs;
+}
+
+// Quote an attribute value when emitting it bare would not survive
+// strip_comment/split_tokens/parse_attrs: whitespace splits tokens, '#'
+// starts a comment, '=' before the real separator shifts the key, and
+// quote/backslash collide with the escape syntax.
+std::string quote_value(const std::string& v) {
+  if (!v.empty() && v.find_first_of(" \t#\"\\=") == std::string::npos) return v;
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
 }
 
 }  // namespace
@@ -44,11 +128,11 @@ Expected<Circuit> parse_circuit(std::string_view text) {
   int line_no = 0;
   for (std::string_view raw : split(text, '\n')) {
     ++line_no;
-    const auto hash = raw.find('#');
-    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
-    const std::string_view line = trim(raw);
+    const std::string_view line = trim(strip_comment(raw));
     if (line.empty()) continue;
-    const std::vector<std::string_view> tok = split_ws(line);
+    const auto tokens = split_tokens(line);
+    if (!tokens) return parse_error(line_no, "unterminated quote");
+    const std::vector<std::string_view>& tok = *tokens;
     const std::string_view kw = tok[0];
 
     if (kw == "circuit") {
@@ -121,6 +205,10 @@ Expected<Circuit> parse_circuit(std::string_view text) {
         }
       }
       if (delay < 0.0) return parse_error(line_no, "path requires delay=<nonnegative>");
+      if (min_delay > delay) {
+        return parse_error(line_no, "path min=" + fmt_time(min_delay, 6) +
+                                        " exceeds delay=" + fmt_time(delay, 6));
+      }
       circuit->add_path(*from, *to, delay, min_delay, std::move(label));
     } else {
       return parse_error(line_no, "unknown keyword '" + std::string(kw) + "'");
@@ -157,7 +245,7 @@ std::string write_circuit(const Circuit& circuit) {
     out << "path " << circuit.element(p.from).name << " " << circuit.element(p.to).name
         << " delay=" << fmt_time(p.delay, 6);
     if (p.min_delay != 0.0) out << " min=" << fmt_time(p.min_delay, 6);
-    if (!p.label.empty()) out << " label=" << p.label;
+    if (!p.label.empty()) out << " label=" << quote_value(p.label);
     out << "\n";
   }
   return out.str();

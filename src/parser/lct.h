@@ -9,6 +9,12 @@
 //   flipflop <name> phase=<p> setup=<ns> cq=<ns> [hold=<ns>]
 //   path <from> <to> delay=<ns> [min=<ns>] [label=<str>]
 //
+// Attribute values may be double-quoted: `label="ALU stage"`. Inside
+// quotes, whitespace, '#' and '=' are literal, and '"' / '\' are written
+// as '\"' / '\\'. The writer quotes automatically whenever a bare value
+// would not re-parse. `min` must not exceed `delay` (rejected at parse
+// time with the offending line number).
+//
 // `circuit` and `phases` must precede any element; elements must precede
 // the paths that reference them. Unknown keywords are errors (this is a
 // timing sign-off input; silently ignoring lines would be dangerous).

@@ -72,7 +72,10 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
           }
           if (diverged(next[static_cast<size_t>(i)])) {
             res.diverged = true;
-            res.departure = next;
+            // Report a consistent state: this sweep's values up to i, the
+            // previous sweep beyond. (`next` past i still holds the sweep
+            // before last, so copying all of it would mix three sweeps.)
+            std::copy(next.begin(), next.begin() + i + 1, res.departure.begin());
             return res;
           }
         }
@@ -207,9 +210,7 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
   const int l = circuit.num_elements();
   FixpointResult res;
   res.departure = std::move(departure);
-  double bound = std::fabs(schedule.cycle) * (circuit.num_phases() + 1) + 1.0;
-  for (const CombPath& p : circuit.paths()) bound += p.delay;
-  for (const Element& e : circuit.elements()) bound += e.dq;
+  const double bound = divergence_bound(circuit, schedule);
 
   std::vector<bool> queued(static_cast<size_t>(l), false);
   std::vector<int> work;

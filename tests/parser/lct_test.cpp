@@ -139,6 +139,57 @@ TEST(LctWriter, RoundTripsGaasWithFlipFlops) {
   EXPECT_NEAR(a->min_cycle, b->min_cycle, 1e-4);
 }
 
+TEST(LctParser, MinExceedingDelayRejected) {
+  const auto c = parse_circuit(
+      "circuit t\nphases 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n"
+      "path A B delay=5 min=9\n");
+  ASSERT_FALSE(c);
+  EXPECT_NE(c.error().message.find("line 5"), std::string::npos);
+  EXPECT_NE(c.error().message.find("exceeds delay"), std::string::npos);
+}
+
+TEST(LctParser, QuotedLabelWithSpacesHashEquals) {
+  const auto c = parse_circuit(
+      "circuit t\nphases 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n"
+      "path A B delay=5 label=\"ALU #2 = adder\" # trailing comment\n");
+  ASSERT_TRUE(c) << c.error().to_string();
+  EXPECT_EQ(c->path(0).label, "ALU #2 = adder");
+}
+
+TEST(LctParser, QuotedLabelWithEscapes) {
+  const auto c = parse_circuit(
+      "circuit t\nphases 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n"
+      "path A B delay=5 label=\"say \\\"hi\\\" \\\\ bye\"\n");
+  ASSERT_TRUE(c) << c.error().to_string();
+  EXPECT_EQ(c->path(0).label, "say \"hi\" \\ bye");
+}
+
+TEST(LctParser, UnterminatedQuoteRejected) {
+  const auto c = parse_circuit(
+      "circuit t\nphases 1\nlatch A phase=1 setup=1 dq=2\nlatch B phase=1 setup=1 dq=2\n"
+      "path A B delay=5 label=\"oops\n");
+  ASSERT_FALSE(c);
+  EXPECT_NE(c.error().message.find("unterminated quote"), std::string::npos);
+}
+
+TEST(LctWriter, RoundTripsAwkwardLabels) {
+  Circuit original("awkward", 2);
+  original.add_latch("A", 1, 1.0, 2.0);
+  original.add_latch("B", 2, 1.0, 2.0);
+  original.add_path("A", "B", 10.0, 0.0, "two words");
+  original.add_path("B", "A", 12.0, 0.0, "hash # inside");
+  original.add_path("A", "A", 3.0, 0.0, "k=v");
+  original.add_path("B", "B", 4.0, 0.0, "quote \" and \\ slash");
+  const std::string text = write_circuit(original);
+  const auto back = parse_circuit(text);
+  ASSERT_TRUE(back) << back.error().to_string();
+  ASSERT_EQ(back->num_paths(), original.num_paths());
+  for (int i = 0; i < original.num_paths(); ++i) {
+    EXPECT_EQ(back->path(i).label, original.path(i).label) << i;
+    EXPECT_DOUBLE_EQ(back->path(i).delay, original.path(i).delay) << i;
+  }
+}
+
 TEST(LctFiles, SaveAndLoad) {
   const std::string path = testing::TempDir() + "/roundtrip.lct";
   const Circuit original = circuits::example1(100.0);
