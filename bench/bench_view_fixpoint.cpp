@@ -1,0 +1,223 @@
+// Before/after benchmark for the TimingView refactor: the pre-refactor
+// pointer-chasing Gauss-Seidel sweep (replicated below verbatim) vs the
+// flattened-view kernel, on synthetic pipelined datapaths up to 10k latches.
+//
+// Measures steady-state sweep throughput: eps = -1 forces exactly
+// max_sweeps full sweeps regardless of convergence, so both engines do the
+// identical amount of eq. (17) work and the timing difference is purely the
+// memory layout. Writes BENCH_view.json (override with --out <path>);
+// --small shrinks the circuit set for CI smoke runs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+#include "baselines/binary_search.h"
+#include "baselines/edge_triggered.h"
+#include "model/timing_view.h"
+#include "netlist/extract.h"
+#include "netlist/generators.h"
+#include "sta/fixpoint.h"
+
+using namespace mintc;
+
+namespace {
+
+// ---- The pre-refactor inner loop, kept verbatim for comparison ----------
+
+double legacy_departure_update(const Circuit& circuit, const ClockSchedule& schedule,
+                               const std::vector<double>& departure, int i) {
+  const Element& e = circuit.element(i);
+  if (!e.is_latch()) return 0.0;
+  double best = 0.0;
+  for (const int pi : circuit.fanin(i)) {
+    const CombPath& path = circuit.path(pi);
+    const Element& src = circuit.element(path.from);
+    const double a = departure[static_cast<size_t>(path.from)] + src.dq + path.delay +
+                     schedule.shift(src.phase, e.phase);
+    if (a > best) best = a;
+  }
+  return best;
+}
+
+// Gauss-Seidel with the convergence test disabled: exactly `sweeps` passes.
+std::vector<double> legacy_forced_sweeps(const Circuit& circuit, const ClockSchedule& schedule,
+                                         int sweeps, long& relaxations) {
+  const int l = circuit.num_elements();
+  std::vector<double> d(static_cast<size_t>(l), 0.0);
+  for (int s = 0; s < sweeps; ++s) {
+    for (int i = 0; i < l; ++i) {
+      relaxations += static_cast<long>(circuit.fanin(i).size());
+      d[static_cast<size_t>(i)] = legacy_departure_update(circuit, schedule, d, i);
+    }
+  }
+  return d;
+}
+
+// -------------------------------------------------------------------------
+
+struct CaseResult {
+  std::string name;
+  int latches = 0;
+  int edges = 0;
+  int sweeps = 0;
+  double legacy_seconds = 0.0;
+  double view_seconds = 0.0;
+  double view_build_seconds = 0.0;
+  double legacy_rate = 0.0;  // edge relaxations / second
+  double view_rate = 0.0;
+  double speedup = 0.0;
+  bool agrees = false;  // final departures agree to 1e-9 (the legacy loop
+                        // keeps the historical FP association, which may
+                        // differ from the fused constant by ulps)
+};
+
+Circuit make_datapath(int bits, int stages) {
+  netlist::DatapathConfig cfg;
+  cfg.bits = bits;
+  cfg.stages = stages;
+  cfg.num_phases = 2;
+  const auto circuit = netlist::extract_timing_model(netlist::make_pipelined_datapath(cfg));
+  if (!circuit) {
+    std::fprintf(stderr, "extraction failed: %s\n", circuit.error().to_string().c_str());
+    std::exit(1);
+  }
+  return *circuit;
+}
+
+CaseResult run_case(const std::string& name, int bits, int stages, int sweeps, int reps) {
+  const Circuit circuit = make_datapath(bits, stages);
+  // Any schedule with enough slack works — the sweep count is forced, the
+  // values just have to stay bounded. CPM (edge-triggered) Tc is feasible
+  // for the latch circuit too, with margin to spare.
+  const double tc = 1.2 * std::max(1.0, baselines::edge_triggered_cpm(circuit).cycle);
+  const ClockSchedule schedule =
+      baselines::ClockShape::symmetric(circuit.num_phases()).at_cycle(tc);
+
+  CaseResult res;
+  res.name = name;
+  res.latches = circuit.num_elements();
+  res.edges = circuit.num_paths();
+  res.sweeps = sweeps;
+
+  sta::FixpointOptions opt;
+  opt.scheme = sta::UpdateScheme::kGaussSeidel;
+  opt.eps = -1.0;  // every update "changes": forces exactly max_sweeps sweeps
+  opt.max_sweeps = sweeps;
+
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  res.view_build_seconds = view.build_seconds();
+  const std::vector<double> zero(static_cast<size_t>(circuit.num_elements()), 0.0);
+
+  std::vector<double> legacy_final, view_final;
+  long legacy_relax = 0;
+  for (int r = 0; r < reps; ++r) {
+    long relax = 0;
+    const StageTimer timer;
+    legacy_final = legacy_forced_sweeps(circuit, schedule, sweeps, relax);
+    const double t = timer.seconds();
+    legacy_relax = relax;
+    if (r == 0 || t < res.legacy_seconds) res.legacy_seconds = t;
+  }
+  for (int r = 0; r < reps; ++r) {
+    const sta::FixpointResult fix = sta::compute_departures(view, shifts, zero, opt);
+    view_final = fix.departure;
+    if (r == 0 || fix.stats.solve_seconds < res.view_seconds) {
+      res.view_seconds = fix.stats.solve_seconds;
+    }
+  }
+
+  res.legacy_rate = static_cast<double>(legacy_relax) / res.legacy_seconds;
+  res.view_rate = static_cast<double>(legacy_relax) / res.view_seconds;
+  res.speedup = res.legacy_seconds / res.view_seconds;
+  res.agrees = legacy_final.size() == view_final.size();
+  for (size_t i = 0; res.agrees && i < legacy_final.size(); ++i) {
+    const double scale = std::max(1.0, std::fabs(legacy_final[i]));
+    if (std::fabs(legacy_final[i] - view_final[i]) > 1e-9 * scale) res.agrees = false;
+  }
+  return res;
+}
+
+void write_json(const std::vector<CaseResult>& cases, const std::string& path, bool small) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"view_fixpoint\",\n  \"mode\": \"%s\",\n  \"cases\": [\n",
+               small ? "small" : "full");
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"latches\": %d, \"edges\": %d, \"sweeps\": %d,\n"
+                 "     \"legacy_seconds\": %.6e, \"view_seconds\": %.6e,\n"
+                 "     \"view_build_seconds\": %.6e,\n"
+                 "     \"legacy_relax_per_sec\": %.6e, \"view_relax_per_sec\": %.6e,\n"
+                 "     \"speedup\": %.3f, \"agrees\": %s}%s\n",
+                 c.name.c_str(), c.latches, c.edges, c.sweeps, c.legacy_seconds,
+                 c.view_seconds, c.view_build_seconds, c.legacy_rate, c.view_rate, c.speedup,
+                 c.agrees ? "true" : "false", i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  std::string out = "BENCH_view.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      small = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--small] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  struct Spec {
+    const char* name;
+    int bits, stages, sweeps, reps;
+  };
+  std::vector<Spec> specs;
+  if (small) {
+    specs = {{"datapath-8x32", 8, 32, 10, 3}};
+  } else {
+    specs = {{"datapath-8x32", 8, 32, 20, 5},
+             {"datapath-16x64", 16, 64, 20, 5},
+             {"datapath-16x625", 16, 625, 20, 3}};  // 10k latches
+  }
+
+  std::printf("== fixpoint sweep throughput: legacy pointer-chasing vs TimingView ==\n");
+  TextTable table({"circuit", "latches", "edges", "legacy s", "view s", "speedup", "agrees"});
+  std::vector<CaseResult> results;
+  for (const Spec& s : specs) {
+    const CaseResult r = run_case(s.name, s.bits, s.stages, s.sweeps, s.reps);
+    char lbuf[32], vbuf[32], sbuf[32];
+    std::snprintf(lbuf, sizeof lbuf, "%.4f", r.legacy_seconds);
+    std::snprintf(vbuf, sizeof vbuf, "%.4f", r.view_seconds);
+    std::snprintf(sbuf, sizeof sbuf, "%.2fx", r.speedup);
+    table.add_row({r.name, std::to_string(r.latches), std::to_string(r.edges), lbuf, vbuf,
+                   sbuf, r.agrees ? "yes" : "NO"});
+    results.push_back(r);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  write_json(results, out, small);
+
+  for (const CaseResult& r : results) {
+    if (!r.agrees) {
+      std::fprintf(stderr, "FAIL: %s departures differ between engines\n", r.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -8,7 +8,12 @@ namespace mintc::baselines {
 
 UnrolledAnalysis unrolled_analysis(const Circuit& circuit, const ClockSchedule& schedule,
                                    int unroll_cycles) {
-  const int l = circuit.num_elements();
+  return unrolled_analysis(TimingView(circuit), ShiftTable(schedule), unroll_cycles);
+}
+
+UnrolledAnalysis unrolled_analysis(const TimingView& view, const ShiftTable& shifts,
+                                   int unroll_cycles) {
+  const int l = view.num_elements();
   UnrolledAnalysis res;
   res.setup_ok = true;
 
@@ -16,36 +21,34 @@ UnrolledAnalysis unrolled_analysis(const Circuit& circuit, const ClockSchedule& 
   // dependency always runs from a strictly earlier phase.
   std::vector<int> order(static_cast<size_t>(l));
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return circuit.element(a).phase < circuit.element(b).phase;
-  });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return view.phase(a) < view.phase(b); });
 
   std::vector<double> prev(static_cast<size_t>(l), 0.0);  // cycle m-1
   std::vector<double> cur(static_cast<size_t>(l), 0.0);
 
   for (int m = 0; m < unroll_cycles; ++m) {
     for (const int i : order) {
-      const Element& e = circuit.element(i);
       double arrival = -std::numeric_limits<double>::infinity();
-      for (const int pi : circuit.fanin(i)) {
-        const CombPath& path = circuit.path(pi);
-        const Element& src = circuit.element(path.from);
-        const int c = c_flag(src.phase, e.phase);
+      const int fi_end = view.fanin_end(i);
+      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+        const int c = view.edge_cross(fe);
         if (m - c < 0) continue;  // token does not exist yet (power-on)
-        const double d_src = (c == 0) ? cur[static_cast<size_t>(path.from)]
-                                      : prev[static_cast<size_t>(path.from)];
-        arrival = std::max(arrival,
-                           d_src + src.dq + path.delay + schedule.shift(src.phase, e.phase));
+        const int src = view.edge_src(fe);
+        const double d_src =
+            (c == 0) ? cur[static_cast<size_t>(src)] : prev[static_cast<size_t>(src)];
+        arrival =
+            std::max(arrival, d_src + view.edge_max_const(fe) + shifts.at(view.edge_shift(fe)));
       }
-      if (e.is_latch()) {
+      if (view.is_latch(i)) {
         cur[static_cast<size_t>(i)] = std::max(0.0, arrival);
-        if (cur[static_cast<size_t>(i)] + e.setup > schedule.T(e.phase) + 1e-9) {
+        if (cur[static_cast<size_t>(i)] + view.setup(i) > shifts.width(view.phase(i)) + 1e-9) {
           res.setup_ok = false;
           if (res.first_violation_cycle < 0) res.first_violation_cycle = m;
         }
       } else {
         cur[static_cast<size_t>(i)] = 0.0;
-        if (arrival > -e.setup + 1e-9) {
+        if (arrival > -view.setup(i) + 1e-9) {
           res.setup_ok = false;
           if (res.first_violation_cycle < 0) res.first_violation_cycle = m;
         }
@@ -59,8 +62,10 @@ UnrolledAnalysis unrolled_analysis(const Circuit& circuit, const ClockSchedule& 
 
 BaselineResult atv_unrolled(const Circuit& circuit, const ClockShape& shape, int unroll_cycles,
                             const BinarySearchOptions& options) {
+  // Build the flattened view once; only the shift table changes with Tc.
+  const TimingView view(circuit);
   const auto feasible_at = [&](double tc) {
-    return unrolled_analysis(circuit, shape.at_cycle(tc), unroll_cycles).setup_ok;
+    return unrolled_analysis(view, ShiftTable(shape.at_cycle(tc)), unroll_cycles).setup_ok;
   };
 
   BaselineResult res;

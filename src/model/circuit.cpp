@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <set>
 
 #include "base/strings.h"
@@ -61,7 +62,18 @@ int Circuit::add_path(const std::string& from, const std::string& to, double del
 }
 
 void Circuit::set_path_delay(int p, double delay) {
-  paths_.at(static_cast<size_t>(p)).delay = delay;
+  CombPath& path = paths_.at(static_cast<size_t>(p));
+  assert(std::isfinite(delay) && delay >= 0.0 && "path delay must be finite and nonnegative");
+  assert(path.min_delay <= delay && "path max delay must stay >= its min delay");
+  path.delay = delay;
+}
+
+void Circuit::set_path_min_delay(int p, double min_delay) {
+  CombPath& path = paths_.at(static_cast<size_t>(p));
+  assert(std::isfinite(min_delay) && min_delay >= 0.0 &&
+         "path min delay must be finite and nonnegative");
+  assert(min_delay <= path.delay && "path min delay must stay <= its max delay");
+  path.min_delay = min_delay;
 }
 
 std::optional<int> Circuit::find_element(const std::string& name) const {
@@ -116,6 +128,11 @@ std::vector<std::string> Circuit::validate() const {
       problems.push_back("element '" + e.name + "' uses phase " + std::to_string(e.phase) +
                          " outside 1.." + std::to_string(num_phases_));
     }
+    if (!std::isfinite(e.setup) || !std::isfinite(e.dq) || !std::isfinite(e.hold) ||
+        !std::isfinite(e.min_dq())) {
+      problems.push_back("element '" + e.name + "' has a non-finite timing parameter");
+      continue;  // the sign/ordering checks below are meaningless on NaN
+    }
     if (e.setup < 0.0) problems.push_back("element '" + e.name + "' has negative setup time");
     if (e.dq < 0.0) problems.push_back("element '" + e.name + "' has negative Δ_DQ");
     if (e.hold < 0.0) problems.push_back("element '" + e.name + "' has negative hold time");
@@ -130,6 +147,10 @@ std::vector<std::string> Circuit::validate() const {
   }
   std::set<std::pair<int, int>> seen;
   for (const CombPath& p : paths_) {
+    if (!std::isfinite(p.delay) || !std::isfinite(p.min_delay)) {
+      problems.push_back("path '" + p.label + "' has a non-finite delay");
+      continue;
+    }
     if (p.delay < 0.0) {
       problems.push_back("path '" + p.label + "' has negative max delay");
     }

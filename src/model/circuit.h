@@ -63,8 +63,13 @@ class Circuit {
   const std::vector<CombPath>& paths() const { return paths_; }
 
   /// Change a path's worst-case delay (used by parametric sweeps, e.g.
-  /// varying Δ41 in example 1).
+  /// varying Δ41 in example 1). Asserts that the new delay is finite,
+  /// nonnegative and still >= the path's min delay.
   void set_path_delay(int p, double delay);
+
+  /// Change a path's best-case delay. Asserts that the new min delay is
+  /// finite, nonnegative and still <= the path's max delay.
+  void set_path_min_delay(int p, double min_delay);
 
   /// Element index by name, if present.
   std::optional<int> find_element(const std::string& name) const;
@@ -87,8 +92,9 @@ class Circuit {
   graph::Digraph latch_graph() const;
 
   /// Structural validation; returns human-readable problems (empty = OK).
-  /// Checks: phases in range, nonnegative parameters, min <= max delays,
-  /// the paper's Δ_DQ >= Δ_DC assumption, and duplicate parallel paths.
+  /// Checks: phases in range, finite and nonnegative parameters, min <= max
+  /// delays, the paper's Δ_DQ >= Δ_DC assumption, and duplicate parallel
+  /// paths.
   std::vector<std::string> validate() const;
 
  private:

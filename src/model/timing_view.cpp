@@ -1,0 +1,152 @@
+#include "model/timing_view.h"
+
+#include <limits>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc {
+
+void EngineStats::absorb(const EngineStats& other) {
+  view_build_seconds += other.view_build_seconds;
+  shift_build_seconds += other.shift_build_seconds;
+  solve_seconds += other.solve_seconds;
+  sweeps += other.sweeps;
+  edge_relaxations += other.edge_relaxations;
+  for (const auto& [name, seconds] : other.stages) stages.emplace_back(name, seconds);
+}
+
+std::string EngineStats::to_string() const {
+  std::ostringstream out;
+  out << "view-build " << fmt_time(view_build_seconds * 1e3, 3) << " ms, shift-build "
+      << fmt_time(shift_build_seconds * 1e3, 3) << " ms, solve "
+      << fmt_time(solve_seconds * 1e3, 3) << " ms, " << sweeps << " sweep"
+      << (sweeps == 1 ? "" : "s") << ", " << edge_relaxations << " edge relaxations";
+  for (const auto& [name, seconds] : stages) {
+    out << ", " << name << " " << fmt_time(seconds * 1e3, 3) << " ms";
+  }
+  return out.str();
+}
+
+ShiftTable::ShiftTable(const ClockSchedule& schedule) {
+  const StageTimer timer;
+  k_ = schedule.num_phases();
+  cycle_ = schedule.cycle;
+  shift_.resize(static_cast<size_t>(k_) * static_cast<size_t>(k_));
+  start_.resize(static_cast<size_t>(k_));
+  width_.resize(static_cast<size_t>(k_));
+  for (int i = 1; i <= k_; ++i) {
+    start_[static_cast<size_t>(i - 1)] = schedule.s(i);
+    width_[static_cast<size_t>(i - 1)] = schedule.T(i);
+    for (int j = 1; j <= k_; ++j) {
+      shift_[static_cast<size_t>((i - 1) * k_ + (j - 1))] = schedule.shift(i, j);
+    }
+  }
+  build_seconds_ = timer.seconds();
+}
+
+TimingView::TimingView(const Circuit& circuit) {
+  const StageTimer timer;
+  num_elements_ = circuit.num_elements();
+  num_edges_ = circuit.num_paths();
+  num_phases_ = circuit.num_phases();
+  const size_t l = static_cast<size_t>(num_elements_);
+  const size_t m = static_cast<size_t>(num_edges_);
+
+  latch_.resize(l);
+  phase_.resize(l);
+  setup_.resize(l);
+  hold_.resize(l);
+  dq_.resize(l);
+  min_dq_.resize(l);
+  for (int i = 0; i < num_elements_; ++i) {
+    const Element& e = circuit.element(i);
+    latch_[static_cast<size_t>(i)] = e.is_latch() ? 1 : 0;
+    phase_[static_cast<size_t>(i)] = e.phase;
+    setup_[static_cast<size_t>(i)] = e.setup;
+    hold_[static_cast<size_t>(i)] = e.hold;
+    dq_[static_cast<size_t>(i)] = e.dq;
+    min_dq_[static_cast<size_t>(i)] = e.min_dq();
+    divergence_base_ += e.dq;
+  }
+
+  // Fan-in CSR: walk destinations in order, preserving each Circuit::fanin
+  // list's (ascending path-index) order so kernel iteration order is
+  // unchanged from the pre-refactor loops.
+  fanin_offset_.assign(l + 1, 0);
+  src_.resize(m);
+  dst_.resize(m);
+  path_of_edge_.resize(m);
+  edge_of_path_.resize(m);
+  shift_index_.resize(m);
+  cross_.resize(m);
+  max_const_.resize(m);
+  min_const_.resize(m);
+  int e = 0;
+  for (int i = 0; i < num_elements_; ++i) {
+    fanin_offset_[static_cast<size_t>(i)] = e;
+    for (const int p : circuit.fanin(i)) {
+      const CombPath& path = circuit.path(p);
+      const Element& src = circuit.element(path.from);
+      src_[static_cast<size_t>(e)] = path.from;
+      dst_[static_cast<size_t>(e)] = path.to;
+      path_of_edge_[static_cast<size_t>(e)] = p;
+      edge_of_path_[static_cast<size_t>(p)] = e;
+      max_const_[static_cast<size_t>(e)] = src.dq + path.delay;
+      min_const_[static_cast<size_t>(e)] = src.min_dq() + path.min_delay;
+      shift_index_[static_cast<size_t>(e)] =
+          (src.phase - 1) * num_phases_ + (phase_[static_cast<size_t>(i)] - 1);
+      cross_[static_cast<size_t>(e)] = c_flag(src.phase, phase_[static_cast<size_t>(i)]);
+      ++e;
+    }
+  }
+  fanin_offset_[l] = e;
+  assert(e == num_edges_ && "every path must appear in exactly one fanin list");
+
+  for (const CombPath& p : circuit.paths()) divergence_base_ += p.delay;
+
+  // Fan-out CSR: edge ids leaving each element, preserving Circuit::fanout
+  // order.
+  fanout_offset_.assign(l + 1, 0);
+  fanout_edges_.resize(m);
+  int f = 0;
+  for (int i = 0; i < num_elements_; ++i) {
+    fanout_offset_[static_cast<size_t>(i)] = f;
+    for (const int p : circuit.fanout(i)) {
+      fanout_edges_[static_cast<size_t>(f)] = edge_of_path_[static_cast<size_t>(p)];
+      ++f;
+    }
+  }
+  fanout_offset_[l] = f;
+
+  build_seconds_ = timer.seconds();
+}
+
+double early_departure_update(const TimingView& view, const ShiftTable& shifts,
+                              const std::vector<double>& departure, int i) {
+  if (!view.is_latch(i)) return 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double earliest = kInf;
+  const int end = view.fanin_end(i);
+  for (int e = view.fanin_begin(i); e < end; ++e) {
+    const double a = departure[static_cast<size_t>(view.edge_src(e))] +
+                     view.edge_min_const(e) + shifts.at(view.edge_shift(e));
+    if (a < earliest) earliest = a;
+  }
+  if (earliest == kInf) return 0.0;  // no fanin: departs at the leading edge
+  return earliest > 0.0 ? earliest : 0.0;
+}
+
+double arrival_update(const TimingView& view, const ShiftTable& shifts,
+                      const std::vector<double>& departure, int i) {
+  double latest = -std::numeric_limits<double>::infinity();
+  const int end = view.fanin_end(i);
+  for (int e = view.fanin_begin(i); e < end; ++e) {
+    const double a = departure[static_cast<size_t>(view.edge_src(e))] +
+                     view.edge_max_const(e) + shifts.at(view.edge_shift(e));
+    if (a > latest) latest = a;
+  }
+  return latest;
+}
+
+}  // namespace mintc

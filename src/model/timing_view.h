@@ -1,0 +1,207 @@
+// The flattened timing kernel layer shared by every engine.
+//
+// Every engine that evaluates the SMO propagation term (eq. 17)
+//
+//     D_j + Δ_DQ(j) + Δ_ji + S_{pj,pi}
+//
+// used to re-derive it by chasing Circuit::fanin(i) -> path(pi) ->
+// element(path.from) through nested vectors and recomputing
+// ClockSchedule::shift per edge per sweep. TimingView replaces those six
+// hand-rolled copies of the inner loop with one immutable, index-flattened
+// representation built once per Circuit:
+//
+//   * CSR fan-in / fan-out arrays (contiguous, cache-friendly);
+//   * per-edge precomputed constants Δ_DQ(from) + Δ_ij (and the min-delay
+//     analogue min_DQ(from) + δ_ij for the hold/short-path direction);
+//   * per-edge flattened (p_from, p_to) phase-pair indices and C flags.
+//
+// A ShiftTable is the per-ClockSchedule companion: the k×k matrix of
+// S_ij values built once, so the inner-loop term becomes two array loads
+// and two adds with zero pointer chasing:
+//
+//     d[edge_src(e)] + edge_max_const(e) + shifts.at(edge_shift(e))
+//
+// Invalidation rules: a TimingView is a snapshot. Mutating the Circuit in
+// any way (set_path_delay, set_path_min_delay, add_path, add_element)
+// invalidates the view — rebuild it. A ShiftTable is likewise a snapshot
+// of one ClockSchedule; a new schedule (or a scaled copy) needs a new
+// table. Builds are O(l + E) and O(k^2) respectively, negligible next to a
+// single fixpoint sweep, so engines simply rebuild at entry.
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/circuit.h"
+
+namespace mintc {
+
+/// Per-stage engine accounting threaded through FixpointResult /
+/// TimingReport / MlpResult so benches and the fuzzer can report where
+/// time goes. Cheap by construction: timers are read only at stage
+/// boundaries and edge relaxations are accumulated from CSR widths, never
+/// inside the innermost loop.
+struct EngineStats {
+  double view_build_seconds = 0.0;   // TimingView construction (0 if reused)
+  double shift_build_seconds = 0.0;  // ShiftTable construction
+  double solve_seconds = 0.0;        // the iterative kernel stage
+  int sweeps = 0;                    // full passes over the element set
+  long edge_relaxations = 0;         // eq. (17) edge terms evaluated
+
+  /// Additional named stages (e.g. "lp-solve", "hold-slack") in order.
+  std::vector<std::pair<std::string, double>> stages;
+
+  void add_stage(std::string name, double seconds) {
+    stages.emplace_back(std::move(name), seconds);
+  }
+  /// Merge counters and stages of a sub-stage into this one.
+  void absorb(const EngineStats& other);
+  std::string to_string() const;
+};
+
+/// Monotonic stopwatch for stage accounting.
+class StageTimer {
+ public:
+  StageTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The k×k phase-shift matrix S_ij (eq. 12) of one ClockSchedule, plus the
+/// flat start/width arrays, all built once so no engine recomputes
+/// s_i - s_j - C_ij*Tc (or bounds-checks a vector) per edge per sweep.
+class ShiftTable {
+ public:
+  explicit ShiftTable(const ClockSchedule& schedule);
+
+  int num_phases() const { return k_; }
+  double cycle() const { return cycle_; }
+  double build_seconds() const { return build_seconds_; }
+
+  /// S_ij by flat index (see TimingView::edge_shift).
+  double at(int flat) const { return shift_[static_cast<size_t>(flat)]; }
+  /// S_ij, 1-based phases.
+  double shift(int i, int j) const {
+    return shift_[static_cast<size_t>((i - 1) * k_ + (j - 1))];
+  }
+  double start(int phase) const { return start_[static_cast<size_t>(phase - 1)]; }
+  double width(int phase) const { return width_[static_cast<size_t>(phase - 1)]; }
+
+ private:
+  int k_ = 0;
+  double cycle_ = 0.0;
+  double build_seconds_ = 0.0;
+  std::vector<double> shift_;  // (i-1)*k + (j-1) -> S_ij
+  std::vector<double> start_;
+  std::vector<double> width_;
+};
+
+/// Immutable index-flattened view of a Circuit. "Edges" are the circuit's
+/// CombPaths re-indexed in fan-in (destination-major) order; edge_path /
+/// edge_of_path translate between the two numberings.
+class TimingView {
+ public:
+  explicit TimingView(const Circuit& circuit);
+
+  int num_elements() const { return num_elements_; }
+  int num_edges() const { return num_edges_; }
+  int num_phases() const { return num_phases_; }
+  double build_seconds() const { return build_seconds_; }
+
+  // -- Per-element arrays ---------------------------------------------------
+  bool is_latch(int i) const { return latch_[static_cast<size_t>(i)] != 0; }
+  int phase(int i) const { return phase_[static_cast<size_t>(i)]; }  // 1-based
+  double setup(int i) const { return setup_[static_cast<size_t>(i)]; }
+  double hold(int i) const { return hold_[static_cast<size_t>(i)]; }
+  double dq(int i) const { return dq_[static_cast<size_t>(i)]; }
+  double min_dq(int i) const { return min_dq_[static_cast<size_t>(i)]; }
+
+  // -- Fan-in CSR -----------------------------------------------------------
+  // Edges entering element i are fanin_begin(i) .. fanin_end(i), in the same
+  // (ascending path-index) order Circuit::fanin used to yield.
+  int fanin_begin(int i) const { return fanin_offset_[static_cast<size_t>(i)]; }
+  int fanin_end(int i) const { return fanin_offset_[static_cast<size_t>(i) + 1]; }
+  int fanin_count(int i) const { return fanin_end(i) - fanin_begin(i); }
+
+  int edge_src(int e) const { return src_[static_cast<size_t>(e)]; }
+  int edge_dst(int e) const { return dst_[static_cast<size_t>(e)]; }
+  /// Original Circuit path index of edge e, and the inverse mapping.
+  int edge_path(int e) const { return path_of_edge_[static_cast<size_t>(e)]; }
+  int edge_of_path(int p) const { return edge_of_path_[static_cast<size_t>(p)]; }
+  /// Δ_DQ(from) + Δ_ij — the long-path propagation constant.
+  double edge_max_const(int e) const { return max_const_[static_cast<size_t>(e)]; }
+  /// min_DQ(from) + δ_ij — the short-path (hold) analogue.
+  double edge_min_const(int e) const { return min_const_[static_cast<size_t>(e)]; }
+  /// Flat (p_from, p_to) index into ShiftTable::at.
+  int edge_shift(int e) const { return shift_index_[static_cast<size_t>(e)]; }
+  /// C_{p_from, p_to} (eq. 1): 1 if the edge crosses a cycle boundary.
+  int edge_cross(int e) const { return cross_[static_cast<size_t>(e)]; }
+
+  // -- Fan-out CSR ----------------------------------------------------------
+  // Entries are edge ids (usable with edge_* above) leaving element i, in
+  // the same order Circuit::fanout used to yield.
+  int fanout_begin(int i) const { return fanout_offset_[static_cast<size_t>(i)]; }
+  int fanout_end(int i) const { return fanout_offset_[static_cast<size_t>(i) + 1]; }
+  int fanout_edge(int f) const { return fanout_edges_[static_cast<size_t>(f)]; }
+
+  /// Σ Δ_ij + Σ Δ_DQ over the whole circuit — the schedule-independent part
+  /// of the fixpoint divergence bound.
+  double divergence_base() const { return divergence_base_; }
+
+ private:
+  int num_elements_ = 0;
+  int num_edges_ = 0;
+  int num_phases_ = 0;
+  double build_seconds_ = 0.0;
+  double divergence_base_ = 0.0;
+
+  std::vector<char> latch_;
+  std::vector<int> phase_;
+  std::vector<double> setup_, hold_, dq_, min_dq_;
+
+  std::vector<int> fanin_offset_;  // l + 1
+  std::vector<int> src_, dst_, path_of_edge_, edge_of_path_, shift_index_;
+  std::vector<int> cross_;
+  std::vector<double> max_const_, min_const_;
+
+  std::vector<int> fanout_offset_;  // l + 1
+  std::vector<int> fanout_edges_;
+};
+
+/// Evaluate the right-hand side of eq. (17) for element `i`:
+/// max(0, max over fan-in edges of D_src + (Δ_DQ + Δ) + S). Returns 0 for
+/// flip-flops and latches without fan-in. This IS the pre-refactor
+/// sta::departure_update inner loop, minus the pointer chasing.
+inline double departure_update(const TimingView& view, const ShiftTable& shifts,
+                               const std::vector<double>& departure, int i) {
+  if (!view.is_latch(i)) return 0.0;
+  double best = 0.0;
+  const int end = view.fanin_end(i);
+  for (int e = view.fanin_begin(i); e < end; ++e) {
+    const double a = departure[static_cast<size_t>(view.edge_src(e))] +
+                     view.edge_max_const(e) + shifts.at(view.edge_shift(e));
+    if (a > best) best = a;
+  }
+  return best;
+}
+
+/// The earliest-departure (min-fixpoint) analogue over min delays, used by
+/// the hold/short-path check: max(0, min over fan-in of
+/// d_src + (min_DQ + δ) + S); 0 for flip-flops and latches without fan-in
+/// (they depart at the leading edge).
+double early_departure_update(const TimingView& view, const ShiftTable& shifts,
+                              const std::vector<double>& departure, int i);
+
+/// Latest arrival A_i (eq. 14) at element `i` given fixed departures;
+/// -infinity when i has no fan-in (the paper's Δ == -inf convention).
+double arrival_update(const TimingView& view, const ShiftTable& shifts,
+                      const std::vector<double>& departure, int i);
+
+}  // namespace mintc

@@ -6,6 +6,7 @@
 #include "base/approx.h"
 #include "base/strings.h"
 #include "graph/cycles.h"
+#include "model/timing_view.h"
 
 namespace mintc::opt {
 
@@ -53,41 +54,41 @@ CriticalReport find_critical_segments(const Circuit& circuit, const ClockSchedul
   CriticalReport report;
   report.path_slack.resize(static_cast<size_t>(circuit.num_paths()), 0.0);
 
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+
   // Path slacks at the fixpoint. Flip-flop destinations have no L2R row;
   // report their slack against the setup deadline instead.
   for (int p = 0; p < circuit.num_paths(); ++p) {
-    const CombPath& path = circuit.path(p);
-    const Element& src = circuit.element(path.from);
-    const Element& dst = circuit.element(path.to);
-    const double arrival_term = departure[static_cast<size_t>(path.from)] + src.dq +
-                                path.delay + schedule.shift(src.phase, dst.phase);
+    const int e = view.edge_of_path(p);
+    const int dst = view.edge_dst(e);
+    const double arrival_term = departure[static_cast<size_t>(view.edge_src(e))] +
+                                view.edge_max_const(e) + shifts.at(view.edge_shift(e));
     double slack;
-    if (dst.is_latch()) {
-      slack = departure[static_cast<size_t>(path.to)] - arrival_term;
+    if (view.is_latch(dst)) {
+      slack = departure[static_cast<size_t>(dst)] - arrival_term;
     } else {
-      slack = -dst.setup - arrival_term;
+      slack = -view.setup(dst) - arrival_term;
     }
     report.path_slack[static_cast<size_t>(p)] = slack;
     if (approx_eq(slack, 0.0, eps)) report.tight_paths.push_back(p);
   }
 
   // Setup-critical elements.
-  for (int i = 0; i < circuit.num_elements(); ++i) {
-    const Element& e = circuit.element(i);
-    if (!e.is_latch()) continue;
-    const double slack = schedule.T(e.phase) - e.setup - departure[static_cast<size_t>(i)];
+  for (int i = 0; i < view.num_elements(); ++i) {
+    if (!view.is_latch(i)) continue;
+    const double slack =
+        shifts.width(view.phase(i)) - view.setup(i) - departure[static_cast<size_t>(i)];
     if (approx_eq(slack, 0.0, eps)) report.setup_critical.push_back(i);
   }
 
   // Critical loops: cycles within the tight-path subgraph.
   graph::Digraph tight(circuit.num_elements());
   for (const int p : report.tight_paths) {
-    const CombPath& path = circuit.path(p);
-    const Element& src = circuit.element(path.from);
-    const Element& dst = circuit.element(path.to);
-    if (!dst.is_latch()) continue;
-    tight.add_edge(path.from, path.to, src.dq + path.delay,
-                   static_cast<double>(c_flag(src.phase, dst.phase)), p);
+    const int e = view.edge_of_path(p);
+    if (!view.is_latch(view.edge_dst(e))) continue;
+    tight.add_edge(view.edge_src(e), view.edge_dst(e), view.edge_max_const(e),
+                   static_cast<double>(view.edge_cross(e)), p);
   }
   std::vector<graph::SimpleCycle> cycles;
   graph::enumerate_simple_cycles(tight, cycles, 1000);

@@ -32,7 +32,8 @@ struct DiffSystem {
   }
 };
 
-DiffSystem build_system(const Circuit& circuit, const GeneratorOptions& opt) {
+DiffSystem build_system(const Circuit& circuit, const TimingView& view,
+                        const GeneratorOptions& opt) {
   DiffSystem sys;
   const int k = circuit.num_phases();
   const int l = circuit.num_elements();
@@ -71,23 +72,22 @@ DiffSystem build_system(const Circuit& circuit, const GeneratorOptions& opt) {
   }
 
   for (int i = 0; i < l; ++i) {
-    const Element& e = circuit.element(i);
-    const int p = e.phase;
+    const int p = view.phase(i);
+    const double setup_skew = view.setup(i) + opt.clock_skew;
     const int dn = sys.d_node[static_cast<size_t>(i)];
+    const int fi_end = view.fanin_end(i);
     // L3: D >= 0  ->  s_p - dh <= 0.
     sys.add(s_of(p), dn, 0.0);
-    if (e.is_latch()) {
+    if (view.is_latch(i)) {
       if (!opt.arrival_based_setup) {
         // L1: dh - e_p <= -setup - skew.
-        sys.add(dn, e_of(p), -(e.setup + opt.clock_skew));
+        sys.add(dn, e_of(p), -setup_skew);
       } else {
-        for (const int pi : circuit.fanin(i)) {
-          const CombPath& path = circuit.path(pi);
-          const Element& src = circuit.element(path.from);
+        for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
           // A_i + setup <= T_p: dh_j - e_p <= C*Tc - dq - delta - setup.
-          sys.add(sys.d_node[static_cast<size_t>(path.from)], e_of(p),
-                  -(src.dq + path.delay + e.setup + opt.clock_skew),
-                  static_cast<double>(c_flag(src.phase, p)));
+          sys.add(sys.d_node[static_cast<size_t>(view.edge_src(fe))], e_of(p),
+                  -(view.edge_max_const(fe) + setup_skew),
+                  static_cast<double>(view.edge_cross(fe)));
         }
       }
     } else {
@@ -95,26 +95,23 @@ DiffSystem build_system(const Circuit& circuit, const GeneratorOptions& opt) {
       sys.add(dn, s_of(p), 0.0);
       sys.add(s_of(p), dn, 0.0);
       // FF setup: dh_j - s_p <= C*Tc - dq - delta - setup.
-      for (const int pi : circuit.fanin(i)) {
-        const CombPath& path = circuit.path(pi);
-        const Element& src = circuit.element(path.from);
-        sys.add(sys.d_node[static_cast<size_t>(path.from)], s_of(p),
-                -(src.dq + path.delay + e.setup + opt.clock_skew),
-                static_cast<double>(c_flag(src.phase, p)));
+      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+        sys.add(sys.d_node[static_cast<size_t>(view.edge_src(fe))], s_of(p),
+                -(view.edge_max_const(fe) + setup_skew),
+                static_cast<double>(view.edge_cross(fe)));
       }
     }
     // Hold extension.
     if (opt.hold_constraints) {
-      for (const int pi : circuit.fanin(i)) {
-        const CombPath& path = circuit.path(pi);
-        const Element& src = circuit.element(path.from);
-        const double c = static_cast<double>(c_flag(src.phase, p));
-        const double rhs_base = -(e.hold - src.min_dq() - path.min_delay);
-        if (e.is_latch()) {
+      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+        const double c = static_cast<double>(view.edge_cross(fe));
+        const double rhs_base = -(view.hold(i) - view.edge_min_const(fe));
+        const int src_phase = view.phase(view.edge_src(fe));
+        if (view.is_latch(i)) {
           // e_p - s_pj <= (1-C)*Tc - hold + delta.
-          sys.add(e_of(p), s_of(src.phase), rhs_base, 1.0 - c);
+          sys.add(e_of(p), s_of(src_phase), rhs_base, 1.0 - c);
         } else {
-          sys.add(s_of(p), s_of(src.phase), rhs_base, 1.0 - c);
+          sys.add(s_of(p), s_of(src_phase), rhs_base, 1.0 - c);
         }
       }
     }
@@ -122,13 +119,11 @@ DiffSystem build_system(const Circuit& circuit, const GeneratorOptions& opt) {
 
   // L2R propagation: dh_j - dh_i <= C*Tc - dq_j - delta_ji.
   for (int pi = 0; pi < circuit.num_paths(); ++pi) {
-    const CombPath& path = circuit.path(pi);
-    const Element& src = circuit.element(path.from);
-    const Element& dst = circuit.element(path.to);
-    if (!dst.is_latch()) continue;
-    sys.add(sys.d_node[static_cast<size_t>(path.from)],
-            sys.d_node[static_cast<size_t>(path.to)], -(src.dq + path.delay),
-            static_cast<double>(c_flag(src.phase, dst.phase)));
+    const int fe = view.edge_of_path(pi);
+    if (!view.is_latch(view.edge_dst(fe))) continue;
+    sys.add(sys.d_node[static_cast<size_t>(view.edge_src(fe))],
+            sys.d_node[static_cast<size_t>(view.edge_dst(fe))], -view.edge_max_const(fe),
+            static_cast<double>(view.edge_cross(fe)));
   }
   return sys;
 }
@@ -169,7 +164,8 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
     return make_error(ErrorKind::kInvalidCircuit,
                       "circuit '" + circuit.name() + "' failed validation");
   }
-  const DiffSystem sys = build_system(circuit, options.generator);
+  const TimingView view(circuit);
+  const DiffSystem sys = build_system(circuit, view, options.generator);
   GraphSolveResult res;
   std::vector<double> x;
 

@@ -64,8 +64,10 @@ namespace {
 
 Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
                                     const MlpOptions& options) {
+  const StageTimer lp_timer;
   const lp::SimplexSolver solver(options.lp);
   const lp::Solution sol = solver.solve(gen.model);
+  const double lp_seconds = lp_timer.seconds();
   switch (sol.status) {
     case lp::SolveStatus::kOptimal:
       break;
@@ -103,6 +105,8 @@ Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
   res.departure = fix.departure;
   res.fixpoint_sweeps = fix.sweeps;
   res.fixpoint_updates = fix.updates;
+  res.stats = fix.stats;
+  res.stats.add_stage("lp-solve", lp_seconds);
 
   // Critical constraints: tight rows with non-zero duals.
   for (int r = 0; r < gen.model.num_rows(); ++r) {
@@ -122,27 +126,24 @@ bool satisfies_p1(const Circuit& circuit, const ClockSchedule& schedule,
   // Clock constraints C1-C4 (+C3 for the circuit's K matrix).
   if (!check_clock_constraints(schedule, circuit.k_matrix(), eps).empty()) return false;
 
-  for (int i = 0; i < circuit.num_elements(); ++i) {
-    const Element& e = circuit.element(i);
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  for (int i = 0; i < view.num_elements(); ++i) {
     const double d = departure[static_cast<size_t>(i)];
     // L3.
     if (definitely_lt(d, 0.0, eps)) return false;
-    if (e.is_latch()) {
+    if (view.is_latch(i)) {
       // L1 (eq. 16).
-      if (definitely_gt(d + e.setup, schedule.T(e.phase), eps)) return false;
+      if (definitely_gt(d + view.setup(i), shifts.width(view.phase(i)), eps)) return false;
       // L2 as an equality (eq. 17).
-      const double expect = sta::departure_update(circuit, schedule, departure, i);
+      const double expect = mintc::departure_update(view, shifts, departure, i);
       if (!approx_eq(d, expect, eps)) return false;
     } else {
-      // Flip-flop: pinned departure and leading-edge setup.
+      // Flip-flop: pinned departure and leading-edge setup; the arrival on
+      // every fan-in edge must precede the leading edge by the setup time.
       if (!approx_eq(d, 0.0, eps)) return false;
-      for (const int pi : circuit.fanin(i)) {
-        const CombPath& path = circuit.path(pi);
-        const Element& src = circuit.element(path.from);
-        const double a = departure[static_cast<size_t>(path.from)] + src.dq + path.delay +
-                         schedule.shift(src.phase, e.phase);
-        if (definitely_gt(a, -e.setup, eps)) return false;
-      }
+      const double a = arrival_update(view, shifts, departure, i);
+      if (view.fanin_count(i) > 0 && definitely_gt(a, -view.setup(i), eps)) return false;
     }
   }
   return true;

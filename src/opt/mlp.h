@@ -50,6 +50,9 @@ struct MlpResult {
   lp::SolveStats lp_stats;
   ConstraintCounts counts;
   std::vector<TightConstraint> critical;
+  /// Per-stage accounting: the slide fixpoint's stats plus an "lp-solve"
+  /// stage for the simplex step.
+  EngineStats stats;
 };
 
 /// Run Algorithm MLP on the circuit. Fails with:

@@ -1,5 +1,6 @@
 #include "parser/lcs.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -11,6 +12,12 @@ namespace {
 Error parse_error(int line, const std::string& what) {
   return make_error(ErrorKind::kInvalidArgument,
                     "line " + std::to_string(line) + ": " + what);
+}
+
+// Reject "nan"/"inf": strtod accepts them, but a non-finite cycle or edge
+// position makes every shift S_ij non-finite.
+bool parse_finite(std::string_view s, double& out) {
+  return parse_double(s, out) && std::isfinite(out);
 }
 }  // namespace
 
@@ -27,7 +34,7 @@ Expected<ClockSchedule> parse_schedule(std::string_view text) {
     const std::vector<std::string_view> tok = split_ws(line);
 
     if (tok[0] == "cycle") {
-      if (tok.size() != 2 || !parse_double(tok[1], sch.cycle)) {
+      if (tok.size() != 2 || !parse_finite(tok[1], sch.cycle)) {
         return parse_error(line_no, "usage: cycle <Tc>");
       }
       have_cycle = true;
@@ -48,9 +55,9 @@ Expected<ClockSchedule> parse_schedule(std::string_view text) {
         if (eq == std::string_view::npos) return parse_error(line_no, "expected key=value");
         const std::string_view key = tok[i].substr(0, eq);
         const std::string_view value = tok[i].substr(eq + 1);
-        if (key == "start" && parse_double(value, s)) {
+        if (key == "start" && parse_finite(value, s)) {
           got_s = true;
-        } else if (key == "width" && parse_double(value, w)) {
+        } else if (key == "width" && parse_finite(value, w)) {
           got_w = true;
         } else {
           return parse_error(line_no, "unknown/bad attribute '" + std::string(key) + "'");

@@ -1,6 +1,7 @@
 #include "parser/lct.h"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -15,6 +16,12 @@ namespace {
 Error parse_error(int line, const std::string& what) {
   return make_error(ErrorKind::kInvalidArgument,
                     "line " + std::to_string(line) + ": " + what);
+}
+
+// Timing parameters must be finite: strtod happily accepts "nan" and "inf",
+// and a single NaN poisons every downstream max/min fixpoint.
+bool parse_finite(std::string_view s, double& out) {
+  return parse_double(s, out) && std::isfinite(out);
 }
 
 // Strip a '#' comment, ignoring '#' inside double-quoted values.
@@ -158,16 +165,16 @@ Expected<Circuit> parse_circuit(std::string_view text) {
         if (key == "phase") {
           if (!parse_int(value, e.phase)) return parse_error(line_no, "bad phase");
         } else if (key == dq_key) {
-          if (!parse_double(value, dv)) return parse_error(line_no, "bad " + dq_key);
+          if (!parse_finite(value, dv)) return parse_error(line_no, "bad " + dq_key);
           e.dq = dv;
         } else if (key == "setup") {
-          if (!parse_double(value, dv)) return parse_error(line_no, "bad setup");
+          if (!parse_finite(value, dv)) return parse_error(line_no, "bad setup");
           e.setup = dv;
         } else if (key == "hold") {
-          if (!parse_double(value, dv)) return parse_error(line_no, "bad hold");
+          if (!parse_finite(value, dv)) return parse_error(line_no, "bad hold");
           e.hold = dv;
         } else if (key == "dqmin") {
-          if (!parse_double(value, dv)) return parse_error(line_no, "bad dqmin");
+          if (!parse_finite(value, dv)) return parse_error(line_no, "bad dqmin");
           e.dq_min = dv;
         } else {
           return parse_error(line_no, "unknown attribute '" + key + "'");
@@ -195,9 +202,9 @@ Expected<Circuit> parse_circuit(std::string_view text) {
       std::string label;
       for (const auto& [key, value] : *attrs) {
         if (key == "delay") {
-          if (!parse_double(value, delay)) return parse_error(line_no, "bad delay");
+          if (!parse_finite(value, delay)) return parse_error(line_no, "bad delay");
         } else if (key == "min") {
-          if (!parse_double(value, min_delay)) return parse_error(line_no, "bad min");
+          if (!parse_finite(value, min_delay)) return parse_error(line_no, "bad min");
         } else if (key == "label") {
           label = value;
         } else {

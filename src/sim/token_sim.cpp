@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "model/timing_view.h"
+
 namespace mintc::sim {
 
 namespace {
@@ -29,16 +31,19 @@ SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
     return res;
   }
 
+  // One flattened view serves the whole event loop below.
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+
   // expected[i]: fanin contributions needed per generation (g >= 1); for
   // g = 0, cross-boundary fanins (C = 1) have no token yet.
   std::vector<int> expected_all(static_cast<size_t>(l), 0);
   std::vector<int> expected_g0(static_cast<size_t>(l), 0);
   for (int i = 0; i < l; ++i) {
-    const Element& e = circuit.element(i);
-    for (const int pi : circuit.fanin(i)) {
-      const Element& src = circuit.element(circuit.path(pi).from);
+    const int fi_end = view.fanin_end(i);
+    for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
       ++expected_all[static_cast<size_t>(i)];
-      if (c_flag(src.phase, e.phase) == 0) ++expected_g0[static_cast<size_t>(i)];
+      if (view.edge_cross(fe) == 0) ++expected_g0[static_cast<size_t>(i)];
     }
   }
 
@@ -60,7 +65,7 @@ SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
   std::priority_queue<Ready, std::vector<Ready>, std::greater<Ready>> queue;
 
   const auto phase_start = [&](int i, int g) {
-    return schedule.s(circuit.element(i).phase) + g * schedule.cycle;
+    return shifts.start(view.phase(i)) + g * shifts.cycle();
   };
 
   const auto push_ready = [&](int i, int g, double arrive_abs) {
@@ -95,21 +100,22 @@ SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
     const Ready r = queue.top();
     queue.pop();
     ++res.events;
-    const Element& e = circuit.element(r.element);
     const double open = phase_start(r.element, r.generation);
     const double arrive = arrival[static_cast<size_t>(r.element)];
 
     double depart_abs;
-    if (e.is_latch()) {
+    if (view.is_latch(r.element)) {
       depart_abs = std::max(open, arrive);
       const double d_rel = depart_abs - open;
-      if (d_rel + e.setup > schedule.T(e.phase) + 1e-9 && res.first_violation_generation < 0) {
+      if (d_rel + view.setup(r.element) > shifts.width(view.phase(r.element)) + 1e-9 &&
+          res.first_violation_generation < 0) {
         res.setup_ok = false;
         res.first_violation_generation = r.generation;
       }
     } else {
       depart_abs = open;  // flip-flop: clock edge launches
-      if (arrive > open - e.setup + 1e-9 && res.first_violation_generation < 0) {
+      if (arrive > open - view.setup(r.element) + 1e-9 &&
+          res.first_violation_generation < 0) {
         res.setup_ok = false;
         res.first_violation_generation = r.generation;
       }
@@ -129,11 +135,11 @@ SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
     }
 
     // Emit the token to every fanout.
-    for (const int pe : circuit.fanout(r.element)) {
-      const CombPath& path = circuit.path(pe);
-      const Element& dst = circuit.element(path.to);
-      const int target_gen = r.generation + c_flag(e.phase, dst.phase);
-      deliver(path.to, target_gen, depart_abs + e.dq + path.delay);
+    const int fo_end = view.fanout_end(r.element);
+    for (int f = view.fanout_begin(r.element); f < fo_end; ++f) {
+      const int fe = view.fanout_edge(f);
+      const int target_gen = r.generation + view.edge_cross(fe);
+      deliver(view.edge_dst(fe), target_gen, depart_abs + view.edge_max_const(fe));
     }
 
     // Advance this element to its next generation.

@@ -14,27 +14,22 @@ namespace mintc::sta {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-double early_departure_update(const Circuit& circuit, const ClockSchedule& schedule,
-                              const std::vector<double>& d, int i) {
-  const Element& e = circuit.element(i);
-  if (!e.is_latch()) return 0.0;
-  double earliest = kInf;
-  for (const int pi : circuit.fanin(i)) {
-    const CombPath& path = circuit.path(pi);
-    const Element& src = circuit.element(path.from);
-    const double a = d[static_cast<size_t>(path.from)] + src.min_dq() + path.min_delay +
-                     schedule.shift(src.phase, e.phase);
-    earliest = std::min(earliest, a);
-  }
-  if (earliest == kInf) return 0.0;  // no fanin: departs at the leading edge
-  return std::max(0.0, earliest);
-}
 }  // namespace
 
 FixpointResult compute_early_departures(const Circuit& circuit, const ClockSchedule& schedule,
                                         const FixpointOptions& options) {
-  const int l = circuit.num_elements();
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  FixpointResult res = compute_early_departures(view, shifts, options);
+  res.stats.view_build_seconds = view.build_seconds();
+  res.stats.shift_build_seconds = shifts.build_seconds();
+  return res;
+}
+
+FixpointResult compute_early_departures(const TimingView& view, const ShiftTable& shifts,
+                                        const FixpointOptions& options) {
+  const int l = view.num_elements();
+  const StageTimer timer;
   FixpointResult res;
   res.departure.assign(static_cast<size_t>(l), 0.0);
   // The min-fixpoint iterated upward from zero is monotone nondecreasing and
@@ -43,17 +38,20 @@ FixpointResult compute_early_departures(const Circuit& circuit, const ClockSched
   for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
     bool changed = false;
     for (int i = 0; i < l; ++i) {
-      const double v = early_departure_update(circuit, schedule, res.departure, i);
       ++res.updates;
+      res.stats.edge_relaxations += view.fanin_count(i);
+      const double v = early_departure_update(view, shifts, res.departure, i);
       if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) changed = true;
       res.departure[static_cast<size_t>(i)] = v;
     }
     if (!changed) {
       res.converged = true;
       ++res.sweeps;
-      return res;
+      break;
     }
   }
+  res.stats.sweeps = res.sweeps;
+  res.stats.solve_seconds = timer.seconds();
   return res;
 }
 
@@ -67,13 +65,23 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
   rep.clock_violations = check_clock_constraints(schedule, circuit.k_matrix(), options.eps);
   rep.schedule_ok = rep.clock_violations.empty();
 
+  // One flattened view + shift table serves every stage below.
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  rep.stats.view_build_seconds = view.build_seconds();
+  rep.stats.shift_build_seconds = shifts.build_seconds();
+
   // Departure fixpoint from below (analysis direction).
-  rep.fixpoint = compute_departures(circuit, schedule,
+  rep.fixpoint = compute_departures(view, shifts,
                                     std::vector<double>(static_cast<size_t>(l), 0.0),
                                     options.fixpoint);
   rep.converged = rep.fixpoint.converged;
+  rep.stats.sweeps = rep.fixpoint.sweeps;
+  rep.stats.edge_relaxations = rep.fixpoint.stats.edge_relaxations;
+  rep.stats.add_stage("departure-fixpoint", rep.fixpoint.stats.solve_seconds);
 
-  const std::vector<double> arrival = compute_arrivals(circuit, schedule, rep.fixpoint.departure);
+  const StageTimer setup_timer;
+  const std::vector<double> arrival = compute_arrivals(view, shifts, rep.fixpoint.departure);
 
   // Setup slacks.
   rep.setup_ok = true;
@@ -96,23 +104,25 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
     if (definitely_lt(t.setup_slack, 0.0, options.eps)) rep.setup_ok = false;
   }
   if (l == 0) rep.worst_setup_slack = 0.0;
+  rep.stats.add_stage("setup-slack", setup_timer.seconds());
 
   // Hold slacks (exact short-path check).
   rep.hold_ok = true;
   rep.worst_hold_slack = kInf;
   for (auto& t : rep.elements) t.hold_slack = kInf;
   if (options.check_hold) {
-    const FixpointResult early =
-        compute_early_departures(circuit, schedule, options.fixpoint);
+    const FixpointResult early = compute_early_departures(view, shifts, options.fixpoint);
+    rep.stats.edge_relaxations += early.stats.edge_relaxations;
+    rep.stats.add_stage("early-fixpoint", early.stats.solve_seconds);
+    const StageTimer hold_timer;
     for (int i = 0; i < l; ++i) {
       const Element& e = circuit.element(i);
       ElementTiming& t = rep.elements[static_cast<size_t>(i)];
       double earliest_next = kInf;
-      for (const int pi : circuit.fanin(i)) {
-        const CombPath& path = circuit.path(pi);
-        const Element& src = circuit.element(path.from);
-        const double a = early.departure[static_cast<size_t>(path.from)] + src.min_dq() +
-                         path.min_delay + schedule.shift(src.phase, e.phase);
+      const int fi_end = view.fanin_end(i);
+      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+        const double a = early.departure[static_cast<size_t>(view.edge_src(fe))] +
+                         view.edge_min_const(fe) + shifts.at(view.edge_shift(fe));
         earliest_next = std::min(earliest_next, schedule.cycle + a);
       }
       if (earliest_next == kInf) continue;  // no fanin: nothing to corrupt
@@ -129,6 +139,7 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
       }
       if (definitely_lt(t.hold_slack, 0.0, options.eps)) rep.hold_ok = false;
     }
+    rep.stats.add_stage("hold-slack", hold_timer.seconds());
   }
 
   rep.feasible = rep.schedule_ok && rep.converged && rep.setup_ok && rep.hold_ok;

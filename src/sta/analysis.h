@@ -47,6 +47,9 @@ struct TimingReport {
   std::vector<ElementTiming> elements;
   std::vector<ClockViolation> clock_violations;
   FixpointResult fixpoint;
+  /// Whole-analysis stage accounting: view/shift builds, the departure
+  /// fixpoint, and (when enabled) the hold-side min-fixpoint.
+  EngineStats stats;
 
   double worst_setup_slack = 0.0;
   int worst_setup_element = -1;  // element index, -1 if no latches
@@ -64,6 +67,8 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
 /// Earliest departure times (min-fixpoint over min delays); used by the
 /// exact hold check and exposed for tests.
 FixpointResult compute_early_departures(const Circuit& circuit, const ClockSchedule& schedule,
+                                        const FixpointOptions& options = {});
+FixpointResult compute_early_departures(const TimingView& view, const ShiftTable& shifts,
                                         const FixpointOptions& options = {});
 
 }  // namespace mintc::sta

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "graph/digraph.h"
 #include "graph/scc.h"
 
 namespace mintc::sta {
@@ -21,17 +22,9 @@ const char* to_string(UpdateScheme scheme) {
 
 double departure_update(const Circuit& circuit, const ClockSchedule& schedule,
                         const std::vector<double>& departure, int i) {
-  const Element& e = circuit.element(i);
-  if (!e.is_latch()) return 0.0;
-  double best = 0.0;
-  for (const int pi : circuit.fanin(i)) {
-    const CombPath& path = circuit.path(pi);
-    const Element& src = circuit.element(path.from);
-    const double a = departure[static_cast<size_t>(path.from)] + src.dq + path.delay +
-                     schedule.shift(src.phase, e.phase);
-    best = std::max(best, a);
-  }
-  return best;
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  return mintc::departure_update(view, shifts, departure, i);
 }
 
 namespace {
@@ -39,24 +32,56 @@ namespace {
 // Any departure beyond this bound means a positive loop: in one period a
 // signal cannot legitimately accumulate more than every delay in the circuit
 // plus a full cycle of slack.
-double divergence_bound(const Circuit& circuit, const ClockSchedule& schedule) {
-  double total = std::fabs(schedule.cycle) * (circuit.num_phases() + 1) + 1.0;
-  for (const CombPath& p : circuit.paths()) total += p.delay;
-  for (const Element& e : circuit.elements()) total += e.dq;
-  return total;
+double divergence_bound(const TimingView& view, const ShiftTable& shifts) {
+  return std::fabs(shifts.cycle()) * (view.num_phases() + 1) + 1.0 + view.divergence_base();
+}
+
+// The latch connectivity graph rebuilt from the view, edge-for-edge
+// identical to Circuit::latch_graph() (insertion in path order keeps the
+// SCC decomposition, and therefore the kSccOrdered sweep order, unchanged).
+graph::Digraph view_latch_graph(const TimingView& view) {
+  graph::Digraph g(view.num_elements());
+  for (int p = 0; p < view.num_edges(); ++p) {
+    const int e = view.edge_of_path(p);
+    g.add_edge(view.edge_src(e), view.edge_dst(e), view.edge_max_const(e),
+               static_cast<double>(view.edge_cross(e)), p);
+  }
+  return g;
 }
 
 }  // namespace
 
 FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& schedule,
                                   std::vector<double> initial, const FixpointOptions& options) {
-  const int l = circuit.num_elements();
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  FixpointResult res = compute_departures(view, shifts, std::move(initial), options);
+  res.stats.view_build_seconds = view.build_seconds();
+  res.stats.shift_build_seconds = shifts.build_seconds();
+  return res;
+}
+
+FixpointResult compute_departures(const TimingView& view, const ShiftTable& shifts,
+                                  std::vector<double> initial, const FixpointOptions& options) {
+  const int l = view.num_elements();
   assert(static_cast<int>(initial.size()) == l);
+  assert(shifts.num_phases() >= view.num_phases());
+  const StageTimer timer;
   FixpointResult res;
   res.departure = std::move(initial);
-  const double bound = divergence_bound(circuit, schedule);
+  const double bound = divergence_bound(view, shifts);
 
   const auto diverged = [&](double v) { return v > bound; };
+  const auto finish = [&]() -> FixpointResult&& {
+    res.stats.sweeps = res.sweeps;
+    res.stats.solve_seconds = timer.seconds();
+    return std::move(res);
+  };
+  const auto relax = [&](int i) {
+    ++res.updates;
+    res.stats.edge_relaxations += view.fanin_count(i);
+    return mintc::departure_update(view, shifts, res.departure, i);
+  };
 
   switch (options.scheme) {
     case UpdateScheme::kJacobi: {
@@ -64,8 +89,10 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
       for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
         bool changed = false;
         for (int i = 0; i < l; ++i) {
-          next[static_cast<size_t>(i)] = departure_update(circuit, schedule, res.departure, i);
           ++res.updates;
+          res.stats.edge_relaxations += view.fanin_count(i);
+          next[static_cast<size_t>(i)] =
+              mintc::departure_update(view, shifts, res.departure, i);
           if (std::fabs(next[static_cast<size_t>(i)] - res.departure[static_cast<size_t>(i)]) >
               options.eps) {
             changed = true;
@@ -76,39 +103,38 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
             // previous sweep beyond. (`next` past i still holds the sweep
             // before last, so copying all of it would mix three sweeps.)
             std::copy(next.begin(), next.begin() + i + 1, res.departure.begin());
-            return res;
+            return finish();
           }
         }
         res.departure.swap(next);
         if (!changed) {
           res.converged = true;
           ++res.sweeps;
-          return res;
+          return finish();
         }
       }
-      return res;
+      return finish();
     }
 
     case UpdateScheme::kGaussSeidel: {
       for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
         bool changed = false;
         for (int i = 0; i < l; ++i) {
-          const double v = departure_update(circuit, schedule, res.departure, i);
-          ++res.updates;
+          const double v = relax(i);
           if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) changed = true;
           res.departure[static_cast<size_t>(i)] = v;
           if (diverged(v)) {
             res.diverged = true;
-            return res;
+            return finish();
           }
         }
         if (!changed) {
           res.converged = true;
           ++res.sweeps;
-          return res;
+          return finish();
         }
       }
-      return res;
+      return finish();
     }
 
     case UpdateScheme::kSccOrdered: {
@@ -116,22 +142,21 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
       // reverse topological order, so walking them backwards visits sources
       // first. Each component is swept (Gauss-Seidel) to its own fixpoint
       // before any downstream component is touched.
-      const graph::SccResult scc = graph::strongly_connected_components(circuit.latch_graph());
+      const graph::SccResult scc = graph::strongly_connected_components(view_latch_graph(view));
       for (int comp = scc.num_components - 1; comp >= 0; --comp) {
         const std::vector<int>& members = scc.members[static_cast<size_t>(comp)];
         int local_sweeps = 0;
         while (local_sweeps < options.max_sweeps) {
           bool changed = false;
           for (const int i : members) {
-            const double v = departure_update(circuit, schedule, res.departure, i);
-            ++res.updates;
+            const double v = relax(i);
             if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) {
               changed = true;
             }
             res.departure[static_cast<size_t>(i)] = v;
             if (diverged(v)) {
               res.diverged = true;
-              return res;
+              return finish();
             }
           }
           ++local_sweeps;
@@ -140,10 +165,10 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
           if (!scc.nontrivial[static_cast<size_t>(comp)]) break;
         }
         res.sweeps = std::max(res.sweeps, local_sweeps);
-        if (local_sweeps >= options.max_sweeps) return res;  // not converged
+        if (local_sweeps >= options.max_sweeps) return finish();  // not converged
       }
       res.converged = true;
-      return res;
+      return finish();
     }
 
     case UpdateScheme::kEventDriven: {
@@ -157,19 +182,19 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
           static_cast<long>(options.max_sweeps) * std::max(1, l);
       size_t head = 0;
       while (head < work.size()) {
-        if (static_cast<long>(res.updates) >= max_updates) return res;
+        if (static_cast<long>(res.updates) >= max_updates) return finish();
         const int i = work[head++];
         queued[static_cast<size_t>(i)] = false;
-        const double v = departure_update(circuit, schedule, res.departure, i);
-        ++res.updates;
+        const double v = relax(i);
         if (std::fabs(v - res.departure[static_cast<size_t>(i)]) <= options.eps) continue;
         res.departure[static_cast<size_t>(i)] = v;
         if (diverged(v)) {
           res.diverged = true;
-          return res;
+          return finish();
         }
-        for (const int pe : circuit.fanout(i)) {
-          const int dst = circuit.path(pe).to;
+        const int fo_end = view.fanout_end(i);
+        for (int f = view.fanout_begin(i); f < fo_end; ++f) {
+          const int dst = view.edge_dst(view.fanout_edge(f));
           if (!queued[static_cast<size_t>(dst)]) {
             queued[static_cast<size_t>(dst)] = true;
             work.push_back(dst);
@@ -183,10 +208,10 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
       }
       res.converged = true;
       res.sweeps = (res.updates + l - 1) / std::max(1, l);
-      return res;
+      return finish();
     }
   }
-  return res;
+  return finish();
 }
 
 FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& schedule,
@@ -207,10 +232,16 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
   // point satisfies every inequality except possibly at the changed path's
   // destination. Event-driven propagation seeded there converges upward to
   // the new fixpoint.
-  const int l = circuit.num_elements();
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  const StageTimer timer;
+  const int l = view.num_elements();
   FixpointResult res;
   res.departure = std::move(departure);
-  const double bound = divergence_bound(circuit, schedule);
+  res.stats.view_build_seconds = view.build_seconds();
+  res.stats.shift_build_seconds = shifts.build_seconds();
+  const double bound =
+      std::fabs(shifts.cycle()) * (view.num_phases() + 1) + 1.0 + view.divergence_base();
 
   std::vector<bool> queued(static_cast<size_t>(l), false);
   std::vector<int> work;
@@ -219,43 +250,47 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
   const long max_updates = static_cast<long>(options.max_sweeps) * std::max(1, l);
   size_t head = 0;
   while (head < work.size()) {
-    if (static_cast<long>(res.updates) >= max_updates) return res;
+    if (static_cast<long>(res.updates) >= max_updates) break;
     const int i = work[head++];
     queued[static_cast<size_t>(i)] = false;
-    const double v = departure_update(circuit, schedule, res.departure, i);
     ++res.updates;
+    res.stats.edge_relaxations += view.fanin_count(i);
+    const double v = mintc::departure_update(view, shifts, res.departure, i);
     if (v <= res.departure[static_cast<size_t>(i)] + options.eps) continue;
     res.departure[static_cast<size_t>(i)] = v;
     if (v > bound) {
       res.diverged = true;
+      res.stats.solve_seconds = timer.seconds();
       return res;
     }
-    for (const int pe : circuit.fanout(i)) {
-      const int dst = circuit.path(pe).to;
+    const int fo_end = view.fanout_end(i);
+    for (int f = view.fanout_begin(i); f < fo_end; ++f) {
+      const int dst = view.edge_dst(view.fanout_edge(f));
       if (!queued[static_cast<size_t>(dst)]) {
         queued[static_cast<size_t>(dst)] = true;
         work.push_back(dst);
       }
     }
   }
-  res.converged = true;
+  if (head == work.size()) res.converged = true;
   res.sweeps = (res.updates + l - 1) / std::max(1, l);
+  res.stats.sweeps = res.sweeps;
+  res.stats.solve_seconds = timer.seconds();
   return res;
 }
 
 std::vector<double> compute_arrivals(const Circuit& circuit, const ClockSchedule& schedule,
                                      const std::vector<double>& departure) {
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  std::vector<double> arrival(static_cast<size_t>(circuit.num_elements()), kNegInf);
-  for (int i = 0; i < circuit.num_elements(); ++i) {
-    const Element& e = circuit.element(i);
-    for (const int pi : circuit.fanin(i)) {
-      const CombPath& path = circuit.path(pi);
-      const Element& src = circuit.element(path.from);
-      const double a = departure[static_cast<size_t>(path.from)] + src.dq + path.delay +
-                       schedule.shift(src.phase, e.phase);
-      arrival[static_cast<size_t>(i)] = std::max(arrival[static_cast<size_t>(i)], a);
-    }
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  return compute_arrivals(view, shifts, departure);
+}
+
+std::vector<double> compute_arrivals(const TimingView& view, const ShiftTable& shifts,
+                                     const std::vector<double>& departure) {
+  std::vector<double> arrival(static_cast<size_t>(view.num_elements()));
+  for (int i = 0; i < view.num_elements(); ++i) {
+    arrival[static_cast<size_t>(i)] = arrival_update(view, shifts, departure, i);
   }
   return arrival;
 }

@@ -18,11 +18,18 @@
 // discussion: Jacobi (the algorithm as printed), Gauss-Seidel ("obviously
 // possible", usually fewer sweeps) and event-driven (the suggested
 // "only calculate the departure times which have changed" mechanism).
+//
+// All schemes run on the flattened TimingView/ShiftTable kernel layer
+// (model/timing_view.h). The Circuit-based overloads are thin wrappers that
+// build the view (and record the build time in FixpointResult::stats); hot
+// callers evaluating many schedules against one circuit should build the
+// TimingView once and pass it in.
 #pragma once
 
 #include <vector>
 
 #include "model/circuit.h"
+#include "model/timing_view.h"
 
 namespace mintc::sta {
 
@@ -47,10 +54,13 @@ struct FixpointResult {
   int updates = 0;                // individual D_i recomputations
   bool converged = false;
   bool diverged = false;          // departures blew past the divergence bound
+  EngineStats stats;              // per-stage timing + relaxation counts
 };
 
 /// Evaluate the right-hand side of eq. (17) for element `i` given current
 /// departures. Returns 0 for flip-flops and for latches without fanin.
+/// Convenience wrapper: builds a throwaway TimingView, so it costs O(l+E)
+/// per call — use mintc::departure_update(view, shifts, d, i) in loops.
 double departure_update(const Circuit& circuit, const ClockSchedule& schedule,
                         const std::vector<double>& departure, int i);
 
@@ -61,9 +71,17 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
                                   std::vector<double> initial,
                                   const FixpointOptions& options = {});
 
+/// The kernel-layer engine: same contract, but the caller owns the view and
+/// shift table (amortizing their builds across many solves).
+FixpointResult compute_departures(const TimingView& view, const ShiftTable& shifts,
+                                  std::vector<double> initial,
+                                  const FixpointOptions& options = {});
+
 /// Arrival times A_i (eq. 14) given fixed departures. Latches with no fanin
 /// get -infinity (the paper's "Δ == -inf for unconnected" convention).
 std::vector<double> compute_arrivals(const Circuit& circuit, const ClockSchedule& schedule,
+                                     const std::vector<double>& departure);
+std::vector<double> compute_arrivals(const TimingView& view, const ShiftTable& shifts,
                                      const std::vector<double>& departure);
 
 /// Incremental re-analysis after one path's delay changed: starting from the

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace mintc {
 namespace {
 
@@ -49,6 +51,13 @@ TEST(Circuit, SetPathDelay) {
   Circuit c = two_phase_loop();
   c.set_path_delay(1, 99.0);
   EXPECT_EQ(c.path(1).delay, 99.0);
+}
+
+TEST(Circuit, SetPathMinDelay) {
+  Circuit c = two_phase_loop();
+  c.set_path_min_delay(0, 7.5);
+  EXPECT_EQ(c.path(0).min_delay, 7.5);
+  EXPECT_EQ(c.path(0).delay, 10.0);  // max delay untouched
 }
 
 TEST(Circuit, KMatrixFromLatchPaths) {
@@ -131,6 +140,41 @@ TEST(CircuitValidate, ParallelPathsFlagged) {
   const auto p = c.validate();
   ASSERT_FALSE(p.empty());
   EXPECT_NE(p[0].find("parallel"), std::string::npos);
+}
+
+TEST(CircuitValidate, NonFiniteElementParameterFlagged) {
+  const double bad[] = {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()};
+  for (const double v : bad) {
+    Circuit c("bad", 1);
+    c.add_latch("X", 1, v, 2.0);
+    const auto p = c.validate();
+    ASSERT_FALSE(p.empty());
+    EXPECT_NE(p[0].find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(CircuitValidate, NonFinitePathDelayFlagged) {
+  const double bad[] = {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity()};
+  for (const double v : bad) {
+    Circuit c("bad", 1);
+    c.add_latch("X", 1, 1.0, 2.0);
+    c.add_latch("Y", 1, 1.0, 2.0);
+    c.add_path("X", "Y", v);
+    const auto p = c.validate();
+    ASSERT_FALSE(p.empty());
+    EXPECT_NE(p[0].find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(CircuitValidate, NanDoesNotSlipPastOrderingChecks) {
+  // NaN compares false against everything, so the sign/ordering checks alone
+  // would silently accept it; the finiteness check must fire instead.
+  Circuit c("bad", 1);
+  c.add_latch("X", 1, 1.0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(c.validate().empty());
 }
 
 TEST(CircuitValidate, ElementDqMinAboveDq) {

@@ -1,0 +1,119 @@
+#include "model/timing_view.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/appendix_fig1.h"
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+
+namespace mintc {
+namespace {
+
+// The view must be a faithful re-indexing of the Circuit: same edges, same
+// per-destination order, same constants — just flattened.
+void expect_view_matches(const Circuit& c) {
+  const TimingView v(c);
+  ASSERT_EQ(v.num_elements(), c.num_elements());
+  ASSERT_EQ(v.num_edges(), c.num_paths());
+  ASSERT_EQ(v.num_phases(), c.num_phases());
+
+  for (int i = 0; i < c.num_elements(); ++i) {
+    const Element& e = c.element(i);
+    EXPECT_EQ(v.is_latch(i), e.is_latch());
+    EXPECT_EQ(v.phase(i), e.phase);
+    EXPECT_EQ(v.setup(i), e.setup);
+    EXPECT_EQ(v.hold(i), e.hold);
+    EXPECT_EQ(v.dq(i), e.dq);
+    EXPECT_EQ(v.min_dq(i), e.min_dq());
+
+    // Fan-in CSR preserves Circuit::fanin's per-destination order.
+    const std::vector<int>& fin = c.fanin(i);
+    ASSERT_EQ(v.fanin_count(i), static_cast<int>(fin.size()));
+    for (size_t k = 0; k < fin.size(); ++k) {
+      const int e_id = v.fanin_begin(i) + static_cast<int>(k);
+      const CombPath& path = c.path(fin[k]);
+      EXPECT_EQ(v.edge_path(e_id), fin[k]);
+      EXPECT_EQ(v.edge_of_path(fin[k]), e_id);
+      EXPECT_EQ(v.edge_src(e_id), path.from);
+      EXPECT_EQ(v.edge_dst(e_id), i);
+      const Element& src = c.element(path.from);
+      EXPECT_EQ(v.edge_max_const(e_id), src.dq + path.delay);
+      EXPECT_EQ(v.edge_min_const(e_id), src.min_dq() + path.min_delay);
+      EXPECT_EQ(v.edge_cross(e_id), c_flag(src.phase, e.phase));
+      EXPECT_EQ(v.edge_shift(e_id), (src.phase - 1) * c.num_phases() + (e.phase - 1));
+    }
+
+    // Fan-out CSR preserves Circuit::fanout's order, as edge ids.
+    const std::vector<int>& fout = c.fanout(i);
+    ASSERT_EQ(v.fanout_end(i) - v.fanout_begin(i), static_cast<int>(fout.size()));
+    for (size_t k = 0; k < fout.size(); ++k) {
+      const int e_id = v.fanout_edge(v.fanout_begin(i) + static_cast<int>(k));
+      EXPECT_EQ(v.edge_path(e_id), fout[k]);
+      EXPECT_EQ(v.edge_src(e_id), i);
+      EXPECT_EQ(v.edge_dst(e_id), c.path(fout[k]).to);
+    }
+  }
+}
+
+TEST(TimingView, MatchesCircuitOnPaperCircuits) {
+  expect_view_matches(circuits::example1(80.0));
+  expect_view_matches(circuits::example2());
+  expect_view_matches(circuits::gaas_datapath());
+  expect_view_matches(circuits::appendix_fig1());
+}
+
+TEST(TimingView, EmptyCircuit) {
+  const Circuit c("empty", 2);
+  const TimingView v(c);
+  EXPECT_EQ(v.num_elements(), 0);
+  EXPECT_EQ(v.num_edges(), 0);
+  EXPECT_EQ(v.divergence_base(), 0.0);
+}
+
+TEST(TimingView, DivergenceBaseSumsDelaysAndDq) {
+  Circuit c("sum", 2);
+  c.add_latch("A", 1, 1.0, 2.0);
+  c.add_latch("B", 2, 1.0, 3.0);
+  c.add_path("A", "B", 10.0);
+  c.add_path("B", "A", 20.0);
+  const TimingView v(c);
+  EXPECT_DOUBLE_EQ(v.divergence_base(), 2.0 + 3.0 + 10.0 + 20.0);
+}
+
+TEST(ShiftTable, MatchesScheduleShift) {
+  const ClockSchedule sch(4.4, {0.0, 0.9, 4.4}, {0.8, 0.9, 0.15});
+  const ShiftTable t(sch);
+  ASSERT_EQ(t.num_phases(), 3);
+  EXPECT_EQ(t.cycle(), sch.cycle);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(t.start(i), sch.s(i));
+    EXPECT_EQ(t.width(i), sch.T(i));
+    for (int j = 1; j <= 3; ++j) {
+      EXPECT_EQ(t.shift(i, j), sch.shift(i, j));
+      EXPECT_EQ(t.at((i - 1) * 3 + (j - 1)), sch.shift(i, j));
+    }
+  }
+}
+
+TEST(TimingView, KernelMatchesHandComputation) {
+  // Same hand computation as the fixpoint test: example 1 at its optimum.
+  const Circuit c = circuits::example1(80.0);
+  const ClockSchedule sch(110.0, {0.0, 80.0}, {80.0, 30.0});
+  const TimingView v(c);
+  const ShiftTable t(sch);
+  const std::vector<double> zero(4, 0.0);
+  EXPECT_NEAR(departure_update(v, t, zero, 0), 60.0, 1e-9);
+  EXPECT_NEAR(departure_update(v, t, zero, 1), 0.0, 1e-9);
+  // No fan-in => arrival is -inf (the paper's Δ == -inf convention).
+  Circuit iso("iso", 1);
+  iso.add_latch("X", 1, 1.0, 2.0);
+  const TimingView vi(iso);
+  const ShiftTable ti(ClockSchedule(10.0, {0.0}, {5.0}));
+  EXPECT_TRUE(std::isinf(arrival_update(vi, ti, {0.0}, 0)));
+}
+
+}  // namespace
+}  // namespace mintc

@@ -85,6 +85,37 @@ TEST(Robustness, VerilogGarbageNeverCrashes) {
   }
 }
 
+TEST(Robustness, LctRejectsNonFiniteValues) {
+  // strtod accepts "nan"/"inf" spellings; the parser must not let them
+  // through into a Circuit (a single NaN poisons every fixpoint).
+  const char* cases[] = {
+      "circuit c\nphases 1\nlatch X phase=1 setup=nan dq=2\n",
+      "circuit c\nphases 1\nlatch X phase=1 setup=1 dq=inf\n",
+      "circuit c\nphases 1\nlatch X phase=1 setup=1 dq=2 hold=NaN\n",
+      "circuit c\nphases 1\nlatch X phase=1 setup=1 dq=2 dqmin=-inf\n",
+      "circuit c\nphases 1\nflipflop X phase=1 setup=1 cq=infinity\n",
+      "circuit c\nphases 1\nlatch X phase=1 setup=1 dq=2\n"
+      "latch Y phase=1 setup=1 dq=2\npath X Y delay=nan\n",
+      "circuit c\nphases 1\nlatch X phase=1 setup=1 dq=2\n"
+      "latch Y phase=1 setup=1 dq=2\npath X Y delay=5 min=nan\n",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(parse_circuit(text)) << text;
+  }
+}
+
+TEST(Robustness, LcsRejectsNonFiniteValues) {
+  const char* cases[] = {
+      "cycle nan\nphase 1 start=0 width=1\n",
+      "cycle inf\nphase 1 start=0 width=1\n",
+      "cycle 10\nphase 1 start=nan width=1\n",
+      "cycle 10\nphase 1 start=0 width=inf\n",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(parse_schedule(text)) << text;
+  }
+}
+
 TEST(Robustness, LargeGeneratedFileParses) {
   // A 4000-line circuit file must parse quickly and correctly.
   std::string text = "circuit big\nphases 2\n";
