@@ -10,17 +10,34 @@
 //   * Table I transistor counts.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "base/strings.h"
 #include "base/table.h"
 #include "circuits/gaas.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "opt/mlp.h"
 #include "sta/analysis.h"
 #include "viz/timing_diagram.h"
 
 using namespace mintc;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out <path>] [--metrics-out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+
   std::printf("== Fig. 11 / Table I: GaAs MIPS datapath ==\n\n");
   const Circuit c = circuits::gaas_datapath();
   std::printf("model: %d synchronizers (%d latches + %d flip-flops), %d-phase clock, "
@@ -72,7 +89,9 @@ int main() {
   std::printf("  K13 = %d, K31 = %d (paper: both 0 — no direct latch paths)\n\n",
               k.at(1, 3) ? 1 : 0, k.at(3, 1) ? 1 : 0);
 
-  const sta::TimingReport full = sta::check_schedule(c, sch);
+  sta::AnalysisOptions aopt;
+  aopt.provenance = true;  // name the tight constraints and the critical chain
+  const sta::TimingReport full = sta::check_schedule(c, sch, aopt);
   std::printf("%s\n", full.to_string(c).c_str());
 
   viz::DiagramOptions dopt;
@@ -85,5 +104,15 @@ int main() {
     table.add_row({row.block, std::to_string(row.transistors)});
   }
   std::printf("%s", table.to_string().c_str());
+
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    if (obs::write_chrome_trace(trace_out)) {
+      std::printf("trace written to %s (load in chrome://tracing)\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty() && obs::write_metrics_json(metrics_out)) {
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -18,6 +18,8 @@
 
 #include "base/strings.h"
 #include "check/fuzzer.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 using namespace mintc;
 
@@ -26,7 +28,8 @@ namespace {
 int usage() {
   std::printf(
       "usage: mintc-fuzz [--seeds N] [--base-seed S] [--out DIR]\n"
-      "                  [--max-failures M] [--no-sim] [--no-shrink] [--inject]\n");
+      "                  [--max-failures M] [--no-sim] [--no-shrink] [--inject]\n"
+      "                  [--trace-out FILE] [--metrics-out FILE]\n");
   return 2;
 }
 
@@ -42,6 +45,12 @@ void print_failure(const check::FuzzFailure& f) {
   if (!f.repro_path.empty()) {
     std::printf("  repro written to %s\n", f.repro_path.c_str());
   }
+  if (!f.trace_path.empty()) {
+    std::printf("  trace written to %s (load in chrome://tracing)\n", f.trace_path.c_str());
+  }
+  if (!f.metrics_path.empty()) {
+    std::printf("  metrics written to %s\n", f.metrics_path.c_str());
+  }
   std::printf("  minimal repro:\n---\n%s---\n", f.repro_lct.c_str());
 }
 
@@ -51,6 +60,7 @@ int main(int argc, char** argv) {
   check::FuzzOptions options;
   options.num_seeds = 100;
   bool inject = false;
+  std::string trace_out, metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -70,6 +80,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-failures") {
       const char* v = next();
       if (!v || !parse_int(v, options.max_failures) || options.max_failures < 1) return usage();
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return usage();
+      trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return usage();
+      metrics_out = v;
     } else if (arg == "--no-sim") {
       options.diff.check_simulation = false;
     } else if (arg == "--no-shrink") {
@@ -89,7 +107,21 @@ int main(int argc, char** argv) {
     if (options.num_seeds > 10) options.num_seeds = 10;  // each failure shrinks; keep it quick
   }
 
+  // Whole-run tracing only when asked for: the fuzzer's throughput is the
+  // point, and per-failure dumps are captured regardless (see fuzzer.cpp).
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+
   const check::FuzzResult res = check::run_fuzz(options);
+
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    if (obs::write_chrome_trace(trace_out)) {
+      std::printf("trace written to %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty() && obs::write_metrics_json(metrics_out)) {
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
 
   std::printf("checked %d circuit%s (%d feasible), %zu failing seed%s\n", res.circuits_checked,
               res.circuits_checked == 1 ? "" : "s", res.feasible, res.failures.size(),

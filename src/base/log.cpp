@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace mintc {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
+LogSink g_sink;  // empty => default stderr sink
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,8 +28,24 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // Copy the sink under the lock, call it outside: a sink that logs (or
+  // swaps the sink) must not deadlock.
+  LogSink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[mintc %s] %s\n", level_tag(level), message.c_str());
 }
 

@@ -5,6 +5,7 @@
 // fixpoint iterations.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +16,13 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 /// Process-wide log level.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Where accepted lines go. The default sink formats to stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replace the process-wide sink; pass nullptr (or {}) to restore the
+/// default stderr sink. Tests install a capturing sink here.
+void set_log_sink(LogSink sink);
 
 /// Emit one line at the given level (no-op if below the global level).
 void log_line(LogLevel level, const std::string& message);

@@ -6,6 +6,8 @@
 #include "circuits/synthetic.h"
 #include "netlist/extract.h"
 #include "netlist/generators.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "parser/lct.h"
 
 namespace mintc::check {
@@ -93,8 +95,24 @@ FuzzResult run_fuzz(const FuzzOptions& options) {
     ff.shrunk_paths = minimal.num_paths();
     ff.repro_lct = parser::write_circuit(minimal);
     if (!options.repro_dir.empty()) {
-      ff.repro_path = options.repro_dir + "/repro_seed" + std::to_string(seed) + ".lct";
+      const std::string base = options.repro_dir + "/repro_seed" + std::to_string(seed);
+      ff.repro_path = base + ".lct";
       if (!parser::save_circuit(minimal, ff.repro_path)) ff.repro_path.clear();
+      // Replay the failing check on the minimal circuit with tracing forced
+      // on, and dump exactly that slice of the trace (plus the metrics
+      // state) next to the repro — the diagnosis starts from those files.
+      obs::Tracer& tracer = obs::Tracer::instance();
+      const bool was_enabled = tracer.enabled();
+      const size_t mark = tracer.num_events();
+      tracer.set_enabled(true);
+      (void)check_circuit(minimal, perturb_seed, options.diff);
+      tracer.set_enabled(was_enabled);
+      ff.trace_path = base + ".trace.json";
+      if (!obs::write_chrome_trace(ff.trace_path, tracer.snapshot(mark))) {
+        ff.trace_path.clear();
+      }
+      ff.metrics_path = base + ".metrics.json";
+      if (!obs::write_metrics_json(ff.metrics_path)) ff.metrics_path.clear();
     }
     res.failures.push_back(std::move(ff));
     if (static_cast<int>(res.failures.size()) >= options.max_failures) break;

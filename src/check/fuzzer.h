@@ -40,6 +40,10 @@ struct FuzzFailure {
   std::vector<CheckFailure> failures;  // from the unshrunk circuit
   std::string repro_lct;               // shrunk minimal repro as .lct text
   std::string repro_path;              // file written, if repro_dir was set
+  /// Chrome trace + metrics dump of the failing check replayed on the
+  /// shrunk circuit, written next to the repro (when repro_dir was set).
+  std::string trace_path;
+  std::string metrics_path;
   int original_elements = 0;
   int original_paths = 0;
   int shrunk_elements = 0;

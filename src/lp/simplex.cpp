@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "base/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mintc::lp {
 
@@ -170,6 +172,19 @@ class Tableau {
 }  // namespace
 
 Solution SimplexSolver::solve(const Model& model) const {
+  const obs::TraceSpan span("simplex.solve", "lp");
+  Solution sol = solve_impl(model);
+  auto& reg = obs::MetricsRegistry::instance();
+  const long pivots = sol.stats.phase1_pivots + sol.stats.phase2_pivots;
+  reg.counter("simplex.solves", {{"status", to_string(sol.status)}}).inc();
+  reg.counter("simplex.pivots").inc(pivots);
+  reg.counter("simplex.degenerate_pivots").inc(sol.stats.degenerate_pivots);
+  if (sol.stats.used_bland) reg.counter("simplex.bland_switches").inc();
+  reg.histogram("simplex.pivots_per_solve").observe(static_cast<double>(pivots));
+  return sol;
+}
+
+Solution SimplexSolver::solve_impl(const Model& model) const {
   const double eps = options_.eps;
   Solution sol;
   sol.x.assign(static_cast<size_t>(model.num_variables()), 0.0);
@@ -331,6 +346,7 @@ Solution SimplexSolver::solve(const Model& model) const {
       ++pivots;
       const double obj = tab.objective();
       if (std::fabs(obj - last_obj) <= eps) {
+        ++sol.stats.degenerate_pivots;
         if (++stall >= options_.stall_limit && !bland) {
           bland = true;
           sol.stats.used_bland = true;

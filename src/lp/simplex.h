@@ -30,6 +30,7 @@ const char* to_string(SolveStatus status);
 struct SolveStats {
   int phase1_pivots = 0;
   int phase2_pivots = 0;
+  int degenerate_pivots = 0;  // pivots that left the objective unchanged
   int rows = 0;     // tableau rows after preprocessing
   int cols = 0;     // tableau columns after preprocessing
   bool used_bland = false;
@@ -72,6 +73,8 @@ class SimplexSolver {
   const Options& options() const { return options_; }
 
  private:
+  Solution solve_impl(const Model& model) const;
+
   Options options_;
 };
 

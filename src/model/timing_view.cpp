@@ -1,32 +1,8 @@
 #include "model/timing_view.h"
 
 #include <limits>
-#include <sstream>
-
-#include "base/strings.h"
 
 namespace mintc {
-
-void EngineStats::absorb(const EngineStats& other) {
-  view_build_seconds += other.view_build_seconds;
-  shift_build_seconds += other.shift_build_seconds;
-  solve_seconds += other.solve_seconds;
-  sweeps += other.sweeps;
-  edge_relaxations += other.edge_relaxations;
-  for (const auto& [name, seconds] : other.stages) stages.emplace_back(name, seconds);
-}
-
-std::string EngineStats::to_string() const {
-  std::ostringstream out;
-  out << "view-build " << fmt_time(view_build_seconds * 1e3, 3) << " ms, shift-build "
-      << fmt_time(shift_build_seconds * 1e3, 3) << " ms, solve "
-      << fmt_time(solve_seconds * 1e3, 3) << " ms, " << sweeps << " sweep"
-      << (sweeps == 1 ? "" : "s") << ", " << edge_relaxations << " edge relaxations";
-  for (const auto& [name, seconds] : stages) {
-    out << ", " << name << " " << fmt_time(seconds * 1e3, 3) << " ms";
-  }
-  return out.str();
-}
 
 ShiftTable::ShiftTable(const ClockSchedule& schedule) {
   const StageTimer timer;

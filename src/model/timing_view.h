@@ -30,49 +30,16 @@
 #pragma once
 
 #include <cassert>
-#include <chrono>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "model/circuit.h"
+#include "obs/stats.h"
 
 namespace mintc {
-
-/// Per-stage engine accounting threaded through FixpointResult /
-/// TimingReport / MlpResult so benches and the fuzzer can report where
-/// time goes. Cheap by construction: timers are read only at stage
-/// boundaries and edge relaxations are accumulated from CSR widths, never
-/// inside the innermost loop.
-struct EngineStats {
-  double view_build_seconds = 0.0;   // TimingView construction (0 if reused)
-  double shift_build_seconds = 0.0;  // ShiftTable construction
-  double solve_seconds = 0.0;        // the iterative kernel stage
-  int sweeps = 0;                    // full passes over the element set
-  long edge_relaxations = 0;         // eq. (17) edge terms evaluated
-
-  /// Additional named stages (e.g. "lp-solve", "hold-slack") in order.
-  std::vector<std::pair<std::string, double>> stages;
-
-  void add_stage(std::string name, double seconds) {
-    stages.emplace_back(std::move(name), seconds);
-  }
-  /// Merge counters and stages of a sub-stage into this one.
-  void absorb(const EngineStats& other);
-  std::string to_string() const;
-};
-
-/// Monotonic stopwatch for stage accounting.
-class StageTimer {
- public:
-  StageTimer() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+// EngineStats and StageTimer moved to obs/stats.h (the observability layer
+// is now the single accounting path); included above so existing users of
+// this header keep compiling unchanged.
 
 /// The k×k phase-shift matrix S_ij (eq. 12) of one ClockSchedule, plus the
 /// flat start/width arrays, all built once so no engine recomputes

@@ -1,0 +1,176 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "base/log.h"
+#include "base/strings.h"
+#include "base/table.h"
+
+namespace mintc::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no Inf/NaN literals; clamp them to null-safe numbers.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+  std::ostringstream out;
+  out.precision(15);
+  out << v;
+  return out.str();
+}
+
+const char* phase_of(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBegin: return "B";
+    case EventKind::kEnd: return "E";
+    case EventKind::kInstant: return "i";
+    case EventKind::kCounter: return "C";
+  }
+  return "i";
+}
+
+std::string labels_json(const Labels& labels) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out << ", ";
+    out << "\"" << json_escape(labels[i].first) << "\": \"" << json_escape(labels[i].second)
+        << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+bool write_string(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    log_warn() << "obs: cannot write '" << path << "'";
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) out << ",";
+    out << "\n  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+        << json_escape(e.category) << "\", \"ph\": \"" << phase_of(e.kind)
+        << "\", \"ts\": " << json_number(e.ts_us) << ", \"pid\": 1, \"tid\": 1";
+    if (e.kind == EventKind::kInstant) out << ", \"s\": \"t\"";
+    if (e.kind == EventKind::kCounter) {
+      out << ", \"args\": {\"value\": " << json_number(e.value) << "}";
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::string metrics_json(const std::vector<MetricPoint>& points) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const MetricPoint& p = points[i];
+    if (i) out << ",";
+    out << "\n  {\"name\": \"" << json_escape(p.name) << "\", \"labels\": "
+        << labels_json(p.labels) << ", ";
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        out << "\"type\": \"counter\", \"value\": " << json_number(p.value);
+        break;
+      case MetricKind::kGauge:
+        out << "\"type\": \"gauge\", \"value\": " << json_number(p.value);
+        break;
+      case MetricKind::kHistogram: {
+        out << "\"type\": \"histogram\", \"count\": " << p.count
+            << ", \"sum\": " << json_number(p.sum) << ", \"min\": " << json_number(p.min)
+            << ", \"max\": " << json_number(p.max) << ", \"bounds\": [";
+        for (size_t b = 0; b < p.bounds.size(); ++b) {
+          if (b) out << ", ";
+          out << json_number(p.bounds[b]);
+        }
+        out << "], \"buckets\": [";
+        for (size_t b = 0; b < p.buckets.size(); ++b) {
+          if (b) out << ", ";
+          out << p.buckets[b];
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+std::string metrics_table(const std::vector<MetricPoint>& points) {
+  TextTable table({"metric", "labels", "type", "value", "count", "min", "mean", "max"});
+  for (const MetricPoint& p : points) {
+    std::string labels;
+    for (size_t i = 0; i < p.labels.size(); ++i) {
+      if (i) labels += ",";
+      labels += p.labels[i].first + "=" + p.labels[i].second;
+    }
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        table.add_row({p.name, labels, "counter", fmt_time(p.value, 3), "", "", "", ""});
+        break;
+      case MetricKind::kGauge:
+        table.add_row({p.name, labels, "gauge", fmt_time(p.value, 4), "", "", "", ""});
+        break;
+      case MetricKind::kHistogram: {
+        const double mean = p.count > 0 ? p.sum / static_cast<double>(p.count) : 0.0;
+        table.add_row({p.name, labels, "histogram", "", std::to_string(p.count),
+                       fmt_time(p.min, 3), fmt_time(mean, 3), fmt_time(p.max, 3)});
+        break;
+      }
+    }
+  }
+  return table.to_string();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_chrome_trace(path, Tracer::instance().snapshot());
+}
+
+bool write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& events) {
+  return write_string(path, chrome_trace_json(events));
+}
+
+bool write_metrics_json(const std::string& path) {
+  return write_string(path, metrics_json(MetricsRegistry::instance().snapshot()));
+}
+
+}  // namespace mintc::obs

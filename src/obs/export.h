@@ -1,0 +1,39 @@
+// Exporters for the tracer and the metrics registry.
+//
+// Three output shapes:
+//   * Chrome trace-event JSON — load the file in chrome://tracing (or
+//     https://ui.perfetto.dev) to see nested engine spans on a timeline and
+//     counter tracks (fixpoint residuals, simplex objective) underneath;
+//   * a flat JSON metrics dump — one object per metric with its labels and
+//     value (or histogram state), for BENCH_*.json embedding and scripts;
+//   * a human-readable table (base/table) for terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mintc::obs {
+
+/// Render events as Chrome trace-event JSON ({"traceEvents": [...]}).
+/// kBegin/kEnd become ph "B"/"E", kInstant "i", kCounter "C"; all events
+/// carry pid 1 / tid 1 and timestamps in microseconds.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Render metric points as a flat JSON array.
+std::string metrics_json(const std::vector<MetricPoint>& points);
+
+/// Render metric points as a column-aligned text table.
+std::string metrics_table(const std::vector<MetricPoint>& points);
+
+/// Snapshot the process-wide tracer / registry and write to `path`.
+/// Returns false (and logs a warning) when the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+bool write_metrics_json(const std::string& path);
+
+/// Write an explicit event list (e.g. a per-failure slice) to `path`.
+bool write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& events);
+
+}  // namespace mintc::obs

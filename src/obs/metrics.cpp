@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace mintc::obs {
+
+namespace {
+
+std::string render_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) key += ",";
+    key += labels[i].first + "=" + labels[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+long Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+std::vector<long> Histogram::buckets() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+std::vector<double> default_buckets() {
+  std::vector<double> b;
+  for (double v = 1.0; v <= 4096.0; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+std::string MetricPoint::key() const { return render_key(name, labels); }
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  const std::string key = render_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_.emplace(key, Entry<Counter>{name, labels, std::make_unique<Counter>()}).first;
+  }
+  return *it->second.metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = render_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(key, Entry<Gauge>{name, labels, std::make_unique<Gauge>()}).first;
+  }
+  return *it->second.metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
+                                      std::vector<double> upper_bounds) {
+  const std::string key = render_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(key, Entry<Histogram>{name, labels,
+                                            std::make_unique<Histogram>(std::move(upper_bounds))})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+std::vector<MetricPoint> MetricsRegistry::snapshot() const {
+  std::vector<MetricPoint> points;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : counters_) {
+    MetricPoint p;
+    p.name = entry.name;
+    p.labels = entry.labels;
+    p.kind = MetricKind::kCounter;
+    p.value = static_cast<double>(entry.metric->value());
+    points.push_back(std::move(p));
+  }
+  for (const auto& [key, entry] : gauges_) {
+    MetricPoint p;
+    p.name = entry.name;
+    p.labels = entry.labels;
+    p.kind = MetricKind::kGauge;
+    p.value = entry.metric->value();
+    points.push_back(std::move(p));
+  }
+  for (const auto& [key, entry] : histograms_) {
+    MetricPoint p;
+    p.name = entry.name;
+    p.labels = entry.labels;
+    p.kind = MetricKind::kHistogram;
+    p.count = entry.metric->count();
+    p.sum = entry.metric->sum();
+    p.min = entry.metric->min();
+    p.max = entry.metric->max();
+    p.bounds = entry.metric->bounds();
+    p.buckets = entry.metric->buckets();
+    points.push_back(std::move(p));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) { return a.key() < b.key(); });
+  return points;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : counters_) entry.metric->reset();
+  for (auto& [key, entry] : gauges_) entry.metric->reset();
+  for (auto& [key, entry] : histograms_) entry.metric->reset();
+}
+
+}  // namespace mintc::obs

@@ -1,0 +1,133 @@
+// Process-wide metrics registry: counters, gauges and histograms, each
+// identified by a name plus an ordered label set (e.g.
+// counter("fixpoint.sweeps", {{"scheme", "jacobi"}})).
+//
+// Design rules:
+//   * Instrument handles (Counter&, Gauge&, Histogram&) returned by the
+//     registry are valid for the process lifetime — reset() zeroes values
+//     but never invalidates a handle, so engines may cache them.
+//   * Updates through a handle are cheap (relaxed atomics for counters and
+//     gauges, a short mutex for histograms). Registry *lookups* build a key
+//     string and take a map lock — do them once per solve, never inside an
+//     inner loop.
+//   * snapshot() returns plain data for the exporters (export.h): a flat
+//     JSON dump, or a human-readable table via base/table.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mintc::obs {
+
+/// Ordered label set; rendered as `name{k1=v1,k2=v2}` in exports.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (relaxed atomic).
+class Counter {
+ public:
+  void inc(long delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: counts of observations <= each upper bound, plus
+/// an implicit +inf bucket and sum/min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  long count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = +inf bucket).
+  std::vector<long> buckets() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;   // ascending upper bounds
+  std::vector<long> buckets_;    // bounds_.size() + 1
+  long count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential default bucket bounds 1, 2, 4, ... 4096 — good for sweep and
+/// pivot counts.
+std::vector<double> default_buckets();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's state at snapshot time.
+struct MetricPoint {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;            // counter / gauge value
+  long count = 0;                // histogram observation count
+  double sum = 0.0, min = 0.0, max = 0.0;
+  std::vector<double> bounds;    // histogram upper bounds
+  std::vector<long> buckets;     // histogram bucket counts (bounds + inf)
+
+  /// `name{k=v,...}` — the stable identity used as the snapshot sort key.
+  std::string key() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> upper_bounds = default_buckets());
+
+  /// All metrics, sorted by key. Histogram state is copied under its lock.
+  std::vector<MetricPoint> snapshot() const;
+
+  /// Zero every registered metric (handles stay valid).
+  void reset();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+}  // namespace mintc::obs

@@ -1,0 +1,62 @@
+#include "obs/stats.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace mintc {
+
+void EngineStats::add_stage(const std::string& name, double seconds) {
+  for (auto& [existing, total] : stages) {
+    if (existing == name) {
+      total += seconds;
+      return;
+    }
+  }
+  stages.emplace_back(name, seconds);
+}
+
+double EngineStats::stage_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, seconds] : stages) total += seconds;
+  return total;
+}
+
+double EngineStats::accounted_seconds() const {
+  return view_build_seconds + shift_build_seconds + solve_seconds + stage_seconds();
+}
+
+bool EngineStats::consistent(double tolerance_seconds) const {
+  if (wall_seconds <= 0.0) return true;  // wall not recorded: nothing to check
+  // Stages are disjoint sub-intervals of the invocation, so their sum can
+  // exceed the wall only by timer resolution; allow a small relative slack
+  // on top for clocks that tick coarsely.
+  return accounted_seconds() <= wall_seconds + tolerance_seconds + 0.01 * wall_seconds;
+}
+
+void EngineStats::absorb(const EngineStats& other) {
+  assert(other.consistent() && "absorbing a sub-stage whose stages exceed its wall");
+  view_build_seconds += other.view_build_seconds;
+  shift_build_seconds += other.shift_build_seconds;
+  solve_seconds += other.solve_seconds;
+  sweeps += other.sweeps;
+  edge_relaxations += other.edge_relaxations;
+  for (const auto& [name, seconds] : other.stages) add_stage(name, seconds);
+  assert(consistent() && "absorbed sub-stage double-counts time already in a stage");
+}
+
+std::string EngineStats::to_string() const {
+  std::ostringstream out;
+  out << "view-build " << fmt_time(view_build_seconds * 1e3, 3) << " ms, shift-build "
+      << fmt_time(shift_build_seconds * 1e3, 3) << " ms, solve "
+      << fmt_time(solve_seconds * 1e3, 3) << " ms, " << sweeps << " sweep"
+      << (sweeps == 1 ? "" : "s") << ", " << edge_relaxations << " edge relaxations";
+  for (const auto& [name, seconds] : stages) {
+    out << ", " << name << " " << fmt_time(seconds * 1e3, 3) << " ms";
+  }
+  if (wall_seconds > 0.0) out << ", wall " << fmt_time(wall_seconds * 1e3, 3) << " ms";
+  return out.str();
+}
+
+}  // namespace mintc

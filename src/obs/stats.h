@@ -1,0 +1,74 @@
+// Per-stage engine accounting, shared by every solver result.
+//
+// EngineStats is threaded through FixpointResult / TimingReport / MlpResult
+// so benches and the fuzzer can report where time goes. Cheap by
+// construction: timers are read only at stage boundaries and edge
+// relaxations are accumulated from CSR widths, never inside the innermost
+// loop.
+//
+// Accounting invariant (asserted by absorb() and unit-tested): the named
+// stages plus the three built-in stages (view build, shift build, solve)
+// are *disjoint* sub-intervals of one engine invocation, so when
+// wall_seconds is recorded,
+//
+//     view_build + shift_build + solve + sum(stages)  <=  wall  (+ jitter)
+//
+// In particular a stage must never re-report time that already rolled into
+// solve_seconds — the pre-obs absorb() concatenated stage lists blindly,
+// so absorbing a sub-stage whose stages duplicated its solve time silently
+// inflated totals. consistent() makes that an observable error.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mintc {
+
+struct EngineStats {
+  double view_build_seconds = 0.0;   // TimingView construction (0 if reused)
+  double shift_build_seconds = 0.0;  // ShiftTable construction
+  double solve_seconds = 0.0;        // the iterative kernel stage
+  /// Wall time of the whole engine invocation, measured around everything
+  /// above; 0 when the engine did not record it.
+  double wall_seconds = 0.0;
+  int sweeps = 0;                    // full passes over the element set
+  long edge_relaxations = 0;         // eq. (17) edge terms evaluated
+
+  /// Additional named stages (e.g. "lp-solve", "hold-slack") in order.
+  /// Adding a name twice accumulates into the existing entry, so absorbing
+  /// the same sub-stage twice is visible as a doubled stage, not a
+  /// duplicated row.
+  std::vector<std::pair<std::string, double>> stages;
+
+  void add_stage(const std::string& name, double seconds);
+
+  /// Sum of the named stages.
+  double stage_seconds() const;
+  /// Everything accounted: view + shift + solve + named stages.
+  double accounted_seconds() const;
+  /// The accounting invariant: accounted <= wall (plus timer jitter).
+  /// Trivially true when wall_seconds was not recorded.
+  bool consistent(double tolerance_seconds = 1e-4) const;
+
+  /// Merge counters and stages of a sub-stage into this one. The sub-stage's
+  /// wall time is NOT added — the absorbing invocation's wall already covers
+  /// it. Asserts (debug builds) that both sides satisfy consistent().
+  void absorb(const EngineStats& other);
+  std::string to_string() const;
+};
+
+/// Monotonic stopwatch for stage accounting.
+class StageTimer {
+ public:
+  StageTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mintc

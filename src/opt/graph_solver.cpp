@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "baselines/edge_triggered.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sta/fixpoint.h"
 
 namespace mintc::opt {
@@ -132,9 +134,13 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
 // On success fills `x` with a feasible assignment (x[0] == 0).
 bool feasible_at(const DiffSystem& sys, double tc, std::vector<double>& x,
                  long& relaxations) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = tracer.enabled();
+  const obs::TraceSpan span("graph.bellman-ford", "opt");
   x.assign(static_cast<size_t>(sys.num_nodes), 0.0);  // virtual source to all
   for (int pass = 0; pass < sys.num_nodes; ++pass) {
     bool improved = false;
+    long pass_improvements = 0;  // relaxation-round record, kept when tracing
     for (const DiffEdge& e : sys.edges) {
       // Constraint x_u <= x_v + w: relax dist(u) against dist(v) + w.
       const double w = e.base + e.tc_coeff * tc;
@@ -143,7 +149,11 @@ bool feasible_at(const DiffSystem& sys, double tc, std::vector<double>& x,
       if (cand < x[static_cast<size_t>(e.u)] - 1e-12) {
         x[static_cast<size_t>(e.u)] = cand;
         improved = true;
+        if (tracing) ++pass_improvements;
       }
+    }
+    if (tracing) {
+      tracer.counter("graph.pass_improvements", static_cast<double>(pass_improvements), "opt");
     }
     if (!improved) {
       // Normalize so the origin sits at zero.
@@ -164,13 +174,17 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
     return make_error(ErrorKind::kInvalidCircuit,
                       "circuit '" + circuit.name() + "' failed validation");
   }
+  const StageTimer wall_timer;
+  const obs::TraceSpan span("graph.solve", "opt");
   const TimingView view(circuit);
   const DiffSystem sys = build_system(circuit, view, options.generator);
   GraphSolveResult res;
+  res.stats.view_build_seconds = view.build_seconds();
   std::vector<double> x;
 
   // Bracket the optimum: CPM is feasible when no extensions bite; otherwise
   // double until feasible.
+  const StageTimer bracket_timer;
   double hi = std::max(1.0, baselines::edge_triggered_cpm(circuit).cycle);
   while (!feasible_at(sys, hi, x, res.relaxations)) {
     hi *= 2.0;
@@ -180,6 +194,8 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
                             circuit.name() + "'");
     }
   }
+  res.stats.add_stage("bracket", bracket_timer.seconds());
+  const StageTimer search_timer;
   double lo = 0.0;
   while (hi - lo > options.tol) {
     const double mid = 0.5 * (lo + hi);
@@ -194,6 +210,7 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
   if (!feasible_at(sys, hi, x, res.relaxations)) {
     return make_error(ErrorKind::kNotConverged, "binary search lost feasibility (tolerance?)");
   }
+  res.stats.add_stage("binary-search", search_timer.seconds());
 
   res.min_cycle = hi;
   res.schedule.cycle = hi;
@@ -220,6 +237,12 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
     return make_error(ErrorKind::kNotConverged, "fixpoint did not converge (tolerance?)");
   }
   res.departure = fix.departure;
+  res.stats.absorb(fix.stats);  // folds the departure fixpoint's accounting in
+  res.stats.wall_seconds = wall_timer.seconds();
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("graph.solves").inc();
+  reg.counter("graph.search_steps").inc(res.search_steps);
+  reg.counter("graph.bf_relaxations").inc(res.relaxations);
   return res;
 }
 

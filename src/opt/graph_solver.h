@@ -30,6 +30,7 @@
 
 #include "base/error.h"
 #include "model/circuit.h"
+#include "obs/stats.h"
 #include "opt/constraints.h"
 
 namespace mintc::opt {
@@ -46,6 +47,7 @@ struct GraphSolveResult {
   std::vector<double> departure;  // L2-fixpoint departures under the schedule
   int search_steps = 0;           // binary-search iterations
   long relaxations = 0;           // Bellman-Ford edge relaxations, total
+  EngineStats stats;              // wall + bracket / binary-search stage split
 };
 
 /// Minimize the cycle time by binary search over difference-constraint

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "base/approx.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mintc::opt {
 
@@ -64,9 +66,15 @@ namespace {
 
 Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
                                     const MlpOptions& options) {
+  const StageTimer wall_timer;  // whole-algorithm wall clock (single accounting path)
+  const obs::TraceSpan span("mlp.solve", "opt");
   const StageTimer lp_timer;
   const lp::SimplexSolver solver(options.lp);
-  const lp::Solution sol = solver.solve(gen.model);
+  lp::Solution sol;
+  {
+    const obs::TraceSpan lp_span("mlp.lp-solve", "opt");
+    sol = solver.solve(gen.model);
+  }
   const double lp_seconds = lp_timer.seconds();
   switch (sol.status) {
     case lp::SolveStatus::kOptimal:
@@ -95,8 +103,11 @@ Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
 
   // Steps 2-5: slide the departures down to the L2 fixpoint with the clock
   // held at the LP optimum.
-  const sta::FixpointResult fix =
-      sta::compute_departures(circuit, res.schedule, res.lp_departure, options.fixpoint);
+  sta::FixpointResult fix;
+  {
+    const obs::TraceSpan slide_span("mlp.slide-fixpoint", "opt");
+    fix = sta::compute_departures(circuit, res.schedule, res.lp_departure, options.fixpoint);
+  }
   if (!fix.converged) {
     return make_error(ErrorKind::kNotConverged,
                       "departure fixpoint did not converge (this should be impossible for an "
@@ -109,13 +120,24 @@ Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
   res.stats.add_stage("lp-solve", lp_seconds);
 
   // Critical constraints: tight rows with non-zero duals.
-  for (int r = 0; r < gen.model.num_rows(); ++r) {
-    const double slack = sol.row_slack(gen.model, r);
-    const double dual = sol.duals[static_cast<size_t>(r)];
-    if (std::fabs(slack) <= options.critical_eps && std::fabs(dual) > options.critical_eps) {
-      res.critical.push_back({gen.model.row(r).name, slack, dual});
+  const StageTimer scan_timer;
+  {
+    const obs::TraceSpan scan_span("mlp.critical-scan", "opt");
+    for (int r = 0; r < gen.model.num_rows(); ++r) {
+      const double slack = sol.row_slack(gen.model, r);
+      const double dual = sol.duals[static_cast<size_t>(r)];
+      if (std::fabs(slack) <= options.critical_eps && std::fabs(dual) > options.critical_eps) {
+        res.critical.push_back({gen.model.row(r).name, slack, dual});
+      }
     }
   }
+  res.stats.add_stage("critical-scan", scan_timer.seconds());
+  // The inner fixpoint stamped its own (smaller) wall; this solve's wall is
+  // the whole lp + slide + scan span.
+  res.stats.wall_seconds = wall_timer.seconds();
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("mlp.solves").inc();
+  reg.counter("mlp.critical_constraints").inc(static_cast<long>(res.critical.size()));
   return res;
 }
 

@@ -8,6 +8,7 @@
 #include "base/approx.h"
 #include "base/strings.h"
 #include "base/table.h"
+#include "obs/trace.h"
 
 namespace mintc::sta {
 
@@ -57,6 +58,8 @@ FixpointResult compute_early_departures(const TimingView& view, const ShiftTable
 
 TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedule,
                             const AnalysisOptions& options) {
+  const StageTimer wall_timer;
+  const obs::TraceSpan span("analysis.check_schedule", "sta");
   TimingReport rep;
   const int l = circuit.num_elements();
   rep.elements.resize(static_cast<size_t>(l));
@@ -142,7 +145,17 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
     rep.stats.add_stage("hold-slack", hold_timer.seconds());
   }
 
+  // Constraint provenance (which term produced each D_i, what is tight).
+  if (options.provenance && rep.converged) {
+    const StageTimer prov_timer;
+    const obs::TraceSpan prov_span("analysis.provenance", "sta");
+    rep.provenance =
+        constraint_provenance(circuit, schedule, rep.fixpoint.departure, options.eps);
+    rep.stats.add_stage("provenance", prov_timer.seconds());
+  }
+
   rep.feasible = rep.schedule_ok && rep.converged && rep.setup_ok && rep.hold_ok;
+  rep.stats.wall_seconds = wall_timer.seconds();
   return rep;
 }
 
@@ -175,6 +188,7 @@ std::string TimingReport::to_string(const Circuit& circuit) const {
                    inf_fmt(t.hold_slack)});
   }
   out << table.to_string();
+  if (!provenance.empty()) out << provenance.to_string(circuit);
   return out.str();
 }
 

@@ -20,12 +20,16 @@
 
 #include "model/circuit.h"
 #include "sta/fixpoint.h"
+#include "sta/provenance.h"
 
 namespace mintc::sta {
 
 struct AnalysisOptions {
   FixpointOptions fixpoint;
   bool check_hold = false;
+  /// Attach a constraint-provenance report (arg-max edges, tight
+  /// constraints, named critical chain) to the TimingReport.
+  bool provenance = false;
   double eps = 1e-7;
 };
 
@@ -47,6 +51,9 @@ struct TimingReport {
   std::vector<ElementTiming> elements;
   std::vector<ClockViolation> clock_violations;
   FixpointResult fixpoint;
+  /// Filled when AnalysisOptions::provenance is set and the fixpoint
+  /// converged; empty() otherwise.
+  ProvenanceReport provenance;
   /// Whole-analysis stage accounting: view/shift builds, the departure
   /// fixpoint, and (when enabled) the hold-side min-fixpoint.
   EngineStats stats;

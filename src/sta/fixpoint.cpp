@@ -7,6 +7,8 @@
 
 #include "graph/digraph.h"
 #include "graph/scc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mintc::sta {
 
@@ -58,6 +60,7 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
   FixpointResult res = compute_departures(view, shifts, std::move(initial), options);
   res.stats.view_build_seconds = view.build_seconds();
   res.stats.shift_build_seconds = shifts.build_seconds();
+  res.stats.wall_seconds += view.build_seconds() + shifts.build_seconds();
   return res;
 }
 
@@ -67,14 +70,34 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
   assert(static_cast<int>(initial.size()) == l);
   assert(shifts.num_phases() >= view.num_phases());
   const StageTimer timer;
+  // Hoisted once per solve: with tracing disabled, the only cost the tracer
+  // adds to the loops below is this relaxed atomic load.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool tracing = tracer.enabled();
+  const obs::TraceSpan span("fixpoint.solve", "sta");
   FixpointResult res;
   res.departure = std::move(initial);
   const double bound = divergence_bound(view, shifts);
+  // Hoisted into locals: a store through res.departure's double* may alias
+  // FixpointOptions' double members under TBAA, so reading options.eps
+  // inside the sweep forces a reload per latch (~3% on the overhead gate).
+  const double eps = options.eps;
+  const int max_sweeps = options.max_sweeps;
 
   const auto diverged = [&](double v) { return v > bound; };
   const auto finish = [&]() -> FixpointResult&& {
     res.stats.sweeps = res.sweeps;
     res.stats.solve_seconds = timer.seconds();
+    res.stats.wall_seconds = res.stats.solve_seconds;
+    const char* scheme = to_string(options.scheme);
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("fixpoint.solves", {{"scheme", scheme}}).inc();
+    reg.counter("fixpoint.sweeps", {{"scheme", scheme}}).inc(res.sweeps);
+    reg.counter("fixpoint.edge_relaxations", {{"scheme", scheme}})
+        .inc(res.stats.edge_relaxations);
+    reg.histogram("fixpoint.sweeps_per_solve", {{"scheme", scheme}})
+        .observe(static_cast<double>(res.sweeps));
+    if (tracing && res.diverged) tracer.instant("fixpoint.diverged", "sta");
     return std::move(res);
   };
   const auto relax = [&](int i) {
@@ -83,19 +106,28 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
     return mintc::departure_update(view, shifts, res.departure, i);
   };
 
+  // The solve loops are instantiated twice, kTracing on/off, so the
+  // disabled-tracing path compiles with no residual tracking at all — the
+  // bench_view_fixpoint --overhead-check gate holds it within 5% of the
+  // pre-observability loop, which a runtime `if (tracing)` in the inner
+  // loop measurably failed.
+  const auto solve = [&]<bool kTracing>() -> FixpointResult {
   switch (options.scheme) {
     case UpdateScheme::kJacobi: {
       std::vector<double> next(static_cast<size_t>(l), 0.0);
-      for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+      for (res.sweeps = 0; res.sweeps < max_sweeps; ++res.sweeps) {
         bool changed = false;
+        [[maybe_unused]] double residual = 0.0;  // max |ΔD| this sweep
         for (int i = 0; i < l; ++i) {
           ++res.updates;
           res.stats.edge_relaxations += view.fanin_count(i);
           next[static_cast<size_t>(i)] =
               mintc::departure_update(view, shifts, res.departure, i);
-          if (std::fabs(next[static_cast<size_t>(i)] - res.departure[static_cast<size_t>(i)]) >
-              options.eps) {
-            changed = true;
+          const double delta =
+              std::fabs(next[static_cast<size_t>(i)] - res.departure[static_cast<size_t>(i)]);
+          if (delta > eps) changed = true;
+          if constexpr (kTracing) {
+            if (delta > residual) residual = delta;
           }
           if (diverged(next[static_cast<size_t>(i)])) {
             res.diverged = true;
@@ -107,6 +139,7 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
           }
         }
         res.departure.swap(next);
+        if constexpr (kTracing) tracer.counter("fixpoint.residual", residual, "sta");
         if (!changed) {
           res.converged = true;
           ++res.sweeps;
@@ -117,17 +150,23 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
     }
 
     case UpdateScheme::kGaussSeidel: {
-      for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+      for (res.sweeps = 0; res.sweeps < max_sweeps; ++res.sweeps) {
         bool changed = false;
+        [[maybe_unused]] double residual = 0.0;  // max |ΔD| this sweep
         for (int i = 0; i < l; ++i) {
           const double v = relax(i);
-          if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) changed = true;
+          const double delta = std::fabs(v - res.departure[static_cast<size_t>(i)]);
+          if (delta > eps) changed = true;
+          if constexpr (kTracing) {
+            if (delta > residual) residual = delta;
+          }
           res.departure[static_cast<size_t>(i)] = v;
           if (diverged(v)) {
             res.diverged = true;
             return finish();
           }
         }
+        if constexpr (kTracing) tracer.counter("fixpoint.residual", residual, "sta");
         if (!changed) {
           res.converged = true;
           ++res.sweeps;
@@ -146,12 +185,15 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
       for (int comp = scc.num_components - 1; comp >= 0; --comp) {
         const std::vector<int>& members = scc.members[static_cast<size_t>(comp)];
         int local_sweeps = 0;
-        while (local_sweeps < options.max_sweeps) {
+        while (local_sweeps < max_sweeps) {
           bool changed = false;
+          [[maybe_unused]] double residual = 0.0;  // max |ΔD| this component sweep
           for (const int i : members) {
             const double v = relax(i);
-            if (std::fabs(v - res.departure[static_cast<size_t>(i)]) > options.eps) {
-              changed = true;
+            const double delta = std::fabs(v - res.departure[static_cast<size_t>(i)]);
+            if (delta > eps) changed = true;
+            if constexpr (kTracing) {
+              if (delta > residual) residual = delta;
             }
             res.departure[static_cast<size_t>(i)] = v;
             if (diverged(v)) {
@@ -159,13 +201,14 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
               return finish();
             }
           }
+          if constexpr (kTracing) tracer.counter("fixpoint.residual", residual, "sta");
           ++local_sweeps;
           if (!changed) break;
           // Acyclic components converge after one changing sweep.
           if (!scc.nontrivial[static_cast<size_t>(comp)]) break;
         }
         res.sweeps = std::max(res.sweeps, local_sweeps);
-        if (local_sweeps >= options.max_sweeps) return finish();  // not converged
+        if (local_sweeps >= max_sweeps) return finish();  // not converged
       }
       res.converged = true;
       return finish();
@@ -186,7 +229,11 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
         const int i = work[head++];
         queued[static_cast<size_t>(i)] = false;
         const double v = relax(i);
-        if (std::fabs(v - res.departure[static_cast<size_t>(i)]) <= options.eps) continue;
+        const double delta = std::fabs(v - res.departure[static_cast<size_t>(i)]);
+        if (delta <= eps) continue;
+        // The event-driven scheme has no sweeps; the accepted-update ΔD
+        // stream is its convergence record.
+        if constexpr (kTracing) tracer.counter("fixpoint.residual", delta, "sta");
         res.departure[static_cast<size_t>(i)] = v;
         if (diverged(v)) {
           res.diverged = true;
@@ -212,6 +259,8 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
     }
   }
   return finish();
+  };  // solve
+  return tracing ? solve.template operator()<true>() : solve.template operator()<false>();
 }
 
 FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& schedule,
@@ -261,6 +310,8 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
     if (v > bound) {
       res.diverged = true;
       res.stats.solve_seconds = timer.seconds();
+      res.stats.wall_seconds =
+          res.stats.solve_seconds + view.build_seconds() + shifts.build_seconds();
       return res;
     }
     const int fo_end = view.fanout_end(i);
@@ -276,6 +327,8 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
   res.sweeps = (res.updates + l - 1) / std::max(1, l);
   res.stats.sweeps = res.sweeps;
   res.stats.solve_seconds = timer.seconds();
+  res.stats.wall_seconds =
+      res.stats.solve_seconds + view.build_seconds() + shifts.build_seconds();
   return res;
 }
 

@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace mintc {
 namespace {
 
 class LogTest : public testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kWarn); }
+  void TearDown() override {
+    set_log_level(LogLevel::kWarn);
+    set_log_sink({});  // restore the default stderr sink
+  }
 };
 
 TEST_F(LogTest, LevelRoundTrips) {
@@ -25,6 +32,54 @@ TEST_F(LogTest, StreamInterfaceCompiles) {
 }
 
 TEST_F(LogTest, DefaultLevelIsWarn) { EXPECT_EQ(log_level(), LogLevel::kWarn); }
+
+TEST_F(LogTest, SinkCapturesAcceptedLines) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel level, const std::string& msg) {
+    captured.emplace_back(level, msg);
+  });
+  set_log_level(LogLevel::kInfo);
+  log_line(LogLevel::kInfo, "hello");
+  log_line(LogLevel::kDebug, "filtered out");  // below the level: not sunk
+  log_error() << "count=" << 3;
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "hello");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_EQ(captured[1].second, "count=3");
+}
+
+TEST_F(LogTest, LevelFilterAppliesBeforeTheSink) {
+  int calls = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++calls; });
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kError, "never delivered");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(LogTest, ResettingSinkRestoresDefault) {
+  int calls = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++calls; });
+  log_line(LogLevel::kError, "to sink");
+  EXPECT_EQ(calls, 1);
+  set_log_sink({});
+  set_log_level(LogLevel::kOff);  // keep the default sink quiet for the check
+  log_line(LogLevel::kError, "suppressed");
+  EXPECT_EQ(calls, 1);  // the replaced sink no longer sees lines
+}
+
+TEST_F(LogTest, SinkMaySwapItselfWithoutDeadlock) {
+  int outer = 0, inner = 0;
+  set_log_sink([&](LogLevel, const std::string&) {
+    ++outer;
+    set_log_sink([&](LogLevel, const std::string&) { ++inner; });
+  });
+  log_line(LogLevel::kError, "first");
+  log_line(LogLevel::kError, "second");
+  EXPECT_EQ(outer, 1);
+  EXPECT_EQ(inner, 1);
+}
 
 }  // namespace
 }  // namespace mintc

@@ -1,0 +1,136 @@
+// Golden-shape tests for the exporters: a canned optimizer run must produce
+// Chrome trace-event JSON that is (a) well-formed JSON, (b) monotone in
+// timestamp, and (c) balanced in B/E pairs per name — the three properties
+// chrome://tracing needs to load the file at all.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuits/example2.h"
+#include "json_validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "opt/mlp.h"
+
+namespace mintc::obs {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+// Run the whole MLP pipeline on Example 2 with tracing on — the canned run.
+std::vector<TraceEvent> canned_run_events() {
+  Tracer::instance().set_enabled(true);
+  const auto r = opt::minimize_cycle_time(circuits::example2());
+  Tracer::instance().set_enabled(false);
+  EXPECT_TRUE(r.has_value());
+  return Tracer::instance().snapshot();
+}
+
+TEST_F(ExportTest, CannedRunProducesValidJson) {
+  const std::string json = chrome_trace_json(canned_run_events());
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  // The documented envelope and the spans the MLP layer promises.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("mlp.solve"), std::string::npos);
+  EXPECT_NE(json.find("mlp.lp-solve"), std::string::npos);
+  EXPECT_NE(json.find("mlp.slide-fixpoint"), std::string::npos);
+  EXPECT_NE(json.find("simplex.solve"), std::string::npos);
+  EXPECT_NE(json.find("fixpoint.solve"), std::string::npos);
+}
+
+TEST_F(ExportTest, CannedRunTimestampsAreMonotone) {
+  const std::vector<TraceEvent> events = canned_run_events();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us) << "at index " << i;
+  }
+}
+
+TEST_F(ExportTest, CannedRunBeginEndPairsBalance) {
+  const std::vector<TraceEvent> events = canned_run_events();
+  std::map<std::string, int> depth;
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kBegin) {
+      ++depth[e.name];
+    } else if (e.kind == EventKind::kEnd) {
+      --depth[e.name];
+      EXPECT_GE(depth[e.name], 0) << "end before begin for " << e.name;
+    }
+  }
+  for (const auto& [name, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced span " << name;
+  }
+}
+
+TEST_F(ExportTest, ChromeTraceEventShapes) {
+  Tracer& t = Tracer::instance();
+  t.set_enabled(true);
+  t.begin_span("work", "cat");
+  t.counter("residual", 2.5, "cat");
+  t.instant("mark", "cat");
+  t.end_span("work", "cat");
+  t.set_enabled(false);
+  const std::string json = chrome_trace_json(t.snapshot());
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 2.5"), std::string::npos);  // counter args
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);    // instant scope
+}
+
+TEST_F(ExportTest, EmptyTraceIsStillValidJson) {
+  const std::string json = chrome_trace_json({});
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+}
+
+TEST_F(ExportTest, MetricsJsonIsValidAndEscaped) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.export.c", {{"note", "quote\"back\\slash"}}).inc(3);
+  reg.histogram("test.export.h", {}, {1.0, 2.0}).observe(1.5);
+  const std::string json = metrics_json(reg.snapshot());
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("test.export.c"), std::string::npos);
+  EXPECT_NE(json.find("\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST_F(ExportTest, MetricsJsonClampsNonFiniteGauges) {
+  auto& reg = MetricsRegistry::instance();
+  reg.gauge("test.export.overflowed").set(1.0 / 0.0);
+  reg.gauge("test.export.undefined").set(0.0 / 0.0);
+  const std::string json = metrics_json(reg.snapshot());
+  // Bare NaN / Inf are not JSON; the exporter must clamp them.
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST_F(ExportTest, MetricsTableMentionsEveryMetric) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.table.one").inc();
+  reg.gauge("test.table.two").set(5.0);
+  const std::string table = metrics_table(reg.snapshot());
+  EXPECT_NE(table.find("test.table.one"), std::string::npos);
+  EXPECT_NE(table.find("test.table.two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mintc::obs

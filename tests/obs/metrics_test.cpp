@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mintc::obs {
+namespace {
+
+// The registry is process-wide and shared across tests in this binary, so
+// every test uses names scoped under "test." and starts from a clean slate.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::instance().reset(); }
+};
+
+TEST_F(MetricsTest, CounterIncrements) {
+  Counter& c = MetricsRegistry::instance().counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST_F(MetricsTest, SameNameAndLabelsReturnsSameHandle) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& a = reg.counter("test.dup", {{"scheme", "jacobi"}});
+  Counter& b = reg.counter("test.dup", {{"scheme", "jacobi"}});
+  Counter& other = reg.counter("test.dup", {{"scheme", "gauss-seidel"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.inc();
+  EXPECT_EQ(b.value(), 1);
+  EXPECT_EQ(other.value(), 0);
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  Gauge& g = MetricsRegistry::instance().gauge("test.gauge");
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAreUpperInclusive) {
+  Histogram& h =
+      MetricsRegistry::instance().histogram("test.hist", {}, {1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (bounds are inclusive)
+  h.observe(1.5);   // <= 2
+  h.observe(100.0); // +inf bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  const std::vector<long> buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 0);
+  EXPECT_EQ(buckets[3], 1);
+}
+
+TEST_F(MetricsTest, MetricPointKeyRendersLabels) {
+  MetricPoint p;
+  p.name = "fixpoint.sweeps";
+  p.labels = {{"scheme", "jacobi"}};
+  EXPECT_EQ(p.key(), "fixpoint.sweeps{scheme=jacobi}");
+  p.labels.clear();
+  EXPECT_EQ(p.key(), "fixpoint.sweeps");
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByKeyAndCoversAllKinds) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.snap.c").inc(7);
+  reg.gauge("test.snap.g").set(2.5);
+  reg.histogram("test.snap.h", {}, {1.0}).observe(0.5);
+
+  const std::vector<MetricPoint> snap = reg.snapshot();
+  std::vector<std::string> keys;
+  for (const MetricPoint& p : snap) keys.push_back(p.key());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+
+  const auto find = [&](const std::string& key) -> const MetricPoint* {
+    for (const MetricPoint& p : snap) {
+      if (p.key() == key) return &p;
+    }
+    return nullptr;
+  };
+  const MetricPoint* c = find("test.snap.c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(c->value, 7.0);
+  const MetricPoint* g = find("test.snap.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(g->value, 2.5);
+  const MetricPoint* h = find("test.snap.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricKind::kHistogram);
+  EXPECT_EQ(h->count, 1);
+  ASSERT_EQ(h->buckets.size(), 2u);
+  EXPECT_EQ(h->buckets[0], 1);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsHandlesValid) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.reset.c");
+  Histogram& h = reg.histogram("test.reset.h");
+  c.inc(5);
+  h.observe(3.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // Handles still work after reset.
+  c.inc();
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(&c, &reg.counter("test.reset.c"));
+}
+
+TEST_F(MetricsTest, DefaultBucketsAreAscendingPowersOfTwo) {
+  const std::vector<double> b = default_buckets();
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_DOUBLE_EQ(b.back(), 4096.0);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+}  // namespace
+}  // namespace mintc::obs

@@ -1,0 +1,95 @@
+#include "obs/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mintc {
+namespace {
+
+TEST(EngineStatsTest, StagesAccumulateByName) {
+  EngineStats s;
+  s.add_stage("bracket", 0.25);
+  s.add_stage("binary-search", 0.5);
+  s.add_stage("bracket", 0.25);  // same name folds into the existing entry
+  ASSERT_EQ(s.stages.size(), 2u);
+  EXPECT_EQ(s.stages[0].first, "bracket");
+  EXPECT_DOUBLE_EQ(s.stages[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(s.stage_seconds(), 1.0);
+}
+
+TEST(EngineStatsTest, ConsistentAllowsUnsetWall) {
+  EngineStats s;
+  s.solve_seconds = 123.0;
+  // wall == 0 means "nobody timed the whole call": nothing to check against.
+  EXPECT_TRUE(s.consistent());
+}
+
+TEST(EngineStatsTest, ConsistentAcceptsStagesWithinWall) {
+  EngineStats s;
+  s.view_build_seconds = 0.1;
+  s.solve_seconds = 0.3;
+  s.add_stage("lp-solve", 0.4);
+  s.wall_seconds = 1.0;
+  EXPECT_TRUE(s.consistent());
+  EXPECT_DOUBLE_EQ(s.accounted_seconds(), 0.8);
+}
+
+TEST(EngineStatsTest, ConsistentCatchesDoubleCountedStages) {
+  // The PR2 bug this guards against: absorbing the same child stats twice
+  // (or copying stats and then re-adding stages) makes the per-stage sum
+  // exceed the wall clock that supposedly contains it.
+  EngineStats s;
+  s.wall_seconds = 1.0;
+  s.add_stage("lp-solve", 0.7);
+  EXPECT_TRUE(s.consistent());
+  s.add_stage("lp-solve", 0.7);  // the double count
+  EXPECT_FALSE(s.consistent());
+}
+
+TEST(EngineStatsTest, AbsorbMergesEverythingButWall) {
+  EngineStats outer;
+  outer.wall_seconds = 2.0;
+  outer.solve_seconds = 0.2;
+  outer.sweeps = 3;
+  outer.add_stage("bracket", 0.1);
+
+  EngineStats inner;
+  inner.wall_seconds = 0.5;  // the inner call's own wall: covered by the outer one
+  inner.view_build_seconds = 0.05;
+  inner.solve_seconds = 0.3;
+  inner.sweeps = 7;
+  inner.edge_relaxations = 40;
+  inner.add_stage("bracket", 0.2);
+  inner.add_stage("provenance", 0.1);
+
+  outer.absorb(inner);
+  // Wall is NOT summed: the outer timer already spans the inner call.
+  EXPECT_DOUBLE_EQ(outer.wall_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(outer.view_build_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(outer.solve_seconds, 0.5);
+  EXPECT_EQ(outer.sweeps, 10);
+  EXPECT_EQ(outer.edge_relaxations, 40);
+  ASSERT_EQ(outer.stages.size(), 2u);
+  EXPECT_DOUBLE_EQ(outer.stages[0].second, 0.3);  // bracket merged by name
+  EXPECT_EQ(outer.stages[1].first, "provenance");
+  EXPECT_TRUE(outer.consistent());
+}
+
+TEST(EngineStatsTest, ToStringMentionsWallOnlyWhenTimed) {
+  EngineStats s;
+  s.sweeps = 2;
+  EXPECT_EQ(s.to_string().find("wall"), std::string::npos);
+  s.wall_seconds = 0.001;
+  EXPECT_NE(s.to_string().find("wall"), std::string::npos);
+}
+
+TEST(StageTimerTest, MeasuresElapsedTime) {
+  const StageTimer t;
+  volatile double x = 1.0;
+  for (int i = 0; i < 1000; ++i) x = x * 1.0000001;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mintc
