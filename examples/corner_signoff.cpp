@@ -7,17 +7,28 @@
 //   2. verify the resulting schedule at slow/typical/fast corners,
 //      including the short-path (hold) checks that fast corners stress;
 //   3. report the frequency cost of the margin.
+//
+// With --report-dir <dir>, also emits the full signoff package there: one
+// self-contained HTML dashboard per corner plus the merged signoff JSON.
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "base/strings.h"
 #include "base/table.h"
 #include "circuits/gaas.h"
 #include "opt/mlp.h"
+#include "report/export.h"
+#include "report/slackdb.h"
 #include "sta/corners.h"
 
 using namespace mintc;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string report_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--report-dir" && i + 1 < argc) report_dir = argv[++i];
+  }
   std::printf("== corner sign-off on the GaAs datapath ==\n\n");
   const Circuit c = circuits::gaas_datapath();
   const double spread = 0.08;  // +-8%% process/voltage/temperature spread
@@ -69,5 +80,22 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("margin costs %s%% of frequency — the price of sign-off robustness.\n",
               fmt_time(100.0 * (robust->min_cycle / typical->min_cycle - 1.0), 1).c_str());
+
+  if (!report_dir.empty()) {
+    // Signoff package for the robust design point: one dashboard per corner
+    // plus the merged worst-corner JSON.
+    std::error_code ec;
+    std::filesystem::create_directories(report_dir, ec);
+    const report::SignoffDB db =
+        report::build_signoff(c, robust->schedule, sta::standard_corners(spread));
+    report::write_report_file(report_dir + "/signoff.json", report::signoff_json(db));
+    report::write_report_file(report_dir + "/signoff.html", report::signoff_html(c, db));
+    for (const report::SlackDB& corner : db.corners) {
+      report::write_report_file(report_dir + "/corner_" + corner.corner + ".html",
+                                report::report_html(c, corner));
+    }
+    std::printf("\nwrote signoff package (%zu corner dashboards) to %s/\n",
+                db.corners.size(), report_dir.c_str());
+  }
   return signoff.all_pass ? 0 : 1;
 }

@@ -51,6 +51,9 @@ void print_failure(const check::FuzzFailure& f) {
   if (!f.metrics_path.empty()) {
     std::printf("  metrics written to %s\n", f.metrics_path.c_str());
   }
+  if (!f.report_path.empty()) {
+    std::printf("  signoff report written to %s\n", f.report_path.c_str());
+  }
   std::printf("  minimal repro:\n---\n%s---\n", f.repro_lct.c_str());
 }
 

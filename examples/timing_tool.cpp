@@ -11,23 +11,38 @@
 //   timing_tool corners <circuit.lct> <sched.lcs> slow/typical/fast sign-off
 //   timing_tool svg|dot|vcd <circuit.lct> [out]   diagram / graph / waveform files
 //   timing_tool baselines <circuit.lct>           compare against CPM/Jouppi/NRIP
+//   timing_tool report <circuit> [sched.lcs] [--json F] [--html F] [--nworst K]
+//                      [--corners]               signoff report (text/JSON/HTML)
+//
+// The <circuit> argument is a .lct file, or one of the built-in names
+// example1 / example2 / gaas. Every subcommand also accepts the global
+// flags --metrics-out <file> and --trace-out <file>, which dump the obs
+// metrics registry / chrome trace on exit.
 //
 // With no arguments, runs every subcommand against the built-in example 1.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "base/strings.h"
 #include "base/table.h"
 #include "baselines/binary_search.h"
 #include "baselines/edge_triggered.h"
 #include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "opt/critical.h"
 #include "opt/mlp.h"
 #include "opt/sensitivity.h"
 #include "parser/lcs.h"
 #include "parser/lct.h"
 #include "opt/bounds.h"
+#include "report/export.h"
+#include "report/slackdb.h"
 #include "sim/token_sim.h"
 #include "sim/vcd.h"
 #include "sta/analysis.h"
@@ -213,17 +228,94 @@ int cmd_bounds(const Circuit& c) {
   return 0;
 }
 
+/// Signoff report: runs the SlackDB builder and renders text (stdout) plus
+/// optional JSON / self-contained HTML dashboard files.
+int cmd_report(const Circuit& c, const ClockSchedule& s, const std::string& json_path,
+               const std::string& html_path, int nworst, bool corners) {
+  report::SlackDbOptions opt;
+  opt.nworst = nworst;
+  if (corners) {
+    const report::SignoffDB db = report::build_signoff(c, s, sta::standard_corners(), opt);
+    std::printf("%s", report::signoff_table(db).c_str());
+    if (!json_path.empty() && report::write_report_file(json_path, report::signoff_json(db))) {
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!html_path.empty() &&
+        report::write_report_file(html_path, report::signoff_html(c, db))) {
+      std::printf("wrote %s\n", html_path.c_str());
+    }
+    return db.all_pass ? 0 : 1;
+  }
+  const report::SlackDB db = report::build_slackdb(c, s, opt);
+  std::printf("%s", report::report_table(db).c_str());
+  if (!json_path.empty() && report::write_report_file(json_path, report::report_json(db))) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!html_path.empty() && report::write_report_file(html_path, report::report_html(c, db))) {
+    std::printf("wrote %s\n", html_path.c_str());
+  }
+  return db.feasible ? 0 : 1;
+}
+
+/// The paper's published GaAs schedule shape (Fig. 11): min-duty refinement
+/// at Tc*, then phi1 stretched back to the cycle origin so phi3 sits
+/// entirely inside it.
+bool gaas_published_schedule(const Circuit& c, ClockSchedule* out) {
+  const auto base = opt::minimize_cycle_time(c);
+  if (!base) return false;
+  const auto refined =
+      opt::refine_schedule(c, base->min_cycle, opt::SecondaryObjective::kMinTotalWidth);
+  if (!refined) return false;
+  *out = refined->schedule;
+  out->width[0] += out->start[0];
+  out->start[0] = 0.0;
+  return true;
+}
+
+/// Resolve a circuit argument: a .lct path, or a built-in name. Built-ins
+/// also pick a natural default schedule (the optimum; for gaas, the
+/// published Fig. 11 shape).
+bool resolve_circuit(const std::string& arg, Circuit* out, ClockSchedule* default_sched,
+                     bool* have_sched) {
+  *have_sched = false;
+  if (arg == "example1") {
+    *out = circuits::example1(80.0);
+  } else if (arg == "example2") {
+    *out = circuits::example2();
+  } else if (arg == "gaas") {
+    *out = circuits::gaas_datapath();
+    *have_sched = gaas_published_schedule(*out, default_sched);
+  } else {
+    auto circuit = parser::load_circuit(arg);
+    if (!circuit) {
+      std::printf("cannot load circuit: %s\n", circuit.error().to_string().c_str());
+      return false;
+    }
+    *out = *circuit;
+  }
+  if (!*have_sched) {
+    const auto r = opt::minimize_cycle_time(*out);
+    if (r) {
+      *default_sched = r->schedule;
+      *have_sched = true;
+    }
+  }
+  return true;
+}
+
 int usage() {
   std::printf(
       "usage: timing_tool <min|loops|critical|sens|bounds|baselines> <circuit.lct>\n"
       "       timing_tool <svg|dot|vcd> <circuit.lct> [out-file]\n"
-      "       timing_tool <check|sim|corners> <circuit.lct> <schedule.lcs>\n");
+      "       timing_tool <check|sim|corners> <circuit.lct> <schedule.lcs>\n"
+      "       timing_tool report <circuit> [schedule.lcs] [--json <file>]\n"
+      "                  [--html <file>] [--nworst <K>] [--corners]\n"
+      "       <circuit> is a .lct file or a built-in: example1, example2, gaas\n"
+      "       global flags: --metrics-out <file>, --trace-out <file>\n");
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc == 1) {
     // Demo mode: run everything on example 1.
     const Circuit c = circuits::example1(80.0);
@@ -246,6 +338,43 @@ int main(int argc, char** argv) {
   }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
+
+  if (cmd == "report") {
+    Circuit c("", 1);
+    ClockSchedule sched;
+    bool have_sched = false;
+    if (!resolve_circuit(argv[2], &c, &sched, &have_sched)) return 1;
+    std::string json_path, html_path;
+    int nworst = 10;
+    bool corners = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (arg == "--html" && i + 1 < argc) {
+        html_path = argv[++i];
+      } else if (arg == "--nworst" && i + 1 < argc) {
+        nworst = std::atoi(argv[++i]);
+      } else if (arg == "--corners") {
+        corners = true;
+      } else if (!arg.empty() && arg[0] != '-') {
+        const auto s = parser::load_schedule(arg);
+        if (!s) {
+          std::printf("cannot load schedule: %s\n", s.error().to_string().c_str());
+          return 1;
+        }
+        sched = *s;
+        have_sched = true;
+      } else {
+        return usage();
+      }
+    }
+    if (!have_sched) {
+      std::printf("no feasible schedule for this circuit (pass a .lcs file)\n");
+      return 1;
+    }
+    return cmd_report(c, sched, json_path, html_path, nworst, corners);
+  }
 
   const auto circuit = parser::load_circuit(argv[2]);
   if (!circuit) {
@@ -273,4 +402,35 @@ int main(int argc, char** argv) {
     return cmd_sim(*circuit, *schedule);
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the global observability flags before subcommand dispatch so every
+  // subcommand gets them for free.
+  std::string metrics_out, trace_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+
+  const int rc = run(static_cast<int>(args.size()), args.data());
+
+  if (!metrics_out.empty() && obs::write_metrics_json(metrics_out)) {
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty() && obs::write_chrome_trace(trace_out)) {
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
+  return rc;
 }

@@ -8,7 +8,10 @@
 #include "netlist/generators.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "opt/mlp.h"
 #include "parser/lct.h"
+#include "report/export.h"
+#include "report/slackdb.h"
 
 namespace mintc::check {
 
@@ -113,6 +116,16 @@ FuzzResult run_fuzz(const FuzzOptions& options) {
       }
       ff.metrics_path = base + ".metrics.json";
       if (!obs::write_metrics_json(ff.metrics_path)) ff.metrics_path.clear();
+      // A full slack/borrow report of the minimal circuit at its own
+      // optimum: which endpoint is tight and who borrows is usually the
+      // fastest route to the diverging engine.
+      if (const auto mlp = opt::minimize_cycle_time(minimal)) {
+        const report::SlackDB db = report::build_slackdb(minimal, mlp->schedule);
+        ff.report_path = base + ".report.json";
+        if (!report::write_report_file(ff.report_path, report::report_json(db))) {
+          ff.report_path.clear();
+        }
+      }
     }
     res.failures.push_back(std::move(ff));
     if (static_cast<int>(res.failures.size()) >= options.max_failures) break;

@@ -44,6 +44,10 @@ struct FuzzFailure {
   /// shrunk circuit, written next to the repro (when repro_dir was set).
   std::string trace_path;
   std::string metrics_path;
+  /// Signoff report (JSON SlackDB) of the shrunk circuit at its own MLP
+  /// optimum — slack/borrow context for diagnosing the divergence. Empty
+  /// when the shrunk circuit has no feasible schedule.
+  std::string report_path;
   int original_elements = 0;
   int original_paths = 0;
   int shrunk_elements = 0;

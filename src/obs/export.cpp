@@ -1,6 +1,8 @@
 #include "obs/export.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
@@ -8,39 +10,20 @@
 #include "base/strings.h"
 #include "base/table.h"
 
+#ifndef MINTC_VERSION
+#define MINTC_VERSION "dev"
+#endif
+
 namespace mintc::obs {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// Process epoch for the metadata wall clock (captured at load).
+const std::chrono::steady_clock::time_point kProcessEpoch = std::chrono::steady_clock::now();
 
-// JSON has no Inf/NaN literals; clamp them to null-safe numbers.
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
-  std::ostringstream out;
-  out.precision(15);
-  out << v;
-  return out.str();
+double process_wall_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - kProcessEpoch)
+      .count();
 }
 
 const char* phase_of(EventKind kind) {
@@ -78,6 +61,65 @@ bool write_string(const std::string& path, const std::string& content) {
 
 }  // namespace
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no Inf/NaN literals; clamp them to null-safe numbers.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+  std::ostringstream out;
+  out.precision(15);
+  out << v;
+  return out.str();
+}
+
+RunMetadata& run_metadata() {
+  static RunMetadata meta{"mintc " MINTC_VERSION, "", "", 0.0};
+  return meta;
+}
+
+std::string fnv1a_hex(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string run_metadata_json(const RunMetadata& meta) {
+  const double wall = meta.wall_seconds > 0.0 ? meta.wall_seconds : process_wall_seconds();
+  std::ostringstream out;
+  out << "{\"tool\": \"" << json_escape(meta.tool) << "\", \"circuit\": \""
+      << json_escape(meta.circuit) << "\", \"schedule_hash\": \""
+      << json_escape(meta.schedule_hash) << "\", \"wall_seconds\": " << json_number(wall)
+      << "}";
+  return out.str();
+}
+
+std::string run_metadata_json() { return run_metadata_json(run_metadata()); }
+
 std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
   std::ostringstream out;
   out << "{\"traceEvents\": [";
@@ -93,13 +135,13 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
     }
     out << "}";
   }
-  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  out << "\n], \"displayTimeUnit\": \"ms\", \"metadata\": " << run_metadata_json() << "}\n";
   return out.str();
 }
 
 std::string metrics_json(const std::vector<MetricPoint>& points) {
   std::ostringstream out;
-  out << "[";
+  out << "{\"meta\": " << run_metadata_json() << ",\n \"metrics\": [";
   for (size_t i = 0; i < points.size(); ++i) {
     const MetricPoint& p = points[i];
     if (i) out << ",";
@@ -115,7 +157,9 @@ std::string metrics_json(const std::vector<MetricPoint>& points) {
       case MetricKind::kHistogram: {
         out << "\"type\": \"histogram\", \"count\": " << p.count
             << ", \"sum\": " << json_number(p.sum) << ", \"min\": " << json_number(p.min)
-            << ", \"max\": " << json_number(p.max) << ", \"bounds\": [";
+            << ", \"max\": " << json_number(p.max) << ", \"p50\": " << json_number(p.p50)
+            << ", \"p95\": " << json_number(p.p95) << ", \"p99\": " << json_number(p.p99)
+            << ", \"bounds\": [";
         for (size_t b = 0; b < p.bounds.size(); ++b) {
           if (b) out << ", ";
           out << json_number(p.bounds[b]);
@@ -131,12 +175,13 @@ std::string metrics_json(const std::vector<MetricPoint>& points) {
     }
     out << "}";
   }
-  out << "\n]\n";
+  out << "\n]}\n";
   return out.str();
 }
 
 std::string metrics_table(const std::vector<MetricPoint>& points) {
-  TextTable table({"metric", "labels", "type", "value", "count", "min", "mean", "max"});
+  TextTable table(
+      {"metric", "labels", "type", "value", "count", "min", "mean", "p50", "p95", "p99", "max"});
   for (const MetricPoint& p : points) {
     std::string labels;
     for (size_t i = 0; i < p.labels.size(); ++i) {
@@ -145,15 +190,18 @@ std::string metrics_table(const std::vector<MetricPoint>& points) {
     }
     switch (p.kind) {
       case MetricKind::kCounter:
-        table.add_row({p.name, labels, "counter", fmt_time(p.value, 3), "", "", "", ""});
+        table.add_row({p.name, labels, "counter", fmt_time(p.value, 3), "", "", "", "", "", "",
+                       ""});
         break;
       case MetricKind::kGauge:
-        table.add_row({p.name, labels, "gauge", fmt_time(p.value, 4), "", "", "", ""});
+        table.add_row({p.name, labels, "gauge", fmt_time(p.value, 4), "", "", "", "", "", "",
+                       ""});
         break;
       case MetricKind::kHistogram: {
         const double mean = p.count > 0 ? p.sum / static_cast<double>(p.count) : 0.0;
         table.add_row({p.name, labels, "histogram", "", std::to_string(p.count),
-                       fmt_time(p.min, 3), fmt_time(mean, 3), fmt_time(p.max, 3)});
+                       fmt_time(p.min, 3), fmt_time(mean, 3), fmt_time(p.p50, 3),
+                       fmt_time(p.p95, 3), fmt_time(p.p99, 3), fmt_time(p.max, 3)});
         break;
       }
     }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -17,12 +18,42 @@
 
 namespace mintc::obs {
 
-/// Render events as Chrome trace-event JSON ({"traceEvents": [...]}).
+/// Run-identification header stamped into every JSON export — metrics,
+/// trace, and the report exporters (src/report) all share it, so any dump
+/// answers "which tool, which circuit, which schedule, how long into the
+/// run". Tools fill circuit/schedule_hash once their inputs are known; the
+/// defaults identify the tool version alone.
+struct RunMetadata {
+  std::string tool;           // "mintc <version>"
+  std::string circuit;        // analyzed circuit name ("" = not applicable)
+  std::string schedule_hash;  // fnv1a_hex of the schedule text ("" = none)
+  double wall_seconds = 0.0;  // process wall time; 0 = stamp at export time
+};
+
+/// The mutable process-wide metadata (defaults to the tool version only).
+RunMetadata& run_metadata();
+
+/// JSON string-escape (\" \\ control chars) and number rendering (non-finite
+/// values clamped to +-1e308/0 — JSON has no Inf/NaN literals). Shared by
+/// every JSON writer in the tree (metrics, trace, report).
+std::string json_escape(const std::string& s);
+std::string json_number(double v);
+
+/// FNV-1a 64-bit hex digest; used to fingerprint schedules in the header.
+std::string fnv1a_hex(std::string_view bytes);
+
+/// Render `meta` as one JSON object; a zero wall_seconds is replaced with
+/// the process wall clock at call time.
+std::string run_metadata_json(const RunMetadata& meta);
+std::string run_metadata_json();  // the process-wide metadata
+
+/// Render events as Chrome trace-event JSON ({"traceEvents": [...],
+/// "metadata": {...run header...}}).
 /// kBegin/kEnd become ph "B"/"E", kInstant "i", kCounter "C"; all events
 /// carry pid 1 / tid 1 and timestamps in microseconds.
 std::string chrome_trace_json(const std::vector<TraceEvent>& events);
 
-/// Render metric points as a flat JSON array.
+/// Render metric points as {"meta": {...run header...}, "metrics": [...]}.
 std::string metrics_json(const std::vector<MetricPoint>& points);
 
 /// Render metric points as a column-aligned text table.

@@ -64,6 +64,32 @@ std::vector<long> Histogram::buckets() const {
   return buckets_;
 }
 
+double Histogram::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double rank = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const double before = cum;
+    cum += static_cast<double>(buckets_[b]);
+    if (cum < rank || buckets_[b] == 0) continue;
+    // Bucket b spans (bounds[b-1], bounds[b]]; the open ends (below the
+    // first bound, above the last) are clamped to the observed range.
+    double lower = b == 0 ? min_ : std::max(min_, bounds_[b - 1]);
+    double upper = b == bounds_.size() ? max_ : std::min(max_, bounds_[b]);
+    if (upper < lower) upper = lower;
+    const double frac = (rank - before) / static_cast<double>(buckets_[b]);
+    return lower + frac * (upper - lower);
+  }
+  return max_;
+}
+
 void Histogram::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -146,6 +172,9 @@ std::vector<MetricPoint> MetricsRegistry::snapshot() const {
     p.sum = entry.metric->sum();
     p.min = entry.metric->min();
     p.max = entry.metric->max();
+    p.p50 = entry.metric->quantile(0.50);
+    p.p95 = entry.metric->quantile(0.95);
+    p.p99 = entry.metric->quantile(0.99);
     p.bounds = entry.metric->bounds();
     p.buckets = entry.metric->buckets();
     points.push_back(std::move(p));

@@ -63,9 +63,16 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket counts; size() == bounds().size() + 1 (last = +inf bucket).
   std::vector<long> buckets() const;
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding rank q*count, with the open-ended first/last buckets
+  /// clamped to the observed min/max. Exact at q=0 (min) and q=1 (max);
+  /// elsewhere the error is bounded by the bucket width. 0 when empty.
+  double quantile(double q) const;
   void reset();
 
  private:
+  double quantile_locked(double q) const;
+
   mutable std::mutex mu_;
   std::vector<double> bounds_;   // ascending upper bounds
   std::vector<long> buckets_;    // bounds_.size() + 1
@@ -89,6 +96,7 @@ struct MetricPoint {
   double value = 0.0;            // counter / gauge value
   long count = 0;                // histogram observation count
   double sum = 0.0, min = 0.0, max = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // histogram quantile estimates
   std::vector<double> bounds;    // histogram upper bounds
   std::vector<long> buckets;     // histogram bucket counts (bounds + inf)
 

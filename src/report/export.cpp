@@ -1,0 +1,666 @@
+#include "report/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "base/log.h"
+#include "base/strings.h"
+#include "base/table.h"
+#include "obs/export.h"
+#include "viz/svg.h"
+
+namespace mintc::report {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using obs::json_escape;
+using obs::json_number;
+
+obs::RunMetadata meta_for(const SlackDB& db) {
+  obs::RunMetadata meta = obs::run_metadata();
+  meta.circuit = db.circuit;
+  meta.schedule_hash = obs::fnv1a_hex(db.schedule.to_string());
+  meta.wall_seconds = 0.0;  // stamp at export time
+  return meta;
+}
+
+std::string fmt_or_dash(double v, int decimals = 3) {
+  if (v == kInf) return "-";
+  if (v == -kInf) return "-inf";
+  return fmt_time(v, decimals);
+}
+
+// ---------------------------------------------------------------- JSON --
+
+std::string hist_json(const HistogramSummary& h) {
+  std::ostringstream out;
+  out << "{\"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+      << ", \"min\": " << json_number(h.min) << ", \"max\": " << json_number(h.max)
+      << ", \"p50\": " << json_number(h.p50) << ", \"p95\": " << json_number(h.p95)
+      << ", \"p99\": " << json_number(h.p99) << ", \"bounds\": [";
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i) out << ", ";
+    out << json_number(h.bounds[i]);
+  }
+  out << "], \"buckets\": [";
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i) out << ", ";
+    out << h.buckets[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string endpoint_json(const EndpointRecord& r) {
+  std::ostringstream out;
+  out << "{\"element\": " << r.element << ", \"name\": \"" << json_escape(r.name)
+      << "\", \"kind\": \"" << to_string(r.kind) << "\", \"phase\": " << r.phase
+      << ", \"departure\": " << json_number(r.departure)
+      << ", \"arrival\": " << json_number(r.arrival)
+      << ", \"setup_slack\": " << json_number(r.setup_slack)
+      << ", \"hold_slack\": " << json_number(r.hold_slack)
+      << ", \"borrow\": " << json_number(r.borrow) << ", \"origin_path\": " << r.origin_path
+      << ", \"origin_from\": " << r.origin_from << ", \"tight\": [";
+  for (size_t i = 0; i < r.tight.size(); ++i) {
+    if (i) out << ", ";
+    out << "\"" << json_escape(r.tight[i]) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string path_json(const PathRecord& r) {
+  std::ostringstream out;
+  out << "{\"path\": " << r.path << ", \"from\": \"" << json_escape(r.from)
+      << "\", \"to\": \"" << json_escape(r.to) << "\", \"label\": \"" << json_escape(r.label)
+      << "\", \"delay\": " << json_number(r.delay) << ", \"slack\": " << json_number(r.slack)
+      << ", \"tight\": " << (r.tight ? "true" : "false") << "}";
+  return out.str();
+}
+
+std::string chain_json(const BorrowChain& c) {
+  std::ostringstream out;
+  out << "{\"elements\": [";
+  for (size_t i = 0; i < c.elements.size(); ++i) {
+    if (i) out << ", ";
+    out << c.elements[i];
+  }
+  out << "], \"paths\": [";
+  for (size_t i = 0; i < c.paths.size(); ++i) {
+    if (i) out << ", ";
+    out << c.paths[i];
+  }
+  out << "], \"total_borrow\": " << json_number(c.total_borrow)
+      << ", \"is_loop\": " << (c.is_loop ? "true" : "false") << "}";
+  return out.str();
+}
+
+std::string int_list_json(const std::vector<int>& v) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out << ", ";
+    out << v[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string summary_json(const SlackDB& db) {
+  std::ostringstream out;
+  out << "{\"circuit\": \"" << json_escape(db.circuit) << "\", \"corner\": \""
+      << json_escape(db.corner) << "\", \"feasible\": " << (db.feasible ? "true" : "false")
+      << ", \"tc\": " << json_number(db.tc)
+      << ", \"num_constraints\": " << db.num_constraints
+      << ", \"worst_setup_slack\": " << json_number(db.worst_setup_slack())
+      << ", \"worst_hold_slack\": " << json_number(db.worst_hold_slack())
+      << ", \"total_borrow\": " << json_number(db.total_borrow)
+      << ", \"overlapping_phases\": [";
+  for (size_t i = 0; i < db.overlapping_phases.size(); ++i) {
+    if (i) out << ", ";
+    out << "[" << db.overlapping_phases[i].first << ", " << db.overlapping_phases[i].second
+        << "]";
+  }
+  out << "], \"schedule\": {\"cycle\": " << json_number(db.schedule.cycle) << ", \"start\": [";
+  for (size_t i = 0; i < db.schedule.start.size(); ++i) {
+    if (i) out << ", ";
+    out << json_number(db.schedule.start[i]);
+  }
+  out << "], \"width\": [";
+  for (size_t i = 0; i < db.schedule.width.size(); ++i) {
+    if (i) out << ", ";
+    out << json_number(db.schedule.width[i]);
+  }
+  out << "]}}";
+  return out.str();
+}
+
+std::string report_body_json(const SlackDB& db) {
+  std::ostringstream out;
+  out << "{\"meta\": " << obs::run_metadata_json(meta_for(db))
+      << ",\n \"summary\": " << summary_json(db) << ",\n \"endpoints\": [";
+  for (size_t i = 0; i < db.endpoints.size(); ++i) {
+    out << (i ? ",\n   " : "\n   ") << endpoint_json(db.endpoints[i]);
+  }
+  out << "],\n \"paths\": [";
+  for (size_t i = 0; i < db.paths.size(); ++i) {
+    out << (i ? ",\n   " : "\n   ") << path_json(db.paths[i]);
+  }
+  out << "],\n \"worst_endpoints\": " << int_list_json(db.worst_endpoints)
+      << ",\n \"worst_paths\": " << int_list_json(db.worst_paths)
+      << ",\n \"borrow_chains\": [";
+  for (size_t i = 0; i < db.borrow_chains.size(); ++i) {
+    out << (i ? ",\n   " : "\n   ") << chain_json(db.borrow_chains[i]);
+  }
+  out << "],\n \"histograms\": {\"setup_slack\": " << hist_json(db.setup_hist)
+      << ", \"borrow\": " << hist_json(db.borrow_hist) << "}}";
+  return out.str();
+}
+
+// --------------------------------------------------------------- table --
+
+std::string chain_names(const SlackDB& db, const BorrowChain& c) {
+  std::string out;
+  for (size_t i = 0; i < c.elements.size(); ++i) {
+    if (i) out += " <- ";
+    out += db.endpoints[static_cast<size_t>(c.elements[i])].name;
+  }
+  if (c.is_loop) out += " (loop)";
+  return out;
+}
+
+// ---------------------------------------------------------------- HTML --
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Shared stylesheet: palette roles as CSS custom properties, light values
+// by default, dark values under prefers-color-scheme (the dashboard is a
+// static file — the OS setting selects the mode).
+const char* kDashboardCss = R"css(
+  :root {
+    color-scheme: light;
+    --surface: #fcfcfb; --card: #ffffff; --border: #e3e2de; --grid: #e9e8e4;
+    --text-1: #0b0b0b; --text-2: #52514e;
+    --series-1: #2a78d6; --series-2: #eb6834;
+    --good: #008300; --bad: #e34948;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface: #1a1a19; --card: #222221; --border: #3a3936; --grid: #31302d;
+      --text-1: #ffffff; --text-2: #c3c2b7;
+      --series-1: #3987e5; --series-2: #d95926;
+      --good: #00a300; --bad: #e66767;
+    }
+  }
+  body { background: var(--surface); color: var(--text-1);
+         font: 14px/1.45 system-ui, sans-serif; margin: 24px auto; max-width: 1080px;
+         padding: 0 16px; }
+  h1 { font-size: 20px; margin: 0 0 4px; }
+  h2 { font-size: 15px; margin: 0 0 8px; color: var(--text-1); }
+  .meta { color: var(--text-2); font-size: 12px; margin-bottom: 16px; }
+  .badge { display: inline-block; padding: 2px 10px; border-radius: 10px;
+           font-weight: 600; font-size: 13px; color: #ffffff; vertical-align: 2px; }
+  .badge.pass { background: var(--good); }
+  .badge.fail { background: var(--bad); }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+  .tile { background: var(--card); border: 1px solid var(--border);
+          border-radius: 8px; padding: 10px 16px; min-width: 120px; }
+  .tile .v { font-size: 22px; font-weight: 600; }
+  .tile .v.bad { color: var(--bad); }
+  .tile .k { font-size: 12px; color: var(--text-2); }
+  section { background: var(--card); border: 1px solid var(--border);
+            border-radius: 8px; padding: 14px 16px; margin: 14px 0; }
+  .figure { background: #ffffff; border-radius: 4px; overflow-x: auto; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th { text-align: left; color: var(--text-2); font-weight: 600;
+       border-bottom: 1px solid var(--border); padding: 4px 10px 4px 0; }
+  td { border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+       font-variant-numeric: tabular-nums; }
+  td.bad { color: var(--bad); font-weight: 600; }
+  .note { color: var(--text-2); font-size: 12px; margin-top: 6px; }
+)css";
+
+/// Vertical-bar histogram as inline SVG. Buckets entirely at or below zero
+/// (violations) render in the status color; tooltips carry exact ranges.
+std::string histogram_svg(const HistogramSummary& h, const char* series_var,
+                          const char* unit) {
+  std::ostringstream out;
+  // Drop the trailing +inf bucket when empty (always, for data-fit bounds).
+  size_t nb = h.buckets.size();
+  while (nb > 1 && h.buckets[nb - 1] == 0) --nb;
+  const double w = 640.0, hgt = 200.0, ml = 40.0, mr = 10.0, mt = 14.0, mb = 34.0;
+  out << "<svg viewBox=\"0 0 " << fmt_time(w, 0) << " " << fmt_time(hgt, 0)
+      << "\" width=\"" << fmt_time(w, 0) << "\" role=\"img\">\n";
+  if (h.count == 0 || nb == 0) {
+    out << "  <text x=\"20\" y=\"30\" fill=\"var(--text-2)\" font-size=\"12\">no data</text>\n"
+        << "</svg>\n";
+    return out.str();
+  }
+  long maxc = 1;
+  for (size_t b = 0; b < nb; ++b) maxc = std::max(maxc, h.buckets[b]);
+  const double plot_w = w - ml - mr, plot_h = hgt - mt - mb;
+  const double bw = plot_w / static_cast<double>(nb);
+  const auto edge = [&](size_t k) {  // bucket k covers (edge(k), edge(k+1)]
+    if (k == 0) return h.min;
+    if (k - 1 < h.bounds.size()) return h.bounds[k - 1];
+    return h.max;
+  };
+  // Recessive grid: quarter lines.
+  for (int g = 0; g <= 4; ++g) {
+    const double y = mt + plot_h * g / 4.0;
+    out << "  <line x1=\"" << fmt_time(ml, 1) << "\" y1=\"" << fmt_time(y, 1) << "\" x2=\""
+        << fmt_time(w - mr, 1) << "\" y2=\"" << fmt_time(y, 1)
+        << "\" stroke=\"var(--grid)\"/>\n";
+  }
+  out << "  <text x=\"4\" y=\"" << fmt_time(mt + 4.0, 1)
+      << "\" fill=\"var(--text-2)\" font-size=\"11\">" << maxc << "</text>\n";
+  for (size_t b = 0; b < nb; ++b) {
+    const double frac = static_cast<double>(h.buckets[b]) / static_cast<double>(maxc);
+    const double bar_h = plot_h * frac;
+    const double x = ml + bw * static_cast<double>(b) + 1.0;  // 2px gap between bars
+    const double y = mt + plot_h - bar_h;
+    const bool violation = edge(b + 1) <= 0.0;
+    out << "  <rect x=\"" << fmt_time(x, 1) << "\" y=\"" << fmt_time(y, 1) << "\" width=\""
+        << fmt_time(bw - 2.0, 1) << "\" height=\"" << fmt_time(bar_h, 1) << "\" rx=\"2\" fill=\""
+        << (violation ? "var(--bad)" : series_var) << "\">"
+        << "<title>(" << fmt_time(edge(b)) << ", " << fmt_time(edge(b + 1)) << "] " << unit
+        << ": " << h.buckets[b] << "</title></rect>\n";
+    if (h.buckets[b] == maxc) {  // selective direct label: the mode only
+      out << "  <text x=\"" << fmt_time(x + (bw - 2.0) / 2.0, 1) << "\" y=\""
+          << fmt_time(y - 3.0, 1)
+          << "\" text-anchor=\"middle\" fill=\"var(--text-2)\" font-size=\"11\">" << maxc
+          << "</text>\n";
+    }
+  }
+  // Baseline + x tick labels (about six, at bucket edges).
+  out << "  <line x1=\"" << fmt_time(ml, 1) << "\" y1=\"" << fmt_time(mt + plot_h, 1)
+      << "\" x2=\"" << fmt_time(w - mr, 1) << "\" y2=\"" << fmt_time(mt + plot_h, 1)
+      << "\" stroke=\"var(--border)\"/>\n";
+  const size_t step = std::max<size_t>(1, nb / 6);
+  for (size_t k = 0; k <= nb; k += step) {
+    const double x = ml + bw * static_cast<double>(k);
+    out << "  <text x=\"" << fmt_time(x, 1) << "\" y=\"" << fmt_time(hgt - mb + 16.0, 1)
+        << "\" text-anchor=\"middle\" fill=\"var(--text-2)\" font-size=\"11\">"
+        << fmt_time(edge(k), 2) << "</text>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+/// Borrow chains as horizontal segmented bars: one row per chain, segment
+/// width proportional to each latch's borrow, 2px gaps between segments.
+std::string borrow_chains_svg(const SlackDB& db) {
+  std::ostringstream out;
+  const size_t shown = std::min<size_t>(db.borrow_chains.size(), 12);
+  const double w = 640.0, row_h = 26.0, ml = 150.0, mr = 60.0;
+  const double hgt = row_h * static_cast<double>(shown) + 8.0;
+  double max_total = 0.0;
+  for (const BorrowChain& c : db.borrow_chains) max_total = std::max(max_total, c.total_borrow);
+  out << "<svg viewBox=\"0 0 " << fmt_time(w, 0) << " " << fmt_time(hgt, 0) << "\" width=\""
+      << fmt_time(w, 0) << "\" role=\"img\">\n";
+  if (shown == 0 || max_total <= 0.0) {
+    out << "  <text x=\"20\" y=\"20\" fill=\"var(--text-2)\" font-size=\"12\">"
+           "no latch borrows time under this schedule</text>\n</svg>\n";
+    return out.str();
+  }
+  const double plot_w = w - ml - mr;
+  for (size_t r = 0; r < shown; ++r) {
+    const BorrowChain& c = db.borrow_chains[r];
+    const double y = 4.0 + row_h * static_cast<double>(r);
+    const EndpointRecord& head = db.endpoints[static_cast<size_t>(c.elements.front())];
+    std::string label = head.name;
+    if (c.elements.size() > 1) label += " +" + std::to_string(c.elements.size() - 1);
+    if (c.is_loop) label += " (loop)";
+    out << "  <text x=\"" << fmt_time(ml - 8.0, 1) << "\" y=\"" << fmt_time(y + 15.0, 1)
+        << "\" text-anchor=\"end\" fill=\"var(--text-1)\" font-size=\"12\">"
+        << html_escape(label) << "</text>\n";
+    double x = ml;
+    for (const int e : c.elements) {
+      const EndpointRecord& seg = db.endpoints[static_cast<size_t>(e)];
+      const double seg_w = plot_w * seg.borrow / max_total;
+      if (seg_w <= 0.5) continue;
+      out << "  <rect x=\"" << fmt_time(x, 1) << "\" y=\"" << fmt_time(y + 5.0, 1)
+          << "\" width=\"" << fmt_time(std::max(1.0, seg_w - 2.0), 1)
+          << "\" height=\"14\" rx=\"2\" fill=\"var(--series-2)\"><title>"
+          << html_escape(seg.name) << " (phi" << seg.phase << "): borrow "
+          << fmt_time(seg.borrow) << "</title></rect>\n";
+      x += seg_w;
+    }
+    out << "  <text x=\"" << fmt_time(x + 6.0, 1) << "\" y=\"" << fmt_time(y + 15.0, 1)
+        << "\" fill=\"var(--text-2)\" font-size=\"11\">" << fmt_time(c.total_borrow)
+        << "</text>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+void tile(std::ostringstream& out, const std::string& value, const std::string& key,
+          bool bad = false) {
+  out << "    <div class=\"tile\"><div class=\"v" << (bad ? " bad" : "") << "\">" << value
+      << "</div><div class=\"k\">" << key << "</div></div>\n";
+}
+
+std::string html_head(const std::string& title) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+      << "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
+      << "<title>" << html_escape(title) << "</title>\n<style>" << kDashboardCss
+      << "</style>\n</head>\n<body>\n";
+  return out.str();
+}
+
+std::string meta_line(const SlackDB& db) {
+  const obs::RunMetadata meta = meta_for(db);
+  std::ostringstream out;
+  out << "<div class=\"meta\">" << html_escape(meta.tool) << " &middot; schedule "
+      << html_escape(meta.schedule_hash) << " &middot; " << db.num_constraints
+      << " constraints &middot; built in " << fmt_time(db.build_seconds * 1e3, 2)
+      << " ms</div>\n";
+  return out.str();
+}
+
+void endpoint_table_html(std::ostringstream& out, const SlackDB& db,
+                         const std::vector<int>& ids) {
+  out << "<table>\n<tr><th>endpoint</th><th>kind</th><th>phase</th><th>arrival</th>"
+         "<th>departure</th><th>setup slack</th><th>hold slack</th><th>borrow</th>"
+         "<th>tight</th></tr>\n";
+  for (const int id : ids) {
+    const EndpointRecord& r = db.endpoints[static_cast<size_t>(id)];
+    std::string tight;
+    for (size_t i = 0; i < r.tight.size(); ++i) {
+      if (i) tight += " ";
+      tight += r.tight[i];
+    }
+    out << "<tr><td>" << html_escape(r.name) << "</td><td>" << to_string(r.kind)
+        << "</td><td>phi" << r.phase << "</td><td>" << fmt_or_dash(r.arrival) << "</td><td>"
+        << fmt_time(r.departure) << "</td><td" << (r.setup_slack < 0 ? " class=\"bad\"" : "")
+        << ">" << fmt_or_dash(r.setup_slack) << "</td><td"
+        << (r.hold_slack < 0 ? " class=\"bad\"" : "") << ">" << fmt_or_dash(r.hold_slack)
+        << "</td><td>" << fmt_time(r.borrow) << "</td><td>" << tight << "</td></tr>\n";
+  }
+  out << "</table>\n";
+}
+
+}  // namespace
+
+std::string report_json(const SlackDB& db) { return report_body_json(db) + "\n"; }
+
+std::string report_table(const SlackDB& db) {
+  std::ostringstream out;
+  out << "== timing signoff report: " << db.circuit;
+  if (!db.corner.empty()) out << " @ " << db.corner;
+  out << " ==\n";
+  out << (db.feasible ? "PASS" : "FAIL") << "  Tc = " << fmt_time(db.tc, 6) << "  ("
+      << db.num_constraints << " constraints, worst setup slack "
+      << fmt_or_dash(db.worst_setup_slack()) << ", worst hold slack "
+      << fmt_or_dash(db.worst_hold_slack()) << ", total borrow " << fmt_time(db.total_borrow)
+      << ")\n";
+  if (!db.overlapping_phases.empty()) {
+    out << "overlapping phases:";
+    for (const auto& [i, j] : db.overlapping_phases) {
+      out << " phi" << i << "/phi" << j;
+    }
+    out << "\n";
+  }
+
+  out << "\nworst " << db.worst_endpoints.size() << " endpoints by setup slack:\n";
+  TextTable endpoints({"endpoint", "kind", "phase", "arrival", "departure", "setup slack",
+                       "hold slack", "borrow", "tight"});
+  for (const int id : db.worst_endpoints) {
+    const EndpointRecord& r = db.endpoints[static_cast<size_t>(id)];
+    std::string tight;
+    for (size_t i = 0; i < r.tight.size(); ++i) {
+      if (i) tight += ",";
+      tight += r.tight[i];
+    }
+    endpoints.add_row({r.name, to_string(r.kind), "phi" + std::to_string(r.phase),
+                       fmt_or_dash(r.arrival), fmt_time(r.departure),
+                       fmt_or_dash(r.setup_slack), fmt_or_dash(r.hold_slack),
+                       fmt_time(r.borrow), tight});
+  }
+  out << endpoints.to_string();
+
+  if (!db.worst_paths.empty()) {
+    out << "\nworst " << db.worst_paths.size() << " paths by propagation slack:\n";
+    TextTable paths({"path", "block", "delay", "slack", "critical"});
+    for (const int id : db.worst_paths) {
+      const PathRecord& r = db.paths[static_cast<size_t>(id)];
+      paths.add_row({r.from + "->" + r.to, r.label, fmt_time(r.delay), fmt_time(r.slack),
+                     r.tight ? "yes" : ""});
+    }
+    out << paths.to_string();
+  }
+
+  if (!db.borrow_chains.empty()) {
+    out << "\ntime-borrowing chains (total " << fmt_time(db.total_borrow) << "):\n";
+    for (const BorrowChain& c : db.borrow_chains) {
+      out << "  " << chain_names(db, c) << "  borrow " << fmt_time(c.total_borrow) << "\n";
+    }
+  }
+
+  out << "\nsetup-slack distribution: p50 " << fmt_time(db.setup_hist.p50) << ", p95 "
+      << fmt_time(db.setup_hist.p95) << ", p99 " << fmt_time(db.setup_hist.p99) << ", min "
+      << fmt_time(db.setup_hist.min) << ", max " << fmt_time(db.setup_hist.max) << "\n";
+  return out.str();
+}
+
+std::string report_html(const Circuit& circuit, const SlackDB& db) {
+  std::ostringstream out;
+  std::string title = "mintc signoff: " + db.circuit;
+  if (!db.corner.empty()) title += " @ " + db.corner;
+  out << html_head(title);
+  out << "<h1>" << html_escape(db.circuit)
+      << (db.corner.empty() ? "" : " <small>@ " + html_escape(db.corner) + "</small>")
+      << " <span class=\"badge " << (db.feasible ? "pass\">PASS &#10003;" : "fail\">FAIL &#10007;")
+      << "</span></h1>\n";
+  out << meta_line(db);
+
+  out << "  <div class=\"tiles\">\n";
+  tile(out, fmt_time(db.tc, 4), "cycle time Tc");
+  tile(out, fmt_or_dash(db.worst_setup_slack()), "worst setup slack",
+       db.worst_setup_slack() < 0);
+  tile(out, fmt_or_dash(db.worst_hold_slack()), "worst hold slack",
+       db.worst_hold_slack() < 0);
+  tile(out, fmt_time(db.total_borrow), "total borrowed time");
+  tile(out, std::to_string(db.num_constraints), "constraints");
+  tile(out, std::to_string(db.endpoints.size()), "endpoints");
+  out << "  </div>\n";
+
+  if (!db.overlapping_phases.empty()) {
+    out << "<section><h2>Overlapping phases</h2><div>";
+    for (size_t i = 0; i < db.overlapping_phases.size(); ++i) {
+      if (i) out << ", ";
+      out << "phi" << db.overlapping_phases[i].first << " &cap; phi"
+          << db.overlapping_phases[i].second;
+    }
+    out << "</div><div class=\"note\">Overlap is legal between phases with no direct "
+           "combinational path (K<sub>ij</sub> = 0) &mdash; the paper's GaAs schedule "
+           "overlaps phi3 with phi1 this way.</div></section>\n";
+  }
+
+  if (db.analysis.converged && !db.analysis.fixpoint.departure.empty()) {
+    out << "<section><h2>Timing diagram</h2><div class=\"figure\">"
+        << viz::svg_timing_diagram(circuit, db.schedule, db.analysis.fixpoint.departure)
+        << "</div></section>\n";
+  }
+
+  out << "<section><h2>Setup-slack distribution</h2>"
+      << histogram_svg(db.setup_hist, "var(--series-1)", "endpoints")
+      << "<div class=\"note\">p50 " << fmt_time(db.setup_hist.p50) << " &middot; p95 "
+      << fmt_time(db.setup_hist.p95) << " &middot; p99 " << fmt_time(db.setup_hist.p99)
+      << " &middot; bars at or below zero (violations) in red</div></section>\n";
+
+  out << "<section><h2>Time borrowing</h2>" << borrow_chains_svg(db);
+  if (db.borrow_chains.size() > 12) {
+    out << "<div class=\"note\">showing 12 of " << db.borrow_chains.size()
+        << " chains</div>";
+  }
+  out << "<div class=\"note\">Each row is a chain of latches whose eq. (17) departures "
+         "derive from one another; segment width is each latch's borrow max(0, D<sub>i</sub>)."
+         "</div></section>\n";
+
+  out << "<section><h2>Worst endpoints</h2>\n";
+  endpoint_table_html(out, db, db.worst_endpoints);
+  out << "</section>\n";
+
+  if (!db.worst_paths.empty()) {
+    out << "<section><h2>Worst paths</h2>\n<table>\n"
+           "<tr><th>path</th><th>block</th><th>delay</th><th>slack</th><th>critical</th>"
+           "</tr>\n";
+    for (const int id : db.worst_paths) {
+      const PathRecord& r = db.paths[static_cast<size_t>(id)];
+      out << "<tr><td>" << html_escape(r.from) << " &rarr; " << html_escape(r.to)
+          << "</td><td>" << html_escape(r.label) << "</td><td>" << fmt_time(r.delay)
+          << "</td><td" << (r.tight ? " class=\"bad\"" : "") << ">" << fmt_time(r.slack)
+          << "</td><td>" << (r.tight ? "yes" : "") << "</td></tr>\n";
+    }
+    out << "</table>\n</section>\n";
+  }
+
+  if (!db.analysis.provenance.empty()) {
+    out << "<section><h2>Tight constraints</h2>\n<table>\n"
+           "<tr><th>kind</th><th>constraint</th><th>slack</th></tr>\n";
+    for (const sta::TightConstraint& t : db.analysis.provenance.tight) {
+      out << "<tr><td>" << html_escape(t.kind) << "</td><td>" << html_escape(t.name)
+          << "</td><td>" << fmt_time(t.slack) << "</td></tr>\n";
+    }
+    out << "</table>\n<div class=\"note\">critical chain: "
+        << html_escape(db.analysis.provenance.chain_to_string(circuit))
+        << "</div></section>\n";
+  }
+
+  out << "</body>\n</html>\n";
+  return out.str();
+}
+
+std::string signoff_json(const SignoffDB& db) {
+  std::ostringstream out;
+  out << "{\"meta\": "
+      << obs::run_metadata_json(db.corners.empty() ? obs::run_metadata()
+                                                   : meta_for(db.corners.front()))
+      << ",\n \"all_pass\": " << (db.all_pass ? "true" : "false") << ",\n \"corners\": [";
+  for (size_t i = 0; i < db.corners.size(); ++i) {
+    out << (i ? ",\n  " : "\n  ") << report_body_json(db.corners[i]);
+  }
+  out << "],\n \"merged\": {\"setup_slack\": [";
+  for (size_t i = 0; i < db.merged_setup_slack.size(); ++i) {
+    if (i) out << ", ";
+    out << json_number(db.merged_setup_slack[i]);
+  }
+  out << "], \"setup_corner\": " << int_list_json(db.merged_setup_corner)
+      << ", \"hold_slack\": [";
+  for (size_t i = 0; i < db.merged_hold_slack.size(); ++i) {
+    if (i) out << ", ";
+    out << json_number(db.merged_hold_slack[i]);
+  }
+  out << "], \"hold_corner\": " << int_list_json(db.merged_hold_corner)
+      << ", \"worst_endpoints\": " << int_list_json(db.merged_worst_endpoints) << "}}\n";
+  return out.str();
+}
+
+std::string signoff_table(const SignoffDB& db) {
+  std::ostringstream out;
+  out << "== multi-corner signoff: " << (db.all_pass ? "PASS" : "FAIL") << " ==\n";
+  TextTable corners({"corner", "result", "worst setup", "worst hold", "total borrow"});
+  for (const SlackDB& c : db.corners) {
+    corners.add_row({c.corner, c.feasible ? "pass" : "FAIL", fmt_or_dash(c.worst_setup_slack()),
+                     fmt_or_dash(c.worst_hold_slack()), fmt_time(c.total_borrow)});
+  }
+  out << corners.to_string();
+  if (!db.corners.empty()) {
+    out << "\nmerged worst-corner endpoints:\n";
+    TextTable merged({"endpoint", "setup slack", "@corner", "hold slack", "@corner"});
+    for (const int id : db.merged_worst_endpoints) {
+      const size_t i = static_cast<size_t>(id);
+      const EndpointRecord& r = db.corners.front().endpoints[i];
+      const auto corner_name = [&](int c) {
+        return c < 0 ? std::string("-") : db.corners[static_cast<size_t>(c)].corner;
+      };
+      merged.add_row({r.name, fmt_or_dash(db.merged_setup_slack[i]),
+                      corner_name(db.merged_setup_corner[i]),
+                      fmt_or_dash(db.merged_hold_slack[i]),
+                      corner_name(db.merged_hold_corner[i])});
+    }
+    out << merged.to_string();
+  }
+  return out.str();
+}
+
+std::string signoff_html(const Circuit& circuit, const SignoffDB& db) {
+  std::ostringstream out;
+  out << html_head("mintc multi-corner signoff: " + circuit.name());
+  out << "<h1>" << html_escape(circuit.name()) << " <span class=\"badge "
+      << (db.all_pass ? "pass\">PASS &#10003;" : "fail\">FAIL &#10007;") << "</span></h1>\n";
+  out << "<div class=\"meta\">" << html_escape(obs::run_metadata().tool) << " &middot; "
+      << db.corners.size() << " corners</div>\n";
+
+  out << "<section><h2>Corners</h2>\n<table>\n"
+         "<tr><th>corner</th><th>result</th><th>worst setup slack</th>"
+         "<th>worst hold slack</th><th>total borrow</th></tr>\n";
+  for (const SlackDB& c : db.corners) {
+    out << "<tr><td>" << html_escape(c.corner) << "</td><td"
+        << (c.feasible ? ">pass" : " class=\"bad\">FAIL") << "</td><td"
+        << (c.worst_setup_slack() < 0 ? " class=\"bad\"" : "") << ">"
+        << fmt_or_dash(c.worst_setup_slack()) << "</td><td"
+        << (c.worst_hold_slack() < 0 ? " class=\"bad\"" : "") << ">"
+        << fmt_or_dash(c.worst_hold_slack()) << "</td><td>" << fmt_time(c.total_borrow)
+        << "</td></tr>\n";
+  }
+  out << "</table>\n</section>\n";
+
+  if (!db.corners.empty()) {
+    out << "<section><h2>Merged worst-corner endpoints</h2>\n<table>\n"
+           "<tr><th>endpoint</th><th>setup slack</th><th>@corner</th><th>hold slack</th>"
+           "<th>@corner</th></tr>\n";
+    for (const int id : db.merged_worst_endpoints) {
+      const size_t i = static_cast<size_t>(id);
+      const EndpointRecord& r = db.corners.front().endpoints[i];
+      const auto corner_name = [&](int c) {
+        return c < 0 ? std::string("-") : db.corners[static_cast<size_t>(c)].corner;
+      };
+      out << "<tr><td>" << html_escape(r.name) << "</td><td"
+          << (db.merged_setup_slack[i] < 0 ? " class=\"bad\"" : "") << ">"
+          << fmt_or_dash(db.merged_setup_slack[i]) << "</td><td>"
+          << html_escape(corner_name(db.merged_setup_corner[i])) << "</td><td"
+          << (db.merged_hold_slack[i] < 0 ? " class=\"bad\"" : "") << ">"
+          << fmt_or_dash(db.merged_hold_slack[i]) << "</td><td>"
+          << html_escape(corner_name(db.merged_hold_corner[i])) << "</td></tr>\n";
+    }
+    out << "</table>\n</section>\n";
+  }
+
+  out << "</body>\n</html>\n";
+  return out.str();
+}
+
+bool write_report_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    log_warn() << "report: cannot write '" << path << "'";
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace mintc::report

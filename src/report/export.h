@@ -1,0 +1,43 @@
+// Exporters for the SlackDB, in the style of obs/export: three output
+// shapes per database —
+//   * machine JSON, stamped with the shared obs::RunMetadata header
+//     (tool version, circuit, schedule hash, wall time);
+//   * a column-aligned text report (base/table) for terminal signoff;
+//   * a SELF-CONTAINED single-file HTML dashboard: inline CSS (light and
+//     dark via prefers-color-scheme), the viz/svg timing diagram, a slack
+//     histogram and a borrow-chain chart as inline SVG, and the endpoint /
+//     path / tight-constraint tables. No external assets, scripts or
+//     fonts — the file opens offline and survives being attached to a CI
+//     artifact or a bug report.
+// Multi-corner variants render the SignoffDB's merged worst-corner view.
+#pragma once
+
+#include <string>
+
+#include "model/circuit.h"
+#include "report/slackdb.h"
+
+namespace mintc::report {
+
+/// Machine JSON: meta header, summary, endpoint/path records, worst lists,
+/// borrow chains and histogram summaries.
+std::string report_json(const SlackDB& db);
+
+/// Terminal report: summary block, top-K endpoint and path tables, borrow
+/// chains and histogram quantiles.
+std::string report_table(const SlackDB& db);
+
+/// The dashboard. `circuit` must be the circuit the database was built
+/// from (it supplies the timing-diagram rendering and element names).
+std::string report_html(const Circuit& circuit, const SlackDB& db);
+
+/// Multi-corner exports: per-corner summaries plus the merged
+/// worst-corner-per-endpoint view.
+std::string signoff_json(const SignoffDB& db);
+std::string signoff_table(const SignoffDB& db);
+std::string signoff_html(const Circuit& circuit, const SignoffDB& db);
+
+/// Write `content` to `path`; false (with a log warning) when it cannot.
+bool write_report_file(const std::string& path, const std::string& content);
+
+}  // namespace mintc::report

@@ -1,0 +1,289 @@
+#include "report/slackdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+#include "opt/constraints.h"
+#include "opt/critical.h"
+
+namespace mintc::report {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+HistogramSummary summarize(const std::vector<double>& values, int nbuckets) {
+  HistogramSummary s;
+  if (values.empty()) return s;
+  double lo = values.front(), hi = values.front();
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::vector<double> bounds;
+  if (hi - lo < 1e-12) {
+    bounds.push_back(lo);  // degenerate population: one bound, two buckets
+  } else {
+    for (int k = 1; k <= nbuckets; ++k) {
+      bounds.push_back(lo + (hi - lo) * k / nbuckets);
+    }
+  }
+  obs::Histogram h(std::move(bounds));
+  for (const double v : values) h.observe(v);
+  s.bounds = h.bounds();
+  s.buckets = h.buckets();
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.quantile(0.50);
+  s.p95 = h.quantile(0.95);
+  s.p99 = h.quantile(0.99);
+  return s;
+}
+
+/// Phase pairs whose active intervals intersect modulo Tc (touching
+/// intervals do not count). i < j, 1-based.
+std::vector<std::pair<int, int>> overlapping_phase_pairs(const ClockSchedule& schedule,
+                                                         double eps) {
+  std::vector<std::pair<int, int>> out;
+  const double tc = schedule.cycle;
+  if (tc <= 0.0) return out;
+  const auto wrap = [&](double x) {
+    x = std::fmod(x, tc);
+    return x < 0.0 ? x + tc : x;
+  };
+  for (int i = 1; i <= schedule.num_phases(); ++i) {
+    for (int j = i + 1; j <= schedule.num_phases(); ++j) {
+      const double ti = schedule.T(i), tj = schedule.T(j);
+      if (ti <= eps || tj <= eps) continue;
+      if (ti >= tc - eps || tj >= tc - eps) {
+        out.emplace_back(i, j);  // a phase covering the whole cycle overlaps all
+        continue;
+      }
+      // Circular-interval intersection: j starts inside i's window or vice
+      // versa (start offsets measured forward around the cycle).
+      const bool ov = wrap(schedule.s(j) - schedule.s(i)) < ti - eps ||
+                      wrap(schedule.s(i) - schedule.s(j)) < tj - eps;
+      if (ov) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+void build_borrow_chains(SlackDB& db, double tight_eps) {
+  const auto& origins = db.analysis.provenance.origins;
+  const int l = static_cast<int>(db.endpoints.size());
+  if (static_cast<int>(origins.size()) != l) return;  // provenance unavailable
+
+  std::vector<int> order;
+  for (int i = 0; i < l; ++i) {
+    if (db.endpoints[static_cast<size_t>(i)].borrow > tight_eps) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return db.endpoints[static_cast<size_t>(a)].borrow >
+           db.endpoints[static_cast<size_t>(b)].borrow;
+  });
+
+  std::vector<char> visited(static_cast<size_t>(l), 0);
+  for (const int start : order) {
+    if (visited[static_cast<size_t>(start)]) continue;
+    BorrowChain ch;
+    int cur = start;
+    while (true) {
+      ch.elements.push_back(cur);
+      visited[static_cast<size_t>(cur)] = 1;
+      const sta::DepartureOrigin& o = origins[static_cast<size_t>(cur)];
+      if (o.via_path < 0 || o.from < 0) break;  // departs at its enabling edge
+      const EndpointRecord& pred = db.endpoints[static_cast<size_t>(o.from)];
+      if (pred.borrow <= tight_eps) break;  // predecessor does not borrow
+      if (std::find(ch.elements.begin(), ch.elements.end(), o.from) != ch.elements.end()) {
+        ch.paths.push_back(o.via_path);  // the back edge closing the loop
+        ch.is_loop = true;
+        break;
+      }
+      if (visited[static_cast<size_t>(o.from)]) break;  // joins an earlier chain
+      ch.paths.push_back(o.via_path);
+      cur = o.from;
+    }
+    for (const int e : ch.elements) {
+      ch.total_borrow += db.endpoints[static_cast<size_t>(e)].borrow;
+    }
+    db.borrow_chains.push_back(std::move(ch));
+  }
+  std::stable_sort(db.borrow_chains.begin(), db.borrow_chains.end(),
+                   [](const BorrowChain& a, const BorrowChain& b) {
+                     return a.total_borrow > b.total_borrow;
+                   });
+}
+
+void mirror_into_registry(const SlackDB& db) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Labels labels{{"circuit", db.circuit}};
+  if (!db.corner.empty()) labels.emplace_back("corner", db.corner);
+  reg.gauge("report.worst_setup_slack", labels).set(db.worst_setup_slack());
+  reg.gauge("report.total_borrow", labels).set(db.total_borrow);
+  reg.gauge("report.num_constraints", labels)
+      .set(static_cast<double>(db.num_constraints));
+  if (!db.setup_hist.bounds.empty()) {
+    obs::Histogram& h = reg.histogram("report.setup_slack", labels, db.setup_hist.bounds);
+    for (const EndpointRecord& e : db.endpoints) {
+      if (std::isfinite(e.setup_slack)) h.observe(e.setup_slack);
+    }
+  }
+}
+
+}  // namespace
+
+double SlackDB::worst_setup_slack() const { return analysis.worst_setup_slack; }
+
+double SlackDB::worst_hold_slack() const { return analysis.worst_hold_slack; }
+
+SlackDB build_slackdb(const Circuit& circuit, const ClockSchedule& schedule,
+                      const SlackDbOptions& options) {
+  const StageTimer timer;
+  const obs::TraceSpan span("report.build_slackdb", "report");
+  SlackDB db;
+  db.circuit = circuit.name();
+  db.schedule = schedule;
+  db.tc = schedule.cycle;
+
+  // One analysis run supplies every slack in the database (records below
+  // are copies of it, never recomputations — keeping them cross-checkable).
+  sta::AnalysisOptions aopt;
+  aopt.check_hold = options.check_hold;
+  aopt.provenance = true;
+  aopt.eps = options.eps;
+  db.analysis = sta::check_schedule(circuit, schedule, aopt);
+  db.feasible = db.analysis.feasible;
+
+  db.num_constraints = opt::generate_lp(circuit).counts.rows();
+  db.overlapping_phases = overlapping_phase_pairs(schedule, options.eps);
+
+  const int l = circuit.num_elements();
+  db.endpoints.resize(static_cast<size_t>(l));
+  std::vector<double> finite_setup, borrows;
+  for (int i = 0; i < l; ++i) {
+    const Element& el = circuit.element(i);
+    const sta::ElementTiming& t = db.analysis.elements[static_cast<size_t>(i)];
+    EndpointRecord& r = db.endpoints[static_cast<size_t>(i)];
+    r.element = i;
+    r.name = el.name;
+    r.kind = el.kind;
+    r.phase = el.phase;
+    r.departure = t.departure;
+    r.arrival = t.arrival;
+    r.setup_slack = t.setup_slack;
+    r.hold_slack = t.hold_slack;
+    r.borrow = el.is_latch() ? std::max(0.0, t.departure) : 0.0;
+    db.total_borrow += r.borrow;
+    if (std::isfinite(r.setup_slack)) finite_setup.push_back(r.setup_slack);
+    if (el.is_latch()) borrows.push_back(r.borrow);
+    if (!db.analysis.provenance.empty()) {
+      const sta::DepartureOrigin& o =
+          db.analysis.provenance.origins[static_cast<size_t>(i)];
+      r.origin_path = o.via_path;
+      r.origin_from = o.from;
+    }
+    if (std::isfinite(r.setup_slack) && r.setup_slack <= options.tight_eps) {
+      r.tight.push_back("L1");
+    }
+    if (r.origin_path >= 0) r.tight.push_back("L2");
+    if (el.is_latch() && r.departure <= options.tight_eps) r.tight.push_back("L3");
+  }
+
+  // Per-path propagation slack + critical segments (only meaningful at a
+  // converged fixpoint).
+  if (db.analysis.converged) {
+    const opt::CriticalReport crit = opt::find_critical_segments(
+        circuit, schedule, db.analysis.fixpoint.departure, options.tight_eps);
+    db.paths.resize(static_cast<size_t>(circuit.num_paths()));
+    for (int p = 0; p < circuit.num_paths(); ++p) {
+      const CombPath& cp = circuit.path(p);
+      PathRecord& r = db.paths[static_cast<size_t>(p)];
+      r.path = p;
+      r.from = circuit.element(cp.from).name;
+      r.to = circuit.element(cp.to).name;
+      r.label = cp.label;
+      r.delay = cp.delay;
+      r.slack = crit.path_slack[static_cast<size_t>(p)];
+    }
+    for (const int p : crit.tight_paths) db.paths[static_cast<size_t>(p)].tight = true;
+    build_borrow_chains(db, options.tight_eps);
+  }
+
+  // Top-K worst endpoints (by setup slack) and paths (by propagation slack).
+  for (int i = 0; i < l; ++i) db.worst_endpoints.push_back(i);
+  std::stable_sort(db.worst_endpoints.begin(), db.worst_endpoints.end(), [&](int a, int b) {
+    return db.endpoints[static_cast<size_t>(a)].setup_slack <
+           db.endpoints[static_cast<size_t>(b)].setup_slack;
+  });
+  if (static_cast<int>(db.worst_endpoints.size()) > options.nworst) {
+    db.worst_endpoints.resize(static_cast<size_t>(options.nworst));
+  }
+  for (const PathRecord& r : db.paths) db.worst_paths.push_back(r.path);
+  std::stable_sort(db.worst_paths.begin(), db.worst_paths.end(), [&](int a, int b) {
+    return db.paths[static_cast<size_t>(a)].slack < db.paths[static_cast<size_t>(b)].slack;
+  });
+  if (static_cast<int>(db.worst_paths.size()) > options.nworst) {
+    db.worst_paths.resize(static_cast<size_t>(options.nworst));
+  }
+
+  db.setup_hist = summarize(finite_setup, options.histogram_buckets);
+  db.borrow_hist = summarize(borrows, options.histogram_buckets);
+
+  db.build_seconds = timer.seconds();
+  mirror_into_registry(db);
+  return db;
+}
+
+SignoffDB build_signoff(const Circuit& circuit, const ClockSchedule& schedule,
+                        const std::vector<sta::Corner>& corners,
+                        const SlackDbOptions& options) {
+  const obs::TraceSpan span("report.build_signoff", "report");
+  SignoffDB db;
+  db.all_pass = true;
+  for (const sta::Corner& corner : corners) {
+    SlackDB one = build_slackdb(sta::derate(circuit, corner), schedule, options);
+    one.corner = corner.name;
+    one.circuit = circuit.name();  // report the design, not the derated copy
+    db.all_pass = db.all_pass && one.feasible;
+    db.corners.push_back(std::move(one));
+  }
+  if (db.corners.empty()) return db;
+
+  const size_t l = db.corners.front().endpoints.size();
+  db.merged_setup_slack.assign(l, kInf);
+  db.merged_setup_corner.assign(l, -1);
+  db.merged_hold_slack.assign(l, kInf);
+  db.merged_hold_corner.assign(l, -1);
+  for (size_t c = 0; c < db.corners.size(); ++c) {
+    for (size_t i = 0; i < l; ++i) {
+      const EndpointRecord& r = db.corners[c].endpoints[i];
+      if (r.setup_slack < db.merged_setup_slack[i]) {
+        db.merged_setup_slack[i] = r.setup_slack;
+        db.merged_setup_corner[i] = static_cast<int>(c);
+      }
+      if (r.hold_slack < db.merged_hold_slack[i]) {
+        db.merged_hold_slack[i] = r.hold_slack;
+        db.merged_hold_corner[i] = static_cast<int>(c);
+      }
+    }
+  }
+  for (size_t i = 0; i < l; ++i) db.merged_worst_endpoints.push_back(static_cast<int>(i));
+  std::stable_sort(db.merged_worst_endpoints.begin(), db.merged_worst_endpoints.end(),
+                   [&](int a, int b) {
+                     return db.merged_setup_slack[static_cast<size_t>(a)] <
+                            db.merged_setup_slack[static_cast<size_t>(b)];
+                   });
+  if (static_cast<int>(db.merged_worst_endpoints.size()) > options.nworst) {
+    db.merged_worst_endpoints.resize(static_cast<size_t>(options.nworst));
+  }
+  return db;
+}
+
+}  // namespace mintc::report

@@ -123,6 +123,57 @@ TEST_F(ExportTest, MetricsJsonClampsNonFiniteGauges) {
   EXPECT_EQ(json.find("inf"), std::string::npos);
 }
 
+TEST_F(ExportTest, MetricsJsonCarriesRunMetadataHeader) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.meta.c").inc();
+  run_metadata().circuit = "meta_circuit";
+  run_metadata().schedule_hash = fnv1a_hex("schedule-bytes");
+  const std::string json = metrics_json(reg.snapshot());
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"meta\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"mintc "), std::string::npos);
+  EXPECT_NE(json.find("\"circuit\": \"meta_circuit\""), std::string::npos);
+  EXPECT_NE(json.find(fnv1a_hex("schedule-bytes")), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+  run_metadata().circuit.clear();
+  run_metadata().schedule_hash.clear();
+}
+
+TEST_F(ExportTest, ChromeTraceCarriesRunMetadata) {
+  const std::string json = chrome_trace_json({});
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\""), std::string::npos);
+}
+
+TEST_F(ExportTest, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a_hex("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(fnv1a_hex("foobar"), "85944171f73967e8");
+}
+
+TEST_F(ExportTest, HistogramJsonAndTableCarryQuantiles) {
+  auto& reg = MetricsRegistry::instance();
+  auto& h = reg.histogram("test.export.q", {}, {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  const auto points = reg.snapshot();
+  const std::string json = metrics_json(points);
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const std::string table = metrics_table(points);
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+  for (const MetricPoint& p : points) {
+    if (p.name != "test.export.q") continue;
+    EXPECT_NEAR(p.p50, 50.0, 10.0);
+    EXPECT_NEAR(p.p95, 95.0, 10.0);
+    EXPECT_NEAR(p.p99, 99.0, 10.0);
+  }
+}
+
 TEST_F(ExportTest, MetricsTableMentionsEveryMetric) {
   auto& reg = MetricsRegistry::instance();
   reg.counter("test.table.one").inc();

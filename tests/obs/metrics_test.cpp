@@ -122,6 +122,58 @@ TEST_F(MetricsTest, ResetZeroesValuesButKeepsHandlesValid) {
   EXPECT_EQ(&c, &reg.counter("test.reset.c"));
 }
 
+TEST_F(MetricsTest, QuantilesOnKnownUniformDistribution) {
+  // 1..100 into decade buckets: the interpolated estimate must land within
+  // one bucket width of the exact order statistic, and the extremes are
+  // exact (clamped to observed min/max).
+  auto& h = MetricsRegistry::instance().histogram(
+      "test.quantile.uniform", {}, {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 10.0);
+  // Monotone in q.
+  double prev = h.quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev - 1e-12) << "at q=" << q;
+    prev = cur;
+  }
+}
+
+TEST_F(MetricsTest, QuantileEdgeCases) {
+  auto& empty = MetricsRegistry::instance().histogram("test.quantile.empty", {}, {1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // no data -> 0
+
+  // A single observation: every quantile is that value.
+  auto& one = MetricsRegistry::instance().histogram("test.quantile.one", {}, {10.0});
+  one.observe(7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.0);
+
+  // All mass in the open-ended overflow bucket: estimates stay within the
+  // observed [min, max] envelope.
+  auto& over = MetricsRegistry::instance().histogram("test.quantile.over", {}, {1.0});
+  over.observe(100.0);
+  over.observe(200.0);
+  EXPECT_GE(over.quantile(0.5), 100.0);
+  EXPECT_LE(over.quantile(0.5), 200.0);
+}
+
+TEST_F(MetricsTest, SnapshotCarriesQuantileEstimates) {
+  auto& h = MetricsRegistry::instance().histogram("test.quantile.snap", {}, {5.0, 10.0});
+  for (int v = 1; v <= 10; ++v) h.observe(v);
+  for (const MetricPoint& p : MetricsRegistry::instance().snapshot()) {
+    if (p.name != "test.quantile.snap") continue;
+    EXPECT_NEAR(p.p50, h.quantile(0.50), 1e-12);
+    EXPECT_NEAR(p.p95, h.quantile(0.95), 1e-12);
+    EXPECT_NEAR(p.p99, h.quantile(0.99), 1e-12);
+  }
+}
+
 TEST_F(MetricsTest, DefaultBucketsAreAscendingPowersOfTwo) {
   const std::vector<double> b = default_buckets();
   ASSERT_FALSE(b.empty());

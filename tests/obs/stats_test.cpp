@@ -55,7 +55,10 @@ TEST(EngineStatsTest, AbsorbMergesEverythingButWall) {
   outer.add_stage("bracket", 0.1);
 
   EngineStats inner;
-  inner.wall_seconds = 0.5;  // the inner call's own wall: covered by the outer one
+  // The inner call's own wall: covered by the outer one, and large enough
+  // that inner satisfies the consistent() precondition absorb() asserts
+  // (accounted = 0.05 + 0.3 + 0.2 + 0.1 = 0.65 <= wall).
+  inner.wall_seconds = 0.7;
   inner.view_build_seconds = 0.05;
   inner.solve_seconds = 0.3;
   inner.sweeps = 7;

@@ -129,6 +129,67 @@ TEST(ProvenanceTest, ArgMaxCycleIsReportedAsALoop) {
   EXPECT_NE(rep.chain_to_string(c).find("(loop)"), std::string::npos);
 }
 
+TEST(ProvenanceTest, FlipFlopEndpointsAreAlwaysClampOrigins) {
+  // GaAs's three flip-flops (PC, Bcond, Exc): their departures are pinned
+  // to the clock edge, so eq. (17) never attributes an arg-max edge to them
+  // — every F/F origin must be the clamp, regardless of fanin depth.
+  const Circuit c = circuits::gaas_datapath();
+  const ProvenanceReport rep = provenance_at_optimum(c);
+  ASSERT_EQ(rep.origins.size(), static_cast<size_t>(c.num_elements()));
+  int ffs_seen = 0;
+  for (const std::string name : {"PC", "Bcond", "Exc"}) {
+    const auto id = c.find_element(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    const DepartureOrigin& origin = rep.origins[static_cast<size_t>(*id)];
+    EXPECT_EQ(c.element(*id).kind, ElementKind::kFlipFlop) << name;
+    EXPECT_EQ(origin.via_path, -1) << name;
+    EXPECT_EQ(origin.from, -1) << name;
+    EXPECT_DOUBLE_EQ(origin.term, 0.0) << name;
+    ++ffs_seen;
+  }
+  EXPECT_EQ(ffs_seen, 3);
+  // And no latch's arg-max chain may pass *through* a flip-flop: any origin
+  // edge out of an F/F would carry a pinned 0 departure, i.e. it behaves as
+  // a chain terminator exactly like the clamp.
+  for (const DepartureOrigin& origin : rep.origins) {
+    if (origin.from < 0) continue;
+    if (c.element(origin.from).kind == ElementKind::kFlipFlop) {
+      EXPECT_EQ(rep.origins[static_cast<size_t>(origin.from)].via_path, -1);
+    }
+  }
+}
+
+TEST(ProvenanceTest, SingleLatchSelfLoopDegenerateCircuit) {
+  // The smallest possible feedback circuit: one latch feeding itself. The
+  // provenance walk must terminate (clamp or single-element loop), never
+  // spin on the self-edge.
+  Circuit c("self1", 1);
+  c.add_latch("L", 1, 1.0, 2.0);
+  c.add_path("L", "L", 10.0, 0.0, "self");
+  const auto r = opt::minimize_cycle_time(c);
+  ASSERT_TRUE(r.has_value());
+  AnalysisOptions aopt;
+  aopt.provenance = true;
+  const TimingReport rep = check_schedule(c, r->schedule, aopt);
+  ASSERT_TRUE(rep.feasible);
+  ASSERT_EQ(rep.provenance.origins.size(), 1u);
+  const DepartureOrigin& origin = rep.provenance.origins[0];
+  if (origin.via_path >= 0) {
+    // Self-edge arg-max: the chain is the one-element loop through it.
+    EXPECT_EQ(origin.from, 0);
+    EXPECT_TRUE(rep.provenance.chain_is_loop);
+    EXPECT_EQ(rep.provenance.critical_chain.size(), 1u);
+    EXPECT_EQ(rep.provenance.critical_paths.size(), 1u);
+  } else {
+    // 0-clamped: a one-element chain ending at the clamp.
+    EXPECT_FALSE(rep.provenance.chain_is_loop);
+    EXPECT_EQ(rep.provenance.critical_chain.size(), 1u);
+    EXPECT_TRUE(rep.provenance.critical_paths.empty());
+  }
+  // Either way the renderer must not loop forever.
+  EXPECT_FALSE(rep.provenance.chain_to_string(c).empty());
+}
+
 TEST(ProvenanceTest, MismatchedDepartureSizeYieldsEmptyReport) {
   const Circuit c = circuits::example2();
   const auto r = opt::minimize_cycle_time(c);
