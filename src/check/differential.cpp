@@ -8,7 +8,9 @@
 #include "opt/graph_solver.h"
 #include "opt/mlp.h"
 #include "sim/token_sim.h"
+#include "sta/analysis.h"
 #include "sta/fixpoint.h"
+#include "sta/session.h"
 
 namespace mintc::check {
 
@@ -19,6 +21,7 @@ const char* to_string(CheckKind kind) {
     case CheckKind::kSchemeAgreement: return "scheme-agreement";
     case CheckKind::kIncrementalAgreement: return "incremental-agreement";
     case CheckKind::kSimAgreement: return "sim-agreement";
+    case CheckKind::kSessionAgreement: return "session-agreement";
   }
   return "?";
 }
@@ -67,6 +70,37 @@ std::string flag_string(const sta::FixpointResult& r) {
   if (r.converged) return "converged";
   if (r.diverged) return "diverged";
   return "hit the sweep limit";
+}
+
+// First bitwise difference between two timing reports (empty = identical).
+// Exact comparison is the point: the session's correctness contract is
+// bit-identity with a fresh check_schedule, not agreement within eps.
+std::string diff_reports(const sta::TimingReport& a, const sta::TimingReport& b) {
+  if (a.feasible != b.feasible || a.schedule_ok != b.schedule_ok ||
+      a.converged != b.converged || a.setup_ok != b.setup_ok || a.hold_ok != b.hold_ok) {
+    return "feasibility flags differ";
+  }
+  if (a.fixpoint.departure != b.fixpoint.departure) {
+    const VecDiff d = max_abs_diff(a.fixpoint.departure, b.fixpoint.departure);
+    return "departure vectors differ by " + fmt_time(d.amount, 12) + " at element " +
+           std::to_string(d.element);
+  }
+  if (a.elements.size() != b.elements.size()) return "element counts differ";
+  for (size_t i = 0; i < a.elements.size(); ++i) {
+    const sta::ElementTiming& x = a.elements[i];
+    const sta::ElementTiming& y = b.elements[i];
+    if (x.departure != y.departure || x.arrival != y.arrival ||
+        x.setup_slack != y.setup_slack || x.hold_slack != y.hold_slack) {
+      return "slack record differs at element " + std::to_string(i);
+    }
+  }
+  if (a.worst_setup_slack != b.worst_setup_slack ||
+      a.worst_setup_element != b.worst_setup_element ||
+      a.worst_hold_slack != b.worst_hold_slack ||
+      a.worst_hold_element != b.worst_hold_element) {
+    return "worst-slack summary differs";
+  }
+  return {};
 }
 
 }  // namespace
@@ -126,6 +160,12 @@ DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
     fail(CheckKind::kP1Satisfaction, "graph-solver (schedule, departures) violates P1");
   }
 
+  // One flattened view serves every fixpoint below (four schemes, the sim
+  // cross-check and the perturbation baseline); only the shift tables differ
+  // per schedule.
+  const TimingView view(circuit);
+  const ShiftTable opt_shifts(lp->schedule);
+
   // Engine 3, internal consistency: every UpdateScheme must reach the same
   // least fixpoint from zero under the optimal schedule.
   const sta::UpdateScheme schemes[] = {
@@ -135,7 +175,7 @@ DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
   for (const sta::UpdateScheme scheme : schemes) {
     sta::FixpointOptions fo;
     fo.scheme = scheme;
-    const sta::FixpointResult r = sta::compute_departures(circuit, lp->schedule, zeros(circuit), fo);
+    const sta::FixpointResult r = sta::compute_departures(view, opt_shifts, zeros(circuit), fo);
     if (!r.converged) {
       fail(CheckKind::kSchemeAgreement,
            std::string(sta::to_string(scheme)) + " " + flag_string(r) + " at the LP optimum");
@@ -162,7 +202,8 @@ DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
     sim::SimOptions so;
     so.max_generations = options.sim_max_generations;
     const sim::SimResult sim = sim::simulate_tokens(circuit, sim_sch, so);
-    const sta::FixpointResult fix = sta::compute_departures(circuit, sim_sch, zeros(circuit));
+    const sta::FixpointResult fix =
+        sta::compute_departures(view, ShiftTable(sim_sch), zeros(circuit));
     if (sim.converged != fix.converged) {
       fail(CheckKind::kSimAgreement,
            std::string("simulation ") + (sim.converged ? "reached" : "missed") +
@@ -187,7 +228,8 @@ DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
     std::uniform_real_distribution<double> magnitude(0.05, options.max_perturb);
     const int p = pick_path(rng);
     const ClockSchedule relaxed = lp->schedule.scaled(options.slack_factor);
-    const sta::FixpointResult before = sta::compute_departures(circuit, relaxed, zeros(circuit));
+    const sta::FixpointResult before =
+        sta::compute_departures(view, ShiftTable(relaxed), zeros(circuit));
     if (before.converged) {
       Circuit mutated = circuit;
       const double old_delay = circuit.path(p).delay;
@@ -214,6 +256,29 @@ DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
                what + ": departures differ by " + fmt_time(d.amount, 9) + " at element '" +
                    circuit.element(d.element).name + "'");
         }
+      }
+
+      // The same perturbation driven through an AnalysisSession: cold, warm
+      // after the edit, cold again after the undo — each leg bit-identical
+      // to a fresh check_schedule of the corresponding circuit.
+      sta::AnalysisOptions an;
+      an.check_hold = true;
+      sta::AnalysisSession session(circuit, relaxed, an);
+      std::string diff =
+          diff_reports(session.analyze(), sta::check_schedule(circuit, relaxed, an));
+      if (!diff.empty()) {
+        fail(CheckKind::kSessionAgreement, what + ": cold session: " + diff);
+      }
+      const size_t mark = session.mark();
+      session.set_path_delay(p, new_delay);
+      diff = diff_reports(session.analyze(), sta::check_schedule(mutated, relaxed, an));
+      if (!diff.empty()) {
+        fail(CheckKind::kSessionAgreement, what + ": session after edit: " + diff);
+      }
+      session.undo_to(mark);
+      diff = diff_reports(session.analyze(), sta::check_schedule(circuit, relaxed, an));
+      if (!diff.empty()) {
+        fail(CheckKind::kSessionAgreement, what + ": session after undo: " + diff);
       }
     }
   }

@@ -14,7 +14,9 @@
 //     P1 exactly,
 //   * all four UpdateSchemes converge to the same least fixpoint,
 //   * incremental_update after a random delay perturbation matches a
-//     from-scratch solve, and
+//     from-scratch solve,
+//   * an sta::AnalysisSession driven through the same perturbation (and its
+//     undo) reproduces fresh check_schedule reports BIT-identically, and
 //   * the token simulator's steady state matches the analytic fixpoint.
 //
 // This is the oracle behind the fuzzer (fuzzer.h) and the shrinker
@@ -36,6 +38,7 @@ enum class CheckKind {
   kSchemeAgreement,       // the four UpdateSchemes disagree on the fixpoint
   kIncrementalAgreement,  // incremental_update != from-scratch recompute
   kSimAgreement,          // token-sim steady state != analytic fixpoint
+  kSessionAgreement,      // AnalysisSession warm/undo != fresh check_schedule
 };
 
 const char* to_string(CheckKind kind);

@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <utility>
 #include <vector>
+
+#include "sta/session.h"
 
 namespace mintc::check {
 
@@ -33,27 +36,26 @@ Circuit without_element(const Circuit& circuit, int skip) {
   return out;
 }
 
-namespace {
-
-Circuit with_cleared_labels(const Circuit& circuit) {
-  Circuit out(circuit.name(), circuit.num_phases());
-  for (const Element& e : circuit.elements()) out.add_element(e);
-  for (const CombPath& p : circuit.paths()) out.add_path(p.from, p.to, p.delay, p.min_delay);
-  return out;
-}
-
-}  // namespace
-
 ShrinkResult shrink_circuit(const Circuit& failing, const FailurePredicate& still_fails,
                             const ShrinkOptions& options) {
   assert(still_fails(failing));
   ShrinkResult res{failing, 0, 0};
-  const auto try_candidate = [&](Circuit cand) {
+
+  // One mutate/undo session replaces the per-candidate full Circuit copy +
+  // rebuild that used to dominate shrink wall time: each candidate is an
+  // in-place edit, rolled back via the undo log when the predicate stops
+  // failing.
+  sta::AnalysisSession session(failing);
+  const auto try_edit = [&](const std::function<void()>& edit) {
+    const size_t mark = session.mark();
+    edit();
     ++res.attempts;
-    if (!still_fails(cand)) return false;
-    res.circuit = std::move(cand);
-    ++res.accepted;
-    return true;
+    if (still_fails(session.circuit())) {
+      ++res.accepted;
+      return true;
+    }
+    session.undo_to(mark);
+    return false;
   };
 
   for (int round = 0; round < options.max_rounds; ++round) {
@@ -61,36 +63,36 @@ ShrinkResult shrink_circuit(const Circuit& failing, const FailurePredicate& stil
 
     // Drop paths, highest index first so lower indices survive an accepted
     // drop unchanged.
-    for (int p = res.circuit.num_paths() - 1; p >= 0; --p) {
-      progress |= try_candidate(without_path(res.circuit, p));
+    for (int p = session.circuit().num_paths() - 1; p >= 0; --p) {
+      progress |= try_edit([&] { session.remove_path(p); });
     }
 
     // Drop elements (with their incident paths).
-    for (int e = res.circuit.num_elements() - 1; e >= 0; --e) {
-      progress |= try_candidate(without_element(res.circuit, e));
+    for (int e = session.circuit().num_elements() - 1; e >= 0; --e) {
+      progress |= try_edit([&] { session.remove_element(e); });
     }
 
     // Round delays onto a coarse grid so the repro prints cleanly.
-    for (int p = 0; p < res.circuit.num_paths(); ++p) {
-      const CombPath& path = res.circuit.path(p);
+    for (int p = 0; p < session.circuit().num_paths(); ++p) {
+      const CombPath& path = session.circuit().path(p);
       double rounded = std::round(path.delay / options.delay_grid) * options.delay_grid;
       rounded = std::max({rounded, path.min_delay, 0.0});
       if (std::fabs(rounded - path.delay) < 1e-12) continue;
-      Circuit cand = res.circuit;
-      cand.set_path_delay(p, rounded);
-      progress |= try_candidate(std::move(cand));
+      progress |= try_edit([&] { session.set_path_delay(p, rounded); });
     }
 
     // Labels are pure annotation; drop them all at once if possible.
-    for (const CombPath& p : res.circuit.paths()) {
-      if (!p.label.empty()) {
-        progress |= try_candidate(with_cleared_labels(res.circuit));
-        break;
-      }
+    bool any_label = false;
+    for (const CombPath& p : session.circuit().paths()) any_label |= !p.label.empty();
+    if (any_label) {
+      progress |= try_edit([&] {
+        for (int p = 0; p < session.circuit().num_paths(); ++p) session.set_path_label(p, "");
+      });
     }
 
     if (!progress) break;
   }
+  res.circuit = session.circuit();
   return res;
 }
 

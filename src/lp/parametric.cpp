@@ -10,10 +10,16 @@ ParametricResult sweep_parameter(const std::function<Model(double)>& build, doub
   if (samples < 2 || hi <= lo) return result;
 
   const double step = (hi - lo) / (samples - 1);
+  // Chain the optimal basis across samples: z*(θ) is piecewise-linear, so
+  // the basis is constant within each segment and consecutive solves after
+  // the first are pure warm re-optimizations (a handful of pivots at the
+  // breakpoints, zero elsewhere).
+  std::vector<int> basis;
   for (int i = 0; i < samples; ++i) {
     const double theta = lo + step * i;
     const Model m = build(theta);
-    const Solution s = solver.solve(m);
+    const Solution s = solver.solve(m, basis.empty() ? nullptr : &basis);
+    if (s.optimal()) basis = s.basis;
     ParametricPoint p;
     p.theta = theta;
     p.status = s.status;

@@ -169,22 +169,80 @@ class Tableau {
   double obj_ = 0.0;  // c_B' b accumulated; actual objective = -(...) handled by caller
 };
 
+// Re-install a previously optimal basis on a freshly built standard form.
+// Tableau::pivot cannot be used here — its reduced-cost row only exists
+// after start_phase — so this is raw Gauss-Jordan elimination on `s` alone.
+// The hint is treated as a *set* of columns: for each column the best pivot
+// row among the not-yet-assigned ones is chosen, which tolerates the row
+// permutations a rebuilt tableau can introduce. Returns false (leaving `s`
+// in an undefined state — caller must restore a backup) when the hint is
+// malformed, names an artificial column, is numerically singular, or the
+// resulting basic point is primal-infeasible.
+bool install_basis(Standard& s, const std::vector<int>& hint) {
+  if (static_cast<int>(hint.size()) != s.m) return false;
+  std::vector<bool> used_col(static_cast<size_t>(s.n), false);
+  for (const int c : hint) {
+    if (c < 0 || c >= s.n) return false;
+    if (s.artificial[static_cast<size_t>(c)]) return false;
+    if (used_col[static_cast<size_t>(c)]) return false;
+    used_col[static_cast<size_t>(c)] = true;
+  }
+  std::vector<bool> used_row(static_cast<size_t>(s.m), false);
+  for (const int col : hint) {
+    int row = -1;
+    double best = 1e-8;  // singularity threshold
+    for (int i = 0; i < s.m; ++i) {
+      if (used_row[static_cast<size_t>(i)]) continue;
+      const double a = std::fabs(s.at(i, col));
+      if (a > best) {
+        best = a;
+        row = i;
+      }
+    }
+    if (row < 0) return false;
+    used_row[static_cast<size_t>(row)] = true;
+    const double inv = 1.0 / s.at(row, col);
+    for (int j = 0; j < s.n; ++j) s.at(row, j) *= inv;
+    s.b[static_cast<size_t>(row)] *= inv;
+    s.at(row, col) = 1.0;  // exact
+    for (int i = 0; i < s.m; ++i) {
+      if (i == row) continue;
+      const double f = s.at(i, col);
+      if (f == 0.0) continue;
+      for (int j = 0; j < s.n; ++j) s.at(i, j) -= f * s.at(row, j);
+      s.b[static_cast<size_t>(i)] -= f * s.b[static_cast<size_t>(row)];
+      s.at(i, col) = 0.0;  // exact
+    }
+    s.basis[static_cast<size_t>(row)] = col;
+  }
+  // Primal feasibility of the basic point; without it phase 1 cannot be
+  // skipped. Small negative noise is clamped like in Tableau::pivot.
+  for (int i = 0; i < s.m; ++i) {
+    double& bi = s.b[static_cast<size_t>(i)];
+    if (bi < -1e-7) return false;
+    if (bi < 0.0) bi = 0.0;
+  }
+  return true;
+}
+
 }  // namespace
 
-Solution SimplexSolver::solve(const Model& model) const {
+Solution SimplexSolver::solve(const Model& model, const std::vector<int>* basis_hint) const {
   const obs::TraceSpan span("simplex.solve", "lp");
-  Solution sol = solve_impl(model);
+  Solution sol = solve_impl(model, basis_hint);
   auto& reg = obs::MetricsRegistry::instance();
   const long pivots = sol.stats.phase1_pivots + sol.stats.phase2_pivots;
   reg.counter("simplex.solves", {{"status", to_string(sol.status)}}).inc();
   reg.counter("simplex.pivots").inc(pivots);
   reg.counter("simplex.degenerate_pivots").inc(sol.stats.degenerate_pivots);
   if (sol.stats.used_bland) reg.counter("simplex.bland_switches").inc();
+  if (sol.stats.warm_started) reg.counter("simplex.warm_starts").inc();
+  if (sol.stats.warm_rejected) reg.counter("simplex.warm_fallbacks").inc();
   reg.histogram("simplex.pivots_per_solve").observe(static_cast<double>(pivots));
   return sol;
 }
 
-Solution SimplexSolver::solve_impl(const Model& model) const {
+Solution SimplexSolver::solve_impl(const Model& model, const std::vector<int>* basis_hint) const {
   const double eps = options_.eps;
   Solution sol;
   sol.x.assign(static_cast<size_t>(model.num_variables()), 0.0);
@@ -360,9 +418,26 @@ Solution SimplexSolver::solve_impl(const Model& model) const {
     }
   };
 
+  // ---- 4a. Warm start: try to re-install the hinted basis and skip phase 1.
+  bool warm = false;
+  if (basis_hint != nullptr && !basis_hint->empty()) {
+    const Standard backup = s;
+    if (install_basis(s, *basis_hint)) {
+      warm = true;
+      sol.stats.warm_started = true;
+      // The hinted basis is artificial-free; keep artificials locked out.
+      for (int j = 0; j < s.n; ++j) {
+        if (s.artificial[static_cast<size_t>(j)]) banned[static_cast<size_t>(j)] = true;
+      }
+    } else {
+      sol.stats.warm_rejected = true;
+      s = backup;
+    }
+  }
+
   // ---- 4. Phase 1.
   const bool any_artificial =
-      std::any_of(s.artificial.begin(), s.artificial.end(), [](bool v) { return v; });
+      !warm && std::any_of(s.artificial.begin(), s.artificial.end(), [](bool v) { return v; });
   if (any_artificial) {
     const SolveStatus st = run_phase(phase1_cost, sol.stats.phase1_pivots, true);
     if (st == SolveStatus::kIterLimit) {
@@ -451,6 +526,7 @@ Solution SimplexSolver::solve_impl(const Model& model) const {
     sol.activity[static_cast<size_t>(r)] = model.row_activity(r, sol.x);
   }
 
+  sol.basis = s.basis;  // reusable as basis_hint on a same-shaped model
   sol.status = SolveStatus::kOptimal;
   return sol;
 }

@@ -76,6 +76,83 @@ void Circuit::set_path_min_delay(int p, double min_delay) {
   path.min_delay = min_delay;
 }
 
+void Circuit::set_path_label(int p, std::string label) {
+  paths_.at(static_cast<size_t>(p)).label = std::move(label);
+}
+
+CombPath Circuit::remove_path(int p) {
+  assert(p >= 0 && p < num_paths());
+  CombPath removed = std::move(paths_[static_cast<size_t>(p)]);
+  paths_.erase(paths_.begin() + p);
+  for (auto* lists : {&fanin_, &fanout_}) {
+    for (auto& list : *lists) {
+      auto it = list.begin();
+      for (int& id : list) {
+        if (id == p) continue;  // dropped below via the write iterator
+        *it++ = id > p ? id - 1 : id;
+      }
+      list.erase(it, list.end());
+    }
+  }
+  return removed;
+}
+
+void Circuit::insert_path(int pos, CombPath path) {
+  assert(pos >= 0 && pos <= num_paths());
+  assert(path.from >= 0 && path.from < num_elements() && path.to >= 0 &&
+         path.to < num_elements());
+  for (auto* lists : {&fanin_, &fanout_}) {
+    for (auto& list : *lists) {
+      for (int& id : list) {
+        if (id >= pos) ++id;
+      }
+    }
+  }
+  // fanin_/fanout_ lists are kept ascending (add_path appends the largest id),
+  // so re-insert at the sorted position to restore the exact original order.
+  auto& out = fanout_[static_cast<size_t>(path.from)];
+  out.insert(std::lower_bound(out.begin(), out.end(), pos), pos);
+  auto& in = fanin_[static_cast<size_t>(path.to)];
+  in.insert(std::lower_bound(in.begin(), in.end(), pos), pos);
+  paths_.insert(paths_.begin() + pos, std::move(path));
+}
+
+Element Circuit::remove_element(int e) {
+  assert(e >= 0 && e < num_elements());
+  assert(fanin_[static_cast<size_t>(e)].empty() && fanout_[static_cast<size_t>(e)].empty() &&
+         "remove incident paths before removing an element");
+  Element removed = std::move(elements_[static_cast<size_t>(e)]);
+  elements_.erase(elements_.begin() + e);
+  fanin_.erase(fanin_.begin() + e);
+  fanout_.erase(fanout_.begin() + e);
+  by_name_.erase(removed.name);
+  for (auto& entry : by_name_) {
+    if (entry.second > e) --entry.second;
+  }
+  for (CombPath& p : paths_) {
+    assert(p.from != e && p.to != e);
+    if (p.from > e) --p.from;
+    if (p.to > e) --p.to;
+  }
+  return removed;
+}
+
+void Circuit::insert_element(int pos, Element element) {
+  assert(pos >= 0 && pos <= num_elements());
+  assert(by_name_.find(element.name) == by_name_.end() && "duplicate element name");
+  for (auto& entry : by_name_) {
+    if (entry.second >= pos) ++entry.second;
+  }
+  for (CombPath& p : paths_) {
+    if (p.from >= pos) ++p.from;
+    if (p.to >= pos) ++p.to;
+  }
+  by_name_.emplace(element.name, pos);
+  elements_.insert(elements_.begin() + pos, std::move(element));
+  fanin_.emplace(fanin_.begin() + pos);
+  fanout_.emplace(fanout_.begin() + pos);
+}
+
 std::optional<int> Circuit::find_element(const std::string& name) const {
   const auto it = by_name_.find(name);
   if (it == by_name_.end()) return std::nullopt;

@@ -71,6 +71,31 @@ class Circuit {
   /// finite, nonnegative and still <= the path's max delay.
   void set_path_min_delay(int p, double min_delay);
 
+  /// Change a path's label (timing-neutral; used by the shrinker).
+  void set_path_label(int p, std::string label);
+
+  // -- In-place structural edits -------------------------------------------
+  // Exact inverses of each other, used by the incremental-analysis session's
+  // undo log and the fuzz shrinker: remove_path(p) followed by
+  // insert_path(p, removed) restores the circuit bit-for-bit, including path
+  // numbering and fan-in/fan-out order. Each is O(l + E).
+
+  /// Remove path `p`; later paths shift down by one. Returns the removed
+  /// path so it can be re-inserted.
+  CombPath remove_path(int p);
+
+  /// Insert `path` at index `pos` (0 <= pos <= num_paths()); paths at or
+  /// after `pos` shift up by one.
+  void insert_path(int pos, CombPath path);
+
+  /// Remove element `e`, which must have no incident paths (remove them
+  /// first); later elements shift down by one. Returns the removed element.
+  Element remove_element(int e);
+
+  /// Insert `element` at index `pos` (0 <= pos <= num_elements()); elements
+  /// at or after `pos` shift up by one. The name must be unique.
+  void insert_element(int pos, Element element);
+
   /// Element index by name, if present.
   std::optional<int> find_element(const std::string& name) const;
 

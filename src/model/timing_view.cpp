@@ -21,6 +21,45 @@ ShiftTable::ShiftTable(const ClockSchedule& schedule) {
   build_seconds_ = timer.seconds();
 }
 
+ShiftDelta ShiftTable::update(const ClockSchedule& schedule) {
+  ShiftDelta delta;
+  const int new_k = schedule.num_phases();
+  delta.same_shape = (new_k == k_);
+  delta.phase_dirty.assign(static_cast<size_t>(new_k), 0);
+  if (!delta.same_shape) {
+    // Phase count changed: every phase is new territory.
+    delta.changed = true;
+    for (char& d : delta.phase_dirty) d = 1;
+    *this = ShiftTable(schedule);
+    return delta;
+  }
+  delta.shifts_nondecreasing = true;
+  if (schedule.cycle != cycle_) delta.changed = true;
+  cycle_ = schedule.cycle;
+  for (int i = 1; i <= k_; ++i) {
+    const double s = schedule.s(i);
+    const double w = schedule.T(i);
+    if (s != start_[static_cast<size_t>(i - 1)] || w != width_[static_cast<size_t>(i - 1)]) {
+      delta.changed = true;
+      delta.phase_dirty[static_cast<size_t>(i - 1)] = 1;
+    }
+    start_[static_cast<size_t>(i - 1)] = s;
+    width_[static_cast<size_t>(i - 1)] = w;
+    for (int j = 1; j <= k_; ++j) {
+      const size_t flat = static_cast<size_t>((i - 1) * k_ + (j - 1));
+      const double v = schedule.shift(i, j);
+      if (v != shift_[flat]) {
+        delta.changed = true;
+        delta.phase_dirty[static_cast<size_t>(i - 1)] = 1;
+        delta.phase_dirty[static_cast<size_t>(j - 1)] = 1;
+        if (v < shift_[flat]) delta.shifts_nondecreasing = false;
+        shift_[flat] = v;
+      }
+    }
+  }
+  return delta;
+}
+
 TimingView::TimingView(const Circuit& circuit) {
   const StageTimer timer;
   num_elements_ = circuit.num_elements();
@@ -58,6 +97,9 @@ TimingView::TimingView(const Circuit& circuit) {
   cross_.resize(m);
   max_const_.resize(m);
   min_const_.resize(m);
+  path_delay_.resize(m);
+  path_min_delay_.resize(m);
+  edge_dirty_.assign(m, 0);
   int e = 0;
   for (int i = 0; i < num_elements_; ++i) {
     fanin_offset_[static_cast<size_t>(i)] = e;
@@ -70,6 +112,8 @@ TimingView::TimingView(const Circuit& circuit) {
       edge_of_path_[static_cast<size_t>(p)] = e;
       max_const_[static_cast<size_t>(e)] = src.dq + path.delay;
       min_const_[static_cast<size_t>(e)] = src.min_dq() + path.min_delay;
+      path_delay_[static_cast<size_t>(e)] = path.delay;
+      path_min_delay_[static_cast<size_t>(e)] = path.min_delay;
       shift_index_[static_cast<size_t>(e)] =
           (src.phase - 1) * num_phases_ + (phase_[static_cast<size_t>(i)] - 1);
       cross_[static_cast<size_t>(e)] = c_flag(src.phase, phase_[static_cast<size_t>(i)]);
@@ -96,6 +140,88 @@ TimingView::TimingView(const Circuit& circuit) {
   fanout_offset_[l] = f;
 
   build_seconds_ = timer.seconds();
+}
+
+void TimingView::mark_edge_dirty(int e) {
+  ++generation_;
+  if (!edge_dirty_[static_cast<size_t>(e)]) {
+    edge_dirty_[static_cast<size_t>(e)] = 1;
+    dirty_edges_.push_back(e);
+  }
+}
+
+void TimingView::set_path_delay(int p, double delay) {
+  const int e = edge_of_path_[static_cast<size_t>(p)];
+  const double old = path_delay_[static_cast<size_t>(e)];
+  if (delay == old) return;
+  if (delay < old) max_nondecreasing_ = false;
+  divergence_base_ += delay - old;
+  path_delay_[static_cast<size_t>(e)] = delay;
+  max_const_[static_cast<size_t>(e)] = dq_[static_cast<size_t>(src_[static_cast<size_t>(e)])] + delay;
+  max_dirty_ = true;
+  mark_edge_dirty(e);
+}
+
+void TimingView::set_path_min_delay(int p, double min_delay) {
+  const int e = edge_of_path_[static_cast<size_t>(p)];
+  if (min_delay == path_min_delay_[static_cast<size_t>(e)]) return;
+  path_min_delay_[static_cast<size_t>(e)] = min_delay;
+  min_const_[static_cast<size_t>(e)] =
+      min_dq_[static_cast<size_t>(src_[static_cast<size_t>(e)])] + min_delay;
+  min_dirty_ = true;
+  mark_edge_dirty(e);
+}
+
+void TimingView::set_element_dq(int i, double dq) {
+  const double old = dq_[static_cast<size_t>(i)];
+  if (dq == old) return;
+  if (dq < old) max_nondecreasing_ = false;
+  divergence_base_ += dq - old;
+  dq_[static_cast<size_t>(i)] = dq;
+  const int end = fanout_end(i);
+  for (int f = fanout_begin(i); f < end; ++f) {
+    const int e = fanout_edges_[static_cast<size_t>(f)];
+    max_const_[static_cast<size_t>(e)] = dq + path_delay_[static_cast<size_t>(e)];
+    max_dirty_ = true;
+    mark_edge_dirty(e);
+  }
+  if (fanout_begin(i) == end) ++generation_;  // no edges, still a change
+}
+
+void TimingView::set_element_min_dq(int i, double min_dq) {
+  if (min_dq == min_dq_[static_cast<size_t>(i)]) return;
+  min_dq_[static_cast<size_t>(i)] = min_dq;
+  const int end = fanout_end(i);
+  for (int f = fanout_begin(i); f < end; ++f) {
+    const int e = fanout_edges_[static_cast<size_t>(f)];
+    min_const_[static_cast<size_t>(e)] = min_dq + path_min_delay_[static_cast<size_t>(e)];
+    min_dirty_ = true;
+    mark_edge_dirty(e);
+  }
+  if (fanout_begin(i) == end) ++generation_;
+}
+
+void TimingView::set_element_setup(int i, double setup) {
+  if (setup == setup_[static_cast<size_t>(i)]) return;
+  setup_[static_cast<size_t>(i)] = setup;
+  params_dirty_ = true;
+  ++generation_;
+}
+
+void TimingView::set_element_hold(int i, double hold) {
+  if (hold == hold_[static_cast<size_t>(i)]) return;
+  hold_[static_cast<size_t>(i)] = hold;
+  params_dirty_ = true;
+  ++generation_;
+}
+
+void TimingView::clear_dirty() {
+  for (const int e : dirty_edges_) edge_dirty_[static_cast<size_t>(e)] = 0;
+  dirty_edges_.clear();
+  max_dirty_ = false;
+  min_dirty_ = false;
+  params_dirty_ = false;
+  max_nondecreasing_ = true;
 }
 
 double early_departure_update(const TimingView& view, const ShiftTable& shifts,

@@ -21,15 +21,22 @@
 //
 //     d[edge_src(e)] + edge_max_const(e) + shifts.at(edge_shift(e))
 //
-// Invalidation rules: a TimingView is a snapshot. Mutating the Circuit in
-// any way (set_path_delay, set_path_min_delay, add_path, add_element)
-// invalidates the view — rebuild it. A ShiftTable is likewise a snapshot
-// of one ClockSchedule; a new schedule (or a scaled copy) needs a new
-// table. Builds are O(l + E) and O(k^2) respectively, negligible next to a
-// single fixpoint sweep, so engines simply rebuild at entry.
+// Invalidation rules: a TimingView tracks one Circuit's *parameters*, not
+// its structure. Parameter edits (a path delay, a latch Δ_DQ/setup/hold)
+// go through the in-place mutation API below, which patches the fused
+// per-edge constants, bumps the generation counter and records the touched
+// edges in a dirty set — so an incremental engine (sta::AnalysisSession)
+// can warm-start the eq. 17 fixpoint from its previous answer instead of
+// re-flattening and cold-starting. Mutating the Circuit *behind the view's
+// back*, or structurally (add/remove paths or elements), still invalidates
+// it — rebuild. A ShiftTable is the per-ClockSchedule companion; update()
+// re-derives it in place from a new schedule and reports which phases (and
+// whether any S_ij decreased) changed. Cold builds are O(l + E) and O(k^2)
+// respectively, negligible next to a single fixpoint sweep.
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,12 +48,27 @@ namespace mintc {
 // is now the single accounting path); included above so existing users of
 // this header keep compiling unchanged.
 
+/// How one ShiftTable::update differed from the table it replaced; the
+/// session layer uses this to decide whether a schedule swap preserves the
+/// warm-start precondition (every effective edge weight nondecreasing).
+struct ShiftDelta {
+  bool changed = false;               // any entry (shift/start/width) moved
+  bool same_shape = false;            // same phase count as before
+  bool shifts_nondecreasing = false;  // same_shape and no S_ij decreased
+  /// Per phase (index 0 = phase 1): start, width or an incident S_ij moved.
+  std::vector<char> phase_dirty;
+};
+
 /// The k×k phase-shift matrix S_ij (eq. 12) of one ClockSchedule, plus the
 /// flat start/width arrays, all built once so no engine recomputes
 /// s_i - s_j - C_ij*Tc (or bounds-checks a vector) per edge per sweep.
 class ShiftTable {
  public:
   explicit ShiftTable(const ClockSchedule& schedule);
+
+  /// Re-derive the table from `schedule` in place (reusing storage) and
+  /// report what moved relative to the previous contents.
+  ShiftDelta update(const ClockSchedule& schedule);
 
   int num_phases() const { return k_; }
   double cycle() const { return cycle_; }
@@ -70,9 +92,11 @@ class ShiftTable {
   std::vector<double> width_;
 };
 
-/// Immutable index-flattened view of a Circuit. "Edges" are the circuit's
-/// CombPaths re-indexed in fan-in (destination-major) order; edge_path /
-/// edge_of_path translate between the two numberings.
+/// Index-flattened view of a Circuit. "Edges" are the circuit's CombPaths
+/// re-indexed in fan-in (destination-major) order; edge_path / edge_of_path
+/// translate between the two numberings. The structure (CSR arrays, edge
+/// numbering) is immutable; parameters may be edited in place through the
+/// mutation API, which keeps the fused constants and the dirty sets in sync.
 class TimingView {
  public:
   explicit TimingView(const Circuit& circuit);
@@ -119,10 +143,37 @@ class TimingView {
   int fanout_edge(int f) const { return fanout_edges_[static_cast<size_t>(f)]; }
 
   /// Σ Δ_ij + Σ Δ_DQ over the whole circuit — the schedule-independent part
-  /// of the fixpoint divergence bound.
+  /// of the fixpoint divergence bound. Maintained incrementally across
+  /// mutations.
   double divergence_base() const { return divergence_base_; }
 
+  // -- In-place mutation API ------------------------------------------------
+  // Each setter patches the fused per-edge constants (max_const / min_const)
+  // the kernels read, bumps generation(), and records the touched edges in
+  // the dirty set. Mirror the same edit into the source Circuit separately;
+  // the view never writes back.
+  void set_path_delay(int p, double delay);          // Δ_ij (by path index)
+  void set_path_min_delay(int p, double min_delay);  // δ_ij
+  void set_element_dq(int i, double dq);             // Δ_DQ (all fanout edges)
+  void set_element_min_dq(int i, double min_dq);     // resolved min Δ_DQ
+  void set_element_setup(int i, double setup);       // slack-only parameter
+  void set_element_hold(int i, double hold);         // slack-only parameter
+
+  /// Bumped by every mutation; lets caches detect any drift cheaply.
+  uint64_t generation() const { return generation_; }
+  /// Edges whose max_const or min_const changed since clear_dirty(),
+  /// deduplicated, in first-touch order.
+  const std::vector<int>& dirty_edges() const { return dirty_edges_; }
+  bool max_dirty() const { return max_dirty_; }    // some long-path constant moved
+  bool min_dirty() const { return min_dirty_; }    // some short-path constant moved
+  bool params_dirty() const { return params_dirty_; }  // setup/hold moved
+  /// True while every max_const change since clear_dirty() was nondecreasing
+  /// — the warm-start precondition for the monotone eq. 17 iteration.
+  bool max_nondecreasing() const { return max_nondecreasing_; }
+  void clear_dirty();
+
  private:
+  void mark_edge_dirty(int e);
   int num_elements_ = 0;
   int num_edges_ = 0;
   int num_phases_ = 0;
@@ -140,6 +191,19 @@ class TimingView {
 
   std::vector<int> fanout_offset_;  // l + 1
   std::vector<int> fanout_edges_;
+
+  // Raw per-edge path delays (Δ_ij / δ_ij), kept so element-level edits can
+  // re-fuse max_const/min_const without consulting the Circuit.
+  std::vector<double> path_delay_, path_min_delay_;
+
+  // Mutation tracking.
+  uint64_t generation_ = 0;
+  std::vector<int> dirty_edges_;
+  std::vector<char> edge_dirty_;
+  bool max_dirty_ = false;
+  bool min_dirty_ = false;
+  bool params_dirty_ = false;
+  bool max_nondecreasing_ = true;
 };
 
 /// Evaluate the right-hand side of eq. (17) for element `i`:

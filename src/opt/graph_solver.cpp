@@ -169,10 +169,12 @@ bool feasible_at(const DiffSystem& sys, double tc, std::vector<double>& x,
 
 Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
                                                      const GraphSolveOptions& options) {
-  const std::vector<std::string> problems = circuit.validate();
-  if (!problems.empty()) {
-    return make_error(ErrorKind::kInvalidCircuit,
-                      "circuit '" + circuit.name() + "' failed validation");
+  if (!options.assume_valid) {
+    const std::vector<std::string> problems = circuit.validate();
+    if (!problems.empty()) {
+      return make_error(ErrorKind::kInvalidCircuit,
+                        "circuit '" + circuit.name() + "' failed validation");
+    }
   }
   const StageTimer wall_timer;
   const obs::TraceSpan span("graph.solve", "opt");
@@ -182,10 +184,15 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
   res.stats.view_build_seconds = view.build_seconds();
   std::vector<double> x;
 
-  // Bracket the optimum: CPM is feasible when no extensions bite; otherwise
-  // double until feasible.
+  // Bracket the optimum. Warm path: a tc_hint from a previous solve of a
+  // perturbed circuit starts the bracket at [0.95, 1.05] x hint. Cold path:
+  // CPM is feasible when no extensions bite; otherwise double until
+  // feasible.
   const StageTimer bracket_timer;
-  double hi = std::max(1.0, baselines::edge_triggered_cpm(circuit).cycle);
+  double lo = 0.0;
+  const bool warm = options.tc_hint > 0.0;
+  double hi = warm ? options.tc_hint * 1.05
+                   : std::max(1.0, baselines::edge_triggered_cpm(circuit).cycle);
   while (!feasible_at(sys, hi, x, res.relaxations)) {
     hi *= 2.0;
     if (hi > options.hi_limit) {
@@ -194,9 +201,16 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
                             circuit.name() + "'");
     }
   }
+  if (warm) {
+    // Probe just below the hint: if infeasible there, the bracket shrinks to
+    // ~10% of the hint; otherwise the optimum dropped past it and the search
+    // falls back to [0, hi].
+    const double probe = options.tc_hint * 0.95;
+    if (probe < hi && !feasible_at(sys, probe, x, res.relaxations)) lo = probe;
+    obs::MetricsRegistry::instance().counter("graph.warm_brackets").inc();
+  }
   res.stats.add_stage("bracket", bracket_timer.seconds());
   const StageTimer search_timer;
-  double lo = 0.0;
   while (hi - lo > options.tol) {
     const double mid = 0.5 * (lo + hi);
     ++res.search_steps;

@@ -39,6 +39,15 @@ struct GraphSolveOptions {
   GeneratorOptions generator;  // same extension knobs as the LP path
   double tol = 1e-7;           // absolute Tc tolerance of the binary search
   double hi_limit = 1e12;
+  /// Warm start: Tc* from a previous solve of a perturbed version of the
+  /// same circuit (<= 0 disables). The bracket starts at [0.95, 1.05] x hint
+  /// instead of [0, CPM-doubling], which cuts the binary search to a few
+  /// steps when the optimum barely moved. Feasibility of the bracket ends is
+  /// re-verified, so a stale hint degrades speed, never the result.
+  double tc_hint = -1.0;
+  /// Skip Circuit::validate() — for session loops over a circuit already
+  /// validated once (see MlpOptions::assume_valid).
+  bool assume_valid = false;
 };
 
 struct GraphSolveResult {

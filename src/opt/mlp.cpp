@@ -27,8 +27,10 @@ Error validation_error(const Circuit& circuit, const std::vector<std::string>& p
 
 Expected<MlpResult> minimize_cycle_time(const Circuit& circuit, const MlpOptions& options) {
   // Structural validation first: the LP would happily "solve" nonsense.
-  const std::vector<std::string> problems = circuit.validate();
-  if (!problems.empty()) return validation_error(circuit, problems);
+  if (!options.assume_valid) {
+    const std::vector<std::string> problems = circuit.validate();
+    if (!problems.empty()) return validation_error(circuit, problems);
+  }
   return solve_and_slide(circuit, generate_lp(circuit, options.generator), options);
 }
 
@@ -44,8 +46,10 @@ const char* to_string(SecondaryObjective objective) {
 
 Expected<MlpResult> refine_schedule(const Circuit& circuit, double cycle_time,
                                     SecondaryObjective objective, const MlpOptions& options) {
-  const std::vector<std::string> problems = circuit.validate();
-  if (!problems.empty()) return validation_error(circuit, problems);
+  if (!options.assume_valid) {
+    const std::vector<std::string> problems = circuit.validate();
+    if (!problems.empty()) return validation_error(circuit, problems);
+  }
   GeneratedLp gen = generate_lp(circuit, options.generator);
   // Pin the cycle time and swap in the secondary objective.
   gen.model.add_row("REFINE:Tc", {{gen.vars.tc, 1.0}}, lp::Sense::kEq, cycle_time);
@@ -73,7 +77,8 @@ Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
   lp::Solution sol;
   {
     const obs::TraceSpan lp_span("mlp.lp-solve", "opt");
-    sol = solver.solve(gen.model);
+    sol = solver.solve(gen.model,
+                       options.basis_hint.empty() ? nullptr : &options.basis_hint);
   }
   const double lp_seconds = lp_timer.seconds();
   switch (sol.status) {
@@ -91,6 +96,7 @@ Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
 
   MlpResult res;
   res.lp_stats = sol.stats;
+  res.basis = sol.basis;
   res.counts = gen.counts;
   res.min_cycle = snap_zero(sol.objective);
   res.schedule = schedule_from_solution(gen.vars, sol.x);

@@ -5,11 +5,14 @@ namespace mintc::opt {
 lp::ParametricResult sweep_path_delay(const Circuit& circuit, int path_index, double lo,
                                       double hi, int samples, const GeneratorOptions& options) {
   const lp::SimplexSolver solver;
+  // One scratch circuit mutated per sample replaces the full per-θ copy;
+  // sweep_parameter chains the optimal basis between consecutive samples,
+  // so all solves after the first are warm re-optimizations.
+  Circuit scratch = circuit;
   return lp::sweep_parameter(
       [&](double theta) {
-        Circuit c = circuit;
-        c.set_path_delay(path_index, theta);
-        return generate_lp(c, options).model;
+        scratch.set_path_delay(path_index, theta);
+        return generate_lp(scratch, options).model;
       },
       lo, hi, samples, solver);
 }

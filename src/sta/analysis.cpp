@@ -60,6 +60,29 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
                             const AnalysisOptions& options) {
   const StageTimer wall_timer;
   const obs::TraceSpan span("analysis.check_schedule", "sta");
+
+  // One flattened view + shift table serves every stage below.
+  const TimingView view(circuit);
+  const ShiftTable shifts(schedule);
+  const int l = circuit.num_elements();
+
+  // Departure fixpoint from below (analysis direction).
+  FixpointResult fixpoint = compute_departures(
+      view, shifts, std::vector<double>(static_cast<size_t>(l), 0.0), options.fixpoint);
+
+  TimingReport rep =
+      assemble_report(circuit, schedule, view, shifts, options, std::move(fixpoint));
+  rep.stats.view_build_seconds = view.build_seconds();
+  rep.stats.shift_build_seconds = shifts.build_seconds();
+  rep.stats.wall_seconds = wall_timer.seconds();
+  return rep;
+}
+
+TimingReport assemble_report(const Circuit& circuit, const ClockSchedule& schedule,
+                             const TimingView& view, const ShiftTable& shifts,
+                             const AnalysisOptions& options, FixpointResult fixpoint,
+                             const FixpointResult* early) {
+  const StageTimer wall_timer;
   TimingReport rep;
   const int l = circuit.num_elements();
   rep.elements.resize(static_cast<size_t>(l));
@@ -68,16 +91,7 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
   rep.clock_violations = check_clock_constraints(schedule, circuit.k_matrix(), options.eps);
   rep.schedule_ok = rep.clock_violations.empty();
 
-  // One flattened view + shift table serves every stage below.
-  const TimingView view(circuit);
-  const ShiftTable shifts(schedule);
-  rep.stats.view_build_seconds = view.build_seconds();
-  rep.stats.shift_build_seconds = shifts.build_seconds();
-
-  // Departure fixpoint from below (analysis direction).
-  rep.fixpoint = compute_departures(view, shifts,
-                                    std::vector<double>(static_cast<size_t>(l), 0.0),
-                                    options.fixpoint);
+  rep.fixpoint = std::move(fixpoint);
   rep.converged = rep.fixpoint.converged;
   rep.stats.sweeps = rep.fixpoint.sweeps;
   rep.stats.edge_relaxations = rep.fixpoint.stats.edge_relaxations;
@@ -114,9 +128,13 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
   rep.worst_hold_slack = kInf;
   for (auto& t : rep.elements) t.hold_slack = kInf;
   if (options.check_hold) {
-    const FixpointResult early = compute_early_departures(view, shifts, options.fixpoint);
-    rep.stats.edge_relaxations += early.stats.edge_relaxations;
-    rep.stats.add_stage("early-fixpoint", early.stats.solve_seconds);
+    FixpointResult early_local;
+    if (early == nullptr) {
+      early_local = compute_early_departures(view, shifts, options.fixpoint);
+      early = &early_local;
+    }
+    rep.stats.edge_relaxations += early->stats.edge_relaxations;
+    rep.stats.add_stage("early-fixpoint", early->stats.solve_seconds);
     const StageTimer hold_timer;
     for (int i = 0; i < l; ++i) {
       const Element& e = circuit.element(i);
@@ -124,7 +142,7 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
       double earliest_next = kInf;
       const int fi_end = view.fanin_end(i);
       for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
-        const double a = early.departure[static_cast<size_t>(view.edge_src(fe))] +
+        const double a = early->departure[static_cast<size_t>(view.edge_src(fe))] +
                          view.edge_min_const(fe) + shifts.at(view.edge_shift(fe));
         earliest_next = std::min(earliest_next, schedule.cycle + a);
       }

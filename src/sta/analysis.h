@@ -71,6 +71,18 @@ struct TimingReport {
 TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedule,
                             const AnalysisOptions& options = {});
 
+/// Everything check_schedule does AFTER the departure fixpoint: clock
+/// constraints, arrivals, setup/hold slacks, provenance, feasibility. The
+/// caller supplies the solved fixpoint (cold or warm) and, optionally, a
+/// precomputed early-departure min-fixpoint (`early`; pass nullptr to have
+/// it computed here when options.check_hold). This is the shared back half
+/// between check_schedule and the incremental AnalysisSession — keeping it
+/// single-sourced is what makes warm results bit-identical to cold ones.
+TimingReport assemble_report(const Circuit& circuit, const ClockSchedule& schedule,
+                             const TimingView& view, const ShiftTable& shifts,
+                             const AnalysisOptions& options, FixpointResult fixpoint,
+                             const FixpointResult* early = nullptr);
+
 /// Earliest departure times (min-fixpoint over min delays); used by the
 /// exact hold check and exposed for tests.
 FixpointResult compute_early_departures(const Circuit& circuit, const ClockSchedule& schedule,

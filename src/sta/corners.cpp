@@ -1,8 +1,11 @@
 #include "sta/corners.h"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
 
 #include "base/strings.h"
+#include "sta/session.h"
 
 namespace mintc::sta {
 
@@ -41,13 +44,26 @@ CornerReport check_corners(const Circuit& circuit, const ClockSchedule& schedule
                            const std::vector<Corner>& corners) {
   CornerReport report;
   report.all_pass = true;
+  report.corners.resize(corners.size());
   AnalysisOptions options;
   options.check_hold = true;
-  for (const Corner& corner : corners) {
-    const Circuit derated = derate(circuit, corner);
-    CornerResult result{corner, check_schedule(derated, schedule, options)};
-    report.all_pass = report.all_pass && result.report.feasible;
-    report.corners.push_back(std::move(result));
+
+  // One session serves every corner; per-corner deltas are applied via
+  // apply_derating (arithmetic identical to derate() above). Visiting
+  // corners in ascending delay_scale order makes each step after the first
+  // a monotone-nondecreasing perturbation, so those corners warm-start from
+  // the previous corner's fixpoint. Results land in caller order.
+  std::vector<size_t> order(corners.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return corners[a].delay_scale < corners[b].delay_scale;
+  });
+  AnalysisSession session(circuit, schedule, options);
+  for (const size_t idx : order) {
+    const Corner& corner = corners[idx];
+    session.apply_derating(corner.delay_scale, corner.min_scale);
+    report.corners[idx] = CornerResult{corner, session.analyze()};
+    report.all_pass = report.all_pass && report.corners[idx].report.feasible;
   }
   return report;
 }

@@ -263,6 +263,78 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
   return tracing ? solve.template operator()<true>() : solve.template operator()<false>();
 }
 
+FixpointResult warm_departures(const TimingView& view, const ShiftTable& shifts,
+                               std::vector<double> departure, const std::vector<int>& seeds,
+                               const FixpointOptions& options) {
+  const int l = view.num_elements();
+  assert(static_cast<int>(departure.size()) == l);
+  const StageTimer timer;
+  const obs::TraceSpan span("fixpoint.warm", "sta");
+  FixpointResult res;
+  res.departure = std::move(departure);
+  const double bound = divergence_bound(view, shifts);
+
+  std::vector<bool> queued(static_cast<size_t>(l), false);
+  std::vector<int> work;
+  work.reserve(seeds.size());
+  for (const int i : seeds) {
+    if (!queued[static_cast<size_t>(i)]) {
+      queued[static_cast<size_t>(i)] = true;
+      work.push_back(i);
+    }
+  }
+  const long max_updates = static_cast<long>(options.max_sweeps) * std::max(1, l);
+  size_t head = 0;
+  while (head < work.size()) {
+    if (static_cast<long>(res.updates) >= max_updates) break;
+    const int i = work[head++];
+    queued[static_cast<size_t>(i)] = false;
+    ++res.updates;
+    res.stats.edge_relaxations += view.fanin_count(i);
+    const double v = mintc::departure_update(view, shifts, res.departure, i);
+    // Strict acceptance: from an exact previous fixpoint under nondecreasing
+    // weights, every genuine move is upward; an eps deadband here would stop
+    // short of the exact least fixpoint the cold engines settle on.
+    if (v <= res.departure[static_cast<size_t>(i)]) continue;
+    res.departure[static_cast<size_t>(i)] = v;
+    if (v > bound) {
+      res.diverged = true;
+      break;
+    }
+    const int fo_end = view.fanout_end(i);
+    for (int f = view.fanout_begin(i); f < fo_end; ++f) {
+      const int dst = view.edge_dst(view.fanout_edge(f));
+      if (!queued[static_cast<size_t>(dst)]) {
+        queued[static_cast<size_t>(dst)] = true;
+        work.push_back(dst);
+      }
+    }
+    if (head > 4096 && head * 2 > work.size()) {
+      work.erase(work.begin(), work.begin() + static_cast<long>(head));
+      head = 0;
+    }
+  }
+  if (!res.diverged && head == work.size()) res.converged = true;
+  res.sweeps = (res.updates + l - 1) / std::max(1, l);
+  res.stats.sweeps = res.sweeps;
+  res.stats.solve_seconds = timer.seconds();
+  res.stats.wall_seconds = res.stats.solve_seconds;
+  // This runs once per warm analyze (the session's hot loop), so resolve the
+  // registry handles once — each lookup builds a labeled key under a mutex.
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Counter& solves = reg.counter("fixpoint.solves", {{"scheme", "event-warm"}});
+  static obs::Counter& sweeps = reg.counter("fixpoint.sweeps", {{"scheme", "event-warm"}});
+  static obs::Counter& relaxations =
+      reg.counter("fixpoint.edge_relaxations", {{"scheme", "event-warm"}});
+  static obs::Histogram& sweeps_hist =
+      reg.histogram("fixpoint.sweeps_per_solve", {{"scheme", "event-warm"}});
+  solves.inc();
+  sweeps.inc(res.sweeps);
+  relaxations.inc(res.stats.edge_relaxations);
+  sweeps_hist.observe(static_cast<double>(res.sweeps));
+  return res;
+}
+
 FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& schedule,
                                   std::vector<double> departure, int changed_path,
                                   double old_delay, const FixpointOptions& options) {

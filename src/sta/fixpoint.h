@@ -84,6 +84,21 @@ std::vector<double> compute_arrivals(const Circuit& circuit, const ClockSchedule
 std::vector<double> compute_arrivals(const TimingView& view, const ShiftTable& shifts,
                                      const std::vector<double>& departure);
 
+/// Warm-start the eq. (17) iteration from a previous least fixpoint after a
+/// batch of monotone-nondecreasing edge-constant changes. `departure` is the
+/// old fixpoint; `seeds` are the element indices whose inputs changed (the
+/// dirty edges' destinations — plus every latch when the shift table moved).
+/// Event-driven propagation with STRICT acceptance (any increase, no eps)
+/// converges upward to the new least fixpoint exactly: the old point
+/// satisfies every inequality of the new system except possibly at the
+/// seeds, and the max-plus operator stabilizes in finitely many exact steps
+/// under strictly negative loop gains. The caller must ensure no edge
+/// constant decreased (TimingView::max_nondecreasing); otherwise the result
+/// can be a non-least fixpoint — fall back to a cold solve instead.
+FixpointResult warm_departures(const TimingView& view, const ShiftTable& shifts,
+                               std::vector<double> departure, const std::vector<int>& seeds,
+                               const FixpointOptions& options = {});
+
 /// Incremental re-analysis after one path's delay changed: starting from the
 /// previous fixpoint `departure`, propagate only from the changed path's
 /// destination (event-driven). Exact for delay INCREASES (the fixpoint moves

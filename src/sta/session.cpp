@@ -1,0 +1,519 @@
+#include "sta/session.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+
+#include "base/approx.h"
+#include "obs/trace.h"
+
+namespace mintc::sta {
+
+namespace {
+
+// Registry lookups hash the name under a mutex; the session increments these
+// on every edit/analyze, so resolve each handle once (handles stay valid
+// across MetricsRegistry::reset()).
+obs::Counter& session_counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+obs::Counter& invalidations_counter() {
+  static obs::Counter& c = session_counter("session.invalidations");
+  return c;
+}
+
+obs::Counter& warm_hits_counter() {
+  static obs::Counter& c = session_counter("session.warm_hits");
+  return c;
+}
+
+obs::Counter& cold_fallbacks_counter() {
+  static obs::Counter& c = session_counter("session.cold_fallbacks");
+  return c;
+}
+
+}  // namespace
+
+AnalysisSession::AnalysisSession(Circuit circuit)
+    : circuit_(std::move(circuit)),
+      pristine_elements_(circuit_.elements()),
+      pristine_paths_(circuit_.paths()) {}
+
+AnalysisSession::AnalysisSession(Circuit circuit, ClockSchedule schedule,
+                                 AnalysisOptions options)
+    : circuit_(std::move(circuit)),
+      schedule_(std::move(schedule)),
+      options_(options),
+      has_schedule_(true),
+      pristine_elements_(circuit_.elements()),
+      pristine_paths_(circuit_.paths()) {}
+
+void AnalysisSession::touch() {
+  if (report_valid_) {
+    report_valid_ = false;
+    ++counters_.invalidations;
+    invalidations_counter().inc();
+  }
+}
+
+// -- Appliers (no undo logging) ---------------------------------------------
+
+void AnalysisSession::apply_path_delay(int p, double delay) {
+  circuit_.set_path_delay(p, delay);
+  if (view_) view_->set_path_delay(p, delay);
+  touch();
+}
+
+void AnalysisSession::apply_path_min_delay(int p, double min_delay) {
+  circuit_.set_path_min_delay(p, min_delay);
+  if (view_) view_->set_path_min_delay(p, min_delay);
+  early_valid_ = false;
+  touch();
+}
+
+void AnalysisSession::apply_element_dq(int i, double dq) {
+  Element& e = circuit_.element(i);
+  e.dq = dq;
+  if (view_) {
+    view_->set_element_dq(i, dq);
+    // A tracking dq_min (< 0) resolves to dq, so the short-path constants
+    // move too.
+    if (e.dq_min < 0.0) view_->set_element_min_dq(i, dq);
+  }
+  if (e.dq_min < 0.0) early_valid_ = false;
+  touch();
+}
+
+void AnalysisSession::apply_element_dq_min(int i, double dq_min) {
+  Element& e = circuit_.element(i);
+  e.dq_min = dq_min;
+  if (view_) view_->set_element_min_dq(i, e.min_dq());
+  early_valid_ = false;
+  touch();
+}
+
+void AnalysisSession::apply_element_setup(int i, double setup) {
+  circuit_.element(i).setup = setup;
+  if (view_) view_->set_element_setup(i, setup);
+  touch();
+}
+
+void AnalysisSession::apply_element_hold(int i, double hold) {
+  circuit_.element(i).hold = hold;
+  if (view_) view_->set_element_hold(i, hold);
+  touch();
+}
+
+void AnalysisSession::apply_schedule(const ClockSchedule& schedule) {
+  schedule_ = schedule;
+  has_schedule_ = true;
+  if (shifts_) {
+    const ShiftDelta delta = shifts_->update(schedule);
+    if (!delta.changed) return;  // identical timing: nothing to invalidate
+    schedule_changed_ = true;
+    if (!delta.same_shape || !delta.shifts_nondecreasing) schedule_warm_ok_ = false;
+  } else {
+    schedule_changed_ = true;
+    schedule_warm_ok_ = false;
+  }
+  early_valid_ = false;
+  touch();
+}
+
+// -- Logged mutators ---------------------------------------------------------
+
+void AnalysisSession::set_path_delay(int p, double delay) {
+  const double old = circuit_.path(p).delay;
+  if (delay == old) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kPathDelay;
+  rec.index = p;
+  rec.value = old;
+  undo_.push_back(std::move(rec));
+  apply_path_delay(p, delay);
+}
+
+void AnalysisSession::set_path_min_delay(int p, double min_delay) {
+  const double old = circuit_.path(p).min_delay;
+  if (min_delay == old) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kPathMinDelay;
+  rec.index = p;
+  rec.value = old;
+  undo_.push_back(std::move(rec));
+  apply_path_min_delay(p, min_delay);
+}
+
+void AnalysisSession::set_path_delays(int p, double delay, double min_delay) {
+  assert(min_delay <= delay);
+  // Order the two edits so delay >= min_delay holds at every step.
+  if (delay >= circuit_.path(p).min_delay) {
+    set_path_delay(p, delay);
+    set_path_min_delay(p, min_delay);
+  } else {
+    set_path_min_delay(p, min_delay);
+    set_path_delay(p, delay);
+  }
+}
+
+void AnalysisSession::set_path_label(int p, std::string label) {
+  if (circuit_.path(p).label == label) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kPathLabel;
+  rec.index = p;
+  rec.label = circuit_.path(p).label;
+  undo_.push_back(std::move(rec));
+  circuit_.set_path_label(p, std::move(label));  // timing-neutral: no touch()
+}
+
+void AnalysisSession::set_element_dq(int i, double dq) {
+  const double old = circuit_.element(i).dq;
+  if (dq == old) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kElementDq;
+  rec.index = i;
+  rec.value = old;
+  undo_.push_back(std::move(rec));
+  apply_element_dq(i, dq);
+}
+
+void AnalysisSession::set_element_dq_min(int i, double dq_min) {
+  const double old = circuit_.element(i).dq_min;
+  if (dq_min == old) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kElementDqMin;
+  rec.index = i;
+  rec.value = old;
+  undo_.push_back(std::move(rec));
+  apply_element_dq_min(i, dq_min);
+}
+
+void AnalysisSession::set_element_setup(int i, double setup) {
+  const double old = circuit_.element(i).setup;
+  if (setup == old) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kElementSetup;
+  rec.index = i;
+  rec.value = old;
+  undo_.push_back(std::move(rec));
+  apply_element_setup(i, setup);
+}
+
+void AnalysisSession::set_element_hold(int i, double hold) {
+  const double old = circuit_.element(i).hold;
+  if (hold == old) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kElementHold;
+  rec.index = i;
+  rec.value = old;
+  undo_.push_back(std::move(rec));
+  apply_element_hold(i, hold);
+}
+
+void AnalysisSession::set_schedule(const ClockSchedule& schedule) {
+  if (schedule.cycle == schedule_.cycle && schedule.start == schedule_.start &&
+      schedule.width == schedule_.width && has_schedule_) {
+    return;
+  }
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kSchedule;
+  rec.schedule = schedule_;
+  undo_.push_back(std::move(rec));
+  apply_schedule(schedule);
+}
+
+void AnalysisSession::apply_derating(double delay_scale, double min_scale) {
+  assert(circuit_.num_elements() == static_cast<int>(pristine_elements_.size()) &&
+         circuit_.num_paths() == static_cast<int>(pristine_paths_.size()) &&
+         "derating requires an unmodified structure");
+  // Same arithmetic as sta::derate (corners.cpp), applied to the pristine
+  // reference, so a session corner is bit-identical to a cold analysis of
+  // the derated copy.
+  for (int i = 0; i < circuit_.num_elements(); ++i) {
+    const Element& e = pristine_elements_[static_cast<size_t>(i)];
+    const double setup = e.setup * delay_scale;
+    const double dq = e.dq * delay_scale;
+    double dq_min = (e.dq_min >= 0.0 ? e.dq_min : e.dq) * min_scale;
+    if (dq_min > dq) dq_min = dq;
+    set_element_setup(i, setup);
+    set_element_dq(i, dq);
+    set_element_dq_min(i, dq_min);
+  }
+  for (int p = 0; p < circuit_.num_paths(); ++p) {
+    const CombPath& path = pristine_paths_[static_cast<size_t>(p)];
+    const double max_d = path.delay * delay_scale;
+    const double min_d = std::min(path.min_delay * min_scale, max_d);
+    set_path_delays(p, max_d, min_d);
+  }
+}
+
+// -- Structural edits --------------------------------------------------------
+
+void AnalysisSession::remove_path(int p) {
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kPathRemoved;
+  rec.index = p;
+  rec.path = circuit_.remove_path(p);
+  undo_.push_back(std::move(rec));
+  structural_dirty_ = true;
+  view_.reset();  // edge numbering is stale; analyze() rebuilds
+  early_valid_ = false;
+  touch();
+}
+
+void AnalysisSession::remove_element(int i) {
+  std::vector<int> incident = circuit_.fanin(i);
+  for (const int p : circuit_.fanout(i)) {
+    if (circuit_.path(p).to != i) incident.push_back(p);  // self-loops once
+  }
+  std::sort(incident.begin(), incident.end(), std::greater<int>());
+  for (const int p : incident) remove_path(p);
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kElementRemoved;
+  rec.index = i;
+  rec.element = circuit_.remove_element(i);
+  undo_.push_back(std::move(rec));
+  structural_dirty_ = true;
+  view_.reset();
+  early_valid_ = false;
+  touch();
+}
+
+// -- Undo --------------------------------------------------------------------
+
+void AnalysisSession::undo() {
+  assert(!undo_.empty() && "undo with an empty log");
+  UndoRecord rec = std::move(undo_.back());
+  undo_.pop_back();
+  switch (rec.kind) {
+    case UndoRecord::Kind::kPathDelay:
+      apply_path_delay(rec.index, rec.value);
+      break;
+    case UndoRecord::Kind::kPathMinDelay:
+      apply_path_min_delay(rec.index, rec.value);
+      break;
+    case UndoRecord::Kind::kPathLabel:
+      circuit_.set_path_label(rec.index, std::move(rec.label));
+      break;
+    case UndoRecord::Kind::kElementDq:
+      apply_element_dq(rec.index, rec.value);
+      break;
+    case UndoRecord::Kind::kElementDqMin:
+      apply_element_dq_min(rec.index, rec.value);
+      break;
+    case UndoRecord::Kind::kElementSetup:
+      apply_element_setup(rec.index, rec.value);
+      break;
+    case UndoRecord::Kind::kElementHold:
+      apply_element_hold(rec.index, rec.value);
+      break;
+    case UndoRecord::Kind::kSchedule:
+      apply_schedule(rec.schedule);
+      break;
+    case UndoRecord::Kind::kPathRemoved:
+      circuit_.insert_path(rec.index, std::move(rec.path));
+      structural_dirty_ = true;
+      view_.reset();  // later undos may touch re-inserted indices
+      early_valid_ = false;
+      touch();
+      break;
+    case UndoRecord::Kind::kElementRemoved:
+      circuit_.insert_element(rec.index, std::move(rec.element));
+      structural_dirty_ = true;
+      view_.reset();
+      early_valid_ = false;
+      touch();
+      break;
+  }
+}
+
+void AnalysisSession::undo_to(size_t mark) {
+  assert(mark <= undo_.size() && "mark is ahead of the log");
+  while (undo_.size() > mark) undo();
+}
+
+// -- Analysis ----------------------------------------------------------------
+
+const TimingReport& AnalysisSession::analyze() {
+  assert(has_schedule_ && "analyze() needs a schedule (use the two-arg ctor)");
+  ++counters_.analyses;
+  if (report_valid_) {
+    // Nothing changed since the last analyze: serve the cached report.
+    ++counters_.warm_hits;
+    warm_hits_counter().inc();
+    return report_;
+  }
+  const obs::TraceSpan span("session.analyze", "sta");
+  const bool had_report = have_report_;
+
+  bool rebuilt = false;
+  if (!view_ || structural_dirty_) {
+    view_.emplace(circuit_);
+    shifts_.emplace(schedule_);
+    rebuilt = true;
+  }
+  const int l = circuit_.num_elements();
+
+  // Warm start is sound only for a monotone-nondecreasing perturbation of a
+  // previously converged system on the same structure (see header).
+  const bool warm_eligible = had_report && !rebuilt && report_.fixpoint.converged &&
+                             view_->max_nondecreasing() &&
+                             (!schedule_changed_ || schedule_warm_ok_);
+  FixpointResult fp;
+  bool warm = false;
+  if (warm_eligible) {
+    seeds_.clear();
+    if (schedule_changed_) {
+      // Any latch's inputs may have shifted: seed everything. Still cheap —
+      // one relaxation pass over an already-solved vector.
+      for (int i = 0; i < l; ++i) seeds_.push_back(i);
+    } else {
+      for (const int e : view_->dirty_edges()) seeds_.push_back(view_->edge_dst(e));
+    }
+    // The previous departure vector is consumed (moved) as the warm start;
+    // report_ is stale either way and gets rebuilt below.
+    fp = warm_departures(*view_, *shifts_, std::move(report_.fixpoint.departure), seeds_,
+                         options_.fixpoint);
+    warm = fp.converged;
+  }
+  if (!warm) {
+    fp = compute_departures(*view_, *shifts_,
+                            std::vector<double>(static_cast<size_t>(l), 0.0),
+                            options_.fixpoint);
+    if (!fp.converged && !rebuilt) {
+      // The incrementally maintained divergence bound can drift by ulps from
+      // a fresh build's; on the (rare) non-converged path, rebuild and rerun
+      // so even the divergence diagnostics match a cold analysis exactly.
+      view_.emplace(circuit_);
+      shifts_.emplace(schedule_);
+      rebuilt = true;
+      fp = compute_departures(*view_, *shifts_,
+                              std::vector<double>(static_cast<size_t>(l), 0.0),
+                              options_.fixpoint);
+    }
+  }
+
+  // Warm fast path: parameter-only edits on an unchanged schedule rewrite the
+  // cached report in place — same arithmetic as assemble_report, but without
+  // reallocating it or re-deriving what provably did not move (clock
+  // constraints, the early min-fixpoint). The per-analyze cost drops to the
+  // event fixpoint plus one O(l+E) slack pass, which is what makes warm
+  // re-analysis of small circuits several times faster than a cold one.
+  if (warm && !schedule_changed_ && !options_.provenance &&
+      (!options_.check_hold || early_valid_)) {
+    if (options_.check_hold && had_report) ++counters_.hold_reuses;
+    refresh_report_warm(std::move(fp));
+  } else {
+    const FixpointResult* early_ptr = nullptr;
+    if (options_.check_hold) {
+      if (!early_valid_) {
+        early_ = compute_early_departures(*view_, *shifts_, options_.fixpoint);
+        early_valid_ = true;
+      } else if (had_report) {
+        ++counters_.hold_reuses;
+      }
+      early_ptr = &early_;
+    }
+    report_ = assemble_report(circuit_, schedule_, *view_, *shifts_, options_,
+                              std::move(fp), early_ptr);
+  }
+
+  if (warm) {
+    ++counters_.warm_hits;
+    warm_hits_counter().inc();
+  } else if (had_report) {
+    ++counters_.cold_fallbacks;
+    cold_fallbacks_counter().inc();
+  }
+
+  view_->clear_dirty();
+  schedule_changed_ = false;
+  schedule_warm_ok_ = true;
+  structural_dirty_ = false;
+  report_valid_ = true;
+  have_report_ = true;
+  return report_;
+}
+
+void AnalysisSession::refresh_report_warm(FixpointResult fp) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const StageTimer wall_timer;
+  TimingReport& rep = report_;
+  const TimingView& view = *view_;
+  const ShiftTable& shifts = *shifts_;
+  const int l = circuit_.num_elements();
+
+  // Unchanged since the last full assembly: clock_violations / schedule_ok
+  // (schedule untouched) and provenance (off on this path). Everything below
+  // mirrors sta::assemble_report line for line — same update functions, same
+  // iteration order, same tie-breaking — so the rewritten report is
+  // bit-identical to a cold one.
+  rep.fixpoint = std::move(fp);
+  rep.converged = rep.fixpoint.converged;
+  rep.stats = EngineStats{};
+  rep.stats.sweeps = rep.fixpoint.sweeps;
+  rep.stats.edge_relaxations = rep.fixpoint.stats.edge_relaxations;
+  rep.stats.solve_seconds = rep.fixpoint.stats.solve_seconds;
+
+  // Setup slacks (arrivals recomputed in place; arrival_update is the same
+  // kernel compute_arrivals wraps).
+  rep.setup_ok = true;
+  rep.worst_setup_slack = kInf;
+  rep.worst_setup_element = -1;
+  for (int i = 0; i < l; ++i) {
+    const Element& e = circuit_.element(i);
+    ElementTiming& t = rep.elements[static_cast<size_t>(i)];
+    t.departure = rep.fixpoint.departure[static_cast<size_t>(i)];
+    t.arrival = arrival_update(view, shifts, rep.fixpoint.departure, i);
+    if (e.is_latch()) {
+      t.setup_slack = schedule_.T(e.phase) - e.setup - t.departure;
+    } else {
+      t.setup_slack = (t.arrival == kNegInf) ? kInf : (-e.setup - t.arrival);
+    }
+    if (t.setup_slack < rep.worst_setup_slack) {
+      rep.worst_setup_slack = t.setup_slack;
+      rep.worst_setup_element = i;
+    }
+    if (definitely_lt(t.setup_slack, 0.0, options_.eps)) rep.setup_ok = false;
+  }
+  if (l == 0) rep.worst_setup_slack = 0.0;
+
+  // Hold slacks from the cached early min-fixpoint (valid by the caller's
+  // guard; min constants and shifts have not moved since it was solved).
+  rep.hold_ok = true;
+  rep.worst_hold_slack = kInf;
+  rep.worst_hold_element = -1;
+  for (auto& t : rep.elements) t.hold_slack = kInf;
+  if (options_.check_hold) {
+    for (int i = 0; i < l; ++i) {
+      const Element& e = circuit_.element(i);
+      ElementTiming& t = rep.elements[static_cast<size_t>(i)];
+      double earliest_next = kInf;
+      const int fi_end = view.fanin_end(i);
+      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+        const double a = early_.departure[static_cast<size_t>(view.edge_src(fe))] +
+                         view.edge_min_const(fe) + shifts.at(view.edge_shift(fe));
+        earliest_next = std::min(earliest_next, schedule_.cycle + a);
+      }
+      if (earliest_next == kInf) continue;  // no fanin: nothing to corrupt
+      if (e.is_latch()) {
+        t.hold_slack = earliest_next - (schedule_.T(e.phase) + e.hold);
+      } else {
+        t.hold_slack = earliest_next - e.hold;
+      }
+      if (t.hold_slack < rep.worst_hold_slack) {
+        rep.worst_hold_slack = t.hold_slack;
+        rep.worst_hold_element = i;
+      }
+      if (definitely_lt(t.hold_slack, 0.0, options_.eps)) rep.hold_ok = false;
+    }
+  }
+
+  rep.feasible = rep.schedule_ok && rep.converged && rep.setup_ok && rep.hold_ok;
+  rep.stats.wall_seconds = wall_timer.seconds();
+}
+
+}  // namespace mintc::sta

@@ -1,0 +1,178 @@
+// Incremental analysis sessions: one circuit, many nearly-identical queries.
+//
+// Every consumer that used to rebuild a Circuit copy + TimingView and
+// cold-start the eq. 17 fixpoint per query (the fuzz shrinker, multi-corner
+// signoff, sensitivity/parametric sweeps) instead drives ONE AnalysisSession:
+//
+//   sta::AnalysisSession session(circuit, schedule, options);
+//   session.analyze();                    // cold: flatten + fixpoint from 0
+//   session.set_path_delay(p, d + 0.1);   // patches the view in place
+//   session.analyze();                    // warm: event-driven from old D_i
+//
+// Correctness contract: analyze() is bit-identical to a fresh
+// sta::check_schedule(session.circuit(), session.schedule(), options) no
+// matter how the session reached the current state. The warm path is only
+// taken when it provably lands on the same least fixpoint (see below);
+// everything after the fixpoint is shared code (sta::assemble_report).
+//
+// Warm-start safety (DESIGN 5.4): eq. 17 is a monotone max-plus operator F.
+// If every edge constant is nondecreasing relative to the previously solved
+// system (F_old <= F_new pointwise), the old least fixpoint d satisfies
+// d = F_old(d) <= F_new(d), so iterating F_new upward from d is squeezed
+// between the cold iteration from 0 and the new least fixpoint — and under
+// strictly negative loop gains the iteration stabilizes EXACTLY in finitely
+// many steps (each D_i is a max of finitely many affine path terms), which
+// is why warm results can be compared bit-for-bit, not just within eps.
+// Any decrease (TimingView::max_nondecreasing() false, a shrunk schedule
+// shift, a structural edit) falls back to a cold solve.
+//
+// Mutations are logged; mark()/undo_to() rewind the circuit (and view)
+// exactly, which is what the shrinker uses to try/reject candidates without
+// per-candidate Circuit copies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/circuit.h"
+#include "model/clock.h"
+#include "model/timing_view.h"
+#include "obs/metrics.h"
+#include "sta/analysis.h"
+
+namespace mintc::sta {
+
+class AnalysisSession {
+ public:
+  /// Mutate/undo-only session (no schedule): what the shrinker needs.
+  /// analyze() asserts until set_schedule() is called.
+  explicit AnalysisSession(Circuit circuit);
+  AnalysisSession(Circuit circuit, ClockSchedule schedule, AnalysisOptions options = {});
+
+  const Circuit& circuit() const { return circuit_; }
+  const ClockSchedule& schedule() const { return schedule_; }
+  const AnalysisOptions& options() const { return options_; }
+
+  // -- Parameter edits ------------------------------------------------------
+  // Each mirrors the edit into the Circuit and (once built) the TimingView,
+  // invalidates the cached report, and appends an undo record. Setters are
+  // no-ops when the value is unchanged.
+  void set_path_delay(int p, double delay);
+  void set_path_min_delay(int p, double min_delay);
+  /// Set both delays, ordered so Circuit's delay >= min_delay invariant
+  /// holds at every intermediate step. Requires delay >= min_delay.
+  void set_path_delays(int p, double delay, double min_delay);
+  void set_path_label(int p, std::string label);  // timing-neutral
+  void set_element_dq(int i, double dq);
+  /// Raw Element::dq_min semantics: < 0 means "track dq".
+  void set_element_dq_min(int i, double dq_min);
+  void set_element_setup(int i, double setup);
+  void set_element_hold(int i, double hold);
+
+  /// Swap the clock schedule. Warm start survives iff the phase count is
+  /// unchanged and no S_ij shrank (ShiftDelta::shifts_nondecreasing).
+  void set_schedule(const ClockSchedule& schedule);
+
+  /// Scale the circuit to a process corner, with arithmetic identical to
+  /// sta::derate applied to the PRISTINE circuit (the state at session
+  /// construction) — corners compose from the reference, not cumulatively.
+  /// Requires no structural edits since construction.
+  void apply_derating(double delay_scale, double min_scale);
+
+  // -- Structural edits (force a cold fallback + view rebuild) --------------
+  void remove_path(int p);
+  /// Removes the element's incident paths (descending index) first.
+  void remove_element(int i);
+
+  // -- Undo log -------------------------------------------------------------
+  size_t mark() const { return undo_.size(); }
+  void undo();                  // revert the most recent mutation
+  void undo_to(size_t mark);    // revert everything after mark()
+
+  /// Analyze the current state. Returns a cached report when nothing
+  /// changed, warm-starts the fixpoint when the change was monotone, and
+  /// cold-solves otherwise — always bit-identical to a fresh
+  /// sta::check_schedule of the current circuit/schedule.
+  const TimingReport& analyze();
+
+  struct Counters {
+    long analyses = 0;       // analyze() calls
+    long warm_hits = 0;      // served from cache or a warm-started fixpoint
+    long invalidations = 0;  // mutation batches that dirtied a valid report
+    long cold_fallbacks = 0; // cold solves with prior state present
+    long hold_reuses = 0;    // hold checks reusing the cached early vector
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct UndoRecord {
+    enum class Kind {
+      kPathDelay,
+      kPathMinDelay,
+      kPathLabel,
+      kElementDq,
+      kElementDqMin,
+      kElementSetup,
+      kElementHold,
+      kSchedule,
+      kPathRemoved,
+      kElementRemoved,
+    };
+    Kind kind;
+    int index = 0;           // path/element id (also the re-insert position)
+    double value = 0.0;      // previous scalar value
+    std::string label;       // previous path label
+    CombPath path;           // removed path
+    Element element;         // removed element
+    ClockSchedule schedule;  // previous schedule
+  };
+
+  // Non-logging appliers shared by the setters and undo().
+  void apply_path_delay(int p, double delay);
+  void apply_path_min_delay(int p, double min_delay);
+  void apply_element_dq(int i, double dq);
+  void apply_element_dq_min(int i, double dq_min);
+  void apply_element_setup(int i, double setup);
+  void apply_element_hold(int i, double hold);
+  void apply_schedule(const ClockSchedule& schedule);
+  void touch();  // invalidate the cached report (counted once per batch)
+
+  /// Allocation-free counterpart of sta::assemble_report for the warm path:
+  /// rewrites report_ in place using the exact arithmetic and iteration
+  /// order of the cold assembly, so the result stays bit-identical. Only
+  /// valid when the schedule and structure are unchanged, provenance is off,
+  /// and (when hold is checked) the cached early vector is still valid.
+  void refresh_report_warm(FixpointResult fp);
+
+  Circuit circuit_;
+  ClockSchedule schedule_;
+  AnalysisOptions options_;
+  bool has_schedule_ = false;
+
+  // Pristine parameter snapshot for apply_derating.
+  std::vector<Element> pristine_elements_;
+  std::vector<CombPath> pristine_paths_;
+
+  std::optional<TimingView> view_;
+  std::optional<ShiftTable> shifts_;
+
+  TimingReport report_;
+  bool report_valid_ = false;  // report_ matches the current state
+  bool have_report_ = false;   // some analyze() has completed
+
+  FixpointResult early_;     // cached hold-side min-fixpoint
+  bool early_valid_ = false;
+
+  std::vector<int> seeds_;   // scratch: warm fixpoint seed list
+
+  bool structural_dirty_ = false;   // view numbering stale: rebuild + cold
+  bool schedule_changed_ = false;   // shifts/starts/widths moved since analyze
+  bool schedule_warm_ok_ = true;    // no S_ij shrank, shape kept
+
+  std::vector<UndoRecord> undo_;
+  Counters counters_;
+};
+
+}  // namespace mintc::sta

@@ -1,0 +1,199 @@
+// Warm-start layer tests: simplex basis reuse, the graph solver's Tc-hint
+// bracket, and the CycleTimeSession loops that sensitivity/parametric
+// sweeps ride on. Warm results must agree with cold ones — exactly where
+// the engine is exact (simplex optimum), within tolerance where it is
+// tolerance-bound by construction (binary search).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuits/example1.h"
+#include "circuits/gaas.h"
+#include "lp/simplex.h"
+#include "opt/constraints.h"
+#include "opt/graph_solver.h"
+#include "opt/mlp.h"
+#include "opt/parametric.h"
+#include "opt/sensitivity.h"
+#include "opt/session.h"
+
+namespace mintc::opt {
+namespace {
+
+TEST(SimplexWarmStart, ReinstalledBasisSkipsPhaseOneAndMatches) {
+  const Circuit circuit = circuits::gaas_datapath();
+  const GeneratedLp gen = generate_lp(circuit);
+  const lp::SimplexSolver solver;
+  const lp::Solution cold = solver.solve(gen.model);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_FALSE(cold.basis.empty());
+
+  // Re-solve the SAME model from its own optimal basis: phase 1 skipped,
+  // zero phase-2 pivots, identical optimum.
+  const lp::Solution warm = solver.solve(gen.model, &cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.stats.warm_started);
+  EXPECT_FALSE(warm.stats.warm_rejected);
+  EXPECT_EQ(warm.stats.phase1_pivots, 0);
+  EXPECT_EQ(warm.stats.phase2_pivots, 0);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  for (size_t j = 0; j < cold.x.size(); ++j) EXPECT_NEAR(warm.x[j], cold.x[j], 1e-9);
+}
+
+TEST(SimplexWarmStart, PerturbedModelReoptimizesToColdOptimum) {
+  const Circuit circuit = circuits::gaas_datapath();
+  const lp::SimplexSolver solver;
+  const lp::Solution first = solver.solve(generate_lp(circuit).model);
+  ASSERT_TRUE(first.optimal());
+
+  Circuit bumped = circuit;
+  bumped.set_path_delay(0, circuit.path(0).delay * 1.1);
+  const lp::Model model = generate_lp(bumped).model;
+  const lp::Solution cold = solver.solve(model);
+  const lp::Solution warm = solver.solve(model, &first.basis);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(warm.optimal());
+  // Same LP, so the optima agree regardless of which vertex each run ends
+  // on; a warm start must never change the optimal value.
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+  EXPECT_LE(warm.stats.phase1_pivots + warm.stats.phase2_pivots,
+            cold.stats.phase1_pivots + cold.stats.phase2_pivots);
+}
+
+TEST(SimplexWarmStart, DefectiveHintsFallBackCold) {
+  const Circuit circuit = circuits::example1(80.0);
+  const lp::Model model = generate_lp(circuit).model;
+  const lp::SimplexSolver solver;
+  const lp::Solution cold = solver.solve(model);
+  ASSERT_TRUE(cold.optimal());
+
+  // Wrong size, out-of-range, and duplicated columns must all be rejected
+  // and produce the cold answer anyway.
+  for (const std::vector<int> bad :
+       {std::vector<int>{0}, std::vector<int>{-1, 0, 1}, std::vector<int>(cold.basis.size(), 0),
+        [&] {
+          std::vector<int> b = cold.basis;
+          b[0] = 1 << 28;
+          return b;
+        }()}) {
+    const lp::Solution sol = solver.solve(model, &bad);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_TRUE(sol.stats.warm_rejected);
+    EXPECT_FALSE(sol.stats.warm_started);
+    EXPECT_NEAR(sol.objective, cold.objective, 1e-9);
+  }
+}
+
+TEST(GraphWarmStart, TcHintShrinksBracketAndAgrees) {
+  const Circuit circuit = circuits::gaas_datapath();
+  const auto cold = minimize_cycle_time_graph(circuit);
+  ASSERT_TRUE(cold);
+
+  GraphSolveOptions warm_opts;
+  warm_opts.tc_hint = cold->min_cycle;
+  const auto warm = minimize_cycle_time_graph(circuit, warm_opts);
+  ASSERT_TRUE(warm);
+  EXPECT_NEAR(warm->min_cycle, cold->min_cycle, 2.0 * warm_opts.tol);
+  EXPECT_LE(warm->search_steps, cold->search_steps);
+}
+
+TEST(GraphWarmStart, StaleHintStillFindsTheOptimum) {
+  const Circuit circuit = circuits::gaas_datapath();
+  const auto cold = minimize_cycle_time_graph(circuit);
+  ASSERT_TRUE(cold);
+  for (const double factor : {0.2, 5.0}) {  // hint far below / far above Tc*
+    GraphSolveOptions opts;
+    opts.tc_hint = cold->min_cycle * factor;
+    const auto warm = minimize_cycle_time_graph(circuit, opts);
+    ASSERT_TRUE(warm) << "factor " << factor;
+    EXPECT_NEAR(warm->min_cycle, cold->min_cycle, 2.0 * opts.tol) << "factor " << factor;
+  }
+}
+
+TEST(CycleTimeSession, WarmMinimizeMatchesFreshAcrossPerturbations) {
+  const Circuit circuit = circuits::gaas_datapath();
+  CycleTimeSession session(circuit);
+  const auto first = session.minimize();
+  ASSERT_TRUE(first);
+
+  Circuit scratch = circuit;
+  for (int step = 1; step <= 4; ++step) {
+    const int p = step % circuit.num_paths();
+    const double delay = circuit.path(p).delay * (1.0 + 0.05 * step);
+    session.set_path_delay(p, delay);
+    scratch.set_path_delay(p, delay);
+    const auto warm = session.minimize();
+    const auto fresh = minimize_cycle_time(scratch);
+    ASSERT_TRUE(warm) << "step " << step;
+    ASSERT_TRUE(fresh) << "step " << step;
+    EXPECT_NEAR(warm->min_cycle, fresh->min_cycle, 1e-7) << "step " << step;
+    EXPECT_TRUE(satisfies_p1(scratch, warm->schedule, warm->departure)) << "step " << step;
+  }
+  EXPECT_EQ(session.counters().lp_solves, 5);
+  // Same-shaped LPs: the cached basis installs every time after the first.
+  EXPECT_GE(session.counters().warm_lp_starts, 3);
+}
+
+TEST(CycleTimeSession, WarmGraphSolveTracksPerturbations) {
+  const Circuit circuit = circuits::gaas_datapath();
+  CycleTimeSession session(circuit);
+  ASSERT_TRUE(session.minimize_graph());
+  EXPECT_EQ(session.counters().warm_brackets, 0);  // nothing cached yet
+
+  session.set_path_delay(0, circuit.path(0).delay * 1.05);
+  Circuit scratch = circuit;
+  scratch.set_path_delay(0, circuit.path(0).delay * 1.05);
+  const auto warm = session.minimize_graph();
+  const auto fresh = minimize_cycle_time_graph(scratch);
+  ASSERT_TRUE(warm);
+  ASSERT_TRUE(fresh);
+  EXPECT_NEAR(warm->min_cycle, fresh->min_cycle, 2e-7);
+  EXPECT_EQ(session.counters().warm_brackets, 1);
+}
+
+TEST(CycleTimeSession, SessionSensitivitiesMatchOneShot) {
+  const Circuit circuit = circuits::gaas_datapath();
+  CycleTimeSession session(circuit);
+  ASSERT_TRUE(session.minimize());  // prime the basis
+
+  session.set_path_delay(2, circuit.path(2).delay + 0.4);
+  Circuit scratch = circuit;
+  scratch.set_path_delay(2, circuit.path(2).delay + 0.4);
+  const auto warm = session.sensitivities();
+  const auto fresh = delay_sensitivities(scratch);
+  ASSERT_TRUE(warm);
+  ASSERT_TRUE(fresh);
+  EXPECT_NEAR(warm->min_cycle, fresh->min_cycle, 1e-7);
+  ASSERT_EQ(warm->dtc_ddelay.size(), fresh->dtc_ddelay.size());
+  // Degenerate optima can pick different subgradients from different bases;
+  // on the GaAs circuit the optimum is unique enough that the duals agree.
+  for (size_t p = 0; p < fresh->dtc_ddelay.size(); ++p) {
+    EXPECT_NEAR(warm->dtc_ddelay[p], fresh->dtc_ddelay[p], 1e-6) << "path " << p;
+  }
+}
+
+TEST(ParametricSweep, ChainedBasisMatchesPerSampleColdSolves) {
+  const Circuit circuit = circuits::example1(0.0);
+  // Sweep Δ41 like the paper's Fig. 7; the warm (basis-chained) sweep must
+  // trace the same piecewise-linear curve as per-θ cold solves.
+  const int path = circuits::example1_ld_path();
+  const double lo = 0.0, hi = 160.0;
+  const int samples = 23;
+  const lp::ParametricResult swept = sweep_path_delay(circuit, path, lo, hi, samples);
+  ASSERT_EQ(swept.points.size(), static_cast<size_t>(samples));
+
+  const lp::SimplexSolver solver;
+  for (const lp::ParametricPoint& pt : swept.points) {
+    Circuit c = circuit;
+    c.set_path_delay(path, pt.theta);
+    const lp::Solution cold = solver.solve(generate_lp(c).model);
+    ASSERT_EQ(pt.status, cold.status) << "theta " << pt.theta;
+    if (cold.optimal()) {
+      EXPECT_NEAR(pt.objective, cold.objective, 1e-7) << "theta " << pt.theta;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mintc::opt

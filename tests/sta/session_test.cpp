@@ -1,0 +1,209 @@
+// AnalysisSession unit tests: the correctness contract (warm/cold/cached
+// analyze() bit-identical to a fresh check_schedule of the current state),
+// the undo log, derating composition, and the counter semantics.
+#include "sta/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/example1.h"
+#include "circuits/gaas.h"
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+#include "sta/corners.h"
+
+namespace mintc::sta {
+namespace {
+
+// Exact ==, not NEAR: the session must reproduce a fresh analysis to the
+// last bit no matter which path (cache, warm fixpoint, cold solve) it took.
+void expect_reports_identical(const TimingReport& got, const TimingReport& want) {
+  ASSERT_EQ(got.feasible, want.feasible);
+  ASSERT_EQ(got.schedule_ok, want.schedule_ok);
+  ASSERT_EQ(got.converged, want.converged);
+  ASSERT_EQ(got.setup_ok, want.setup_ok);
+  ASSERT_EQ(got.hold_ok, want.hold_ok);
+  ASSERT_EQ(got.elements.size(), want.elements.size());
+  for (size_t i = 0; i < want.elements.size(); ++i) {
+    EXPECT_EQ(got.elements[i].departure, want.elements[i].departure) << "element " << i;
+    EXPECT_EQ(got.elements[i].arrival, want.elements[i].arrival) << "element " << i;
+    EXPECT_EQ(got.elements[i].setup_slack, want.elements[i].setup_slack) << "element " << i;
+    EXPECT_EQ(got.elements[i].hold_slack, want.elements[i].hold_slack) << "element " << i;
+  }
+  ASSERT_EQ(got.fixpoint.departure.size(), want.fixpoint.departure.size());
+  for (size_t i = 0; i < want.fixpoint.departure.size(); ++i) {
+    EXPECT_EQ(got.fixpoint.departure[i], want.fixpoint.departure[i]) << "departure " << i;
+  }
+  EXPECT_EQ(got.worst_setup_slack, want.worst_setup_slack);
+  EXPECT_EQ(got.worst_setup_element, want.worst_setup_element);
+  EXPECT_EQ(got.worst_hold_slack, want.worst_hold_slack);
+  EXPECT_EQ(got.worst_hold_element, want.worst_hold_element);
+}
+
+struct Fixture {
+  Circuit circuit;
+  ClockSchedule schedule;  // relaxed optimum: all loops have negative gain
+  AnalysisOptions options;
+
+  explicit Fixture(Circuit c) : circuit(std::move(c)) {
+    const auto mlp = opt::minimize_cycle_time(circuit);
+    EXPECT_TRUE(mlp);
+    schedule = mlp->schedule.scaled(1.25);
+    options.check_hold = true;
+  }
+
+  TimingReport fresh(const Circuit& c, const ClockSchedule& s) const {
+    return check_schedule(c, s, options);
+  }
+};
+
+TEST(AnalysisSession, ColdAnalyzeMatchesCheckSchedule) {
+  const Fixture f(circuits::example1(80.0));
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  expect_reports_identical(session.analyze(), f.fresh(f.circuit, f.schedule));
+  EXPECT_EQ(session.counters().analyses, 1);
+  EXPECT_EQ(session.counters().warm_hits, 0);
+  EXPECT_EQ(session.counters().cold_fallbacks, 0);  // first solve is not a fallback
+}
+
+TEST(AnalysisSession, CachedReportCountsAsWarmHit) {
+  const Fixture f(circuits::example1(80.0));
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+  session.analyze();  // nothing changed: served from cache
+  EXPECT_EQ(session.counters().analyses, 2);
+  EXPECT_EQ(session.counters().warm_hits, 1);
+  EXPECT_EQ(session.counters().invalidations, 0);
+}
+
+TEST(AnalysisSession, DelayIncreaseWarmStartsAndBitMatches) {
+  const Fixture f(circuits::gaas_datapath());
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+  const double d0 = f.circuit.path(0).delay;
+  session.set_path_delay(0, d0 * 1.05);
+  Circuit mutated = f.circuit;
+  mutated.set_path_delay(0, d0 * 1.05);
+  expect_reports_identical(session.analyze(), f.fresh(mutated, f.schedule));
+  EXPECT_EQ(session.counters().warm_hits, 1);
+  EXPECT_EQ(session.counters().cold_fallbacks, 0);
+  EXPECT_EQ(session.counters().invalidations, 1);
+}
+
+TEST(AnalysisSession, DelayDecreaseFallsBackColdAndBitMatches) {
+  const Fixture f(circuits::gaas_datapath());
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+  const double d0 = f.circuit.path(0).delay;
+  session.set_path_delay(0, d0 * 0.5);
+  Circuit mutated = f.circuit;
+  mutated.set_path_delay(0, d0 * 0.5);
+  expect_reports_identical(session.analyze(), f.fresh(mutated, f.schedule));
+  EXPECT_EQ(session.counters().warm_hits, 0);
+  EXPECT_EQ(session.counters().cold_fallbacks, 1);
+}
+
+TEST(AnalysisSession, ScheduleShrinkWarmStartsGrowFallsBack) {
+  const Fixture f(circuits::gaas_datapath());
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+
+  // Scaling the schedule DOWN scales every (negative) shift up toward zero:
+  // monotone-nondecreasing, warm-start eligible. 1.25 * 0.99 stays above
+  // the optimum, so the fixpoint still converges.
+  const ClockSchedule shrunk = f.schedule.scaled(0.99);
+  session.set_schedule(shrunk);
+  expect_reports_identical(session.analyze(), f.fresh(f.circuit, shrunk));
+  EXPECT_EQ(session.counters().warm_hits, 1);
+  EXPECT_EQ(session.counters().cold_fallbacks, 0);
+
+  // Scaling UP shrinks cross-cycle shifts: cold fallback, same contract.
+  const ClockSchedule grown = f.schedule.scaled(1.1);
+  session.set_schedule(grown);
+  expect_reports_identical(session.analyze(), f.fresh(f.circuit, grown));
+  EXPECT_EQ(session.counters().cold_fallbacks, 1);
+}
+
+TEST(AnalysisSession, DeratingMatchesDerateComposedFromPristine) {
+  const Fixture f(circuits::gaas_datapath());
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+  // Corners compose from the pristine reference, not cumulatively: applying
+  // slow then fast must equal derate(original, fast).
+  session.apply_derating(1.1, 1.1);
+  session.analyze();
+  session.apply_derating(0.9, 0.9);
+  const Corner fast{"fast", 0.9, 0.9};
+  expect_reports_identical(session.analyze(), f.fresh(derate(f.circuit, fast), f.schedule));
+}
+
+TEST(AnalysisSession, StructuralEditRebuildsAndBitMatches) {
+  const Fixture f(circuits::gaas_datapath());
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+  session.remove_path(0);
+  expect_reports_identical(session.analyze(), f.fresh(session.circuit(), f.schedule));
+  EXPECT_EQ(session.counters().cold_fallbacks, 1);
+
+  session.remove_element(0);
+  expect_reports_identical(session.analyze(), f.fresh(session.circuit(), f.schedule));
+  EXPECT_EQ(session.counters().cold_fallbacks, 2);
+}
+
+TEST(AnalysisSession, UndoRoundTripRestoresEverythingBitwise) {
+  const Fixture f(circuits::gaas_datapath());
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  const TimingReport original = session.analyze();  // copy
+
+  const size_t mark = session.mark();
+  session.set_path_delay(1, f.circuit.path(1).delay + 0.7);
+  session.set_element_dq(0, f.circuit.element(0).dq + 0.3);
+  session.set_schedule(f.schedule.scaled(1.3));
+  session.remove_path(0);
+  session.remove_element(0);
+  session.analyze();
+  session.undo_to(mark);
+
+  EXPECT_EQ(session.circuit().num_paths(), f.circuit.num_paths());
+  EXPECT_EQ(session.circuit().num_elements(), f.circuit.num_elements());
+  for (int p = 0; p < f.circuit.num_paths(); ++p) {
+    EXPECT_EQ(session.circuit().path(p).delay, f.circuit.path(p).delay) << "path " << p;
+    EXPECT_EQ(session.circuit().path(p).from, f.circuit.path(p).from) << "path " << p;
+    EXPECT_EQ(session.circuit().path(p).to, f.circuit.path(p).to) << "path " << p;
+  }
+  expect_reports_identical(session.analyze(), original);
+}
+
+TEST(AnalysisSession, HoldVectorReusedAcrossMaxSideEdits) {
+  const Fixture f(circuits::gaas_datapath());
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+  // A max-delay-only edit leaves the hold-side min-fixpoint untouched.
+  session.set_path_delay(0, f.circuit.path(0).delay * 1.02);
+  session.analyze();
+  EXPECT_GE(session.counters().hold_reuses, 1);
+
+  // A min-delay edit invalidates it.
+  const long reuses = session.counters().hold_reuses;
+  session.set_path_min_delay(0, f.circuit.path(0).min_delay * 0.5);
+  Circuit mutated = f.circuit;
+  mutated.set_path_delay(0, f.circuit.path(0).delay * 1.02);
+  mutated.set_path_min_delay(0, f.circuit.path(0).min_delay * 0.5);
+  expect_reports_identical(session.analyze(), f.fresh(mutated, f.schedule));
+  EXPECT_EQ(session.counters().hold_reuses, reuses);
+}
+
+TEST(AnalysisSession, SetterNoOpsDoNotInvalidate) {
+  const Fixture f(circuits::example1(80.0));
+  AnalysisSession session(f.circuit, f.schedule, f.options);
+  session.analyze();
+  session.set_path_delay(0, f.circuit.path(0).delay);  // unchanged value
+  session.set_schedule(f.schedule);                    // identical schedule
+  session.analyze();
+  EXPECT_EQ(session.counters().invalidations, 0);
+  EXPECT_EQ(session.counters().warm_hits, 1);  // pure cache hit
+}
+
+}  // namespace
+}  // namespace mintc::sta
