@@ -67,9 +67,14 @@ int cmd_min(const Circuit& c) {
   return 0;
 }
 
+// --threads N (global flag) routes the departure fixpoint through the
+// SCC-parallel engine; 0 keeps the scalar scheme.
+int g_threads = 0;
+
 int cmd_check(const Circuit& c, const ClockSchedule& s) {
   sta::AnalysisOptions opt;
   opt.check_hold = true;
+  opt.num_threads = g_threads;
   const sta::TimingReport rep = sta::check_schedule(c, s, opt);
   std::printf("%s", rep.to_string(c).c_str());
   return rep.feasible ? 0 : 1;
@@ -311,7 +316,8 @@ int usage() {
       "       timing_tool report <circuit> [schedule.lcs] [--json <file>]\n"
       "                  [--html <file>] [--nworst <K>] [--corners]\n"
       "       <circuit> is a .lct file or a built-in: example1, example2, gaas\n"
-      "       global flags: --metrics-out <file>, --trace-out <file>\n");
+      "       global flags: --metrics-out <file>, --trace-out <file>,\n"
+      "                     --threads <N> (parallel fixpoint engine for check)\n");
   return 2;
 }
 
@@ -418,6 +424,8 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
     } else {
       args.push_back(argv[i]);
     }

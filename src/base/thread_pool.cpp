@@ -1,0 +1,116 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace mintc::base {
+
+namespace {
+// Identifies the pool (if any) the current thread belongs to, so nested
+// submit() calls land on the submitting worker's own deque and
+// worker_index() works without a map lookup.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local int tl_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  queues_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    const std::lock_guard<std::mutex> lk(control_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::worker_index() const { return tl_pool == this ? tl_index : -1; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  assert(task && "null task submitted");
+  int q = worker_index();
+  if (q < 0) {
+    q = static_cast<int>(next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                         queues_.size());
+  }
+  {
+    // Lock order everywhere is control_mu_ then queue mu. Publishing the
+    // task while holding control_mu_ is what makes the idle-worker predicate
+    // race-free: a worker deciding to sleep holds control_mu_ across its
+    // final emptiness check, so it either sees this task or is already
+    // waiting when the notify fires.
+    const std::lock_guard<std::mutex> lk(control_mu_);
+    ++pending_;
+    const std::lock_guard<std::mutex> qlk(queues_[static_cast<size_t>(q)]->mu);
+    queues_[static_cast<size_t>(q)]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  assert(worker_index() < 0 && "wait() from a worker would deadlock");
+  std::unique_lock<std::mutex> lk(control_mu_);
+  done_cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop_own(int index, std::function<void()>& out) {
+  Queue& q = *queues_[static_cast<size_t>(index)];
+  const std::lock_guard<std::mutex> lk(q.mu);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());  // LIFO on own deque: depth-first, cache-warm
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(int thief, std::function<void()>& out) {
+  const int n = static_cast<int>(queues_.size());
+  for (int step = 1; step < n; ++step) {
+    const int victim = (thief + step) % n;
+    Queue& q = *queues_[static_cast<size_t>(victim)];
+    const std::lock_guard<std::mutex> lk(q.mu);
+    if (q.tasks.empty()) continue;
+    out = std::move(q.tasks.front());  // FIFO steal: take the oldest task
+    q.tasks.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+  tl_pool = this;
+  tl_index = index;
+  std::function<void()> task;
+  const auto have_queued_task = [&] {
+    for (const std::unique_ptr<Queue>& q : queues_) {
+      const std::lock_guard<std::mutex> qlk(q->mu);
+      if (!q->tasks.empty()) return true;
+    }
+    return false;
+  };
+  for (;;) {
+    if (try_pop_own(index, task) || try_steal(index, task)) {
+      task();
+      task = nullptr;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lk(control_mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(control_mu_);
+    work_cv_.wait(lk, [&] { return stopping_ || have_queued_task(); });
+    if (stopping_) return;  // wait() in ~ThreadPool drained everything first
+  }
+}
+
+}  // namespace mintc::base

@@ -1,0 +1,94 @@
+// Small work-stealing thread pool for the parallel fixpoint engine.
+//
+// Design goals, in order:
+//   1. Determinism support: the pool runs opaque tasks and never reorders a
+//      task's side effects — all determinism arguments live in the scheduler
+//      built on top (sta/parallel_fixpoint.cpp), which only submits a task
+//      once its data dependencies are fully resolved.
+//   2. Nested submission: a running task may submit follow-up tasks (the
+//      SCC scheduler releases successors as predecessor counts hit zero).
+//      wait() accounts for those transitively via a single pending counter.
+//   3. Small and auditable over fast: per-worker mutex-protected deques with
+//      LIFO pop / FIFO steal. At the granularity this repo schedules
+//      (one task per SCC shard, microseconds to milliseconds each) the
+//      mutex cost is noise; lock-free deques would buy nothing but risk.
+//
+// Workers pop from the back of their own deque (cache-warm, depth-first on
+// nested submits) and steal from the front of a victim's deque (oldest task,
+// the classic Chase-Lev discipline without the lock-free machinery).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mintc::base {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). The pool is usable
+  /// immediately; tasks submitted before workers finish starting are picked
+  /// up once they do.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: outstanding tasks are still executed (the destructor
+  /// wait()s), then workers are joined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Callable from any thread, including from inside a
+  /// running task (nested submit): a worker pushes onto its own deque,
+  /// external threads distribute round-robin.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task — including tasks submitted by tasks —
+  /// has finished. Callable only from outside the pool (a worker calling
+  /// wait() would deadlock on its own pending task).
+  void wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Total tasks a worker took from a deque other than its own.
+  /// Observability only — exposed through obs metrics by the scheduler.
+  std::int64_t steal_count() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Total tasks executed since construction.
+  std::int64_t executed_count() const { return executed_.load(std::memory_order_relaxed); }
+
+  /// Index of the calling worker thread in [0, num_threads()), or -1 when
+  /// called from a thread that is not one of this pool's workers.
+  int worker_index() const;
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(int index);
+  bool try_pop_own(int index, std::function<void()>& out);
+  bool try_steal(int thief, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex control_mu_;
+  std::condition_variable work_cv_;   // workers sleep here when idle
+  std::condition_variable done_cv_;   // wait() sleeps here
+  std::int64_t pending_ = 0;          // submitted but not yet finished
+  bool stopping_ = false;
+
+  std::atomic<std::int64_t> steals_{0};
+  std::atomic<std::int64_t> executed_{0};
+  std::atomic<std::uint64_t> next_queue_{0};  // round-robin for external submits
+};
+
+}  // namespace mintc::base

@@ -30,8 +30,8 @@ UnrolledAnalysis unrolled_analysis(const TimingView& view, const ShiftTable& shi
   for (int m = 0; m < unroll_cycles; ++m) {
     for (const int i : order) {
       double arrival = -std::numeric_limits<double>::infinity();
-      const int fi_end = view.fanin_end(i);
-      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+      const EdgeIndex fi_end = view.fanin_end(i);
+      for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
         const int c = view.edge_cross(fe);
         if (m - c < 0) continue;  // token does not exist yet (power-on)
         const int src = view.edge_src(fe);

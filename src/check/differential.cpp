@@ -10,6 +10,7 @@
 #include "sim/token_sim.h"
 #include "sta/analysis.h"
 #include "sta/fixpoint.h"
+#include "sta/parallel_fixpoint.h"
 #include "sta/session.h"
 
 namespace mintc::check {
@@ -22,6 +23,7 @@ const char* to_string(CheckKind kind) {
     case CheckKind::kIncrementalAgreement: return "incremental-agreement";
     case CheckKind::kSimAgreement: return "sim-agreement";
     case CheckKind::kSessionAgreement: return "session-agreement";
+    case CheckKind::kParallelAgreement: return "parallel-agreement";
   }
   return "?";
 }
@@ -69,7 +71,7 @@ VecDiff max_abs_diff(const std::vector<double>& a, const std::vector<double>& b)
 std::string flag_string(const sta::FixpointResult& r) {
   if (r.converged) return "converged";
   if (r.diverged) return "diverged";
-  return "hit the sweep limit";
+  return "hit the sweep limit (residual " + fmt_time(r.residual, 9) + ")";
 }
 
 // First bitwise difference between two timing reports (empty = identical).
@@ -191,6 +193,36 @@ DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
            std::string(sta::to_string(scheme)) + " differs from " +
                sta::to_string(schemes[0]) + " by " + fmt_time(d.amount, 9) + " at element '" +
                circuit.element(d.element).name + "'");
+    }
+  }
+
+  // Engine 3b, parallel leg: the SCC-parallel engine must be BITWISE equal
+  // to the scalar kSccOrdered scheme on a convergent solve — not within
+  // departure_tol, exactly (that is its documented contract; see
+  // parallel_fixpoint.h). Run it at a couple of thread counts so both the
+  // single-worker and genuinely concurrent schedules are exercised.
+  {
+    sta::FixpointOptions fo;
+    fo.scheme = sta::UpdateScheme::kSccOrdered;
+    const sta::FixpointResult scalar_ref =
+        sta::compute_departures(view, opt_shifts, zeros(circuit), fo);
+    for (const int threads : {1, 4}) {
+      sta::ParallelFixpointOptions po;
+      po.num_threads = threads;
+      po.fixpoint = fo;
+      const sta::FixpointResult par =
+          sta::compute_departures_parallel(view, opt_shifts, zeros(circuit), po);
+      if (par.converged != scalar_ref.converged) {
+        fail(CheckKind::kParallelAgreement,
+             "parallel(" + std::to_string(threads) + ") " + flag_string(par) +
+                 " but scc-ordered " + flag_string(scalar_ref));
+      } else if (scalar_ref.converged && par.departure != scalar_ref.departure) {
+        const VecDiff d = max_abs_diff(par.departure, scalar_ref.departure);
+        fail(CheckKind::kParallelAgreement,
+             "parallel(" + std::to_string(threads) + ") departures not bitwise equal: off by " +
+                 fmt_time(d.amount, 12) + " at element '" +
+                 circuit.element(d.element).name + "'");
+      }
     }
   }
 

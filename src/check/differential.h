@@ -39,6 +39,7 @@ enum class CheckKind {
   kIncrementalAgreement,  // incremental_update != from-scratch recompute
   kSimAgreement,          // token-sim steady state != analytic fixpoint
   kSessionAgreement,      // AnalysisSession warm/undo != fresh check_schedule
+  kParallelAgreement,     // ParallelFixpoint != scalar kSccOrdered bitwise
 };
 
 const char* to_string(CheckKind kind);

@@ -62,11 +62,17 @@ ShiftDelta ShiftTable::update(const ClockSchedule& schedule) {
 
 TimingView::TimingView(const Circuit& circuit) {
   const StageTimer timer;
+  // Reject circuits whose edge count would overflow the 32-bit path ids
+  // BEFORE touching num_paths(): Circuit::num_paths() itself is an int cast
+  // of the vector size, so it is already garbage past the ceiling.
+  assert(edge_capacity_ok(static_cast<std::int64_t>(circuit.paths().size())) &&
+         "circuit edge count exceeds TimingView::kMaxEdges; the flattened "
+         "view (and Circuit's int path ids) cannot represent it");
   num_elements_ = circuit.num_elements();
   num_edges_ = circuit.num_paths();
   num_phases_ = circuit.num_phases();
   const size_t l = static_cast<size_t>(num_elements_);
-  const size_t m = static_cast<size_t>(num_edges_);
+  const size_t m = circuit.paths().size();
 
   latch_.resize(l);
   phase_.resize(l);
@@ -100,7 +106,9 @@ TimingView::TimingView(const Circuit& circuit) {
   path_delay_.resize(m);
   path_min_delay_.resize(m);
   edge_dirty_.assign(m, 0);
-  int e = 0;
+  // The accumulating slot counter is 64-bit: this is the sum that used to
+  // wrap as `int` on circuits with > 2^31 fan-in slots.
+  EdgeIndex e = 0;
   for (int i = 0; i < num_elements_; ++i) {
     fanin_offset_[static_cast<size_t>(i)] = e;
     for (const int p : circuit.fanin(i)) {
@@ -129,7 +137,7 @@ TimingView::TimingView(const Circuit& circuit) {
   // order.
   fanout_offset_.assign(l + 1, 0);
   fanout_edges_.resize(m);
-  int f = 0;
+  EdgeIndex f = 0;
   for (int i = 0; i < num_elements_; ++i) {
     fanout_offset_[static_cast<size_t>(i)] = f;
     for (const int p : circuit.fanout(i)) {
@@ -142,7 +150,7 @@ TimingView::TimingView(const Circuit& circuit) {
   build_seconds_ = timer.seconds();
 }
 
-void TimingView::mark_edge_dirty(int e) {
+void TimingView::mark_edge_dirty(EdgeIndex e) {
   ++generation_;
   if (!edge_dirty_[static_cast<size_t>(e)]) {
     edge_dirty_[static_cast<size_t>(e)] = 1;
@@ -151,7 +159,7 @@ void TimingView::mark_edge_dirty(int e) {
 }
 
 void TimingView::set_path_delay(int p, double delay) {
-  const int e = edge_of_path_[static_cast<size_t>(p)];
+  const EdgeIndex e = edge_of_path_[static_cast<size_t>(p)];
   const double old = path_delay_[static_cast<size_t>(e)];
   if (delay == old) return;
   if (delay < old) max_nondecreasing_ = false;
@@ -163,7 +171,7 @@ void TimingView::set_path_delay(int p, double delay) {
 }
 
 void TimingView::set_path_min_delay(int p, double min_delay) {
-  const int e = edge_of_path_[static_cast<size_t>(p)];
+  const EdgeIndex e = edge_of_path_[static_cast<size_t>(p)];
   if (min_delay == path_min_delay_[static_cast<size_t>(e)]) return;
   path_min_delay_[static_cast<size_t>(e)] = min_delay;
   min_const_[static_cast<size_t>(e)] =
@@ -178,9 +186,9 @@ void TimingView::set_element_dq(int i, double dq) {
   if (dq < old) max_nondecreasing_ = false;
   divergence_base_ += dq - old;
   dq_[static_cast<size_t>(i)] = dq;
-  const int end = fanout_end(i);
-  for (int f = fanout_begin(i); f < end; ++f) {
-    const int e = fanout_edges_[static_cast<size_t>(f)];
+  const EdgeIndex end = fanout_end(i);
+  for (EdgeIndex f = fanout_begin(i); f < end; ++f) {
+    const EdgeIndex e = fanout_edges_[static_cast<size_t>(f)];
     max_const_[static_cast<size_t>(e)] = dq + path_delay_[static_cast<size_t>(e)];
     max_dirty_ = true;
     mark_edge_dirty(e);
@@ -191,9 +199,9 @@ void TimingView::set_element_dq(int i, double dq) {
 void TimingView::set_element_min_dq(int i, double min_dq) {
   if (min_dq == min_dq_[static_cast<size_t>(i)]) return;
   min_dq_[static_cast<size_t>(i)] = min_dq;
-  const int end = fanout_end(i);
-  for (int f = fanout_begin(i); f < end; ++f) {
-    const int e = fanout_edges_[static_cast<size_t>(f)];
+  const EdgeIndex end = fanout_end(i);
+  for (EdgeIndex f = fanout_begin(i); f < end; ++f) {
+    const EdgeIndex e = fanout_edges_[static_cast<size_t>(f)];
     min_const_[static_cast<size_t>(e)] = min_dq + path_min_delay_[static_cast<size_t>(e)];
     min_dirty_ = true;
     mark_edge_dirty(e);
@@ -216,7 +224,7 @@ void TimingView::set_element_hold(int i, double hold) {
 }
 
 void TimingView::clear_dirty() {
-  for (const int e : dirty_edges_) edge_dirty_[static_cast<size_t>(e)] = 0;
+  for (const EdgeIndex e : dirty_edges_) edge_dirty_[static_cast<size_t>(e)] = 0;
   dirty_edges_.clear();
   max_dirty_ = false;
   min_dirty_ = false;
@@ -229,8 +237,8 @@ double early_departure_update(const TimingView& view, const ShiftTable& shifts,
   if (!view.is_latch(i)) return 0.0;
   constexpr double kInf = std::numeric_limits<double>::infinity();
   double earliest = kInf;
-  const int end = view.fanin_end(i);
-  for (int e = view.fanin_begin(i); e < end; ++e) {
+  const EdgeIndex end = view.fanin_end(i);
+  for (EdgeIndex e = view.fanin_begin(i); e < end; ++e) {
     const double a = departure[static_cast<size_t>(view.edge_src(e))] +
                      view.edge_min_const(e) + shifts.at(view.edge_shift(e));
     if (a < earliest) earliest = a;
@@ -242,8 +250,8 @@ double early_departure_update(const TimingView& view, const ShiftTable& shifts,
 double arrival_update(const TimingView& view, const ShiftTable& shifts,
                       const std::vector<double>& departure, int i) {
   double latest = -std::numeric_limits<double>::infinity();
-  const int end = view.fanin_end(i);
-  for (int e = view.fanin_begin(i); e < end; ++e) {
+  const EdgeIndex end = view.fanin_end(i);
+  for (EdgeIndex e = view.fanin_begin(i); e < end; ++e) {
     const double a = departure[static_cast<size_t>(view.edge_src(e))] +
                      view.edge_max_const(e) + shifts.at(view.edge_shift(e));
     if (a > latest) latest = a;

@@ -37,6 +37,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,14 @@
 #include "obs/stats.h"
 
 namespace mintc {
+
+/// Edge ids and CSR offsets are 64-bit. A 10^6-latch mesh with heavy fan-in
+/// can push the total fan-in slot count past 2^31, and the old `int` offsets
+/// silently wrapped there (UB on the accumulating counter, garbage CSR
+/// afterwards). Node ids stay `int` — element counts are bounded far below
+/// edge counts — and per-edge payload arrays keep 32-bit node entries so the
+/// SIMD kernels can gather with compact indices.
+using EdgeIndex = std::int64_t;
 // EngineStats and StageTimer moved to obs/stats.h (the observability layer
 // is now the single accounting path); included above so existing users of
 // this header keep compiling unchanged.
@@ -75,13 +84,29 @@ class ShiftTable {
   double build_seconds() const { return build_seconds_; }
 
   /// S_ij by flat index (see TimingView::edge_shift).
-  double at(int flat) const { return shift_[static_cast<size_t>(flat)]; }
-  /// S_ij, 1-based phases.
+  double at(int flat) const {
+    assert(flat >= 0 && flat < k_ * k_ && "flat shift index out of range");
+    return shift_[static_cast<size_t>(flat)];
+  }
+  /// S_ij, 1-based phases. An off-by-one here (phase 0, or k+1) used to read
+  /// out of bounds silently in release builds; debug builds now assert.
   double shift(int i, int j) const {
+    assert(i >= 1 && i <= k_ && "phase i out of range (phases are 1-based)");
+    assert(j >= 1 && j <= k_ && "phase j out of range (phases are 1-based)");
     return shift_[static_cast<size_t>((i - 1) * k_ + (j - 1))];
   }
-  double start(int phase) const { return start_[static_cast<size_t>(phase - 1)]; }
-  double width(int phase) const { return width_[static_cast<size_t>(phase - 1)]; }
+  double start(int phase) const {
+    assert(phase >= 1 && phase <= k_ && "phase out of range (phases are 1-based)");
+    return start_[static_cast<size_t>(phase - 1)];
+  }
+  double width(int phase) const {
+    assert(phase >= 1 && phase <= k_ && "phase out of range (phases are 1-based)");
+    return width_[static_cast<size_t>(phase - 1)];
+  }
+
+  /// Raw S_ij matrix (k*k, row-major by 1-based source phase) for the
+  /// vectorized kernels, which gather shifts by edge_shift index.
+  const double* shift_data() const { return shift_.data(); }
 
  private:
   int k_ = 0;
@@ -99,6 +124,20 @@ class ShiftTable {
 /// mutation API, which keeps the fused constants and the dirty sets in sync.
 class TimingView {
  public:
+  /// Hard edge-count ceiling. Circuit path ids are `int`, so any circuit
+  /// whose path count exceeds this has already overflowed upstream; the
+  /// builder rejects (asserts on) such inputs instead of constructing a
+  /// wrapped CSR. All *offset arithmetic* below is EdgeIndex (64-bit), so
+  /// nothing in the view itself can wrap even at the ceiling.
+  static constexpr EdgeIndex kMaxEdges = std::numeric_limits<int>::max();
+
+  /// True iff a circuit with `edge_count` comb paths can be flattened
+  /// without index overflow. Exposed (rather than buried in the ctor) so the
+  /// boundary is unit-testable without materializing 2^31 paths.
+  static constexpr bool edge_capacity_ok(std::int64_t edge_count) {
+    return edge_count >= 0 && edge_count <= kMaxEdges;
+  }
+
   explicit TimingView(const Circuit& circuit);
 
   int num_elements() const { return num_elements_; }
@@ -116,31 +155,40 @@ class TimingView {
 
   // -- Fan-in CSR -----------------------------------------------------------
   // Edges entering element i are fanin_begin(i) .. fanin_end(i), in the same
-  // (ascending path-index) order Circuit::fanin used to yield.
-  int fanin_begin(int i) const { return fanin_offset_[static_cast<size_t>(i)]; }
-  int fanin_end(int i) const { return fanin_offset_[static_cast<size_t>(i) + 1]; }
-  int fanin_count(int i) const { return fanin_end(i) - fanin_begin(i); }
+  // (ascending path-index) order Circuit::fanin used to yield. Offsets and
+  // edge ids are EdgeIndex (64-bit) end to end; see the type's comment.
+  EdgeIndex fanin_begin(int i) const { return fanin_offset_[static_cast<size_t>(i)]; }
+  EdgeIndex fanin_end(int i) const { return fanin_offset_[static_cast<size_t>(i) + 1]; }
+  EdgeIndex fanin_count(int i) const { return fanin_end(i) - fanin_begin(i); }
 
-  int edge_src(int e) const { return src_[static_cast<size_t>(e)]; }
-  int edge_dst(int e) const { return dst_[static_cast<size_t>(e)]; }
+  int edge_src(EdgeIndex e) const { return src_[static_cast<size_t>(e)]; }
+  int edge_dst(EdgeIndex e) const { return dst_[static_cast<size_t>(e)]; }
   /// Original Circuit path index of edge e, and the inverse mapping.
-  int edge_path(int e) const { return path_of_edge_[static_cast<size_t>(e)]; }
-  int edge_of_path(int p) const { return edge_of_path_[static_cast<size_t>(p)]; }
+  int edge_path(EdgeIndex e) const { return path_of_edge_[static_cast<size_t>(e)]; }
+  EdgeIndex edge_of_path(int p) const { return edge_of_path_[static_cast<size_t>(p)]; }
   /// Δ_DQ(from) + Δ_ij — the long-path propagation constant.
-  double edge_max_const(int e) const { return max_const_[static_cast<size_t>(e)]; }
+  double edge_max_const(EdgeIndex e) const { return max_const_[static_cast<size_t>(e)]; }
   /// min_DQ(from) + δ_ij — the short-path (hold) analogue.
-  double edge_min_const(int e) const { return min_const_[static_cast<size_t>(e)]; }
+  double edge_min_const(EdgeIndex e) const { return min_const_[static_cast<size_t>(e)]; }
   /// Flat (p_from, p_to) index into ShiftTable::at.
-  int edge_shift(int e) const { return shift_index_[static_cast<size_t>(e)]; }
+  int edge_shift(EdgeIndex e) const { return shift_index_[static_cast<size_t>(e)]; }
   /// C_{p_from, p_to} (eq. 1): 1 if the edge crosses a cycle boundary.
-  int edge_cross(int e) const { return cross_[static_cast<size_t>(e)]; }
+  int edge_cross(EdgeIndex e) const { return cross_[static_cast<size_t>(e)]; }
+
+  // -- Raw per-edge arrays for the vectorized kernels -----------------------
+  // Contiguous, fan-in-CSR-ordered; a kernel relaxing element i reads the
+  // run [fanin_begin(i), fanin_end(i)) of each. Source ids and shift indices
+  // stay 32-bit so AVX2 gathers use compact index vectors.
+  const int* edge_src_data() const { return src_.data(); }
+  const double* edge_max_const_data() const { return max_const_.data(); }
+  const int* edge_shift_data() const { return shift_index_.data(); }
 
   // -- Fan-out CSR ----------------------------------------------------------
   // Entries are edge ids (usable with edge_* above) leaving element i, in
   // the same order Circuit::fanout used to yield.
-  int fanout_begin(int i) const { return fanout_offset_[static_cast<size_t>(i)]; }
-  int fanout_end(int i) const { return fanout_offset_[static_cast<size_t>(i) + 1]; }
-  int fanout_edge(int f) const { return fanout_edges_[static_cast<size_t>(f)]; }
+  EdgeIndex fanout_begin(int i) const { return fanout_offset_[static_cast<size_t>(i)]; }
+  EdgeIndex fanout_end(int i) const { return fanout_offset_[static_cast<size_t>(i) + 1]; }
+  EdgeIndex fanout_edge(EdgeIndex f) const { return fanout_edges_[static_cast<size_t>(f)]; }
 
   /// Σ Δ_ij + Σ Δ_DQ over the whole circuit — the schedule-independent part
   /// of the fixpoint divergence bound. Maintained incrementally across
@@ -163,7 +211,7 @@ class TimingView {
   uint64_t generation() const { return generation_; }
   /// Edges whose max_const or min_const changed since clear_dirty(),
   /// deduplicated, in first-touch order.
-  const std::vector<int>& dirty_edges() const { return dirty_edges_; }
+  const std::vector<EdgeIndex>& dirty_edges() const { return dirty_edges_; }
   bool max_dirty() const { return max_dirty_; }    // some long-path constant moved
   bool min_dirty() const { return min_dirty_; }    // some short-path constant moved
   bool params_dirty() const { return params_dirty_; }  // setup/hold moved
@@ -173,7 +221,7 @@ class TimingView {
   void clear_dirty();
 
  private:
-  void mark_edge_dirty(int e);
+  void mark_edge_dirty(EdgeIndex e);
   int num_elements_ = 0;
   int num_edges_ = 0;
   int num_phases_ = 0;
@@ -184,13 +232,14 @@ class TimingView {
   std::vector<int> phase_;
   std::vector<double> setup_, hold_, dq_, min_dq_;
 
-  std::vector<int> fanin_offset_;  // l + 1
-  std::vector<int> src_, dst_, path_of_edge_, edge_of_path_, shift_index_;
+  std::vector<EdgeIndex> fanin_offset_;  // l + 1
+  std::vector<int> src_, dst_, path_of_edge_, shift_index_;
+  std::vector<EdgeIndex> edge_of_path_;
   std::vector<int> cross_;
   std::vector<double> max_const_, min_const_;
 
-  std::vector<int> fanout_offset_;  // l + 1
-  std::vector<int> fanout_edges_;
+  std::vector<EdgeIndex> fanout_offset_;  // l + 1
+  std::vector<EdgeIndex> fanout_edges_;
 
   // Raw per-edge path delays (Δ_ij / δ_ij), kept so element-level edits can
   // re-fuse max_const/min_const without consulting the Circuit.
@@ -198,7 +247,7 @@ class TimingView {
 
   // Mutation tracking.
   uint64_t generation_ = 0;
-  std::vector<int> dirty_edges_;
+  std::vector<EdgeIndex> dirty_edges_;
   std::vector<char> edge_dirty_;
   bool max_dirty_ = false;
   bool min_dirty_ = false;
@@ -214,8 +263,8 @@ inline double departure_update(const TimingView& view, const ShiftTable& shifts,
                                const std::vector<double>& departure, int i) {
   if (!view.is_latch(i)) return 0.0;
   double best = 0.0;
-  const int end = view.fanin_end(i);
-  for (int e = view.fanin_begin(i); e < end; ++e) {
+  const EdgeIndex end = view.fanin_end(i);
+  for (EdgeIndex e = view.fanin_begin(i); e < end; ++e) {
     const double a = departure[static_cast<size_t>(view.edge_src(e))] +
                      view.edge_max_const(e) + shifts.at(view.edge_shift(e));
     if (a > best) best = a;

@@ -1,7 +1,9 @@
 #include "netlist/generators.h"
 
 #include <cassert>
+#include <random>
 #include <string>
+#include <vector>
 
 namespace mintc::netlist {
 
@@ -47,6 +49,112 @@ Netlist make_pipelined_datapath(const DatapathConfig& cfg) {
     }
   }
   return n;
+}
+
+namespace {
+
+// Insertion-order-stable latch id: short names keep the by-name map cheap at
+// a million elements.
+std::string latch_name(long i) { return "l" + std::to_string(i); }
+
+}  // namespace
+
+Circuit make_deep_pipeline(const DeepPipelineConfig& cfg) {
+  assert(cfg.depth >= 1 && cfg.width >= 1 && cfg.fanin >= 1 && cfg.num_phases >= 1);
+  Circuit c("deep_pipeline_d" + std::to_string(cfg.depth) + "_w" + std::to_string(cfg.width) +
+                (cfg.ring ? "_ring" : ""),
+            cfg.num_phases);
+  const long total = cfg.depth * cfg.width;
+  for (long i = 0; i < total; ++i) {
+    const long stage = i / cfg.width;
+    c.add_latch(latch_name(i), static_cast<int>(stage % cfg.num_phases) + 1, cfg.setup, cfg.dq);
+  }
+  const auto id = [&](long stage, long lane) { return stage * cfg.width + lane; };
+  const long last = cfg.depth - 1;
+  for (long stage = 0; stage < cfg.depth; ++stage) {
+    const bool wrap = stage == last;
+    if (wrap && !cfg.ring) break;
+    const long next = wrap ? 0 : stage + 1;
+    for (long lane = 0; lane < cfg.width; ++lane) {
+      for (int f = 0; f < cfg.fanin; ++f) {
+        const long src_lane = (lane + f) % cfg.width;
+        c.add_path(static_cast<int>(id(stage, src_lane)), static_cast<int>(id(next, lane)),
+                   cfg.delay);
+      }
+    }
+  }
+  return c;
+}
+
+Circuit make_mesh(const MeshConfig& cfg) {
+  assert(cfg.rows >= 1 && cfg.cols >= 1 && cfg.num_phases >= 1);
+  Circuit c("mesh_" + std::to_string(cfg.rows) + "x" + std::to_string(cfg.cols),
+            cfg.num_phases);
+  const auto id = [&](int r, int col) { return static_cast<long>(r) * cfg.cols + col; };
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int col = 0; col < cfg.cols; ++col) {
+      // Phase striped by anti-diagonal: every mesh edge advances the phase
+      // by exactly one, like a pipeline stage boundary.
+      c.add_latch(latch_name(id(r, col)), (r + col) % cfg.num_phases + 1, cfg.setup, cfg.dq);
+    }
+  }
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int col = 0; col < cfg.cols; ++col) {
+      if (r + 1 < cfg.rows) {
+        c.add_path(static_cast<int>(id(r, col)), static_cast<int>(id(r + 1, col)), cfg.delay);
+      }
+      if (col + 1 < cfg.cols) {
+        c.add_path(static_cast<int>(id(r, col)), static_cast<int>(id(r, col + 1)), cfg.delay);
+      }
+    }
+  }
+  return c;
+}
+
+Circuit make_scc_soup(const SccSoupConfig& cfg) {
+  assert(cfg.num_sccs >= 1 && cfg.scc_size >= 1 && cfg.num_phases >= 1);
+  Circuit c("scc_soup_n" + std::to_string(cfg.num_sccs) + "_s" + std::to_string(cfg.scc_size) +
+                "_seed" + std::to_string(cfg.seed),
+            cfg.num_phases);
+  std::mt19937_64 rng(cfg.seed);
+  const auto id = [&](int ring, int pos) {
+    return static_cast<long>(ring) * cfg.scc_size + pos;
+  };
+  // Each ring steps the phase by one per hop so its loop gain under
+  // generator_schedule is negative (see the header note); a random phase
+  // offset per ring varies the shift constants across components.
+  for (int ring = 0; ring < cfg.num_sccs; ++ring) {
+    const int offset = static_cast<int>(rng() % static_cast<unsigned>(cfg.num_phases));
+    for (int pos = 0; pos < cfg.scc_size; ++pos) {
+      c.add_latch(latch_name(id(ring, pos)), (offset + pos) % cfg.num_phases + 1, cfg.setup,
+                  cfg.dq);
+    }
+  }
+  for (int ring = 0; ring < cfg.num_sccs; ++ring) {
+    for (int pos = 0; pos < cfg.scc_size; ++pos) {
+      if (cfg.scc_size == 1) break;  // single latches stay trivial components
+      c.add_path(static_cast<int>(id(ring, pos)),
+                 static_cast<int>(id(ring, (pos + 1) % cfg.scc_size)), cfg.delay);
+    }
+  }
+  // Cross edges only from a lower-numbered ring to a higher one, so the
+  // rings remain the only cycles and the component DAG gets random depth.
+  if (cfg.num_sccs >= 2) {
+    for (long e = 0; e < cfg.cross_edges; ++e) {
+      const int a = static_cast<int>(rng() % static_cast<unsigned>(cfg.num_sccs - 1));
+      const int b =
+          a + 1 + static_cast<int>(rng() % static_cast<unsigned>(cfg.num_sccs - a - 1));
+      const int pa = static_cast<int>(rng() % static_cast<unsigned>(cfg.scc_size));
+      const int pb = static_cast<int>(rng() % static_cast<unsigned>(cfg.scc_size));
+      c.add_path(static_cast<int>(id(a, pa)), static_cast<int>(id(b, pb)), cfg.delay);
+    }
+  }
+  return c;
+}
+
+ClockSchedule generator_schedule(int num_phases, double dq, double delay, double slack) {
+  assert(slack > 1.0 && "a convergent schedule needs strictly negative loop gain");
+  return symmetric_schedule(num_phases, slack * num_phases * (dq + delay), 1.0);
 }
 
 }  // namespace mintc::netlist

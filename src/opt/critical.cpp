@@ -60,7 +60,7 @@ CriticalReport find_critical_segments(const Circuit& circuit, const ClockSchedul
   // Path slacks at the fixpoint. Flip-flop destinations have no L2R row;
   // report their slack against the setup deadline instead.
   for (int p = 0; p < circuit.num_paths(); ++p) {
-    const int e = view.edge_of_path(p);
+    const EdgeIndex e = view.edge_of_path(p);
     const int dst = view.edge_dst(e);
     const double arrival_term = departure[static_cast<size_t>(view.edge_src(e))] +
                                 view.edge_max_const(e) + shifts.at(view.edge_shift(e));
@@ -85,7 +85,7 @@ CriticalReport find_critical_segments(const Circuit& circuit, const ClockSchedul
   // Critical loops: cycles within the tight-path subgraph.
   graph::Digraph tight(circuit.num_elements());
   for (const int p : report.tight_paths) {
-    const int e = view.edge_of_path(p);
+    const EdgeIndex e = view.edge_of_path(p);
     if (!view.is_latch(view.edge_dst(e))) continue;
     tight.add_edge(view.edge_src(e), view.edge_dst(e), view.edge_max_const(e),
                    static_cast<double>(view.edge_cross(e)), p);

@@ -77,7 +77,7 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
     const int p = view.phase(i);
     const double setup_skew = view.setup(i) + opt.clock_skew;
     const int dn = sys.d_node[static_cast<size_t>(i)];
-    const int fi_end = view.fanin_end(i);
+    const EdgeIndex fi_end = view.fanin_end(i);
     // L3: D >= 0  ->  s_p - dh <= 0.
     sys.add(s_of(p), dn, 0.0);
     if (view.is_latch(i)) {
@@ -85,7 +85,7 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
         // L1: dh - e_p <= -setup - skew.
         sys.add(dn, e_of(p), -setup_skew);
       } else {
-        for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+        for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
           // A_i + setup <= T_p: dh_j - e_p <= C*Tc - dq - delta - setup.
           sys.add(sys.d_node[static_cast<size_t>(view.edge_src(fe))], e_of(p),
                   -(view.edge_max_const(fe) + setup_skew),
@@ -97,7 +97,7 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
       sys.add(dn, s_of(p), 0.0);
       sys.add(s_of(p), dn, 0.0);
       // FF setup: dh_j - s_p <= C*Tc - dq - delta - setup.
-      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+      for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
         sys.add(sys.d_node[static_cast<size_t>(view.edge_src(fe))], s_of(p),
                 -(view.edge_max_const(fe) + setup_skew),
                 static_cast<double>(view.edge_cross(fe)));
@@ -105,7 +105,7 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
     }
     // Hold extension.
     if (opt.hold_constraints) {
-      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+      for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
         const double c = static_cast<double>(view.edge_cross(fe));
         const double rhs_base = -(view.hold(i) - view.edge_min_const(fe));
         const int src_phase = view.phase(view.edge_src(fe));
@@ -121,7 +121,7 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
 
   // L2R propagation: dh_j - dh_i <= C*Tc - dq_j - delta_ji.
   for (int pi = 0; pi < circuit.num_paths(); ++pi) {
-    const int fe = view.edge_of_path(pi);
+    const EdgeIndex fe = view.edge_of_path(pi);
     if (!view.is_latch(view.edge_dst(fe))) continue;
     sys.add(sys.d_node[static_cast<size_t>(view.edge_src(fe))],
             sys.d_node[static_cast<size_t>(view.edge_dst(fe))], -view.edge_max_const(fe),
@@ -248,7 +248,11 @@ Expected<GraphSolveResult> minimize_cycle_time_graph(const Circuit& circuit,
       circuit, res.schedule,
       std::vector<double>(static_cast<size_t>(circuit.num_elements()), 0.0), fix_opts);
   if (!fix.converged) {
-    return make_error(ErrorKind::kNotConverged, "fixpoint did not converge (tolerance?)");
+    return make_error(ErrorKind::kNotConverged,
+                      fix.hit_sweep_limit()
+                          ? "fixpoint hit the sweep budget (residual " +
+                                std::to_string(fix.residual) + "; tolerance?)"
+                          : "fixpoint diverged (tolerance?)");
   }
   res.departure = fix.departure;
   res.stats.absorb(fix.stats);  // folds the departure fixpoint's accounting in

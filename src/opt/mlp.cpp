@@ -115,9 +115,14 @@ Expected<MlpResult> solve_and_slide(const Circuit& circuit, GeneratedLp gen,
     fix = sta::compute_departures(circuit, res.schedule, res.lp_departure, options.fixpoint);
   }
   if (!fix.converged) {
+    std::string why = fix.hit_sweep_limit()
+                          ? "hit the sweep budget (residual " + std::to_string(fix.residual) +
+                                "; raise FixpointOptions::max_sweeps)"
+                          : "diverged";
     return make_error(ErrorKind::kNotConverged,
-                      "departure fixpoint did not converge (this should be impossible for an "
-                      "LP-feasible schedule; please report)");
+                      "departure fixpoint " + why +
+                          " (this should be impossible for an "
+                          "LP-feasible schedule; please report)");
   }
   res.departure = fix.departure;
   res.fixpoint_sweeps = fix.sweeps;

@@ -40,8 +40,8 @@ SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
   std::vector<int> expected_all(static_cast<size_t>(l), 0);
   std::vector<int> expected_g0(static_cast<size_t>(l), 0);
   for (int i = 0; i < l; ++i) {
-    const int fi_end = view.fanin_end(i);
-    for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+    const EdgeIndex fi_end = view.fanin_end(i);
+    for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
       ++expected_all[static_cast<size_t>(i)];
       if (view.edge_cross(fe) == 0) ++expected_g0[static_cast<size_t>(i)];
     }
@@ -135,9 +135,9 @@ SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
     }
 
     // Emit the token to every fanout.
-    const int fo_end = view.fanout_end(r.element);
-    for (int f = view.fanout_begin(r.element); f < fo_end; ++f) {
-      const int fe = view.fanout_edge(f);
+    const EdgeIndex fo_end = view.fanout_end(r.element);
+    for (EdgeIndex f = view.fanout_begin(r.element); f < fo_end; ++f) {
+      const EdgeIndex fe = view.fanout_edge(f);
       const int target_gen = r.generation + view.edge_cross(fe);
       deliver(view.edge_dst(fe), target_gen, depart_abs + view.edge_max_const(fe));
     }

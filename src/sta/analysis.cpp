@@ -1,5 +1,7 @@
 #include "sta/analysis.h"
 
+#include "sta/parallel_fixpoint.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -36,7 +38,8 @@ FixpointResult compute_early_departures(const TimingView& view, const ShiftTable
   // The min-fixpoint iterated upward from zero is monotone nondecreasing and
   // bounded by the (max) departure fixpoint, so a plain Gauss-Seidel loop
   // suffices regardless of the configured scheme.
-  for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+  const int max_sweeps = options.effective_max_sweeps(l);
+  for (res.sweeps = 0; res.sweeps < max_sweeps; ++res.sweeps) {
     bool changed = false;
     for (int i = 0; i < l; ++i) {
       ++res.updates;
@@ -50,6 +53,17 @@ FixpointResult compute_early_departures(const TimingView& view, const ShiftTable
       ++res.sweeps;
       break;
     }
+  }
+  if (res.converged) {
+    res.status = FixpointStatus::kConverged;
+  } else {
+    res.status = FixpointStatus::kSweepLimit;
+    double worst = 0.0;
+    for (int i = 0; i < l; ++i) {
+      const double v = early_departure_update(view, shifts, res.departure, i);
+      worst = std::max(worst, std::fabs(v - res.departure[static_cast<size_t>(i)]));
+    }
+    res.residual = worst;
   }
   res.stats.sweeps = res.sweeps;
   res.stats.solve_seconds = timer.seconds();
@@ -67,8 +81,16 @@ TimingReport check_schedule(const Circuit& circuit, const ClockSchedule& schedul
   const int l = circuit.num_elements();
 
   // Departure fixpoint from below (analysis direction).
-  FixpointResult fixpoint = compute_departures(
-      view, shifts, std::vector<double>(static_cast<size_t>(l), 0.0), options.fixpoint);
+  std::vector<double> zeros(static_cast<size_t>(l), 0.0);
+  FixpointResult fixpoint;
+  if (options.num_threads >= 1) {
+    ParallelFixpointOptions popt;
+    popt.num_threads = options.num_threads;
+    popt.fixpoint = options.fixpoint;
+    fixpoint = compute_departures_parallel(view, shifts, std::move(zeros), popt);
+  } else {
+    fixpoint = compute_departures(view, shifts, std::move(zeros), options.fixpoint);
+  }
 
   TimingReport rep =
       assemble_report(circuit, schedule, view, shifts, options, std::move(fixpoint));
@@ -140,8 +162,8 @@ TimingReport assemble_report(const Circuit& circuit, const ClockSchedule& schedu
       const Element& e = circuit.element(i);
       ElementTiming& t = rep.elements[static_cast<size_t>(i)];
       double earliest_next = kInf;
-      const int fi_end = view.fanin_end(i);
-      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+      const EdgeIndex fi_end = view.fanin_end(i);
+      for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
         const double a = early->departure[static_cast<size_t>(view.edge_src(fe))] +
                          view.edge_min_const(fe) + shifts.at(view.edge_shift(fe));
         earliest_next = std::min(earliest_next, schedule.cycle + a);
@@ -187,8 +209,14 @@ std::string TimingReport::to_string(const Circuit& circuit) const {
     }
   }
   if (!converged) {
-    out << "departure fixpoint did not converge (positive latch loop under "
-           "this schedule)\n";
+    if (fixpoint.hit_sweep_limit()) {
+      out << "departure fixpoint hit its sweep budget after " << fixpoint.sweeps
+          << " sweeps (residual " << fmt_time(fixpoint.residual)
+          << "); raise FixpointOptions::max_sweeps\n";
+    } else {
+      out << "departure fixpoint diverged (positive latch loop under "
+             "this schedule)\n";
+    }
     return out.str();
   }
   TextTable table({"element", "kind", "phase", "arrival", "departure", "setup slack",

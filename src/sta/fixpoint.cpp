@@ -22,6 +22,43 @@ const char* to_string(UpdateScheme scheme) {
   return "?";
 }
 
+const char* to_string(FixpointStatus status) {
+  switch (status) {
+    case FixpointStatus::kConverged: return "converged";
+    case FixpointStatus::kDiverged: return "diverged";
+    case FixpointStatus::kSweepLimit: return "sweep-limit";
+  }
+  return "?";
+}
+
+double fixpoint_residual(const TimingView& view, const ShiftTable& shifts,
+                         const std::vector<double>& departure) {
+  double residual = 0.0;
+  for (int i = 0; i < view.num_elements(); ++i) {
+    const double v = mintc::departure_update(view, shifts, departure, i);
+    const double delta = std::fabs(v - departure[static_cast<size_t>(i)]);
+    if (delta > residual) residual = delta;
+  }
+  return residual;
+}
+
+double divergence_bound(const TimingView& view, const ShiftTable& shifts) {
+  // Any departure beyond this bound means a positive loop: in one period a
+  // signal cannot legitimately accumulate more than every delay in the
+  // circuit plus a full cycle of slack.
+  return std::fabs(shifts.cycle()) * (view.num_phases() + 1) + 1.0 + view.divergence_base();
+}
+
+graph::Digraph latch_graph_of(const TimingView& view) {
+  graph::Digraph g(view.num_elements());
+  for (int p = 0; p < view.num_edges(); ++p) {
+    const EdgeIndex e = view.edge_of_path(p);
+    g.add_edge(view.edge_src(e), view.edge_dst(e), view.edge_max_const(e),
+               static_cast<double>(view.edge_cross(e)), p);
+  }
+  return g;
+}
+
 double departure_update(const Circuit& circuit, const ClockSchedule& schedule,
                         const std::vector<double>& departure, int i) {
   const TimingView view(circuit);
@@ -29,29 +66,6 @@ double departure_update(const Circuit& circuit, const ClockSchedule& schedule,
   return mintc::departure_update(view, shifts, departure, i);
 }
 
-namespace {
-
-// Any departure beyond this bound means a positive loop: in one period a
-// signal cannot legitimately accumulate more than every delay in the circuit
-// plus a full cycle of slack.
-double divergence_bound(const TimingView& view, const ShiftTable& shifts) {
-  return std::fabs(shifts.cycle()) * (view.num_phases() + 1) + 1.0 + view.divergence_base();
-}
-
-// The latch connectivity graph rebuilt from the view, edge-for-edge
-// identical to Circuit::latch_graph() (insertion in path order keeps the
-// SCC decomposition, and therefore the kSccOrdered sweep order, unchanged).
-graph::Digraph view_latch_graph(const TimingView& view) {
-  graph::Digraph g(view.num_elements());
-  for (int p = 0; p < view.num_edges(); ++p) {
-    const int e = view.edge_of_path(p);
-    g.add_edge(view.edge_src(e), view.edge_dst(e), view.edge_max_const(e),
-               static_cast<double>(view.edge_cross(e)), p);
-  }
-  return g;
-}
-
-}  // namespace
 
 FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& schedule,
                                   std::vector<double> initial, const FixpointOptions& options) {
@@ -82,10 +96,21 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
   // FixpointOptions' double members under TBAA, so reading options.eps
   // inside the sweep forces a reload per latch (~3% on the overhead gate).
   const double eps = options.eps;
-  const int max_sweeps = options.max_sweeps;
+  const int max_sweeps = options.effective_max_sweeps(l);
 
   const auto diverged = [&](double v) { return v > bound; };
   const auto finish = [&]() -> FixpointResult&& {
+    if (res.converged) {
+      res.status = FixpointStatus::kConverged;
+    } else if (res.diverged) {
+      res.status = FixpointStatus::kDiverged;
+    } else {
+      // Sweep budget exhausted: attach the outstanding residual (one extra
+      // read-only pass, negligible next to the sweeps already spent) so the
+      // caller can distinguish "nearly there" from "nowhere close".
+      res.status = FixpointStatus::kSweepLimit;
+      res.residual = fixpoint_residual(view, shifts, res.departure);
+    }
     res.stats.sweeps = res.sweeps;
     res.stats.solve_seconds = timer.seconds();
     res.stats.wall_seconds = res.stats.solve_seconds;
@@ -181,7 +206,7 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
       // reverse topological order, so walking them backwards visits sources
       // first. Each component is swept (Gauss-Seidel) to its own fixpoint
       // before any downstream component is touched.
-      const graph::SccResult scc = graph::strongly_connected_components(view_latch_graph(view));
+      const graph::SccResult scc = graph::strongly_connected_components(latch_graph_of(view));
       for (int comp = scc.num_components - 1; comp >= 0; --comp) {
         const std::vector<int>& members = scc.members[static_cast<size_t>(comp)];
         int local_sweeps = 0;
@@ -221,8 +246,7 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
       std::vector<int> work;
       work.reserve(static_cast<size_t>(l));
       for (int i = 0; i < l; ++i) work.push_back(i);
-      const long max_updates =
-          static_cast<long>(options.max_sweeps) * std::max(1, l);
+      const long max_updates = static_cast<long>(max_sweeps) * std::max(1, l);
       size_t head = 0;
       while (head < work.size()) {
         if (static_cast<long>(res.updates) >= max_updates) return finish();
@@ -239,8 +263,8 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
           res.diverged = true;
           return finish();
         }
-        const int fo_end = view.fanout_end(i);
-        for (int f = view.fanout_begin(i); f < fo_end; ++f) {
+        const EdgeIndex fo_end = view.fanout_end(i);
+        for (EdgeIndex f = view.fanout_begin(i); f < fo_end; ++f) {
           const int dst = view.edge_dst(view.fanout_edge(f));
           if (!queued[static_cast<size_t>(dst)]) {
             queued[static_cast<size_t>(dst)] = true;
@@ -283,7 +307,8 @@ FixpointResult warm_departures(const TimingView& view, const ShiftTable& shifts,
       work.push_back(i);
     }
   }
-  const long max_updates = static_cast<long>(options.max_sweeps) * std::max(1, l);
+  const long max_updates =
+      static_cast<long>(options.effective_max_sweeps(l)) * std::max(1, l);
   size_t head = 0;
   while (head < work.size()) {
     if (static_cast<long>(res.updates) >= max_updates) break;
@@ -301,8 +326,8 @@ FixpointResult warm_departures(const TimingView& view, const ShiftTable& shifts,
       res.diverged = true;
       break;
     }
-    const int fo_end = view.fanout_end(i);
-    for (int f = view.fanout_begin(i); f < fo_end; ++f) {
+    const EdgeIndex fo_end = view.fanout_end(i);
+    for (EdgeIndex f = view.fanout_begin(i); f < fo_end; ++f) {
       const int dst = view.edge_dst(view.fanout_edge(f));
       if (!queued[static_cast<size_t>(dst)]) {
         queued[static_cast<size_t>(dst)] = true;
@@ -315,6 +340,14 @@ FixpointResult warm_departures(const TimingView& view, const ShiftTable& shifts,
     }
   }
   if (!res.diverged && head == work.size()) res.converged = true;
+  if (res.converged) {
+    res.status = FixpointStatus::kConverged;
+  } else if (res.diverged) {
+    res.status = FixpointStatus::kDiverged;
+  } else {
+    res.status = FixpointStatus::kSweepLimit;
+    res.residual = fixpoint_residual(view, shifts, res.departure);
+  }
   res.sweeps = (res.updates + l - 1) / std::max(1, l);
   res.stats.sweeps = res.sweeps;
   res.stats.solve_seconds = timer.seconds();
@@ -368,7 +401,8 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
   std::vector<int> work;
   work.push_back(path.to);
   queued[static_cast<size_t>(path.to)] = true;
-  const long max_updates = static_cast<long>(options.max_sweeps) * std::max(1, l);
+  const long max_updates =
+      static_cast<long>(options.effective_max_sweeps(l)) * std::max(1, l);
   size_t head = 0;
   while (head < work.size()) {
     if (static_cast<long>(res.updates) >= max_updates) break;
@@ -381,13 +415,14 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
     res.departure[static_cast<size_t>(i)] = v;
     if (v > bound) {
       res.diverged = true;
+      res.status = FixpointStatus::kDiverged;
       res.stats.solve_seconds = timer.seconds();
       res.stats.wall_seconds =
           res.stats.solve_seconds + view.build_seconds() + shifts.build_seconds();
       return res;
     }
-    const int fo_end = view.fanout_end(i);
-    for (int f = view.fanout_begin(i); f < fo_end; ++f) {
+    const EdgeIndex fo_end = view.fanout_end(i);
+    for (EdgeIndex f = view.fanout_begin(i); f < fo_end; ++f) {
       const int dst = view.edge_dst(view.fanout_edge(f));
       if (!queued[static_cast<size_t>(dst)]) {
         queued[static_cast<size_t>(dst)] = true;
@@ -396,6 +431,14 @@ FixpointResult incremental_update(const Circuit& circuit, const ClockSchedule& s
     }
   }
   if (head == work.size()) res.converged = true;
+  if (res.converged) {
+    res.status = FixpointStatus::kConverged;
+  } else if (res.diverged) {
+    res.status = FixpointStatus::kDiverged;
+  } else {
+    res.status = FixpointStatus::kSweepLimit;
+    res.residual = fixpoint_residual(view, shifts, res.departure);
+  }
   res.sweeps = (res.updates + l - 1) / std::max(1, l);
   res.stats.sweeps = res.sweeps;
   res.stats.solve_seconds = timer.seconds();

@@ -26,6 +26,8 @@
 // TimingView once and pass it in.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "model/circuit.h"
@@ -44,9 +46,33 @@ const char* to_string(UpdateScheme scheme);
 
 struct FixpointOptions {
   UpdateScheme scheme = UpdateScheme::kGaussSeidel;
-  int max_sweeps = 100000;
+  /// Sweep budget. <= 0 (the default) auto-scales with the element count via
+  /// effective_max_sweeps(): the old fixed default of 100000 silently capped
+  /// million-latch chains, whose Jacobi sweep count grows with depth.
+  /// Hitting the budget is reported as FixpointStatus::kSweepLimit with the
+  /// remaining residual — never as a plausible-looking converged result.
+  int max_sweeps = 0;
   double eps = 1e-9;
+
+  /// The sweep budget actually enforced for a circuit of `num_elements`
+  /// elements: max_sweeps when explicitly set, otherwise
+  /// max(100000, 4*l + 1024) so deep pipelines cannot exhaust it before
+  /// Jacobi information has crossed the circuit at least once.
+  int effective_max_sweeps(int num_elements) const {
+    if (max_sweeps > 0) return max_sweeps;
+    const long scaled = 4L * std::max(0, num_elements) + 1024L;
+    const long capped = std::max(100000L, scaled);
+    return static_cast<int>(std::min<long>(capped, std::numeric_limits<int>::max()));
+  }
 };
+
+/// Terminal state of one fixpoint solve. kSweepLimit is the "ran out of
+/// budget" outcome: NOT converged, NOT provably diverging — the caller must
+/// treat the departure vector as unusable and either raise the budget or
+/// report the failure (never silently accept it).
+enum class FixpointStatus { kConverged, kDiverged, kSweepLimit };
+
+const char* to_string(FixpointStatus status);
 
 struct FixpointResult {
   std::vector<double> departure;  // D_i at the fixpoint
@@ -54,7 +80,15 @@ struct FixpointResult {
   int updates = 0;                // individual D_i recomputations
   bool converged = false;
   bool diverged = false;          // departures blew past the divergence bound
+  /// Distinct terminal status; kSweepLimit means the sweep budget ran out
+  /// with `residual` improvement still outstanding.
+  FixpointStatus status = FixpointStatus::kSweepLimit;
+  /// max_i |F(D)_i - D_i| measured at exit when the sweep budget was
+  /// exhausted (one extra read-only relaxation pass); 0 otherwise.
+  double residual = 0.0;
   EngineStats stats;              // per-stage timing + relaxation counts
+
+  bool hit_sweep_limit() const { return status == FixpointStatus::kSweepLimit; }
 };
 
 /// Evaluate the right-hand side of eq. (17) for element `i` given current
@@ -76,6 +110,23 @@ FixpointResult compute_departures(const Circuit& circuit, const ClockSchedule& s
 FixpointResult compute_departures(const TimingView& view, const ShiftTable& shifts,
                                   std::vector<double> initial,
                                   const FixpointOptions& options = {});
+
+/// One read-only relaxation pass: max_i |F(D)_i - D_i| under eq. (17).
+/// Cheap (O(l+E)) and allocation-free; used to attach the outstanding
+/// residual to sweep-limited results, and by tests.
+double fixpoint_residual(const TimingView& view, const ShiftTable& shifts,
+                         const std::vector<double>& departure);
+
+/// The divergence guard shared by every scheme: any departure beyond this
+/// bound implies a positive loop (in one period a signal cannot legitimately
+/// accumulate more than every delay in the circuit plus a cycle of slack).
+double divergence_bound(const TimingView& view, const ShiftTable& shifts);
+
+/// The latch connectivity graph rebuilt from the view, edge-for-edge
+/// identical to Circuit::latch_graph() (insertion in path order keeps the
+/// SCC decomposition — and therefore the kSccOrdered / parallel sweep
+/// orders — unchanged).
+graph::Digraph latch_graph_of(const TimingView& view);
 
 /// Arrival times A_i (eq. 14) given fixed departures. Latches with no fanin
 /// get -infinity (the paper's "Δ == -inf for unconnected" convention).

@@ -1,0 +1,233 @@
+#include "sta/parallel_fixpoint.h"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mintc::sta {
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ParallelFixpoint::ParallelFixpoint(const TimingView& view,
+                                   const ParallelFixpointOptions& options)
+    : view_(view),
+      options_(options),
+      kernel_(resolve_relax_kernel(options.kernel)),
+      relax_fn_(relax_run_fn(options.kernel)),
+      scc_(graph::strongly_connected_components(latch_graph_of(view))),
+      pool_(resolve_threads(options.num_threads)) {
+  const int nc = scc_.num_components;
+  const EdgeIndex m = view.num_edges();
+  pred_template_.assign(static_cast<size_t>(nc), 0);
+  succ_offset_.assign(static_cast<size_t>(nc) + 1, 0);
+  // Two-pass CSR build over the cross-component edges of the latch graph.
+  EdgeIndex cross_edges = 0;
+  for (EdgeIndex e = 0; e < m; ++e) {
+    const int cs = scc_.component[static_cast<size_t>(view.edge_src(e))];
+    const int cd = scc_.component[static_cast<size_t>(view.edge_dst(e))];
+    if (cs == cd) continue;
+    ++succ_offset_[static_cast<size_t>(cs) + 1];
+    ++pred_template_[static_cast<size_t>(cd)];
+    ++cross_edges;
+  }
+  for (int c = 0; c < nc; ++c) {
+    succ_offset_[static_cast<size_t>(c) + 1] += succ_offset_[static_cast<size_t>(c)];
+  }
+  succ_.resize(static_cast<size_t>(cross_edges));
+  std::vector<EdgeIndex> cursor(succ_offset_.begin(), succ_offset_.end() - 1);
+  for (EdgeIndex e = 0; e < m; ++e) {
+    const int cs = scc_.component[static_cast<size_t>(view.edge_src(e))];
+    const int cd = scc_.component[static_cast<size_t>(view.edge_dst(e))];
+    if (cs == cd) continue;
+    succ_[static_cast<size_t>(cursor[static_cast<size_t>(cs)]++)] = cd;
+  }
+  for (int c = 0; c < nc; ++c) {
+    if (pred_template_[static_cast<size_t>(c)] == 0) roots_.push_back(c);
+  }
+  stats_.sccs = nc;
+  for (int c = 0; c < nc; ++c) {
+    if (scc_.nontrivial[static_cast<size_t>(c)]) ++stats_.nontrivial_sccs;
+  }
+  stats_.threads = pool_.num_threads();
+  stats_.kernel = kernel_;
+}
+
+// Everything one solve's tasks share. Plain members are written before the
+// root submissions and read-only afterwards; the departure vector is written
+// in disjoint per-component slices ordered by the pred-count release edges;
+// the atomics do the rest.
+struct ParallelFixpoint::SolveCtx {
+  const ShiftTable& shifts;
+  std::vector<double>& departure;
+  double eps;
+  double bound;
+  int max_sweeps;
+  std::vector<std::atomic<int>> pred;
+  std::atomic<std::int64_t> updates{0};
+  std::atomic<long> edge_relaxations{0};
+  std::atomic<int> max_shard_sweeps{0};
+  std::atomic<std::int64_t> tasks{0};
+  std::atomic<bool> diverged{false};
+  std::atomic<bool> sweep_limited{false};
+
+  SolveCtx(const ShiftTable& s, std::vector<double>& d, size_t num_components)
+      : shifts(s), departure(d), eps(0), bound(0), max_sweeps(0),
+        pred(num_components) {}
+};
+
+void ParallelFixpoint::process_component(SolveCtx& ctx, int comp) {
+  // Mirrors the kSccOrdered inner loop statement-for-statement (same member
+  // order, same eps deadband, same trivial-component early break, same
+  // "abort this component's sweep at the first divergent value") — the
+  // bit-identity gate in the determinism suite compares against it exactly.
+  const std::vector<int>& members = scc_.members[static_cast<size_t>(comp)];
+  std::vector<double>& d = ctx.departure;
+  std::int64_t local_updates = 0;
+  long local_relaxations = 0;
+  int local_sweeps = 0;
+  bool comp_diverged = false;
+  while (local_sweeps < ctx.max_sweeps) {
+    bool changed = false;
+    for (const int i : members) {
+      ++local_updates;
+      local_relaxations += static_cast<long>(view_.fanin_count(i));
+      const double v = relax_element(relax_fn_, view_, ctx.shifts, d, i);
+      if (std::fabs(v - d[static_cast<size_t>(i)]) > ctx.eps) changed = true;
+      d[static_cast<size_t>(i)] = v;
+      if (v > ctx.bound) {
+        comp_diverged = true;
+        break;
+      }
+    }
+    if (comp_diverged) break;
+    ++local_sweeps;
+    if (!changed) break;
+    if (!scc_.nontrivial[static_cast<size_t>(comp)]) break;
+  }
+  if (comp_diverged) ctx.diverged.store(true, std::memory_order_relaxed);
+  if (local_sweeps >= ctx.max_sweeps) {
+    ctx.sweep_limited.store(true, std::memory_order_relaxed);
+  }
+  ctx.updates.fetch_add(local_updates, std::memory_order_relaxed);
+  ctx.edge_relaxations.fetch_add(local_relaxations, std::memory_order_relaxed);
+  int seen = ctx.max_shard_sweeps.load(std::memory_order_relaxed);
+  while (seen < local_sweeps &&
+         !ctx.max_shard_sweeps.compare_exchange_weak(seen, local_sweeps,
+                                                     std::memory_order_relaxed)) {
+  }
+}
+
+void ParallelFixpoint::run_chain(SolveCtx& ctx, int comp) {
+  // Process `comp`, then chase one newly-ready successor inline and fork the
+  // surplus. A linear dependency spine (deep pipeline) therefore runs as one
+  // task; submissions happen only where the DAG genuinely widens.
+  int c = comp;
+  for (;;) {
+    process_component(ctx, c);
+    int next = -1;
+    const EdgeIndex s_end = succ_offset_[static_cast<size_t>(c) + 1];
+    for (EdgeIndex s = succ_offset_[static_cast<size_t>(c)]; s < s_end; ++s) {
+      const int t = succ_[static_cast<size_t>(s)];
+      // acq_rel: the final decrement observes every upstream component's
+      // stores (their decrements released them), and releases our own to
+      // whichever thread runs t.
+      if (ctx.pred[static_cast<size_t>(t)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        if (next < 0) {
+          next = t;
+        } else {
+          ctx.tasks.fetch_add(1, std::memory_order_relaxed);
+          pool_.submit([this, &ctx, t] { run_chain(ctx, t); });
+        }
+      }
+    }
+    if (next < 0) return;
+    c = next;
+  }
+}
+
+FixpointResult ParallelFixpoint::solve(const ShiftTable& shifts,
+                                       std::vector<double> initial) {
+  const int l = view_.num_elements();
+  assert(static_cast<int>(initial.size()) == l);
+  assert(shifts.num_phases() >= view_.num_phases());
+  const StageTimer timer;
+  const obs::TraceSpan span("parallel_fixpoint.solve", "sta");
+  FixpointResult res;
+  res.departure = std::move(initial);
+
+  SolveCtx ctx(shifts, res.departure, static_cast<size_t>(scc_.num_components));
+  ctx.eps = options_.fixpoint.eps;
+  ctx.bound = divergence_bound(view_, shifts);
+  ctx.max_sweeps = options_.fixpoint.effective_max_sweeps(l);
+  for (int c = 0; c < scc_.num_components; ++c) {
+    ctx.pred[static_cast<size_t>(c)].store(pred_template_[static_cast<size_t>(c)],
+                                           std::memory_order_relaxed);
+  }
+
+  const std::int64_t steals_before = pool_.steal_count();
+  ctx.tasks.store(static_cast<std::int64_t>(roots_.size()),
+                  std::memory_order_relaxed);
+  for (const int root : roots_) {
+    pool_.submit([this, &ctx, root] { run_chain(ctx, root); });
+  }
+  pool_.wait();
+
+  res.updates = static_cast<int>(ctx.updates.load(std::memory_order_relaxed));
+  res.stats.edge_relaxations = ctx.edge_relaxations.load(std::memory_order_relaxed);
+  res.sweeps = ctx.max_shard_sweeps.load(std::memory_order_relaxed);
+  res.diverged = ctx.diverged.load(std::memory_order_relaxed);
+  // Same status priority as the scalar scheme's finish(): divergence trumps
+  // the sweep budget, which trumps convergence.
+  if (res.diverged) {
+    res.status = FixpointStatus::kDiverged;
+  } else if (ctx.sweep_limited.load(std::memory_order_relaxed)) {
+    res.status = FixpointStatus::kSweepLimit;
+    res.residual = fixpoint_residual(view_, shifts, res.departure);
+  } else {
+    res.converged = true;
+    res.status = FixpointStatus::kConverged;
+  }
+  res.stats.sweeps = res.sweeps;
+  res.stats.solve_seconds = timer.seconds();
+  res.stats.wall_seconds = res.stats.solve_seconds;
+
+  stats_.max_shard_sweeps = res.sweeps;
+  stats_.tasks = ctx.tasks.load(std::memory_order_relaxed);
+  stats_.steals = pool_.steal_count() - steals_before;
+
+  auto& reg = obs::MetricsRegistry::instance();
+  const char* kernel_name = to_string(kernel_);
+  reg.counter("parallel.solves", {{"kernel", kernel_name}}).inc();
+  reg.counter("parallel.sccs").inc(stats_.sccs);
+  reg.counter("parallel.tasks").inc(stats_.tasks);
+  reg.counter("parallel.steals").inc(stats_.steals);
+  reg.gauge("parallel.threads").set(static_cast<double>(stats_.threads));
+  reg.histogram("parallel.shard_sweeps").observe(static_cast<double>(res.sweeps));
+  reg.counter("fixpoint.solves", {{"scheme", "parallel"}}).inc();
+  reg.counter("fixpoint.sweeps", {{"scheme", "parallel"}}).inc(res.sweeps);
+  reg.counter("fixpoint.edge_relaxations", {{"scheme", "parallel"}})
+      .inc(res.stats.edge_relaxations);
+  return res;
+}
+
+FixpointResult compute_departures_parallel(const TimingView& view, const ShiftTable& shifts,
+                                           std::vector<double> initial,
+                                           const ParallelFixpointOptions& options) {
+  ParallelFixpoint engine(view, options);
+  return engine.solve(shifts, std::move(initial));
+}
+
+}  // namespace mintc::sta

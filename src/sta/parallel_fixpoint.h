@@ -1,0 +1,131 @@
+// Parallel eq. (17) fixpoint engine: SCC partition + work-stealing topology
+// scheduling + vectorized shard relaxation.
+//
+// The scalar kSccOrdered scheme (fixpoint.cpp) already exploits the key
+// structural fact — eq. (17) only couples latches within a strongly
+// connected component of the latch graph, so each SCC can be solved to its
+// local fixpoint once its upstream SCCs are done. This engine is the same
+// algorithm with the two sequential bottlenecks removed:
+//
+//   * independent SCCs run concurrently on a base::ThreadPool, released in
+//     topological order by per-component predecessor counts (one task
+//     "chains" down its dependency spine inline and only forks surplus
+//     newly-ready components, so a deep pipeline costs O(fork points) task
+//     submissions, not O(components));
+//   * the per-latch fan-in reduction runs through the relax_kernel trait
+//     (portable scalar or runtime-dispatched AVX2 gathers).
+//
+// Bit-identity contract (tested, not aspirational): for a CONVERGENT solve,
+// the departure vector is bitwise identical to UpdateScheme::kSccOrdered at
+// every thread count and kernel choice. The argument:
+//
+//   1. A component's relaxations read only departures of its own members
+//      (same Gauss-Seidel member order as the scalar scheme) and of upstream
+//      components, which are fully converged — and therefore hold exactly
+//      the scalar run's values — before the component is released. The
+//      release is the synchronization edge: the final predecessor-count
+//      decrement (acq_rel) plus the pool's queue handoff order every
+//      upstream store before every downstream load.
+//   2. Components never share members, so concurrent shards write disjoint
+//      slices of the departure vector.
+//   3. The AVX2 kernel preserves the scalar per-lane add order and max is
+//      exact (relax_kernel.h), so the shard-local arithmetic is identical.
+//
+// On DIVERGENCE the two engines legitimately differ in everything but the
+// verdict: the scalar scheme abandons the whole solve at the first value
+// over the bound, while this engine stops only the offending component and
+// finishes the rest of the schedule (aborting siblings on a shared flag
+// would make the final vector depend on thread timing). The resulting
+// departure vector is still deterministic for a fixed circuit — every
+// component's local solve is a deterministic function of its upstream
+// values — but it is NOT the scalar scheme's vector; only status/diverged
+// agree, which is what callers act on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "graph/scc.h"
+#include "model/timing_view.h"
+#include "sta/fixpoint.h"
+#include "sta/relax_kernel.h"
+
+namespace mintc::sta {
+
+struct ParallelFixpointOptions {
+  /// Worker count. <= 0 picks std::thread::hardware_concurrency().
+  int num_threads = 1;
+  /// Inner-loop kernel; kAuto resolves to AVX2 when the host supports it.
+  RelaxKernelKind kernel = RelaxKernelKind::kAuto;
+  /// Sweep budget per component and convergence deadband, with exactly the
+  /// FixpointOptions semantics (max_sweeps <= 0 auto-scales; see
+  /// FixpointOptions::effective_max_sweeps). `scheme` is ignored — this
+  /// engine is kSccOrdered by construction.
+  FixpointOptions fixpoint;
+};
+
+/// Per-solve scheduler observability, also exported as obs metrics
+/// (parallel.* counters/histograms) by solve().
+struct ParallelSolveStats {
+  int sccs = 0;             // components in the partition
+  int nontrivial_sccs = 0;  // components containing a cycle
+  int threads = 0;          // workers actually used
+  int max_shard_sweeps = 0; // deepest local sweep count over all shards
+  std::int64_t tasks = 0;   // pool submissions (roots + surplus forks)
+  std::int64_t steals = 0;  // cross-deque takes during this solve
+  RelaxKernelKind kernel = RelaxKernelKind::kScalar;  // resolved kernel
+};
+
+/// Reusable engine bound to one TimingView's STRUCTURE: the SCC partition
+/// and its condensation CSR are built once in the constructor and amortized
+/// across solves (delay/Tc edits change edge constants, not edges, so
+/// sessions re-solve against the same plan). The view must outlive the
+/// engine; structural invalidation (a different circuit) requires a new
+/// ParallelFixpoint.
+class ParallelFixpoint {
+ public:
+  ParallelFixpoint(const TimingView& view, const ParallelFixpointOptions& options = {});
+
+  /// One full solve from `initial` (zeros for analysis, LP departures for
+  /// MLP sliding). Same result contract as compute_departures with
+  /// kSccOrdered — see the bit-identity notes above.
+  FixpointResult solve(const ShiftTable& shifts, std::vector<double> initial);
+
+  /// Scheduler counters of the most recent solve().
+  const ParallelSolveStats& last_stats() const { return stats_; }
+
+  int num_threads() const { return pool_.num_threads(); }
+  int num_components() const { return scc_.num_components; }
+  RelaxKernelKind kernel() const { return kernel_; }
+
+ private:
+  struct SolveCtx;
+
+  void run_chain(SolveCtx& ctx, int comp);
+  void process_component(SolveCtx& ctx, int comp);
+
+  const TimingView& view_;
+  ParallelFixpointOptions options_;
+  RelaxKernelKind kernel_;
+  RelaxRunFn relax_fn_;
+  graph::SccResult scc_;
+  // Condensation in CSR form: cross-component successor lists with edge
+  // multiplicity preserved (pred counts use the same multiplicity, so the
+  // component becomes ready exactly when its last cross edge resolves —
+  // no dedup pass needed).
+  std::vector<EdgeIndex> succ_offset_;
+  std::vector<int> succ_;
+  std::vector<int> pred_template_;
+  std::vector<int> roots_;
+  base::ThreadPool pool_;
+  ParallelSolveStats stats_;
+};
+
+/// Convenience wrapper: build a throwaway engine and solve once. Prefer
+/// owning a ParallelFixpoint when solving repeatedly against one view.
+FixpointResult compute_departures_parallel(const TimingView& view, const ShiftTable& shifts,
+                                           std::vector<double> initial,
+                                           const ParallelFixpointOptions& options = {});
+
+}  // namespace mintc::sta

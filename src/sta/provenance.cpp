@@ -37,8 +37,8 @@ ProvenanceReport constraint_provenance(const Circuit& circuit, const ClockSchedu
     DepartureOrigin& origin = rep.origins[static_cast<size_t>(i)];
     origin.element = i;
     if (!view.is_latch(i)) continue;  // flip-flop departures are pinned to 0
-    const int end = view.fanin_end(i);
-    for (int e = view.fanin_begin(i); e < end; ++e) {
+    const EdgeIndex end = view.fanin_end(i);
+    for (EdgeIndex e = view.fanin_begin(i); e < end; ++e) {
       const double term = departure[static_cast<size_t>(view.edge_src(e))] +
                           view.edge_max_const(e) + shifts.at(view.edge_shift(e));
       // The winning term: the largest one that reaches D_i (within eps).

@@ -1,0 +1,108 @@
+#include "sta/relax_kernel.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MINTC_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define MINTC_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace mintc::sta {
+
+const char* to_string(RelaxKernelKind kind) {
+  switch (kind) {
+    case RelaxKernelKind::kAuto:
+      return "auto";
+    case RelaxKernelKind::kScalar:
+      return "scalar";
+    case RelaxKernelKind::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+double relax_run_scalar(const double* departure, const int* src,
+                        const double* max_const, const int* shift_index,
+                        const double* shift_data, EdgeIndex begin, EdgeIndex end,
+                        double seed) {
+  double best = seed;
+  for (EdgeIndex e = begin; e < end; ++e) {
+    const size_t u = static_cast<size_t>(e);
+    const double a =
+        departure[src[u]] + max_const[u] + shift_data[shift_index[u]];
+    if (a > best) best = a;
+  }
+  return best;
+}
+
+#if MINTC_HAVE_AVX2_KERNEL
+
+__attribute__((target("avx2"))) static double relax_run_avx2(
+    const double* departure, const int* src, const double* max_const,
+    const int* shift_index, const double* shift_data, EdgeIndex begin,
+    EdgeIndex end, double seed) {
+  EdgeIndex e = begin;
+  double best = seed;
+  if (end - e >= 4) {
+    // Four lanes of (d + c) + s, the scalar add order preserved per lane; the
+    // lane/tail maxes reassociate only the exact max reduction.
+    __m256d acc = _mm256_set1_pd(seed);
+    // The all-lanes masked gather, not _mm256_i32gather_pd: the plain form
+    // expands through _mm256_undefined_pd(), which GCC 12 flags as
+    // maybe-uninitialized under -Werror.
+    const __m256d gather_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    for (; e + 4 <= end; e += 4) {
+      const size_t u = static_cast<size_t>(e);
+      const __m128i src_idx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + u));
+      const __m128i shift_idx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(shift_index + u));
+      const __m256d d = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), departure,
+                                                 src_idx, gather_mask, 8);
+      const __m256d c = _mm256_loadu_pd(max_const + u);
+      const __m256d s = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), shift_data,
+                                                 shift_idx, gather_mask, 8);
+      acc = _mm256_max_pd(acc, _mm256_add_pd(_mm256_add_pd(d, c), s));
+    }
+    const __m128d lo = _mm256_castpd256_pd128(acc);
+    const __m128d hi = _mm256_extractf128_pd(acc, 1);
+    const __m128d m2 = _mm_max_pd(lo, hi);
+    const __m128d m1 = _mm_max_sd(m2, _mm_unpackhi_pd(m2, m2));
+    best = _mm_cvtsd_f64(m1);
+  }
+  return relax_run_scalar(departure, src, max_const, shift_index, shift_data, e,
+                          end, best);
+}
+
+static bool host_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+static bool host_has_avx2() { return false; }
+
+#endif  // MINTC_HAVE_AVX2_KERNEL
+
+RelaxKernelKind resolve_relax_kernel(RelaxKernelKind kind) {
+  if (kind == RelaxKernelKind::kAuto) {
+    return host_has_avx2() ? RelaxKernelKind::kAvx2 : RelaxKernelKind::kScalar;
+  }
+  if (kind == RelaxKernelKind::kAvx2 && !host_has_avx2()) {
+    return RelaxKernelKind::kScalar;
+  }
+  return kind;
+}
+
+RelaxRunFn relax_run_fn(RelaxKernelKind kind) {
+#if MINTC_HAVE_AVX2_KERNEL
+  if (resolve_relax_kernel(kind) == RelaxKernelKind::kAvx2) {
+    return &relax_run_avx2;
+  }
+#else
+  (void)kind;
+#endif
+  return &relax_run_scalar;
+}
+
+}  // namespace mintc::sta

@@ -350,11 +350,30 @@ const TimingReport& AnalysisSession::analyze() {
 
   bool rebuilt = false;
   if (!view_ || structural_dirty_) {
+    parallel_.reset();
     view_.emplace(circuit_);
     shifts_.emplace(schedule_);
     rebuilt = true;
   }
   const int l = circuit_.num_elements();
+
+  // Cold solve through the engine AnalysisOptions selects: the scalar scheme
+  // by default, the SCC-parallel engine when num_threads >= 1. Warm starts
+  // stay on the scalar event-driven path — they touch a handful of latches,
+  // far below the parallel engine's useful granularity.
+  const auto cold_solve = [&]() -> FixpointResult {
+    std::vector<double> zeros(static_cast<size_t>(l), 0.0);
+    if (options_.num_threads >= 1) {
+      if (!parallel_) {
+        ParallelFixpointOptions popt;
+        popt.num_threads = options_.num_threads;
+        popt.fixpoint = options_.fixpoint;
+        parallel_.emplace(*view_, popt);
+      }
+      return parallel_->solve(*shifts_, std::move(zeros));
+    }
+    return compute_departures(*view_, *shifts_, std::move(zeros), options_.fixpoint);
+  };
 
   // Warm start is sound only for a monotone-nondecreasing perturbation of a
   // previously converged system on the same structure (see header).
@@ -370,7 +389,7 @@ const TimingReport& AnalysisSession::analyze() {
       // one relaxation pass over an already-solved vector.
       for (int i = 0; i < l; ++i) seeds_.push_back(i);
     } else {
-      for (const int e : view_->dirty_edges()) seeds_.push_back(view_->edge_dst(e));
+      for (const EdgeIndex e : view_->dirty_edges()) seeds_.push_back(view_->edge_dst(e));
     }
     // The previous departure vector is consumed (moved) as the warm start;
     // report_ is stale either way and gets rebuilt below.
@@ -379,19 +398,16 @@ const TimingReport& AnalysisSession::analyze() {
     warm = fp.converged;
   }
   if (!warm) {
-    fp = compute_departures(*view_, *shifts_,
-                            std::vector<double>(static_cast<size_t>(l), 0.0),
-                            options_.fixpoint);
+    fp = cold_solve();
     if (!fp.converged && !rebuilt) {
       // The incrementally maintained divergence bound can drift by ulps from
       // a fresh build's; on the (rare) non-converged path, rebuild and rerun
       // so even the divergence diagnostics match a cold analysis exactly.
+      parallel_.reset();
       view_.emplace(circuit_);
       shifts_.emplace(schedule_);
       rebuilt = true;
-      fp = compute_departures(*view_, *shifts_,
-                              std::vector<double>(static_cast<size_t>(l), 0.0),
-                              options_.fixpoint);
+      fp = cold_solve();
     }
   }
 
@@ -492,8 +508,8 @@ void AnalysisSession::refresh_report_warm(FixpointResult fp) {
       const Element& e = circuit_.element(i);
       ElementTiming& t = rep.elements[static_cast<size_t>(i)];
       double earliest_next = kInf;
-      const int fi_end = view.fanin_end(i);
-      for (int fe = view.fanin_begin(i); fe < fi_end; ++fe) {
+      const EdgeIndex fi_end = view.fanin_end(i);
+      for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
         const double a = early_.departure[static_cast<size_t>(view.edge_src(fe))] +
                          view.edge_min_const(fe) + shifts.at(view.edge_shift(fe));
         earliest_next = std::min(earliest_next, schedule_.cycle + a);

@@ -1,0 +1,107 @@
+// Work-stealing thread pool used by the parallel fixpoint engine.
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+namespace mintc::base {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(pool.executed_count(), 1000);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  pool.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitCoversNestedSubmissions) {
+  // A task submitting follow-up work transitively: wait() must not return
+  // until the whole tree ran. Three levels, fanout 4 -> 1 + 4 + 16 + 64.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    if (depth == 0) return;
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  pool.submit([&spawn] { spawn(3); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1 + 4 + 16 + 64);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndExternalThreadGetsMinusOne) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_index(), -1);  // the test thread is not a worker
+  std::mutex mu;
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&] {
+      const int idx = pool.worker_index();
+      const std::lock_guard<std::mutex> lk(mu);
+      seen.insert(idx);
+    });
+  }
+  pool.wait();
+  for (const int idx : seen) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 3);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait(): ~ThreadPool must finish the backlog before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, StealCounterOnlyMovesForward) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.steal_count(), 0);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  const std::int64_t after = pool.steal_count();
+  EXPECT_GE(after, 0);
+  EXPECT_LE(after, pool.executed_count());
+}
+
+}  // namespace
+}  // namespace mintc::base

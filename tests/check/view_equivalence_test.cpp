@@ -54,6 +54,9 @@ FixpointResult legacy_compute_departures(const Circuit& circuit, const ClockSche
   const int l = circuit.num_elements();
   FixpointResult res;
   res.departure = std::move(initial);
+  // Resolve the auto-scaling budget exactly as the engine does, so both
+  // sides run under the same sweep cap.
+  const int max_sweeps = options.effective_max_sweeps(l);
   const double bound = legacy_divergence_bound(circuit, schedule);
   const auto diverged = [&](double v) { return v > bound; };
   const auto relax = [&](int i) {
@@ -64,7 +67,7 @@ FixpointResult legacy_compute_departures(const Circuit& circuit, const ClockSche
   switch (options.scheme) {
     case UpdateScheme::kJacobi: {
       std::vector<double> next(static_cast<size_t>(l), 0.0);
-      for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+      for (res.sweeps = 0; res.sweeps < max_sweeps; ++res.sweeps) {
         bool changed = false;
         for (int i = 0; i < l; ++i) {
           next[static_cast<size_t>(i)] = relax(i);
@@ -88,7 +91,7 @@ FixpointResult legacy_compute_departures(const Circuit& circuit, const ClockSche
       return res;
     }
     case UpdateScheme::kGaussSeidel: {
-      for (res.sweeps = 0; res.sweeps < options.max_sweeps; ++res.sweeps) {
+      for (res.sweeps = 0; res.sweeps < max_sweeps; ++res.sweeps) {
         bool changed = false;
         for (int i = 0; i < l; ++i) {
           const double v = relax(i);
@@ -112,7 +115,7 @@ FixpointResult legacy_compute_departures(const Circuit& circuit, const ClockSche
       for (int comp = scc.num_components - 1; comp >= 0; --comp) {
         const std::vector<int>& members = scc.members[static_cast<size_t>(comp)];
         int local_sweeps = 0;
-        while (local_sweeps < options.max_sweeps) {
+        while (local_sweeps < max_sweeps) {
           bool changed = false;
           for (const int i : members) {
             const double v = relax(i);
@@ -130,7 +133,7 @@ FixpointResult legacy_compute_departures(const Circuit& circuit, const ClockSche
           if (!scc.nontrivial[static_cast<size_t>(comp)]) break;
         }
         res.sweeps = std::max(res.sweeps, local_sweeps);
-        if (local_sweeps >= options.max_sweeps) return res;
+        if (local_sweeps >= max_sweeps) return res;
       }
       res.converged = true;
       return res;
@@ -140,7 +143,7 @@ FixpointResult legacy_compute_departures(const Circuit& circuit, const ClockSche
       std::vector<int> work;
       work.reserve(static_cast<size_t>(l));
       for (int i = 0; i < l; ++i) work.push_back(i);
-      const long max_updates = static_cast<long>(options.max_sweeps) * std::max(1, l);
+      const long max_updates = static_cast<long>(max_sweeps) * std::max(1, l);
       size_t head = 0;
       while (head < work.size()) {
         if (static_cast<long>(res.updates) >= max_updates) return res;

@@ -1,0 +1,54 @@
+// ShiftTable's phase accessors take 1-based phase indices; debug builds
+// assert the range. Death tests only compile where assert() is live —
+// RelWithDebInfo defines NDEBUG, so the whole suite is gated.
+#include <gtest/gtest.h>
+
+#include "model/timing_view.h"
+
+namespace mintc {
+namespace {
+
+ShiftTable two_phase_table() {
+  return ShiftTable(symmetric_schedule(2, 100.0, 0.5));
+}
+
+TEST(ShiftBounds, InRangeAccessorsWork) {
+  const ShiftTable t = two_phase_table();
+  EXPECT_EQ(t.num_phases(), 2);
+  // All four in-range (i, j) pairs and the phase accessors succeed.
+  for (int i = 1; i <= 2; ++i) {
+    for (int j = 1; j <= 2; ++j) {
+      (void)t.shift(i, j);
+      (void)t.at((i - 1) * 2 + (j - 1));
+    }
+    (void)t.start(i);
+    (void)t.width(i);
+  }
+}
+
+#ifndef NDEBUG
+
+using ShiftBoundsDeathTest = ::testing::Test;
+
+TEST(ShiftBoundsDeathTest, ZeroBasedPhaseIsCaught) {
+  const ShiftTable t = two_phase_table();
+  // The classic off-by-one this guards: passing a 0-based phase index.
+  EXPECT_DEATH((void)t.shift(0, 1), "phase i out of range");
+  EXPECT_DEATH((void)t.shift(1, 0), "phase j out of range");
+  EXPECT_DEATH((void)t.start(0), "out of range");
+  EXPECT_DEATH((void)t.width(0), "out of range");
+}
+
+TEST(ShiftBoundsDeathTest, PastTheEndPhaseIsCaught) {
+  const ShiftTable t = two_phase_table();
+  EXPECT_DEATH((void)t.shift(3, 1), "phase i out of range");
+  EXPECT_DEATH((void)t.shift(1, 3), "phase j out of range");
+  EXPECT_DEATH((void)t.start(3), "out of range");
+  EXPECT_DEATH((void)t.at(4), "flat shift index out of range");
+  EXPECT_DEATH((void)t.at(-1), "flat shift index out of range");
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace mintc

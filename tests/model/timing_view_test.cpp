@@ -33,7 +33,7 @@ void expect_view_matches(const Circuit& c) {
     const std::vector<int>& fin = c.fanin(i);
     ASSERT_EQ(v.fanin_count(i), static_cast<int>(fin.size()));
     for (size_t k = 0; k < fin.size(); ++k) {
-      const int e_id = v.fanin_begin(i) + static_cast<int>(k);
+      const EdgeIndex e_id = v.fanin_begin(i) + static_cast<EdgeIndex>(k);
       const CombPath& path = c.path(fin[k]);
       EXPECT_EQ(v.edge_path(e_id), fin[k]);
       EXPECT_EQ(v.edge_of_path(fin[k]), e_id);
@@ -50,7 +50,7 @@ void expect_view_matches(const Circuit& c) {
     const std::vector<int>& fout = c.fanout(i);
     ASSERT_EQ(v.fanout_end(i) - v.fanout_begin(i), static_cast<int>(fout.size()));
     for (size_t k = 0; k < fout.size(); ++k) {
-      const int e_id = v.fanout_edge(v.fanout_begin(i) + static_cast<int>(k));
+      const EdgeIndex e_id = v.fanout_edge(v.fanout_begin(i) + static_cast<EdgeIndex>(k));
       EXPECT_EQ(v.edge_path(e_id), fout[k]);
       EXPECT_EQ(v.edge_src(e_id), i);
       EXPECT_EQ(v.edge_dst(e_id), c.path(fout[k]).to);

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/scc.h"
+#include "model/timing_view.h"
 #include "netlist/extract.h"
 #include "opt/mlp.h"
 #include "sta/analysis.h"
+#include "sta/fixpoint.h"
 
 namespace mintc::netlist {
 namespace {
@@ -78,6 +81,116 @@ TEST(Generators, MultiPhaseVariant) {
   const auto r = opt::minimize_cycle_time(*circuit);
   ASSERT_TRUE(r) << r.error().to_string();
   EXPECT_TRUE(sta::check_schedule(*circuit, r->schedule).feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Large-scale timing-graph generators (deep pipelines, meshes, SCC soups).
+// Scaled-down configs here; the 10^5..10^6 shapes run in
+// bench_parallel_fixpoint.
+// ---------------------------------------------------------------------------
+
+graph::SccResult sccs_of(const Circuit& c) {
+  const TimingView view(c);
+  return graph::strongly_connected_components(sta::latch_graph_of(view));
+}
+
+TEST(LargeGenerators, DeepPipelineShape) {
+  DeepPipelineConfig cfg;
+  cfg.depth = 20;
+  cfg.width = 5;
+  cfg.fanin = 2;
+  cfg.num_phases = 2;
+  const Circuit c = make_deep_pipeline(cfg);
+  EXPECT_EQ(c.num_elements(), 100);
+  // Every stage after the first contributes width * fanin edges; no ring.
+  EXPECT_EQ(c.num_paths(), 19 * 5 * 2);
+  EXPECT_TRUE(c.validate().empty());
+  // Acyclic: all components trivial.
+  const graph::SccResult scc = sccs_of(c);
+  EXPECT_EQ(scc.num_components, c.num_elements());
+  // Closing the ring makes the whole pipeline one component.
+  cfg.ring = true;
+  const graph::SccResult ring_scc = sccs_of(make_deep_pipeline(cfg));
+  EXPECT_EQ(ring_scc.num_components, 1);
+}
+
+TEST(LargeGenerators, MeshShape) {
+  MeshConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 6;
+  const Circuit c = make_mesh(cfg);
+  EXPECT_EQ(c.num_elements(), 48);
+  // Right edges: rows * (cols-1); down edges: (rows-1) * cols.
+  EXPECT_EQ(c.num_paths(), 8 * 5 + 7 * 6);
+  EXPECT_TRUE(c.validate().empty());
+  const graph::SccResult scc = sccs_of(c);
+  EXPECT_EQ(scc.num_components, c.num_elements());  // DAG: all trivial
+}
+
+TEST(LargeGenerators, SccSoupShape) {
+  SccSoupConfig cfg;
+  cfg.num_sccs = 30;
+  cfg.scc_size = 4;
+  cfg.cross_edges = 50;
+  const Circuit c = make_scc_soup(cfg);
+  EXPECT_EQ(c.num_elements(), 120);
+  EXPECT_EQ(c.num_paths(), 30 * 4 + 50);
+  EXPECT_TRUE(c.validate().empty());
+  const graph::SccResult scc = sccs_of(c);
+  EXPECT_EQ(scc.num_components, 30);
+  int nontrivial = 0;
+  for (int s = 0; s < scc.num_components; ++s) {
+    nontrivial += scc.nontrivial[static_cast<size_t>(s)] ? 1 : 0;
+  }
+  EXPECT_EQ(nontrivial, 30);  // cross edges go low->high ring, never merge
+}
+
+TEST(LargeGenerators, DeterministicAcrossCalls) {
+  SccSoupConfig cfg;
+  cfg.num_sccs = 10;
+  cfg.scc_size = 3;
+  cfg.cross_edges = 20;
+  cfg.seed = 42;
+  const Circuit a = make_scc_soup(cfg);
+  const Circuit b = make_scc_soup(cfg);
+  ASSERT_EQ(a.num_paths(), b.num_paths());
+  for (int p = 0; p < a.num_paths(); ++p) {
+    EXPECT_EQ(a.path(p).from, b.path(p).from);
+    EXPECT_EQ(a.path(p).to, b.path(p).to);
+  }
+  cfg.seed = 43;
+  const Circuit other = make_scc_soup(cfg);
+  bool differs = other.num_paths() != a.num_paths();
+  for (int p = 0; !differs && p < a.num_paths(); ++p) {
+    differs = other.path(p).from != a.path(p).from ||
+              other.path(p).to != a.path(p).to;
+  }
+  EXPECT_TRUE(differs);  // the seed actually feeds the topology
+}
+
+TEST(LargeGenerators, ConvergeUnderTheGeneratorSchedule) {
+  // generator_schedule's Tc > k * (dq + delay) bound makes every loop's gain
+  // strictly negative for all three families (see generators.h).
+  DeepPipelineConfig pipe;
+  pipe.depth = 30;
+  pipe.width = 4;
+  pipe.ring = true;
+  MeshConfig mesh;
+  mesh.rows = 10;
+  mesh.cols = 10;
+  SccSoupConfig soup;
+  soup.num_sccs = 20;
+  soup.scc_size = 5;
+  soup.cross_edges = 40;
+  const Circuit circuits[] = {make_deep_pipeline(pipe), make_mesh(mesh),
+                              make_scc_soup(soup)};
+  const double dq = pipe.dq;     // all three share the default timing params
+  const double delay = pipe.delay;
+  for (const Circuit& c : circuits) {
+    const ClockSchedule sch = generator_schedule(c.num_phases(), dq, delay);
+    const sta::TimingReport rep = sta::check_schedule(c, sch);
+    EXPECT_TRUE(rep.converged) << c.name();
+  }
 }
 
 }  // namespace
