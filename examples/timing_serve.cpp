@@ -1,0 +1,129 @@
+// timing_serve — the timing-analysis-as-a-service daemon.
+//
+// Hosts a serve::TimingService (warm AnalysisSession pool + result cache)
+// behind a serve::SocketServer speaking the line-delimited JSON protocol
+// (src/serve/protocol.h) on a Unix-domain socket and/or loopback TCP.
+//
+//   timing_serve --unix /tmp/mintc.sock            # unix socket
+//   timing_serve --port 0                          # ephemeral TCP port
+//   timing_serve --unix s.sock --port 7317 --threads 8 --cache-mb 64
+//
+// Prints one "listening on ..." line per bound address (flushed, so
+// wrapper scripts can wait for it), then serves until SIGINT/SIGTERM.
+// --stop-after <sec> exits on its own (CI smoke jobs); --metrics-out
+// dumps the obs metrics registry on shutdown.
+//
+// Talk to it with timing_client, timing_tool --remote, or plain nc:
+//   echo '{"verb":"load","circuit":"e1","builtin":"example1"}' | nc -U s.sock
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "obs/export.h"
+#include "serve/server.h"
+#include "serve/service.h"
+
+using namespace mintc;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::printf(
+      "usage: timing_serve [--unix <path>] [--port <p>] [--threads <N>]\n"
+      "                    [--cache-mb <M>] [--session-mb <M>]\n"
+      "                    [--analyze-threads <N>] [--max-frame-mb <M>]\n"
+      "                    [--stop-after <sec>] [--metrics-out <file>]\n"
+      "  --port 0 picks an ephemeral port (printed). With no listener flags,\n"
+      "  defaults to --port 0.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerConfig server_config;
+  serve::ServiceConfig service_config;
+  std::string metrics_out;
+  long stop_after_sec = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      server_config.unix_path = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      server_config.tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && has_value) {
+      server_config.num_threads = std::atoi(argv[++i]);
+    } else if (arg == "--cache-mb" && has_value) {
+      service_config.cache_bytes = static_cast<size_t>(std::atol(argv[++i])) << 20;
+    } else if (arg == "--session-mb" && has_value) {
+      service_config.session_bytes = static_cast<size_t>(std::atol(argv[++i])) << 20;
+    } else if (arg == "--analyze-threads" && has_value) {
+      service_config.analyze_threads = std::atoi(argv[++i]);
+    } else if (arg == "--max-frame-mb" && has_value) {
+      service_config.max_frame_bytes = static_cast<size_t>(std::atol(argv[++i])) << 20;
+      server_config.max_frame_bytes = service_config.max_frame_bytes;
+    } else if (arg == "--stop-after" && has_value) {
+      stop_after_sec = std::atol(argv[++i]);
+    } else if (arg == "--metrics-out" && has_value) {
+      metrics_out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (server_config.unix_path.empty() && server_config.tcp_port < 0) {
+    server_config.tcp_port = 0;  // ephemeral loopback by default
+  }
+
+  serve::TimingService service(service_config);
+  serve::SocketServer server(service, server_config);
+  const Expected<bool> started = server.start();
+  if (!started) {
+    std::fprintf(stderr, "error: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+  if (!server.unix_path().empty()) {
+    std::printf("listening on unix:%s\n", server.unix_path().c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("listening on 127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  long elapsed_ms = 0;
+  while (!g_stop) {
+    struct timespec ts{0, 200 * 1000 * 1000};
+    ::nanosleep(&ts, nullptr);
+    elapsed_ms += 200;
+    if (stop_after_sec > 0 && elapsed_ms >= stop_after_sec * 1000) break;
+  }
+
+  server.stop();
+
+  const serve::ResultCache::Stats cs = service.cache().stats();
+  const serve::TimingService::PoolStats ps = service.pool_stats();
+  const long lookups = cs.hits + cs.misses;
+  std::printf(
+      "shut down: %ld connection%s, %zu session%s warm (%ld eviction%s), "
+      "cache %ld/%ld hits (%.1f%%)\n",
+      server.connections_accepted(), server.connections_accepted() == 1 ? "" : "s",
+      ps.sessions, ps.sessions == 1 ? "" : "s", ps.evictions, ps.evictions == 1 ? "" : "s",
+      cs.hits, lookups, lookups > 0 ? 100.0 * static_cast<double>(cs.hits) /
+                                          static_cast<double>(lookups)
+                                    : 0.0);
+  if (!metrics_out.empty() && obs::write_metrics_json(metrics_out)) {
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -19,10 +19,18 @@
 // flags --metrics-out <file> and --trace-out <file>, which dump the obs
 // metrics registry / chrome trace on exit.
 //
+// --remote <unix:/path | host:port> routes min / check / corners / report
+// through a running timing_serve daemon instead of computing locally: the
+// circuit (and schedule) are shipped as .lct/.lcs text over the wire and
+// the server's warm session pool + result cache answer. The other
+// subcommands are local-only and say so.
+//
 // With no arguments, runs every subcommand against the built-in example 1.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +51,8 @@
 #include "opt/bounds.h"
 #include "report/export.h"
 #include "report/slackdb.h"
+#include "serve/client.h"
+#include "serve/json.h"
 #include "sim/token_sim.h"
 #include "sim/vcd.h"
 #include "sta/analysis.h"
@@ -70,6 +80,10 @@ int cmd_min(const Circuit& c) {
 // --threads N (global flag) routes the departure fixpoint through the
 // SCC-parallel engine; 0 keeps the scalar scheme.
 int g_threads = 0;
+
+// --remote <addr> (global flag): address of a timing_serve daemon; empty
+// means compute locally.
+std::string g_remote;
 
 int cmd_check(const Circuit& c, const ClockSchedule& s) {
   sta::AnalysisOptions opt;
@@ -317,8 +331,156 @@ int usage() {
       "                  [--html <file>] [--nworst <K>] [--corners]\n"
       "       <circuit> is a .lct file or a built-in: example1, example2, gaas\n"
       "       global flags: --metrics-out <file>, --trace-out <file>,\n"
-      "                     --threads <N> (parallel fixpoint engine for check)\n");
+      "                     --threads <N> (parallel fixpoint engine for check),\n"
+      "                     --remote <unix:/path | host:port> (timing_serve daemon;\n"
+      "                       min, check, corners and report run server-side)\n");
   return 2;
+}
+
+// ---------------------------------------------------------------- remote --
+
+using serve::Json;
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Call the daemon, unwrap the envelope; nullopt (message printed) on any
+/// transport or application error.
+std::optional<Json> remote_call(serve::Client& client, Json request) {
+  Expected<Json> response = client.call(std::move(request));
+  if (!response) {
+    std::printf("remote error: %s\n", response.error().to_string().c_str());
+    return std::nullopt;
+  }
+  if (!response->get("ok").as_bool(false)) {
+    const Json& err = response->get("error");
+    std::printf("remote error [%s]: %s\n", err.str_or("kind", "?").c_str(),
+                err.str_or("message").c_str());
+    return std::nullopt;
+  }
+  return response->get("result");
+}
+
+/// min / check / corners / report against a timing_serve daemon. The
+/// circuit (.lct text or builtin name) and optional .lcs schedule travel in
+/// the load request; the analysis runs in the server's warm session pool.
+int run_remote(const std::string& cmd, int argc, char** argv) {
+  serve::Client client;
+  const Expected<bool> connected = client.connect(g_remote);
+  if (!connected) {
+    std::printf("cannot reach %s: %s\n", g_remote.c_str(),
+                connected.error().to_string().c_str());
+    return 1;
+  }
+
+  const std::string circuit_arg = argv[2];
+  Json load = Json::object();
+  load.set("verb", Json("load"));
+  load.set("circuit", Json(circuit_arg));
+  if (circuit_arg == "example1" || circuit_arg == "example2" || circuit_arg == "gaas" ||
+      circuit_arg == "appendix") {
+    load.set("builtin", Json(circuit_arg));
+  } else {
+    std::string text;
+    if (!read_text_file(circuit_arg, &text)) {
+      std::printf("cannot read %s\n", circuit_arg.c_str());
+      return 1;
+    }
+    load.set("text", Json(std::move(text)));
+  }
+  // Optional positional schedule (required for check/corners semantics;
+  // without it the server analyzes at its computed MLP optimum).
+  std::string json_path, html_path;
+  int nworst = 10;
+  bool corners_flag = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--html" && i + 1 < argc) {
+      html_path = argv[++i];
+    } else if (arg == "--nworst" && i + 1 < argc) {
+      nworst = std::atoi(argv[++i]);
+    } else if (arg == "--corners") {
+      corners_flag = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      std::string text;
+      if (!read_text_file(arg, &text)) {
+        std::printf("cannot read %s\n", arg.c_str());
+        return 1;
+      }
+      load.set("schedule", Json(std::move(text)));
+    } else {
+      return usage();
+    }
+  }
+
+  const std::optional<Json> loaded = remote_call(client, std::move(load));
+  if (!loaded) return 1;
+  std::printf("loaded \"%s\" on %s: %ld elements, %ld paths%s\n", circuit_arg.c_str(),
+              g_remote.c_str(), loaded->long_or("elements", 0), loaded->long_or("paths", 0),
+              loaded->has("min_cycle") ? " (schedule: server-side MLP optimum)" : "");
+
+  const auto make_req = [&](const char* verb) {
+    Json req = Json::object();
+    req.set("verb", Json(verb));
+    req.set("circuit", Json(circuit_arg));
+    return req;
+  };
+
+  if (cmd == "min") {
+    const std::optional<Json> result = remote_call(client, make_req("min"));
+    if (!result) return 1;
+    std::printf("Tc* = %s\n%s", fmt_time(result->num_or("min_cycle", 0.0), 6).c_str(),
+                result->str_or("lcs").c_str());
+    return 0;
+  }
+
+  if (cmd == "check") {
+    Json req = make_req("analyze");
+    req.set("detail", Json(true));
+    const std::optional<Json> result = remote_call(client, req);
+    if (!result) return 1;
+    const bool feasible = result->bool_or("feasible", false);
+    std::printf("schedule %s: setup %s, hold %s, worst setup slack %s\n",
+                feasible ? "FEASIBLE" : "INFEASIBLE",
+                result->bool_or("setup_ok", false) ? "ok" : "VIOLATED",
+                result->bool_or("hold_ok", false) ? "ok" : "VIOLATED",
+                fmt_time(result->num_or("worst_setup_slack", 0.0), 4).c_str());
+    return feasible ? 0 : 1;
+  }
+
+  if (cmd == "corners" || cmd == "report") {
+    Json req = make_req("report");
+    req.set("format", Json("table"));
+    req.set("nworst", Json(static_cast<long>(nworst)));
+    const bool signoff = cmd == "corners" || corners_flag;
+    req.set("signoff", Json(signoff));
+    const std::optional<Json> result = remote_call(client, req);
+    if (!result) return 1;
+    std::printf("%s", result->str_or("content").c_str());
+    const auto fetch_to_file = [&](const char* format, const std::string& path) {
+      Json file_req = make_req("report");
+      file_req.set("format", Json(format));
+      file_req.set("nworst", Json(static_cast<long>(nworst)));
+      file_req.set("signoff", Json(signoff));
+      const std::optional<Json> r = remote_call(client, file_req);
+      if (r && report::write_report_file(path, r->str_or("content"))) {
+        std::printf("wrote %s\n", path.c_str());
+      }
+    };
+    if (!json_path.empty()) fetch_to_file("json", json_path);
+    if (!html_path.empty()) fetch_to_file("html", html_path);
+    return (signoff ? result->bool_or("all_pass", false)
+                    : result->bool_or("feasible", false))
+               ? 0
+               : 1;
+  }
+  return usage();
 }
 
 int run(int argc, char** argv) {
@@ -344,6 +506,14 @@ int run(int argc, char** argv) {
   }
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
+
+  if (!g_remote.empty()) {
+    if (cmd == "min" || cmd == "check" || cmd == "corners" || cmd == "report") {
+      return run_remote(cmd, argc, argv);
+    }
+    std::printf("subcommand '%s' runs locally only; drop --remote\n", cmd.c_str());
+    return 2;
+  }
 
   if (cmd == "report") {
     Circuit c("", 1);
@@ -426,6 +596,8 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       g_threads = std::atoi(argv[++i]);
+    } else if (arg == "--remote" && i + 1 < argc) {
+      g_remote = argv[++i];
     } else {
       args.push_back(argv[i]);
     }

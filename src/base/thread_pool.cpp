@@ -14,6 +14,30 @@ thread_local const ThreadPool* tl_pool = nullptr;
 thread_local int tl_index = -1;
 }  // namespace
 
+void TaskGroup::enter() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  ++pending_;
+}
+
+void TaskGroup::leave() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    --pending_;
+    if (pending_ > 0) return;
+  }
+  cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+long TaskGroup::pending() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return pending_;
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   queues_.reserve(static_cast<size_t>(n));
@@ -55,6 +79,17 @@ void ThreadPool::submit(std::function<void()> task) {
     queues_[static_cast<size_t>(q)]->tasks.push_back(std::move(task));
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::submit(TaskGroup& group, std::function<void()> task) {
+  assert(task && "null task submitted");
+  // enter() before enqueue so a concurrent group.wait() that races the
+  // submission can never observe pending == 0 between enqueue and execute.
+  group.enter();
+  submit([&group, t = std::move(task)] {
+    t();
+    group.leave();
+  });
 }
 
 void ThreadPool::wait() {

@@ -30,6 +30,39 @@
 
 namespace mintc::base {
 
+/// A wait scope for a subset of a pool's tasks. The plain ThreadPool::wait()
+/// blocks until the pool is GLOBALLY idle — unusable from a thread (the serve
+/// listener) that needs to drain its own submissions while other threads keep
+/// the pool busy indefinitely: global pending may never reach zero. A
+/// TaskGroup carries its own pending counter, so wait() returns as soon as
+/// the tasks submitted WITH THIS GROUP have finished, no matter what else is
+/// in flight.
+///
+/// The group must outlive every task submitted with it. wait() is callable
+/// from any thread that is not itself running one of the group's queued
+/// tasks (a worker waiting on a group whose tasks sit behind it in the queue
+/// would deadlock — same rule as ThreadPool::wait()).
+class TaskGroup {
+ public:
+  /// Block until every task submitted with this group has finished.
+  /// Returns immediately when none are pending. Callable concurrently from
+  /// multiple threads; safe while other threads keep submitting to the same
+  /// group (waits for the count observed to drain to zero).
+  void wait();
+
+  /// Tasks submitted with this group and not yet finished.
+  long pending() const;
+
+ private:
+  friend class ThreadPool;
+  void enter();
+  void leave();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  long pending_ = 0;
+};
+
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1). The pool is usable
@@ -49,9 +82,17 @@ class ThreadPool {
   /// external threads distribute round-robin.
   void submit(std::function<void()> task);
 
+  /// Enqueue a task accounted against `group` as well as the pool: the task
+  /// counts toward both TaskGroup::wait() and ThreadPool::wait(). `group`
+  /// must outlive the task's execution.
+  void submit(TaskGroup& group, std::function<void()> task);
+
   /// Block until every submitted task — including tasks submitted by tasks —
   /// has finished. Callable only from outside the pool (a worker calling
-  /// wait() would deadlock on its own pending task).
+  /// wait() would deadlock on its own pending task), and only useful when no
+  /// OTHER thread keeps submitting: it waits for global idleness. A thread
+  /// that must drain just its own submissions while the pool serves
+  /// unrelated traffic (the serve listener) should use a TaskGroup instead.
   void wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }

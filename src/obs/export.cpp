@@ -93,28 +93,35 @@ std::string json_number(double v) {
 }
 
 RunMetadata& run_metadata() {
-  static RunMetadata meta{"mintc " MINTC_VERSION, "", "", 0.0};
+  static RunMetadata meta{"mintc " MINTC_VERSION, "", "", "", 0.0};
   return meta;
 }
 
-std::string fnv1a_hex(std::string_view bytes) {
+std::uint64_t fnv1a64(std::string_view bytes) {
   uint64_t h = 0xcbf29ce484222325ull;
   for (const char c : bytes) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ull;
   }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
   char buf[20];
   std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
   return buf;
 }
+
+std::string fnv1a_hex(std::string_view bytes) { return hash_hex(fnv1a64(bytes)); }
 
 std::string run_metadata_json(const RunMetadata& meta) {
   const double wall = meta.wall_seconds > 0.0 ? meta.wall_seconds : process_wall_seconds();
   std::ostringstream out;
   out << "{\"tool\": \"" << json_escape(meta.tool) << "\", \"circuit\": \""
       << json_escape(meta.circuit) << "\", \"schedule_hash\": \""
-      << json_escape(meta.schedule_hash) << "\", \"wall_seconds\": " << json_number(wall)
-      << "}";
+      << json_escape(meta.schedule_hash) << "\"";
+  if (!meta.corner.empty()) out << ", \"corner\": \"" << json_escape(meta.corner) << "\"";
+  out << ", \"wall_seconds\": " << json_number(wall) << "}";
   return out.str();
 }
 

@@ -9,6 +9,8 @@
 //   * a human-readable table (base/table) for terminal output.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +29,11 @@ struct RunMetadata {
   std::string tool;           // "mintc <version>"
   std::string circuit;        // analyzed circuit name ("" = not applicable)
   std::string schedule_hash;  // fnv1a_hex of the schedule text ("" = none)
+  /// Corner / derating identity ("" = nominal). Part of the cache identity:
+  /// two corners of the same circuit+schedule are DIFFERENT runs, so every
+  /// consumer hashing a run key must mix this in (report::meta_for and the
+  /// serve result cache both do; regression-tested in report_tests).
+  std::string corner;
   double wall_seconds = 0.0;  // process wall time; 0 = stamp at export time
 };
 
@@ -39,8 +46,42 @@ RunMetadata& run_metadata();
 std::string json_escape(const std::string& s);
 std::string json_number(double v);
 
-/// FNV-1a 64-bit hex digest; used to fingerprint schedules in the header.
+/// FNV-1a 64-bit digest; used to fingerprint schedules in the header and as
+/// the serve-layer result-cache key.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// FNV-1a 64-bit hex digest of `bytes` (lower-case, 16 chars).
 std::string fnv1a_hex(std::string_view bytes);
+
+/// Hex rendering of an already-computed 64-bit digest.
+std::string hash_hex(std::uint64_t h);
+
+/// Streaming FNV-1a 64 hasher for composite keys (session fingerprints,
+/// cache keys). Doubles are hashed by bit pattern, so two states hash equal
+/// iff they are bit-identical — matching the repo's bit-identity contracts.
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+  /// Length-prefixed, so ("ab","c") and ("a","bc") hash differently.
+  Fnv1a& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+  Fnv1a& num(double v) { return bytes(&v, sizeof v); }
+  Fnv1a& u64(std::uint64_t v) { return bytes(&v, sizeof v); }
+  Fnv1a& i32(std::int32_t v) { return bytes(&v, sizeof v); }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
 
 /// Render `meta` as one JSON object; a zero wall_seconds is replaced with
 /// the process wall clock at call time.

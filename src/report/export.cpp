@@ -24,7 +24,15 @@ using obs::json_number;
 obs::RunMetadata meta_for(const SlackDB& db) {
   obs::RunMetadata meta = obs::run_metadata();
   meta.circuit = db.circuit;
-  meta.schedule_hash = obs::fnv1a_hex(db.schedule.to_string());
+  // The corner is part of the run identity: the slow and fast corners of the
+  // same circuit+schedule are different analyses and must never share a
+  // cache key, so the derating settings are mixed into the hash alongside
+  // the schedule text (regression-tested in report_tests).
+  meta.schedule_hash = obs::hash_hex(obs::Fnv1a()
+                                         .str(db.schedule.to_string())
+                                         .str(db.corner)
+                                         .digest());
+  meta.corner = db.corner;
   meta.wall_seconds = 0.0;  // stamp at export time
   return meta;
 }

@@ -1,0 +1,375 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/export.h"
+
+namespace mintc::serve {
+
+namespace {
+
+const Json kNullJson;
+
+}  // namespace
+
+bool Json::has(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::get(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  return kNullJson;
+}
+
+Json& Json::set(std::string key, Json v) {
+  kind_ = Kind::kObject;
+  for (auto& [k, old] : fields_) {
+    if (k == key) {
+      old = std::move(v);
+      return old;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(v));
+  return fields_.back().second;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kNumber:
+      // Bit comparison, not ==: the protocol's identity notion is
+      // bit-identity (and NaN never parses, so no NaN != NaN surprises).
+      return std::memcmp(&num_, &other.num_, sizeof num_) == 0;
+    case Kind::kString: return str_ == other.str_;
+    case Kind::kArray: return items_ == other.items_;
+    case Kind::kObject: return fields_ == other.fields_;
+  }
+  return false;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+  char buf[40];
+  // Shortest form that round-trips: probe increasing precision. %.17g
+  // always round-trips IEEE-754 binary64; the lower probes just keep the
+  // common cases ("4.4", "0.25") human-sized.
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      out += json_double(num_);
+      return;
+    case Kind::kString:
+      out += '"';
+      out += obs::json_escape(str_);
+      out += '"';
+      return;
+    case Kind::kArray:
+      out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        items_[i].dump_to(out);
+      }
+      out += ']';
+      return;
+    case Kind::kObject:
+      out += '{';
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += obs::json_escape(fields_[i].first);
+        out += "\":";
+        fields_[i].second.dump_to(out);
+      }
+      out += '}';
+      return;
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  out.reserve(64);
+  dump_to(out);
+  return out;
+}
+
+// ---------------------------------------------------------------- parser --
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Expected<Json> run() {
+    skip_ws();
+    Json value;
+    if (Error* e = parse_value(value, 0)) return std::move(*e);
+    skip_ws();
+    if (pos_ != text_.size()) return std::move(*fail("trailing data after JSON value"));
+    return value;
+  }
+
+ private:
+  // Errors are returned through an owned slot so the recursive descent can
+  // use plain pointers as "failed?" without std::optional ceremony.
+  Error* fail(const std::string& what) {
+    error_ = make_error(ErrorKind::kInvalidArgument,
+                        "JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+    return &error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(const char* w) {
+    const size_t n = std::strlen(w);
+    if (text_.substr(pos_, n) == w) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Error* parse_value(Json& out, size_t depth) {
+    if (depth > options_.max_depth) return fail("nesting deeper than the limit");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (Error* e = parse_string(s)) return e;
+        out = Json(std::move(s));
+        return nullptr;
+      }
+      case 't':
+        if (eat_word("true")) {
+          out = Json(true);
+          return nullptr;
+        }
+        return fail("expected 'true'");
+      case 'f':
+        if (eat_word("false")) {
+          out = Json(false);
+          return nullptr;
+        }
+        return fail("expected 'false'");
+      case 'n':
+        if (eat_word("null")) {
+          out = Json();
+          return nullptr;
+        }
+        return fail("expected 'null'");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  Error* parse_object(Json& out, size_t depth) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (eat('}')) return nullptr;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      std::string key;
+      if (Error* e = parse_string(key)) return e;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after object key");
+      skip_ws();
+      Json value;
+      if (Error* e = parse_value(value, depth + 1)) return e;
+      out.set(std::move(key), std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return nullptr;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Error* parse_array(Json& out, size_t depth) {
+    ++pos_;  // '['
+    out = Json::array();
+    skip_ws();
+    if (eat(']')) return nullptr;
+    for (;;) {
+      skip_ws();
+      Json value;
+      if (Error* e = parse_value(value, depth + 1)) return e;
+      out.push(std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return nullptr;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Error* parse_string(std::string& out) {
+    ++pos_;  // opening '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return nullptr;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (Error* e = parse_hex4(cp)) return e;
+          if (cp >= 0xD800 && cp < 0xDC00) {
+            // Surrogate pair: require the low half.
+            if (!eat('\\') || !eat('u')) return fail("lone high surrogate");
+            unsigned lo = 0;
+            if (Error* e = parse_hex4(lo)) return e;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Error* parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("invalid \\u escape digit");
+    }
+    return nullptr;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Error* parse_number(Json& out) {
+    const size_t start = pos_;
+    if (eat('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      return fail("expected a JSON value");
+    }
+    // JSON int grammar: a single 0, or 1-9 followed by digits — "01" is
+    // malformed (strtod would accept it, so reject it here).
+    const size_t int_start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      pos_ = int_start;
+      return fail("leading zeros are not allowed");
+    }
+    if (eat('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    // The slice is a valid JSON number by construction; strtod can only
+    // overflow to +-inf, which we reject to keep the no-non-finite invariant.
+    const std::string slice(text_.substr(start, pos_ - start));
+    const double v = std::strtod(slice.c_str(), nullptr);
+    if (!std::isfinite(v)) return fail("number out of double range");
+    out = Json(v);
+    return nullptr;
+  }
+
+  std::string_view text_;
+  JsonParseOptions options_;
+  size_t pos_ = 0;
+  Error error_;
+};
+
+}  // namespace
+
+Expected<Json> parse_json(std::string_view text, const JsonParseOptions& options) {
+  return Parser(text, options).run();
+}
+
+}  // namespace mintc::serve

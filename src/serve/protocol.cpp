@@ -1,0 +1,92 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+namespace mintc::serve {
+
+void FrameReader::feed(const char* data, size_t n) {
+  if (overflowed_) return;  // stream abandoned; drop everything
+  // Compact lazily: only when the consumed prefix dominates the buffer.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+  // Overflow = a PARTIAL line longer than the cap. Complete lines of any
+  // buffered backlog are fine — parse_request re-checks their size.
+  if (buffer_.size() - consumed_ > max_bytes_ &&
+      buffer_.find('\n', consumed_) == std::string::npos) {
+    overflowed_ = true;
+    buffer_.clear();
+    consumed_ = 0;
+  }
+}
+
+std::optional<std::string> FrameReader::next_line() {
+  if (overflowed_) return std::nullopt;
+  const size_t nl = buffer_.find('\n', consumed_);
+  if (nl == std::string::npos) return std::nullopt;
+  size_t end = nl;
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+  std::string line = buffer_.substr(consumed_, end - consumed_);
+  consumed_ = nl + 1;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  if (line.size() > max_bytes_) {
+    overflowed_ = true;
+    return std::nullopt;
+  }
+  return line;
+}
+
+Expected<Json> parse_request(std::string_view line, size_t max_bytes) {
+  if (line.size() > max_bytes) {
+    return make_error(ErrorKind::kInvalidArgument,
+                      "request frame of " + std::to_string(line.size()) +
+                          " bytes exceeds the " + std::to_string(max_bytes) + "-byte cap");
+  }
+  Expected<Json> parsed = parse_json(line);
+  if (!parsed) return parsed;
+  if (!parsed->is_object()) {
+    return make_error(ErrorKind::kInvalidArgument, "request must be a JSON object");
+  }
+  if (!parsed->get("verb").is_string() || parsed->get("verb").as_string().empty()) {
+    return make_error(ErrorKind::kInvalidArgument,
+                      "request needs a non-empty string \"verb\"");
+  }
+  return parsed;
+}
+
+Json ok_response(const Json& id, Json result, bool cached) {
+  Json resp = Json::object();
+  resp.set("id", id);
+  resp.set("ok", Json(true));
+  resp.set("cached", Json(cached));
+  resp.set("result", std::move(result));
+  return resp;
+}
+
+Json error_response(const Json& id, std::string_view kind, std::string message) {
+  Json err = Json::object();
+  err.set("kind", Json(std::string(kind)));
+  err.set("message", Json(std::move(message)));
+  Json resp = Json::object();
+  resp.set("id", id);
+  resp.set("ok", Json(false));
+  resp.set("error", std::move(err));
+  return resp;
+}
+
+Json error_response(const Json& id, const Error& error) {
+  return error_response(id, to_string(error.kind), error.message);
+}
+
+std::string encode_frame(const Json& response) {
+  std::string out = response.dump();
+  out += '\n';
+  return out;
+}
+
+}  // namespace mintc::serve

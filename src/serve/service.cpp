@@ -1,0 +1,853 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "circuits/appendix_fig1.h"
+#include "circuits/example1.h"
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "opt/mlp.h"
+#include "parser/lcs.h"
+#include "parser/lct.h"
+#include "report/export.h"
+#include "report/slackdb.h"
+#include "serve/protocol.h"
+#include "sta/corners.h"
+
+namespace mintc::serve {
+
+namespace {
+
+obs::MetricsRegistry& registry() { return obs::MetricsRegistry::instance(); }
+
+/// Decade-ish upper bounds in microseconds: 1 us .. 10 s. The default
+/// exponential buckets top out at 4096 — useless for latency.
+std::vector<double> latency_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(1e7);
+  return bounds;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Rough warm-session footprint for the pool's byte budget: the Circuit,
+/// the flattened TimingView (per-edge constants dominate) and the report
+/// vectors. Order-of-magnitude is all eviction needs.
+size_t estimate_session_bytes(const Circuit& circuit) {
+  const size_t elements = static_cast<size_t>(circuit.num_elements());
+  size_t labels = 0;
+  for (const CombPath& p : circuit.paths()) labels += p.label.capacity();
+  return 4096 + 256 * elements + 192 * static_cast<size_t>(circuit.num_paths()) + labels;
+}
+
+/// Required numeric field; nullopt (with `err` filled) when absent/not a
+/// number.
+std::optional<double> require_num(const Json& obj, std::string_view key, std::string& err) {
+  const Json& v = obj.get(key);
+  if (!v.is_number()) {
+    err = "missing numeric field \"" + std::string(key) + "\"";
+    return std::nullopt;
+  }
+  return v.as_number();
+}
+
+std::optional<Circuit> builtin_circuit(const std::string& name, const Json& req,
+                                       std::string& err) {
+  if (name == "example1") return circuits::example1(req.num_or("delta41", 80.0));
+  if (name == "example2") return circuits::example2();
+  if (name == "gaas") return circuits::gaas_datapath();
+  if (name == "appendix") return circuits::appendix_fig1();
+  err = "unknown builtin circuit \"" + name +
+        "\" (known: example1, example2, gaas, appendix)";
+  return std::nullopt;
+}
+
+Json schedule_json(const ClockSchedule& schedule) {
+  Json s = Json::object();
+  s.set("cycle", Json(schedule.cycle));
+  Json start = Json::array();
+  for (const double v : schedule.start) start.push(Json(v));
+  Json width = Json::array();
+  for (const double v : schedule.width) width.push(Json(v));
+  s.set("start", std::move(start));
+  s.set("width", std::move(width));
+  return s;
+}
+
+/// Summarize a TimingReport as a result payload. `detail` adds per-element
+/// rows. Non-finite per-element values (arrival with no fanin, unchecked
+/// hold slack) are omitted rather than clamped — JSON has no infinities and
+/// the soak's bit-identity gate compares only what is emitted.
+Json report_payload(const sta::TimingReport& report, const Circuit& circuit, bool detail) {
+  Json r = Json::object();
+  r.set("feasible", Json(report.feasible));
+  r.set("schedule_ok", Json(report.schedule_ok));
+  r.set("converged", Json(report.converged));
+  r.set("setup_ok", Json(report.setup_ok));
+  r.set("hold_ok", Json(report.hold_ok));
+  r.set("worst_setup_slack", Json(report.worst_setup_slack));
+  r.set("worst_setup_element", Json(static_cast<long>(report.worst_setup_element)));
+  if (std::isfinite(report.worst_hold_slack)) {
+    r.set("worst_hold_slack", Json(report.worst_hold_slack));
+  }
+  r.set("worst_hold_element", Json(static_cast<long>(report.worst_hold_element)));
+  if (detail) {
+    Json elements = Json::array();
+    for (size_t i = 0; i < report.elements.size(); ++i) {
+      const sta::ElementTiming& et = report.elements[i];
+      Json e = Json::object();
+      e.set("name", Json(circuit.element(static_cast<int>(i)).name));
+      e.set("departure", Json(et.departure));
+      if (std::isfinite(et.arrival)) e.set("arrival", Json(et.arrival));
+      e.set("setup_slack", Json(et.setup_slack));
+      if (std::isfinite(et.hold_slack)) e.set("hold_slack", Json(et.hold_slack));
+      elements.push(std::move(e));
+    }
+    r.set("elements", std::move(elements));
+  }
+  return r;
+}
+
+std::string join_problems(const std::vector<std::string>& problems) {
+  std::string msg;
+  for (const std::string& p : problems) {
+    if (!msg.empty()) msg += "; ";
+    msg += p;
+  }
+  return msg;
+}
+
+}  // namespace
+
+TimingService::TimingService(ServiceConfig config)
+    : cache_(config.cache_bytes),
+      config_(config),
+      requests_metric_(registry().counter("serve.requests")),
+      errors_metric_(registry().counter("serve.errors")),
+      session_evictions_metric_(registry().counter("session.evictions")),
+      sessions_metric_(registry().gauge("session.count")),
+      session_bytes_metric_(registry().gauge("session.bytes")),
+      latency_metric_(registry().histogram("serve.latency_us", {}, latency_bounds())) {}
+
+std::string TimingService::handle_line(std::string_view line) {
+  Expected<Json> request = parse_request(line, config_.max_frame_bytes);
+  if (!request) {
+    errors_metric_.inc();
+    requests_metric_.inc();
+    return encode_frame(error_response(Json(), request.error()));
+  }
+  return encode_frame(handle(*request));
+}
+
+Json TimingService::handle(const Json& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const Json& id = request.get("id");
+  const std::string& verb = request.get("verb").as_string();
+  obs::TraceSpan span("serve.request", "serve");
+
+  Json response;
+  if (verb == "load") {
+    response = handle_load(request, id);
+  } else if (verb == "edit_batch") {
+    response = handle_edit_batch(request, id);
+  } else if (verb == "analyze") {
+    response = handle_analyze(request, id);
+  } else if (verb == "report") {
+    response = handle_report(request, id);
+  } else if (verb == "sweep") {
+    response = handle_sweep(request, id);
+  } else if (verb == "undo") {
+    response = handle_undo(request, id);
+  } else if (verb == "min") {
+    response = handle_min(request, id);
+  } else if (verb == "stats") {
+    response = handle_stats(id);
+  } else {
+    response = error_response(id, "unknown_verb", "unknown verb \"" + verb + "\"");
+  }
+
+  requests_metric_.inc();
+  if (!response.get("ok").as_bool(false)) errors_metric_.inc();
+  latency_metric_.observe(elapsed_us(start));
+  return response;
+}
+
+Json TimingService::handle_load(const Json& req, const Json& id) {
+  const std::string key = req.str_or("circuit");
+  if (key.empty()) {
+    return error_response(id, "invalid_argument", "load needs a non-empty \"circuit\" key");
+  }
+
+  std::optional<Circuit> circuit;
+  if (req.get("text").is_string()) {
+    Expected<Circuit> parsed = parser::parse_circuit(req.get("text").as_string());
+    if (!parsed) return error_response(id, parsed.error());
+    circuit.emplace(std::move(parsed.value()));
+  } else if (req.get("builtin").is_string()) {
+    std::string err;
+    circuit = builtin_circuit(req.get("builtin").as_string(), req, err);
+    if (!circuit) return error_response(id, "invalid_argument", std::move(err));
+  } else {
+    return error_response(id, "invalid_argument",
+                          "load needs either \"text\" (.lct) or \"builtin\"");
+  }
+
+  const std::vector<std::string> problems = circuit->validate();
+  if (!problems.empty()) {
+    return error_response(id, "invalid_circuit", join_problems(problems));
+  }
+
+  ClockSchedule schedule;
+  double min_cycle = 0.0;
+  bool optimized = false;
+  if (req.get("schedule").is_string()) {
+    Expected<ClockSchedule> parsed = parser::parse_schedule(req.get("schedule").as_string());
+    if (!parsed) return error_response(id, parsed.error());
+    if (parsed->num_phases() != circuit->num_phases()) {
+      return error_response(id, "invalid_argument",
+                            "schedule has " + std::to_string(parsed->num_phases()) +
+                                " phases, circuit has " +
+                                std::to_string(circuit->num_phases()));
+    }
+    schedule = std::move(parsed.value());
+  } else {
+    opt::MlpOptions mlp;
+    mlp.assume_valid = true;  // just validated above
+    Expected<opt::MlpResult> result = opt::minimize_cycle_time(*circuit, mlp);
+    if (!result) return error_response(id, result.error());
+    schedule = result->schedule;
+    min_cycle = result->min_cycle;
+    optimized = true;
+  }
+
+  sta::AnalysisOptions options;
+  options.check_hold = true;
+  options.num_threads = config_.analyze_threads;
+  const size_t bytes = estimate_session_bytes(*circuit);
+  auto session = std::make_unique<sta::SharedSession>(std::move(*circuit), schedule, options);
+
+  Json result = Json::object();
+  session->with([&](sta::AnalysisSession& s) {
+    result.set("circuit", Json(key));
+    result.set("elements", Json(static_cast<long>(s.circuit().num_elements())));
+    result.set("paths", Json(static_cast<long>(s.circuit().num_paths())));
+    result.set("phases", Json(static_cast<long>(s.circuit().num_phases())));
+    result.set("generation", Json(s.generation()));
+    result.set("fingerprint", Json(obs::hash_hex(s.content_fingerprint())));
+    result.set("schedule", schedule_json(s.schedule()));
+  });
+  if (optimized) result.set("min_cycle", Json(min_cycle));
+
+  install_entry(key, std::move(session), bytes);
+  // Reload = new content under the old key: drop every cached response for
+  // it regardless of the (restarted) generation counter.
+  cache_.invalidate(key, ~0ull);
+  return ok_response(id, std::move(result), false);
+}
+
+Json TimingService::handle_edit_batch(const Json& req, const Json& id) {
+  const std::string key = req.str_or("circuit");
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (!entry) {
+    return error_response(id, "not_loaded", "circuit \"" + key + "\" is not loaded");
+  }
+  const Json& edits = req.get("edits");
+  if (!edits.is_array()) {
+    return error_response(id, "invalid_argument", "edit_batch needs an \"edits\" array");
+  }
+
+  Json result = Json::object();
+  std::string fail;
+  std::uint64_t generation = 0;
+
+  entry->session->with([&](sta::AnalysisSession& s) {
+    const size_t mark = s.mark();
+    // Every edit is validated against the EVOLVING state before it is
+    // applied — the Circuit setters assert on invalid values, and an assert
+    // must never be reachable from the wire. Any failure rolls the whole
+    // batch back: batches are atomic.
+    for (size_t i = 0; i < edits.size(); ++i) {
+      const Json& e = edits.at(i);
+      std::string err;
+      if (!e.is_object()) {
+        err = "edit is not an object";
+      } else {
+        err = apply_edit(s, e);
+      }
+      if (!err.empty()) {
+        s.undo_to(mark);
+        fail = "edit " + std::to_string(i) + ": " + err;
+        return;
+      }
+    }
+    const std::vector<std::string> problems = s.circuit().validate();
+    if (!problems.empty()) {
+      s.undo_to(mark);
+      fail = "batch leaves the circuit invalid: " + join_problems(problems);
+      return;
+    }
+    generation = s.generation();
+    result.set("applied", Json(static_cast<long>(edits.size())));
+    result.set("mark", Json(static_cast<long>(mark)));
+    result.set("generation", Json(generation));
+    result.set("fingerprint", Json(obs::hash_hex(s.content_fingerprint())));
+  });
+
+  if (!fail.empty()) return error_response(id, "invalid_argument", std::move(fail));
+  cache_.invalidate(key, generation);
+  return ok_response(id, std::move(result), false);
+}
+
+std::string TimingService::apply_edit(sta::AnalysisSession& s, const Json& e) {
+  const std::string op = e.str_or("op");
+  const Circuit& c = s.circuit();
+
+  const auto path_index = [&](std::string& err) -> int {
+    const long p = e.long_or("path", -1);
+    if (p < 0 || p >= c.num_paths()) {
+      err = "path index " + std::to_string(p) + " out of range [0, " +
+            std::to_string(c.num_paths()) + ")";
+      return -1;
+    }
+    return static_cast<int>(p);
+  };
+  const auto element_index = [&](std::string& err) -> int {
+    const long i = e.long_or("element", -1);
+    if (i < 0 || i >= c.num_elements()) {
+      err = "element index " + std::to_string(i) + " out of range [0, " +
+            std::to_string(c.num_elements()) + ")";
+      return -1;
+    }
+    return static_cast<int>(i);
+  };
+  const auto finite_nonneg = [](double v, const char* what, std::string& err) {
+    if (!std::isfinite(v) || v < 0.0) {
+      err = std::string(what) + " must be finite and nonnegative";
+      return false;
+    }
+    return true;
+  };
+
+  std::string err;
+  if (op == "set_path_delay") {
+    const int p = path_index(err);
+    const std::optional<double> d = err.empty() ? require_num(e, "delay", err) : std::nullopt;
+    if (!err.empty()) return err;
+    if (!finite_nonneg(*d, "delay", err)) return err;
+    if (*d < c.path(p).min_delay) return "delay below the path's min delay";
+    s.set_path_delay(p, *d);
+  } else if (op == "set_path_min_delay") {
+    const int p = path_index(err);
+    const std::optional<double> d = err.empty() ? require_num(e, "min", err) : std::nullopt;
+    if (!err.empty()) return err;
+    if (!finite_nonneg(*d, "min delay", err)) return err;
+    if (*d > c.path(p).delay) return "min delay above the path's max delay";
+    s.set_path_min_delay(p, *d);
+  } else if (op == "set_path_delays") {
+    const int p = path_index(err);
+    const std::optional<double> d = err.empty() ? require_num(e, "delay", err) : std::nullopt;
+    const std::optional<double> m = err.empty() ? require_num(e, "min", err) : std::nullopt;
+    if (!err.empty()) return err;
+    if (!finite_nonneg(*d, "delay", err) || !finite_nonneg(*m, "min delay", err)) return err;
+    if (*m > *d) return "min delay above max delay";
+    s.set_path_delays(p, *d, *m);
+  } else if (op == "set_path_label") {
+    const int p = path_index(err);
+    if (!err.empty()) return err;
+    s.set_path_label(p, e.str_or("label"));
+  } else if (op == "set_element_dq" || op == "set_element_setup" || op == "set_element_hold") {
+    const int i = element_index(err);
+    const std::optional<double> v = err.empty() ? require_num(e, "value", err) : std::nullopt;
+    if (!err.empty()) return err;
+    if (!finite_nonneg(*v, "value", err)) return err;
+    if (op == "set_element_dq") {
+      s.set_element_dq(i, *v);
+    } else if (op == "set_element_setup") {
+      s.set_element_setup(i, *v);
+    } else {
+      s.set_element_hold(i, *v);
+    }
+  } else if (op == "set_element_dq_min") {
+    const int i = element_index(err);
+    const std::optional<double> v = err.empty() ? require_num(e, "value", err) : std::nullopt;
+    if (!err.empty()) return err;
+    // Raw Element::dq_min semantics: negative means "track dq".
+    if (!std::isfinite(*v)) return "value must be finite";
+    s.set_element_dq_min(i, *v < 0.0 ? -1.0 : *v);
+  } else if (op == "set_schedule") {
+    const Json& sched = e.get("schedule");
+    Expected<ClockSchedule> parsed =
+        sched.is_string() ? parser::parse_schedule(sched.as_string())
+                          : Expected<ClockSchedule>(make_error(
+                                ErrorKind::kInvalidArgument,
+                                "set_schedule needs a \"schedule\" (.lcs text)"));
+    if (!parsed) return parsed.error().message;
+    if (parsed->num_phases() != c.num_phases()) return "schedule phase count mismatch";
+    s.set_schedule(parsed.value());
+  } else if (op == "scale_schedule") {
+    const std::optional<double> f = require_num(e, "factor", err);
+    if (!err.empty()) return err;
+    if (!std::isfinite(*f) || *f <= 0.0) return "factor must be finite and positive";
+    s.set_schedule(s.schedule().scaled(*f));
+  } else if (op == "derate") {
+    const std::optional<double> ds = require_num(e, "delay_scale", err);
+    const std::optional<double> ms = err.empty() ? require_num(e, "min_scale", err) : std::nullopt;
+    if (!err.empty()) return err;
+    if (!std::isfinite(*ds) || *ds <= 0.0 || !std::isfinite(*ms) || *ms <= 0.0) {
+      return "derating scales must be finite and positive";
+    }
+    if (!s.derating_allowed()) {
+      return "derating requires an unmodified structure (paths/elements were removed)";
+    }
+    s.apply_derating(*ds, *ms);
+  } else if (op == "remove_path") {
+    const int p = path_index(err);
+    if (!err.empty()) return err;
+    s.remove_path(p);
+  } else if (op == "remove_element") {
+    const int i = element_index(err);
+    if (!err.empty()) return err;
+    s.remove_element(i);
+  } else {
+    return "unknown op \"" + op + "\"";
+  }
+  return "";
+}
+
+Json TimingService::handle_analyze(const Json& req, const Json& id) {
+  const std::string key = req.str_or("circuit");
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (!entry) {
+    return error_response(id, "not_loaded", "circuit \"" + key + "\" is not loaded");
+  }
+  const bool detail = req.bool_or("detail", false);
+
+  Json result;
+  bool cached = false;
+  entry->session->with([&](sta::AnalysisSession& s) {
+    const std::uint64_t cache_key =
+        obs::Fnv1a().u64(s.content_fingerprint()).str("analyze").u64(detail ? 1 : 0).digest();
+    if (std::optional<std::string> hit = cache_.get(cache_key)) {
+      // Rendered payloads round-trip exactly (json_double), so re-parsing
+      // a hit is bit-identical to the original render.
+      Expected<Json> parsed = parse_json(*hit);
+      if (parsed) {
+        result = std::move(parsed.value());
+        cached = true;
+        return;
+      }
+    }
+    const sta::TimingReport& report = s.analyze();
+    result = report_payload(report, s.circuit(), detail);
+    result.set("fingerprint", Json(obs::hash_hex(s.content_fingerprint())));
+    cache_.put(cache_key, key, s.generation(), result.dump());
+  });
+  return ok_response(id, std::move(result), cached);
+}
+
+Json TimingService::handle_report(const Json& req, const Json& id) {
+  const std::string key = req.str_or("circuit");
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (!entry) {
+    return error_response(id, "not_loaded", "circuit \"" + key + "\" is not loaded");
+  }
+  const std::string format = req.str_or("format", "json");
+  if (format != "json" && format != "table" && format != "html") {
+    return error_response(id, "invalid_argument",
+                          "format must be one of json, table, html (got \"" + format + "\")");
+  }
+  const bool signoff = req.bool_or("signoff", false);
+  const double spread = req.num_or("spread", 0.1);
+  const long nworst = req.long_or("nworst", 10);
+  if (!std::isfinite(spread) || spread < 0.0 || spread >= 1.0) {
+    return error_response(id, "invalid_argument", "spread must be in [0, 1)");
+  }
+  if (nworst < 1 || nworst > 100000) {
+    return error_response(id, "invalid_argument", "nworst must be in [1, 100000]");
+  }
+
+  Json result;
+  bool cached = false;
+  entry->session->with([&](sta::AnalysisSession& s) {
+    const std::uint64_t cache_key = obs::Fnv1a()
+                                        .u64(s.content_fingerprint())
+                                        .str("report")
+                                        .str(format)
+                                        .u64(signoff ? 1 : 0)
+                                        .num(spread)
+                                        .i32(static_cast<std::int32_t>(nworst))
+                                        .digest();
+    if (std::optional<std::string> hit = cache_.get(cache_key)) {
+      Expected<Json> parsed = parse_json(*hit);
+      if (parsed) {
+        result = std::move(parsed.value());
+        cached = true;
+        return;
+      }
+    }
+    report::SlackDbOptions options;
+    options.nworst = static_cast<int>(nworst);
+    options.check_hold = true;
+    result = Json::object();
+    result.set("format", Json(format));
+    if (signoff) {
+      const report::SignoffDB db =
+          report::build_signoff(s.circuit(), s.schedule(), sta::standard_corners(spread), options);
+      result.set("all_pass", Json(db.all_pass));
+      if (format == "json") {
+        result.set("content", Json(report::signoff_json(db)));
+      } else if (format == "table") {
+        result.set("content", Json(report::signoff_table(db)));
+      } else {
+        result.set("content", Json(report::signoff_html(s.circuit(), db)));
+      }
+    } else {
+      const report::SlackDB db = report::build_slackdb(s.circuit(), s.schedule(), options);
+      result.set("feasible", Json(db.feasible));
+      if (format == "json") {
+        result.set("content", Json(report::report_json(db)));
+      } else if (format == "table") {
+        result.set("content", Json(report::report_table(db)));
+      } else {
+        result.set("content", Json(report::report_html(s.circuit(), db)));
+      }
+    }
+    result.set("fingerprint", Json(obs::hash_hex(s.content_fingerprint())));
+    cache_.put(cache_key, key, s.generation(), result.dump());
+  });
+  return ok_response(id, std::move(result), cached);
+}
+
+Json TimingService::handle_sweep(const Json& req, const Json& id) {
+  const std::string key = req.str_or("circuit");
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (!entry) {
+    return error_response(id, "not_loaded", "circuit \"" + key + "\" is not loaded");
+  }
+
+  // Scale factors: an explicit "factors" array, or a from/to/steps range.
+  std::vector<double> factors;
+  if (req.get("factors").is_array()) {
+    for (const Json& f : req.get("factors").items()) {
+      if (!f.is_number()) {
+        return error_response(id, "invalid_argument", "factors must be numbers");
+      }
+      factors.push_back(f.as_number());
+    }
+  } else {
+    const double from = req.num_or("from", 0.9);
+    const double to = req.num_or("to", 1.1);
+    const long steps = req.long_or("steps", 5);
+    if (steps < 1) return error_response(id, "invalid_argument", "steps must be >= 1");
+    if (steps > config_.max_sweep_steps) {
+      return error_response(id, "invalid_argument",
+                            "steps exceeds the cap of " +
+                                std::to_string(config_.max_sweep_steps));
+    }
+    for (long i = 0; i < steps; ++i) {
+      factors.push_back(steps == 1 ? from : from + (to - from) * static_cast<double>(i) /
+                                                       static_cast<double>(steps - 1));
+    }
+  }
+  if (factors.size() > static_cast<size_t>(config_.max_sweep_steps)) {
+    return error_response(id, "invalid_argument",
+                          "factors exceeds the cap of " +
+                              std::to_string(config_.max_sweep_steps));
+  }
+  for (const double f : factors) {
+    if (!std::isfinite(f) || f <= 0.0) {
+      return error_response(id, "invalid_argument", "factors must be finite and positive");
+    }
+  }
+
+  Json result;
+  bool cached = false;
+  entry->session->with([&](sta::AnalysisSession& s) {
+    obs::Fnv1a h;
+    h.u64(s.content_fingerprint()).str("sweep");
+    for (const double f : factors) h.num(f);
+    const std::uint64_t cache_key = h.digest();
+    if (std::optional<std::string> hit = cache_.get(cache_key)) {
+      Expected<Json> parsed = parse_json(*hit);
+      if (parsed) {
+        result = std::move(parsed.value());
+        cached = true;
+        return;
+      }
+    }
+    const std::uint64_t generation = s.generation();
+    // Every step scales the ORIGINAL schedule (not the previous step's) and
+    // the undo log restores the pre-sweep state exactly — content
+    // fingerprint included (checked below via the generation-independent
+    // fingerprint cache keys).
+    const ClockSchedule base = s.schedule();
+    const size_t mark = s.mark();
+    result = Json::object();
+    result.set("base_cycle", Json(base.cycle));
+    Json rows = Json::array();
+    for (const double f : factors) {
+      s.set_schedule(base.scaled(f));
+      const sta::TimingReport& report = s.analyze();
+      Json row = Json::object();
+      row.set("factor", Json(f));
+      row.set("cycle", Json(s.schedule().cycle));
+      row.set("feasible", Json(report.feasible));
+      row.set("converged", Json(report.converged));
+      row.set("worst_setup_slack", Json(report.worst_setup_slack));
+      if (std::isfinite(report.worst_hold_slack)) {
+        row.set("worst_hold_slack", Json(report.worst_hold_slack));
+      }
+      rows.push(std::move(row));
+    }
+    s.undo_to(mark);
+    result.set("results", std::move(rows));
+    result.set("fingerprint", Json(obs::hash_hex(s.content_fingerprint())));
+    cache_.put(cache_key, key, generation, result.dump());
+  });
+  return ok_response(id, std::move(result), cached);
+}
+
+Json TimingService::handle_undo(const Json& req, const Json& id) {
+  const std::string key = req.str_or("circuit");
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (!entry) {
+    return error_response(id, "not_loaded", "circuit \"" + key + "\" is not loaded");
+  }
+
+  Json result = Json::object();
+  std::string fail;
+  std::uint64_t generation = 0;
+  entry->session->with([&](sta::AnalysisSession& s) {
+    const long current = static_cast<long>(s.mark());
+    if (req.get("to").is_number()) {
+      const long to = req.long_or("to", 0);
+      if (to < 0 || to > current) {
+        fail = "mark " + std::to_string(to) + " out of range [0, " + std::to_string(current) +
+               "]";
+        return;
+      }
+      s.undo_to(static_cast<size_t>(to));
+    } else {
+      const long steps = req.long_or("steps", 1);
+      if (steps < 1 || steps > current) {
+        fail = "cannot undo " + std::to_string(steps) + " steps (log has " +
+               std::to_string(current) + ")";
+        return;
+      }
+      for (long i = 0; i < steps; ++i) s.undo();
+    }
+    generation = s.generation();
+    result.set("mark", Json(static_cast<long>(s.mark())));
+    result.set("generation", Json(generation));
+    result.set("fingerprint", Json(obs::hash_hex(s.content_fingerprint())));
+  });
+  if (!fail.empty()) return error_response(id, "invalid_argument", std::move(fail));
+  cache_.invalidate(key, generation);
+  return ok_response(id, std::move(result), false);
+}
+
+Json TimingService::handle_min(const Json& req, const Json& id) {
+  const std::string key = req.str_or("circuit");
+  const std::shared_ptr<Entry> entry = find_entry(key);
+  if (!entry) {
+    return error_response(id, "not_loaded", "circuit \"" + key + "\" is not loaded");
+  }
+  const bool apply = req.bool_or("apply", false);
+
+  Json result;
+  bool cached = false;
+  std::string fail_kind, fail_msg;
+  std::uint64_t generation = 0;
+  entry->session->with([&](sta::AnalysisSession& s) {
+    const std::uint64_t cache_key =
+        obs::Fnv1a().u64(s.content_fingerprint()).str("min").digest();
+    if (!apply) {
+      if (std::optional<std::string> hit = cache_.get(cache_key)) {
+        Expected<Json> parsed = parse_json(*hit);
+        if (parsed) {
+          result = std::move(parsed.value());
+          cached = true;
+          return;
+        }
+      }
+    }
+    opt::MlpOptions options;
+    options.assume_valid = true;  // edit batches keep the circuit validate()-clean
+    Expected<opt::MlpResult> mlp = opt::minimize_cycle_time(s.circuit(), options);
+    if (!mlp) {
+      fail_kind = to_string(mlp.error().kind);
+      fail_msg = mlp.error().message;
+      return;
+    }
+    result = Json::object();
+    result.set("min_cycle", Json(mlp->min_cycle));
+    result.set("schedule", schedule_json(mlp->schedule));
+    result.set("lcs", Json(parser::write_schedule(mlp->schedule)));
+    result.set("fingerprint", Json(obs::hash_hex(s.content_fingerprint())));
+    if (apply) {
+      s.set_schedule(mlp->schedule);
+      generation = s.generation();
+      result.set("generation", Json(generation));
+    } else {
+      cache_.put(cache_key, key, s.generation(), result.dump());
+    }
+  });
+  if (!fail_msg.empty()) return error_response(id, fail_kind, std::move(fail_msg));
+  if (apply) cache_.invalidate(key, generation);
+  return ok_response(id, std::move(result), cached);
+}
+
+Json TimingService::handle_stats(const Json& id) {
+  Json sessions = Json::object();
+  Json keys = Json::array();
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    sessions.set("count", Json(static_cast<long>(pool_.size())));
+    sessions.set("bytes", Json(static_cast<long>(pool_bytes_)));
+    sessions.set("budget", Json(static_cast<long>(config_.session_bytes)));
+    sessions.set("evictions", Json(pool_stats_.evictions));
+    sessions.set("loads", Json(pool_stats_.loads));
+    std::vector<const Entry*> sorted;
+    sorted.reserve(pool_.size());
+    for (const auto& [k, entry] : pool_) sorted.push_back(entry.get());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry* a, const Entry* b) { return a->key < b->key; });
+    for (const Entry* entry : sorted) {
+      Json row = Json::object();
+      row.set("circuit", Json(entry->key));
+      row.set("bytes", Json(static_cast<long>(entry->bytes)));
+      keys.push(std::move(row));
+    }
+  }
+  sessions.set("keys", std::move(keys));
+
+  const ResultCache::Stats cs = cache_.stats();
+  Json cache = Json::object();
+  cache.set("hits", Json(cs.hits));
+  cache.set("misses", Json(cs.misses));
+  cache.set("evictions", Json(cs.evictions));
+  cache.set("invalidations", Json(cs.invalidations));
+  cache.set("bytes", Json(static_cast<long>(cs.bytes)));
+  cache.set("entries", Json(static_cast<long>(cs.entries)));
+  cache.set("budget", Json(static_cast<long>(cs.budget)));
+  const long lookups = cs.hits + cs.misses;
+  cache.set("hit_rate", Json(lookups > 0 ? static_cast<double>(cs.hits) /
+                                               static_cast<double>(lookups)
+                                         : 0.0));
+
+  // Service-owned metric points (serve.*, cache.*, session.*) so a client
+  // can watch hit-rate and latency quantiles without scraping the registry.
+  Json metrics = Json::array();
+  for (const obs::MetricPoint& point : registry().snapshot()) {
+    const bool ours = point.name.rfind("serve.", 0) == 0 ||
+                      point.name.rfind("cache.", 0) == 0 ||
+                      point.name.rfind("session.", 0) == 0;
+    if (!ours) continue;
+    Json row = Json::object();
+    row.set("name", Json(point.key()));
+    if (point.kind == obs::MetricKind::kHistogram) {
+      row.set("count", Json(point.count));
+      row.set("p50", Json(point.p50));
+      row.set("p95", Json(point.p95));
+      row.set("p99", Json(point.p99));
+      row.set("max", Json(point.max));
+    } else {
+      row.set("value", Json(point.value));
+    }
+    metrics.push(std::move(row));
+  }
+
+  Json result = Json::object();
+  result.set("sessions", std::move(sessions));
+  result.set("cache", std::move(cache));
+  result.set("metrics", std::move(metrics));
+  return ok_response(id, std::move(result), false);
+}
+
+std::shared_ptr<TimingService::Entry> TimingService::find_entry(const std::string& key) {
+  if (key.empty()) return nullptr;
+  const std::lock_guard<std::mutex> lk(map_mu_);
+  const auto it = pool_.find(key);
+  if (it == pool_.end()) return nullptr;
+  it->second->last_used = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return it->second;
+}
+
+void TimingService::install_entry(const std::string& key,
+                                  std::unique_ptr<sta::SharedSession> session, size_t bytes) {
+  const std::lock_guard<std::mutex> lk(map_mu_);
+  auto entry = std::make_shared<Entry>();
+  entry->key = key;
+  entry->session = std::move(session);
+  entry->bytes = bytes;
+  entry->last_used = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  const auto it = pool_.find(key);
+  if (it != pool_.end()) pool_bytes_ -= it->second->bytes;
+  pool_[key] = std::move(entry);
+  pool_bytes_ += bytes;
+  ++pool_stats_.loads;
+
+  // Evict LRU idle sessions until the byte budget holds: one pass over the
+  // candidates in last-used order. A session whose lock is held (a request
+  // in flight) is skipped — requests holding a shared_ptr to an evicted
+  // entry finish normally (eviction only removes the pool's reference), so
+  // later requests for that key see "not_loaded" and reload.
+  if (pool_bytes_ > config_.session_bytes && pool_.size() > 1) {
+    std::vector<Entry*> candidates;
+    candidates.reserve(pool_.size());
+    for (auto& [k, e] : pool_) {
+      if (k != key) candidates.push_back(e.get());  // never the fresh install
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Entry* a, const Entry* b) { return a->last_used < b->last_used; });
+    for (Entry* victim : candidates) {
+      if (pool_bytes_ <= config_.session_bytes) break;
+      if (!victim->session->try_with([](sta::AnalysisSession&) {})) continue;  // busy
+      pool_bytes_ -= victim->bytes;
+      const std::string victim_key = victim->key;  // outlive the node erase
+      pool_.erase(victim_key);
+      ++pool_stats_.evictions;
+      session_evictions_metric_.inc();
+    }
+  }
+
+  pool_stats_.sessions = pool_.size();
+  pool_stats_.bytes = pool_bytes_;
+  sessions_metric_.set(static_cast<double>(pool_.size()));
+  session_bytes_metric_.set(static_cast<double>(pool_bytes_));
+}
+
+TimingService::PoolStats TimingService::pool_stats() const {
+  const std::lock_guard<std::mutex> lk(map_mu_);
+  return pool_stats_;
+}
+
+void TimingService::reset() {
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    pool_.clear();
+    pool_bytes_ = 0;
+    pool_stats_.sessions = 0;
+    pool_stats_.bytes = 0;
+    sessions_metric_.set(0.0);
+    session_bytes_metric_.set(0.0);
+  }
+  cache_.clear();
+}
+
+}  // namespace mintc::serve

@@ -1,0 +1,153 @@
+// TimingService — timing analysis as a service, transport-agnostic core.
+//
+// The service owns a keyed pool of warm sta::AnalysisSession instances
+// (wrapped in sta::SharedSession — ONE writer per circuit key, requests for
+// the same key serialize, different keys run concurrently) fronted by a
+// ResultCache of rendered responses. It speaks the line-delimited JSON
+// protocol of protocol.h and is deliberately transport-free: handle_line()
+// maps one request line to one response line, so the socket server
+// (server.h), the in-process soak test and bench_serve all drive the exact
+// same code path.
+//
+// Verbs:
+//   load        create/replace the session for a circuit key from .lct text
+//               (or a named builtin), with an optional .lcs schedule
+//               (default: the MLP optimum)
+//   edit_batch  apply a list of edits atomically (all-or-nothing: any
+//               invalid edit rolls the whole batch back via the undo log)
+//   analyze     eq. 17 fixpoint + setup/hold checks; bit-identical to a
+//               direct sta::check_schedule of the same content (PR 5
+//               contract), optionally with per-element detail
+//   report      signoff SlackDB rendered in-memory as json/text/html
+//               (single- or multi-corner) — no temp files anywhere
+//   sweep       re-analyze across a Tc range (schedule scaled in shape),
+//               state restored exactly via the undo log
+//   undo        rewind the last edit batch (or to an explicit mark)
+//   min         MLP minimum cycle time + optimal schedule for the loaded
+//               circuit (what lets `timing_tool min --remote` work)
+//   stats       service introspection: per-session pool state, cache
+//               hit/byte/eviction counters, latency/queue metrics
+//
+// Caching: responses for the read-only verbs (analyze/report/sweep/min) are
+// cached under a content key — AnalysisSession::content_fingerprint (which
+// covers derated delays, so two corners of one circuit never collide) mixed
+// with the verb and its parameters — and tagged with (circuit key,
+// generation) for invalidation on edits; see cache.h.
+//
+// Session-pool eviction: the pool carries a byte budget; loading a new
+// circuit evicts least-recently-used idle sessions (session.evictions
+// metric). A request against an evicted key fails with "not_loaded" and the
+// client re-loads — the soak test exercises exactly that path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/cache.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "sta/shared_session.h"
+
+namespace mintc::serve {
+
+struct ServiceConfig {
+  /// Result-cache byte budget (0 disables caching).
+  size_t cache_bytes = 64u << 20;
+  /// Session-pool byte budget (estimated bytes of warm sessions kept).
+  size_t session_bytes = 256u << 20;
+  /// AnalysisOptions::num_threads for solves (0 = scalar engine).
+  int analyze_threads = 0;
+  /// Per-frame size cap enforced on handle_line input.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Hard cap on `sweep` steps per request.
+  long max_sweep_steps = 4096;
+};
+
+class TimingService {
+ public:
+  explicit TimingService(ServiceConfig config = {});
+
+  /// The whole protocol in one call: parse `line`, dispatch, render the
+  /// response frame (with trailing '\n'). Thread-safe; concurrent calls for
+  /// the same circuit key serialize on that key's session lock. Always
+  /// returns a frame — errors become {"ok":false,...} responses.
+  std::string handle_line(std::string_view line);
+
+  /// Structured variant used by handle_line (and directly by tests).
+  Json handle(const Json& request);
+
+  struct PoolStats {
+    size_t sessions = 0;
+    size_t bytes = 0;
+    long evictions = 0;
+    long loads = 0;
+  };
+  PoolStats pool_stats() const;
+  ResultCache& cache() { return cache_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Drop every session and cached result (bench_serve's cold lane).
+  void reset();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::unique_ptr<sta::SharedSession> session;
+    // Rough warm-session footprint, charged against config.session_bytes.
+    size_t bytes = 0;
+    // LRU stamp from clock_ (monotone); only read/written under map_mu_.
+    std::uint64_t last_used = 0;
+  };
+
+  // -- Verb handlers. Each returns a complete response envelope
+  // (ok_response / error_response) so cache hits and failures short-circuit
+  // uniformly.
+  Json handle_load(const Json& req, const Json& id);
+  Json handle_edit_batch(const Json& req, const Json& id);
+  Json handle_analyze(const Json& req, const Json& id);
+  Json handle_report(const Json& req, const Json& id);
+  Json handle_sweep(const Json& req, const Json& id);
+  Json handle_undo(const Json& req, const Json& id);
+  Json handle_min(const Json& req, const Json& id);
+  Json handle_stats(const Json& id);
+
+  /// Validate one edit op against the session's EVOLVING state and apply
+  /// it; returns "" on success, a human-readable problem otherwise (the
+  /// Circuit setters assert on invalid values — an assert must never be
+  /// reachable from the wire).
+  static std::string apply_edit(sta::AnalysisSession& s, const Json& e);
+
+  /// Look up the session for `key`, bumping its LRU stamp. nullptr = not
+  /// loaded (caller renders the not_loaded error).
+  std::shared_ptr<Entry> find_entry(const std::string& key);
+
+  /// Insert/replace the entry for `key` and evict LRU sessions over budget.
+  void install_entry(const std::string& key, std::unique_ptr<sta::SharedSession> session,
+                     size_t bytes);
+
+  mutable std::mutex map_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> pool_;
+  size_t pool_bytes_ = 0;
+  std::atomic<std::uint64_t> clock_{0};
+  PoolStats pool_stats_;
+
+  ResultCache cache_;
+  ServiceConfig config_;
+
+  obs::Counter& requests_metric_;
+  obs::Counter& errors_metric_;
+  obs::Counter& session_evictions_metric_;
+  obs::Gauge& sessions_metric_;
+  obs::Gauge& session_bytes_metric_;
+  obs::Histogram& latency_metric_;
+};
+
+}  // namespace mintc::serve

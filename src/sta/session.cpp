@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "base/approx.h"
+#include "obs/export.h"
 #include "obs/trace.h"
 
 namespace mintc::sta {
@@ -51,11 +52,48 @@ AnalysisSession::AnalysisSession(Circuit circuit, ClockSchedule schedule,
       pristine_paths_(circuit_.paths()) {}
 
 void AnalysisSession::touch() {
+  // Every state-changing applier funnels through here (label edits, which
+  // are timing-neutral and skip touch(), call note_mutation() directly).
+  note_mutation();
   if (report_valid_) {
     report_valid_ = false;
     ++counters_.invalidations;
     invalidations_counter().inc();
   }
+}
+
+void AnalysisSession::note_mutation() {
+  ++generation_;
+  fingerprint_generation_ = ~0ull;
+}
+
+std::uint64_t AnalysisSession::content_fingerprint() const {
+  if (fingerprint_generation_ == generation_) return fingerprint_;
+  obs::Fnv1a h;
+  h.str(circuit_.name());
+  h.i32(circuit_.num_phases());
+  h.i32(circuit_.num_elements());
+  for (const Element& e : circuit_.elements()) {
+    h.str(e.name);
+    h.i32(static_cast<std::int32_t>(e.kind));
+    h.i32(e.phase);
+    h.num(e.setup).num(e.hold).num(e.dq).num(e.dq_min);
+  }
+  h.i32(circuit_.num_paths());
+  for (const CombPath& p : circuit_.paths()) {
+    h.i32(p.from).i32(p.to);
+    h.num(p.delay).num(p.min_delay);
+    h.str(p.label);  // labels render in reports, so they are content
+  }
+  h.u64(has_schedule_ ? 1 : 0);
+  if (has_schedule_) {
+    h.num(schedule_.cycle);
+    for (const double s : schedule_.start) h.num(s);
+    for (const double t : schedule_.width) h.num(t);
+  }
+  fingerprint_ = h.digest();
+  fingerprint_generation_ = generation_;
+  return fingerprint_;
 }
 
 // -- Appliers (no undo logging) ---------------------------------------------
@@ -166,6 +204,7 @@ void AnalysisSession::set_path_label(int p, std::string label) {
   rec.label = circuit_.path(p).label;
   undo_.push_back(std::move(rec));
   circuit_.set_path_label(p, std::move(label));  // timing-neutral: no touch()
+  note_mutation();  // ...but labels are rendered content: new fingerprint
 }
 
 void AnalysisSession::set_element_dq(int i, double dq) {
@@ -222,6 +261,11 @@ void AnalysisSession::set_schedule(const ClockSchedule& schedule) {
   rec.schedule = schedule_;
   undo_.push_back(std::move(rec));
   apply_schedule(schedule);
+}
+
+bool AnalysisSession::derating_allowed() const {
+  return circuit_.num_elements() == static_cast<int>(pristine_elements_.size()) &&
+         circuit_.num_paths() == static_cast<int>(pristine_paths_.size());
 }
 
 void AnalysisSession::apply_derating(double delay_scale, double min_scale) {
@@ -296,6 +340,7 @@ void AnalysisSession::undo() {
       break;
     case UndoRecord::Kind::kPathLabel:
       circuit_.set_path_label(rec.index, std::move(rec.label));
+      note_mutation();
       break;
     case UndoRecord::Kind::kElementDq:
       apply_element_dq(rec.index, rec.value);
@@ -376,9 +421,13 @@ const TimingReport& AnalysisSession::analyze() {
   };
 
   // Warm start is sound only for a monotone-nondecreasing perturbation of a
-  // previously converged system on the same structure (see header).
+  // previously converged system on the same structure (see header) — and
+  // only from an EXACT previous fixpoint. A cold solve may stop eps-short of
+  // the exact least fixpoint on slowly (geometrically) converging feedback
+  // loops; climbing from that point would settle above what a fresh cold
+  // solve reports, breaking bit-identity.
   const bool warm_eligible = had_report && !rebuilt && report_.fixpoint.converged &&
-                             view_->max_nondecreasing() &&
+                             fixpoint_exact_ && view_->max_nondecreasing() &&
                              (!schedule_changed_ || schedule_warm_ok_);
   FixpointResult fp;
   bool warm = false;
@@ -399,6 +448,11 @@ const TimingReport& AnalysisSession::analyze() {
   }
   if (!warm) {
     fp = cold_solve();
+    // One O(l+E) read-only pass decides whether future warm starts are
+    // bit-identity-safe (see fixpoint_exact_ in the header). Warm solves
+    // keep the previous (true) value.
+    fixpoint_exact_ =
+        fp.converged && fixpoint_residual(*view_, *shifts_, fp.departure) == 0.0;
     if (!fp.converged && !rebuilt) {
       // The incrementally maintained divergence bound can drift by ulps from
       // a fresh build's; on the (rare) non-converged path, rebuild and rerun
@@ -408,6 +462,8 @@ const TimingReport& AnalysisSession::analyze() {
       shifts_.emplace(schedule_);
       rebuilt = true;
       fp = cold_solve();
+      fixpoint_exact_ =
+          fp.converged && fixpoint_residual(*view_, *shifts_, fp.departure) == 0.0;
     }
   }
 

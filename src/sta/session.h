@@ -23,6 +23,12 @@
 // strictly negative loop gains the iteration stabilizes EXACTLY in finitely
 // many steps (each D_i is a max of finitely many affine path terms), which
 // is why warm results can be compared bit-for-bit, not just within eps.
+// When the loop gain is close to 1 the cold engines can instead stop
+// eps-short of the exact fixpoint (FixpointOptions::eps deadband); a warm
+// climb from such a base would settle above what a fresh cold solve reports,
+// so warm starts additionally require the previous solve to have landed on
+// an EXACT fixpoint (residual == 0.0, measured with one read-only pass after
+// every cold solve — see fixpoint_exact_).
 // Any decrease (TimingView::max_nondecreasing() false, a shrunk schedule
 // shift, a structural edit) falls back to a cold solve.
 //
@@ -32,6 +38,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -82,10 +89,34 @@ class AnalysisSession {
   /// Requires no structural edits since construction.
   void apply_derating(double delay_scale, double min_scale);
 
+  /// Whether apply_derating is still legal: true until a structural edit
+  /// (remove_path/remove_element) changes the element/path counts away from
+  /// the pristine snapshot. The serve layer checks this to reject `derate`
+  /// edits with an error instead of tripping the assert.
+  bool derating_allowed() const;
+
   // -- Structural edits (force a cold fallback + view rebuild) --------------
   void remove_path(int p);
   /// Removes the element's incident paths (descending index) first.
   void remove_element(int i);
+
+  // -- State identity (serve-layer cache keys) ------------------------------
+
+  /// Monotone mutation counter: bumped once per state-changing call —
+  /// parameter edits, label edits, schedule swaps, derating, structural
+  /// edits, and every undo step. It NEVER decreases (undo moves the state
+  /// back but the generation forward), so (circuit key, generation) names a
+  /// point in the session's edit history exactly once; the serve layer uses
+  /// it for generation-based cache invalidation.
+  std::uint64_t generation() const { return generation_; }
+
+  /// FNV-1a 64 fingerprint of the session's CURRENT content: circuit name,
+  /// phase count, every element parameter and name, every path (endpoints,
+  /// delays, label) and the schedule. Two sessions fingerprint equal iff
+  /// their analyses (and rendered reports) are bit-identical, so the
+  /// fingerprint is a sound content-addressed cache key. Cached per
+  /// generation — repeated calls between edits are O(1).
+  std::uint64_t content_fingerprint() const;
 
   // -- Undo log -------------------------------------------------------------
   size_t mark() const { return undo_.size(); }
@@ -139,6 +170,7 @@ class AnalysisSession {
   void apply_element_hold(int i, double hold);
   void apply_schedule(const ClockSchedule& schedule);
   void touch();  // invalidate the cached report (counted once per batch)
+  void note_mutation();  // bump generation(), dirty the content fingerprint
 
   /// Allocation-free counterpart of sta::assemble_report for the warm path:
   /// rewrites report_ in place using the exact arithmetic and iteration
@@ -174,9 +206,20 @@ class AnalysisSession {
   bool structural_dirty_ = false;   // view numbering stale: rebuild + cold
   bool schedule_changed_ = false;   // shifts/starts/widths moved since analyze
   bool schedule_warm_ok_ = true;    // no S_ij shrank, shape kept
+  // The last solve landed on an EXACT float fixpoint (residual == 0.0), not
+  // merely an eps-converged one. Warm starts are only bit-identical to a
+  // cold solve when climbing from an exact fixpoint, so this gates
+  // warm_eligible: cold solves measure it with one read-only relaxation
+  // pass, warm solves preserve it by construction (strict acceptance from an
+  // exact base cannot introduce residual).
+  bool fixpoint_exact_ = false;
 
   std::vector<UndoRecord> undo_;
   Counters counters_;
+
+  std::uint64_t generation_ = 0;
+  mutable std::uint64_t fingerprint_ = 0;
+  mutable std::uint64_t fingerprint_generation_ = ~0ull;  // != 0: recompute
 };
 
 }  // namespace mintc::sta

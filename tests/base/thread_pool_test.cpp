@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 namespace mintc::base {
@@ -101,6 +103,76 @@ TEST(ThreadPool, StealCounterOnlyMovesForward) {
   const std::int64_t after = pool.steal_count();
   EXPECT_GE(after, 0);
   EXPECT_LE(after, pool.executed_count());
+}
+
+TEST(ThreadPool, TaskGroupWaitCoversOnlyItsOwnTasks) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::atomic<int> grouped{0};
+  std::atomic<int> loose{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit(group, [&grouped] { grouped.fetch_add(1, std::memory_order_relaxed); });
+    pool.submit([&loose] { loose.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(grouped.load(), 100);
+  EXPECT_EQ(group.pending(), 0);
+  pool.wait();
+  EXPECT_EQ(loose.load(), 100);
+}
+
+TEST(ThreadPool, TaskGroupWaitReturnsUnderContinuousForeignLoad) {
+  // The serve listener's exact situation: drain OUR in-flight requests while
+  // other threads keep the pool busy indefinitely. A global pool.wait()
+  // could starve forever here; the group wait must not.
+  ThreadPool pool(3);
+  TaskGroup group;
+  std::atomic<bool> keep_flooding{true};
+  std::thread flooder([&] {
+    while (keep_flooding.load(std::memory_order_relaxed)) {
+      pool.submit([] { std::this_thread::sleep_for(std::chrono::microseconds(50)); });
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    }
+  });
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(group, [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 50);
+  EXPECT_EQ(group.pending(), 0);
+  keep_flooding.store(false);
+  flooder.join();
+  pool.wait();
+}
+
+TEST(ThreadPool, TaskGroupIsReusableAndWaitableWhenEmpty) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  group.wait();  // no pending tasks: returns immediately
+  for (int batch = 0; batch < 3; ++batch) {
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i) {
+      pool.submit(group, [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), 20);
+  }
+}
+
+TEST(ThreadPool, TaskGroupSupportsNestedSubmission) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit(group, [&] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      // Follow-up work joins the same group; wait() must cover it too.
+      pool.submit(group, [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 20);
 }
 
 }  // namespace

@@ -232,6 +232,39 @@ TEST(ReportExportTest, JsonIsValidAndCarriesMetaHeader) {
   EXPECT_NE(json.find("\"overlapping_phases\": [[1, 3]]"), std::string::npos);
 }
 
+TEST(ReportExportTest, CornerIsPartOfTheRunIdentityHash) {
+  // RunMetadata contract (obs/export.h): two corners of the same
+  // circuit+schedule are DIFFERENT runs — meta_for must mix the corner into
+  // schedule_hash so no cache keyed on it can ever serve the slow corner's
+  // numbers for the fast corner (the serve result cache relies on this).
+  const Circuit c = circuits::example1();
+  const ClockSchedule s = optimum_of(c);
+  const SignoffDB signoff = build_signoff(c, s, sta::standard_corners(0.1));
+  ASSERT_GE(signoff.corners.size(), 2u);
+
+  const auto schedule_hash_of = [](const SlackDB& db) {
+    const std::string json = report_json(db);
+    const size_t key = json.find("\"schedule_hash\": \"");
+    EXPECT_NE(key, std::string::npos);
+    const size_t start = key + std::string("\"schedule_hash\": \"").size();
+    return json.substr(start, json.find('"', start) - start);
+  };
+
+  const std::string nominal = schedule_hash_of(build_slackdb(c, s));
+  std::vector<std::string> hashes{nominal};
+  for (const SlackDB& db : signoff.corners) {
+    const std::string h = schedule_hash_of(db);
+    for (const std::string& seen : hashes) {
+      EXPECT_NE(h, seen) << "corner \"" << db.corner
+                         << "\" shares a run hash with another corner";
+    }
+    hashes.push_back(h);
+    // The corner id itself is stamped into the meta header.
+    EXPECT_NE(report_json(db).find("\"corner\": \"" + db.corner + "\""),
+              std::string::npos);
+  }
+}
+
 TEST(ReportExportTest, TableNamesTheHeadlines) {
   const Circuit c = circuits::example2();
   const ClockSchedule s = optimum_of(c);

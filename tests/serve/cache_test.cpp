@@ -1,0 +1,104 @@
+// LRU / byte-budget / generation-invalidation tests for the result cache.
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mintc::serve {
+namespace {
+
+// kEntryOverhead is private; 128 mirrored here so budgets below are exact.
+constexpr size_t kOverhead = 128;
+
+TEST(ServeCache, MissThenHit) {
+  ResultCache cache(1 << 20);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, "c", 0, "value");
+  EXPECT_EQ(cache.get(1).value_or("-"), "value");
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 5 + kOverhead);
+}
+
+TEST(ServeCache, PutOnExistingKeyRefreshesTagsAndKeepsBytes) {
+  // Keys are content-addressed: a re-put under the same key necessarily
+  // carries identical content, so the implementation keeps the stored bytes
+  // and only refreshes the (circuit, generation) tag + LRU position.
+  ResultCache cache(1 << 20);
+  cache.put(1, "c", 0, "value");
+  cache.put(1, "c", 5, "value");
+  EXPECT_EQ(cache.get(1).value_or("-"), "value");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // The refreshed generation tag protects the entry from invalidation of
+  // generations older than 5.
+  cache.invalidate("c", 5);
+  EXPECT_TRUE(cache.get(1).has_value());
+  cache.invalidate("c", 6);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits exactly two 4-byte entries.
+  ResultCache cache(2 * (4 + kOverhead));
+  cache.put(1, "c", 0, "aaaa");
+  cache.put(2, "c", 0, "bbbb");
+  EXPECT_TRUE(cache.get(1).has_value());  // 1 is now most recently used
+  cache.put(3, "c", 0, "cccc");           // evicts 2, the LRU entry
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ServeCache, ValueLargerThanBudgetIsNotStored) {
+  ResultCache cache(kOverhead + 4);
+  cache.put(1, "c", 0, std::string(64, 'x'));
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCache, ZeroBudgetDisablesCaching) {
+  ResultCache cache(0);
+  cache.put(1, "c", 0, "v");
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCache, InvalidateDropsOlderGenerationsOfOneCircuit) {
+  ResultCache cache(1 << 20);
+  cache.put(1, "a", 3, "a-gen3");
+  cache.put(2, "a", 5, "a-gen5");
+  cache.put(3, "b", 1, "b-gen1");
+  cache.invalidate("a", 5);  // drops generation < 5 entries of "a" only
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
+TEST(ServeCache, InvalidateEverythingWithMaxGeneration) {
+  ResultCache cache(1 << 20);
+  cache.put(1, "a", 3, "x");
+  cache.put(2, "a", 7, "y");
+  cache.invalidate("a", ~0ull);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCache, ClearKeepsBudgetAndCounters) {
+  ResultCache cache(1 << 20);
+  cache.put(1, "a", 0, "x");
+  cache.clear();
+  EXPECT_FALSE(cache.get(1).has_value());
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.budget, 1u << 20);
+  cache.put(1, "a", 0, "again");
+  EXPECT_TRUE(cache.get(1).has_value());
+}
+
+}  // namespace
+}  // namespace mintc::serve

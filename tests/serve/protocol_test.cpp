@@ -1,0 +1,101 @@
+// Framing and envelope tests for the line-delimited JSON wire protocol.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mintc::serve {
+namespace {
+
+void feed(FrameReader& r, const std::string& s) { r.feed(s.data(), s.size()); }
+
+TEST(ServeProtocol, FrameReaderSplitsCompleteLines) {
+  FrameReader r;
+  feed(r, "one\ntwo\nthr");
+  EXPECT_EQ(r.next_line().value_or("-"), "one");
+  EXPECT_EQ(r.next_line().value_or("-"), "two");
+  EXPECT_FALSE(r.next_line().has_value());  // partial line buffered
+  feed(r, "ee\n");
+  EXPECT_EQ(r.next_line().value_or("-"), "three");
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(ServeProtocol, FrameReaderStripsCarriageReturn) {
+  FrameReader r;
+  feed(r, "a\r\n\r\nb\n");
+  EXPECT_EQ(r.next_line().value_or("-"), "a");
+  EXPECT_EQ(r.next_line().value_or("-"), "");
+  EXPECT_EQ(r.next_line().value_or("-"), "b");
+}
+
+TEST(ServeProtocol, FrameReaderSurvivesBytewiseFeeding) {
+  FrameReader r;
+  const std::string wire = "{\"verb\":\"stats\"}\n{\"verb\":\"min\"}\n";
+  for (const char c : wire) r.feed(&c, 1);
+  EXPECT_EQ(r.next_line().value_or("-"), "{\"verb\":\"stats\"}");
+  EXPECT_EQ(r.next_line().value_or("-"), "{\"verb\":\"min\"}");
+}
+
+TEST(ServeProtocol, OverflowLatchesOnUnterminatedFrame) {
+  FrameReader r(16);
+  feed(r, std::string(17, 'x'));  // no newline, over the cap
+  EXPECT_TRUE(r.overflowed());
+  // A newline cannot resync an overflowed reader: the stream is abandoned.
+  feed(r, "\nok\n");
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST(ServeProtocol, CompleteLinesUnderCapDoNotOverflow) {
+  FrameReader r(16);
+  feed(r, "0123456789\nabc\n");
+  EXPECT_EQ(r.next_line().value_or("-"), "0123456789");
+  EXPECT_EQ(r.next_line().value_or("-"), "abc");
+  EXPECT_FALSE(r.overflowed());
+}
+
+TEST(ServeProtocol, ParseRequestRequiresObjectWithStringVerb) {
+  EXPECT_TRUE(parse_request(R"({"verb": "analyze", "circuit": "c"})"));
+  EXPECT_FALSE(parse_request("[1,2,3]"));
+  EXPECT_FALSE(parse_request(R"({"circuit": "c"})"));
+  EXPECT_FALSE(parse_request(R"({"verb": 7})"));
+  EXPECT_FALSE(parse_request("not json"));
+}
+
+TEST(ServeProtocol, ParseRequestEnforcesByteCap) {
+  std::string big = R"({"verb": "load", "text": ")";
+  big += std::string(64, 'x');
+  big += "\"}";
+  EXPECT_TRUE(parse_request(big));
+  EXPECT_FALSE(parse_request(big, 32));
+}
+
+TEST(ServeProtocol, EnvelopesEchoTheId) {
+  Json result = Json::object();
+  result.set("n", Json(1L));
+  const Json ok = ok_response(Json(7L), std::move(result), true);
+  EXPECT_EQ(ok.get("id").as_long(0), 7);
+  EXPECT_TRUE(ok.get("ok").as_bool(false));
+  EXPECT_TRUE(ok.get("cached").as_bool(false));
+  EXPECT_EQ(ok.get("result").get("n").as_long(0), 1);
+
+  const Json err = error_response(Json("req-9"), "not_loaded", "no such circuit");
+  EXPECT_EQ(err.get("id").as_string(), "req-9");
+  EXPECT_FALSE(err.get("ok").as_bool(true));
+  EXPECT_EQ(err.get("error").get("kind").as_string(), "not_loaded");
+
+  const Json anon = error_response(Json(), "unknown_verb", "nope");
+  EXPECT_TRUE(anon.get("id").is_null());
+}
+
+TEST(ServeProtocol, EncodeFrameIsExactlyOneLine) {
+  Json result = Json::object();
+  result.set("text", Json(std::string("two\nlines")));
+  const std::string frame = encode_frame(ok_response(Json(1L), std::move(result), false));
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(frame.back(), '\n');
+  EXPECT_EQ(frame.find('\n'), frame.size() - 1);  // no embedded newlines
+}
+
+}  // namespace
+}  // namespace mintc::serve

@@ -1,0 +1,384 @@
+// TimingService verb tests: the transport-free protocol core.
+//
+// Everything goes through handle()/handle_line() — the same entry points the
+// socket server uses — so these tests cover request decoding, session-pool
+// behavior, cache correctness and the error envelope in one place.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "circuits/example1.h"
+#include "parser/lct.h"
+#include "parser/lcs.h"
+#include "sta/analysis.h"
+
+namespace mintc::serve {
+namespace {
+
+Json req(std::initializer_list<std::pair<std::string, Json>> fields) {
+  Json r = Json::object();
+  for (const auto& [k, v] : fields) r.set(k, v);
+  return r;
+}
+
+Json expect_ok(TimingService& service, const Json& request) {
+  const Json response = service.handle(request);
+  EXPECT_TRUE(response.get("ok").as_bool(false)) << response.dump();
+  return response;
+}
+
+Json expect_error(TimingService& service, const Json& request, const std::string& kind) {
+  const Json response = service.handle(request);
+  EXPECT_FALSE(response.get("ok").as_bool(true)) << response.dump();
+  EXPECT_EQ(response.get("error").get("kind").as_string(), kind) << response.dump();
+  return response;
+}
+
+Json load_example1(TimingService& service, const std::string& key) {
+  return expect_ok(service,
+                   req({{"verb", Json("load")}, {"circuit", Json(key)},
+                        {"builtin", Json("example1")}}));
+}
+
+TEST(ServeService, LoadBuiltinReportsShapeAndOptimum) {
+  TimingService service;
+  const Json r = load_example1(service, "e1").get("result");
+  EXPECT_EQ(r.get("elements").as_long(0), 4);
+  EXPECT_EQ(r.get("paths").as_long(0), 4);
+  EXPECT_EQ(r.get("phases").as_long(0), 2);
+  EXPECT_EQ(r.get("generation").as_long(-1), 0);
+  EXPECT_EQ(r.get("fingerprint").as_string().size(), 16u);
+  // PR 1 ground truth: example1's minimum cycle time is 110.
+  EXPECT_DOUBLE_EQ(r.get("min_cycle").as_number(), 110.0);
+  EXPECT_DOUBLE_EQ(r.get("schedule").get("cycle").as_number(), 110.0);
+}
+
+TEST(ServeService, AnalyzeIsBitIdenticalToDirectCheckSchedule) {
+  TimingService service;
+  const Json loaded = load_example1(service, "e1").get("result");
+  const Json analyzed = expect_ok(service, req({{"verb", Json("analyze")},
+                                                {"circuit", Json("e1")},
+                                                {"detail", Json(true)}}))
+                            .get("result");
+
+  ClockSchedule schedule;
+  schedule.cycle = loaded.get("schedule").num_or("cycle", 0.0);
+  for (const Json& v : loaded.get("schedule").get("start").items()) {
+    schedule.start.push_back(v.as_number());
+  }
+  for (const Json& v : loaded.get("schedule").get("width").items()) {
+    schedule.width.push_back(v.as_number());
+  }
+  sta::AnalysisOptions options;
+  options.check_hold = true;
+  const sta::TimingReport direct =
+      sta::check_schedule(circuits::example1(), schedule, options);
+
+  EXPECT_EQ(analyzed.get("feasible").as_bool(!direct.feasible), direct.feasible);
+  EXPECT_EQ(analyzed.num_or("worst_setup_slack", direct.worst_setup_slack + 1),
+            direct.worst_setup_slack);
+  const Json& elements = analyzed.get("elements");
+  ASSERT_EQ(elements.size(), direct.elements.size());
+  for (size_t i = 0; i < direct.elements.size(); ++i) {
+    EXPECT_EQ(elements.at(i).num_or("departure", direct.elements[i].departure + 1),
+              direct.elements[i].departure)
+        << "element " << i;
+  }
+}
+
+TEST(ServeService, SecondAnalyzeIsCachedAndIdentical) {
+  TimingService service;
+  load_example1(service, "e1");
+  const Json request =
+      req({{"verb", Json("analyze")}, {"circuit", Json("e1")}, {"detail", Json(true)}});
+  const Json first = service.handle(request);
+  const Json second = service.handle(request);
+  EXPECT_FALSE(first.get("cached").as_bool(true));
+  EXPECT_TRUE(second.get("cached").as_bool(false));
+  EXPECT_EQ(first.get("result").dump(), second.get("result").dump());
+  EXPECT_GE(service.cache().stats().hits, 1);
+}
+
+TEST(ServeService, EditInvalidatesCacheAndChangesFingerprint) {
+  TimingService service;
+  const std::string fp0 =
+      load_example1(service, "e1").get("result").get("fingerprint").as_string();
+  const Json analyze = req({{"verb", Json("analyze")}, {"circuit", Json("e1")}});
+  service.handle(analyze);
+
+  Json edit = req({{"op", Json("set_path_delay")}, {"path", Json(0L)}, {"delay", Json(55.0)}});
+  Json edits = Json::array();
+  edits.push(std::move(edit));
+  const Json r = expect_ok(service, req({{"verb", Json("edit_batch")},
+                                         {"circuit", Json("e1")},
+                                         {"edits", std::move(edits)}}))
+                     .get("result");
+  EXPECT_EQ(r.get("applied").as_long(0), 1);
+  EXPECT_EQ(r.get("generation").as_long(0), 1);
+  EXPECT_NE(r.get("fingerprint").as_string(), fp0);
+
+  // The re-analysis sees the new delay, not the cached pre-edit result.
+  const Json after = service.handle(analyze);
+  EXPECT_FALSE(after.get("cached").as_bool(true));
+}
+
+TEST(ServeService, EditBatchIsAtomicUnderRollback) {
+  TimingService service;
+  const std::string fp0 =
+      load_example1(service, "e1").get("result").get("fingerprint").as_string();
+
+  // First edit is valid, second references a path that does not exist: the
+  // whole batch must roll back.
+  Json edits = Json::array();
+  edits.push(req({{"op", Json("set_path_delay")}, {"path", Json(0L)}, {"delay", Json(55.0)}}));
+  edits.push(req({{"op", Json("set_path_delay")}, {"path", Json(99L)}, {"delay", Json(1.0)}}));
+  const Json response = service.handle(req({{"verb", Json("edit_batch")},
+                                            {"circuit", Json("e1")},
+                                            {"edits", std::move(edits)}}));
+  EXPECT_FALSE(response.get("ok").as_bool(true));
+  EXPECT_NE(response.get("error").get("message").as_string().find("edit 1"),
+            std::string::npos)
+      << response.dump();
+
+  // State (and therefore the fingerprint) is exactly the pre-batch one.
+  Json probe = Json::array();
+  probe.push(req({{"op", Json("set_path_label")}, {"path", Json(0L)}, {"label", Json("t")}}));
+  const Json after = expect_ok(service, req({{"verb", Json("edit_batch")},
+                                             {"circuit", Json("e1")},
+                                             {"edits", std::move(probe)}}))
+                         .get("result");
+  const Json undone = expect_ok(service, req({{"verb", Json("undo")},
+                                              {"circuit", Json("e1")},
+                                              {"to", Json(after.get("mark"))}}))
+                          .get("result");
+  EXPECT_EQ(undone.get("fingerprint").as_string(), fp0);
+}
+
+TEST(ServeService, InvalidEditOpsAreRejectedWithoutAborting) {
+  TimingService service;
+  load_example1(service, "e1");
+  const auto reject = [&](Json edit) {
+    Json edits = Json::array();
+    edits.push(std::move(edit));
+    const Json response = service.handle(req({{"verb", Json("edit_batch")},
+                                              {"circuit", Json("e1")},
+                                              {"edits", std::move(edits)}}));
+    EXPECT_FALSE(response.get("ok").as_bool(true)) << response.dump();
+  };
+  reject(req({{"op", Json("set_path_delay")}, {"path", Json(0L)}, {"delay", Json(-1.0)}}));
+  reject(req({{"op", Json("set_element_dq")}, {"element", Json(-1L)}, {"value", Json(1.0)}}));
+  reject(req({{"op", Json("set_schedule")}, {"schedule", Json("not an lcs file")}}));
+  reject(req({{"op", Json("scale_schedule")}, {"factor", Json(0.0)}}));
+  reject(req({{"op", Json("no_such_op")}}));
+  reject(Json(7.0));  // not even an object
+}
+
+TEST(ServeService, UndoRewindsGenerationsAndContent) {
+  TimingService service;
+  const std::string fp0 =
+      load_example1(service, "e1").get("result").get("fingerprint").as_string();
+  for (int i = 0; i < 3; ++i) {
+    Json edits = Json::array();
+    edits.push(req({{"op", Json("set_path_delay")},
+                    {"path", Json(0L)},
+                    {"delay", Json(50.0 + i)}}));
+    expect_ok(service, req({{"verb", Json("edit_batch")},
+                            {"circuit", Json("e1")},
+                            {"edits", std::move(edits)}}));
+  }
+  const Json r = expect_ok(service, req({{"verb", Json("undo")},
+                                         {"circuit", Json("e1")},
+                                         {"to", Json(0L)}}))
+                     .get("result");
+  EXPECT_EQ(r.get("fingerprint").as_string(), fp0);
+  // Undo is itself a mutation: the generation moves FORWARD (monotone), so
+  // stale cache entries can never be revived by generation collision.
+  EXPECT_GT(r.get("generation").as_long(0), 3);
+}
+
+TEST(ServeService, SweepScalesFromBaseAndRestoresState) {
+  TimingService service;
+  const std::string fp0 =
+      load_example1(service, "e1").get("result").get("fingerprint").as_string();
+  Json factors = Json::array();
+  factors.push(Json(1.0));
+  factors.push(Json(1.2));
+  factors.push(Json(0.9));
+  const Json r = expect_ok(service, req({{"verb", Json("sweep")},
+                                         {"circuit", Json("e1")},
+                                         {"factors", std::move(factors)}}))
+                     .get("result");
+  const Json& results = r.get("results");
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.get("base_cycle").as_number(), 110.0);
+  // Factors scale the ORIGINAL schedule, not the previous step's.
+  EXPECT_DOUBLE_EQ(results.at(0).get("cycle").as_number(), 110.0);
+  EXPECT_DOUBLE_EQ(results.at(1).get("cycle").as_number(), 110.0 * 1.2);
+  EXPECT_DOUBLE_EQ(results.at(2).get("cycle").as_number(), 110.0 * 0.9);
+  EXPECT_TRUE(results.at(1).get("feasible").as_bool(false));   // slack grows
+  EXPECT_FALSE(results.at(2).get("feasible").as_bool(true));   // below optimum
+
+  // The sweep left no trace: same content, and a plain analyze still matches.
+  const Json stats = expect_ok(service, req({{"verb", Json("stats")}})).get("result");
+  (void)stats;
+  const Json analyzed = expect_ok(service, req({{"verb", Json("analyze")},
+                                                {"circuit", Json("e1")}}))
+                            .get("result");
+  EXPECT_EQ(analyzed.get("fingerprint").as_string(), fp0);
+  EXPECT_TRUE(analyzed.get("feasible").as_bool(false));
+}
+
+TEST(ServeService, MinVerbMatchesLoadOptimum) {
+  TimingService service;
+  load_example1(service, "e1");
+  const Json r = expect_ok(service, req({{"verb", Json("min")}, {"circuit", Json("e1")}}))
+                     .get("result");
+  EXPECT_DOUBLE_EQ(r.get("min_cycle").as_number(), 110.0);
+  // The rendered .lcs parses back to the reported schedule.
+  const Expected<ClockSchedule> parsed = parser::parse_schedule(r.get("lcs").as_string());
+  ASSERT_TRUE(parsed);
+  EXPECT_DOUBLE_EQ(parsed->cycle, 110.0);
+}
+
+TEST(ServeService, ReportVerbRendersInMemory) {
+  TimingService service;
+  load_example1(service, "e1");
+  const Json table = expect_ok(service, req({{"verb", Json("report")},
+                                             {"circuit", Json("e1")},
+                                             {"format", Json("table")}}))
+                         .get("result");
+  EXPECT_NE(table.get("content").as_string().find("e1"), std::string::npos);
+  const Json json = expect_ok(service, req({{"verb", Json("report")},
+                                            {"circuit", Json("e1")},
+                                            {"format", Json("json")},
+                                            {"signoff", Json(true)}}))
+                        .get("result");
+  EXPECT_TRUE(parse_json(json.get("content").as_string()))
+      << "report json must itself be valid JSON";
+  expect_error(service, req({{"verb", Json("report")},
+                             {"circuit", Json("e1")},
+                             {"format", Json("pdf")}}),
+               "invalid_argument");
+}
+
+TEST(ServeService, DeratedCornerGetsItsOwnContentIdentity) {
+  // The corner is part of the cache identity (RunMetadata contract): the
+  // same circuit derated differently must produce different fingerprints
+  // and must never be served from the nominal corner's cache entries.
+  TimingService service;
+  load_example1(service, "nom");
+  load_example1(service, "slow");
+  const Json analyze_nom = req({{"verb", Json("analyze")}, {"circuit", Json("nom")}});
+  const Json nominal = service.handle(analyze_nom).get("result");
+
+  Json edits = Json::array();
+  edits.push(req({{"op", Json("derate")},
+                  {"delay_scale", Json(1.1)},
+                  {"min_scale", Json(0.9)}}));
+  const Json derated_state = expect_ok(service, req({{"verb", Json("edit_batch")},
+                                                     {"circuit", Json("slow")},
+                                                     {"edits", std::move(edits)}}))
+                                 .get("result");
+  EXPECT_NE(derated_state.get("fingerprint").as_string(),
+            nominal.get("fingerprint").as_string());
+
+  const Json derated = service.handle(req({{"verb", Json("analyze")},
+                                           {"circuit", Json("slow")}}));
+  EXPECT_FALSE(derated.get("cached").as_bool(true));
+  EXPECT_NE(derated.get("result").get("worst_setup_slack").as_number(),
+            nominal.get("worst_setup_slack").as_number());
+}
+
+TEST(ServeService, SessionPoolEvictsLruUnderByteBudget) {
+  ServiceConfig config;
+  config.session_bytes = 1;  // every load evicts all idle predecessors
+  TimingService service(config);
+  load_example1(service, "a");
+  load_example1(service, "b");
+  EXPECT_GE(service.pool_stats().evictions, 1L);
+  EXPECT_EQ(service.pool_stats().sessions, 1u);
+  expect_error(service, req({{"verb", Json("analyze")}, {"circuit", Json("a")}}),
+               "not_loaded");
+  expect_ok(service, req({{"verb", Json("analyze")}, {"circuit", Json("b")}}));
+}
+
+TEST(ServeService, StatsReportsSessionsCacheAndMetrics) {
+  TimingService service;
+  load_example1(service, "e1");
+  service.handle(req({{"verb", Json("analyze")}, {"circuit", Json("e1")}}));
+  const Json r = expect_ok(service, req({{"verb", Json("stats")}})).get("result");
+  EXPECT_EQ(r.get("sessions").get("count").as_long(0), 1);
+  EXPECT_GT(r.get("sessions").get("bytes").as_long(0), 0);
+  EXPECT_EQ(r.get("sessions").get("keys").at(0).get("circuit").as_string(), "e1");
+  EXPECT_GE(r.get("cache").get("entries").as_long(-1), 1);
+  // The registered gauges/counters show up in the metrics array by name.
+  bool saw_evictions = false, saw_cache_bytes = false;
+  for (const Json& m : r.get("metrics").items()) {
+    const std::string& name = m.get("name").as_string();
+    if (name == "session.evictions") saw_evictions = true;
+    if (name == "cache.bytes") saw_cache_bytes = true;
+  }
+  EXPECT_TRUE(saw_evictions);
+  EXPECT_TRUE(saw_cache_bytes);
+}
+
+TEST(ServeService, ErrorEnvelopes) {
+  TimingService service;
+  expect_error(service, req({{"verb", Json("analyze")}, {"circuit", Json("ghost")}}),
+               "not_loaded");
+  expect_error(service, req({{"verb", Json("frobnicate")}}), "unknown_verb");
+  expect_error(service, req({{"verb", Json("load")}, {"circuit", Json("x")},
+                             {"builtin", Json("no_such_builtin")}}),
+               "invalid_argument");
+  expect_error(service, req({{"verb", Json("load")}, {"circuit", Json("x")},
+                             {"text", Json("not an lct file")}}),
+               "invalid_argument");
+}
+
+TEST(ServeService, HandleLineRoundTripsFramesAndSurvivesGarbage) {
+  TimingService service;
+  const std::string frame =
+      service.handle_line(R"({"id": 3, "verb": "load", "circuit": "e1", )"
+                          R"("builtin": "example1"})");
+  ASSERT_EQ(frame.back(), '\n');
+  const Expected<Json> response = parse_json(std::string_view(frame).substr(0, frame.size() - 1));
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->get("id").as_long(0), 3);
+  EXPECT_TRUE(response->get("ok").as_bool(false));
+
+  for (const char* bad : {"", "]", "{\"no\": \"verb\"}", "\x01\x02", "{\"verb\":7}"}) {
+    const std::string err_frame = service.handle_line(bad);
+    const Expected<Json> err = parse_json(std::string_view(err_frame).substr(0, err_frame.size() - 1));
+    ASSERT_TRUE(err) << "error frame must still be valid JSON for: " << bad;
+    EXPECT_FALSE(err->get("ok").as_bool(true));
+  }
+}
+
+TEST(ServeService, HandleLineEnforcesFrameCap) {
+  ServiceConfig config;
+  config.max_frame_bytes = 128;
+  TimingService service(config);
+  std::string big = R"({"verb": "load", "circuit": "x", "text": ")";
+  big.append(256, 'a');
+  big += "\"}";
+  const std::string frame = service.handle_line(big);
+  const Expected<Json> response = parse_json(std::string_view(frame).substr(0, frame.size() - 1));
+  ASSERT_TRUE(response);
+  EXPECT_FALSE(response->get("ok").as_bool(true));
+}
+
+TEST(ServeService, ResetDropsEverything) {
+  TimingService service;
+  load_example1(service, "e1");
+  service.handle(req({{"verb", Json("analyze")}, {"circuit", Json("e1")}}));
+  service.reset();
+  EXPECT_EQ(service.pool_stats().sessions, 0u);
+  EXPECT_EQ(service.cache().stats().entries, 0u);
+  expect_error(service, req({{"verb", Json("analyze")}, {"circuit", Json("e1")}}),
+               "not_loaded");
+}
+
+}  // namespace
+}  // namespace mintc::serve
