@@ -224,6 +224,94 @@ Throughput run_throughput(int threads, int streams, int rounds) {
   return tp;
 }
 
+/// Cacheable request set: per circuit, one analyze (detail), one signoff
+/// report and one 5-point sweep.
+void build_cases(std::vector<BenchCase>& cases,
+                 std::vector<std::pair<std::string, std::string>>& loads) {
+  for (int which = 0; which < 2; ++which) {
+    const std::string key = "c" + std::to_string(which);
+    loads.emplace_back(key, parser::write_circuit(bench_circuit(which)));
+    cases.push_back({key, "analyze",
+                     R"({"verb":"analyze","circuit":")" + key + R"(","detail":true})"});
+    cases.push_back({key, "report",
+                     R"({"verb":"report","circuit":")" + key +
+                         R"(","format":"json","signoff":true})"});
+    cases.push_back({key, "sweep",
+                     R"({"verb":"sweep","circuit":")" + key +
+                         R"(","from":1.0,"to":1.4,"steps":5})"});
+  }
+}
+
+/// --overhead-check: price of telemetry on the unsampled hot path.
+///
+/// Two cache-off services (every request pays full compute) differing only
+/// in ServiceConfig::telemetry; no request carries a trace field, so the
+/// "on" lane measures exactly what production pays for unsampled traffic:
+/// metric increments, the latency histogram observe, and the in-flight
+/// gauge — spans stay dormant. Reps alternate off/on so clock drift and
+/// thermal state hit both sides equally, and each side keeps its MINIMUM
+/// per-rep p50 (the least-noisy estimate of intrinsic cost). Gate: the
+/// request-mix p50 sum with telemetry on must be within 5% of off.
+int run_overhead_check(bool small) {
+  const int iters = small ? 20 : 100;
+  const int reps = small ? 3 : 5;
+
+  std::vector<BenchCase> cases;
+  std::vector<std::pair<std::string, std::string>> loads;
+  build_cases(cases, loads);
+
+  serve::ServiceConfig off_config;
+  off_config.cache_bytes = 0;
+  off_config.telemetry = false;
+  serve::TimingService off_service(off_config);
+  serve::ServiceConfig on_config;
+  on_config.cache_bytes = 0;  // telemetry stays at its default (on)
+  serve::TimingService on_service(on_config);
+  for (const auto& [key, text] : loads) {
+    load_into(off_service, key, text);
+    load_into(on_service, key, text);
+  }
+  for (const BenchCase& spec : cases) {  // warm sessions + code paths
+    (void)run_lane(off_service, spec.request, 2);
+    (void)run_lane(on_service, spec.request, 2);
+  }
+
+  std::printf("== serve: telemetry overhead (unsampled, cache off, min of %d reps) ==\n",
+              reps);
+  TextTable table({"case", "off p50 us", "on p50 us", "overhead"});
+  double off_total = 0.0, on_total = 0.0;
+  for (const BenchCase& spec : cases) {
+    double off_best = 0.0, on_best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double off_p50 = run_lane(off_service, spec.request, iters).latency.p50;
+      const double on_p50 = run_lane(on_service, spec.request, iters).latency.p50;
+      if (rep == 0 || off_p50 < off_best) off_best = off_p50;
+      if (rep == 0 || on_p50 < on_best) on_best = on_p50;
+    }
+    off_total += off_best;
+    on_total += on_best;
+    char offs[32], ons[32], ov[32];
+    std::snprintf(offs, sizeof offs, "%.1f", off_best);
+    std::snprintf(ons, sizeof ons, "%.1f", on_best);
+    std::snprintf(ov, sizeof ov, "%+.2f%%",
+                  off_best > 0 ? 100.0 * (on_best / off_best - 1.0) : 0.0);
+    table.add_row({spec.circuit + "/" + spec.verb, offs, ons, ov});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double overhead = off_total > 0 ? on_total / off_total - 1.0 : 0.0;
+  std::printf("request-mix p50 sum: off %.1fus, on %.1fus -> overhead %+.2f%% "
+              "(gate: <= 5%%)\n",
+              off_total, on_total, 100.0 * overhead);
+  if (overhead > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: unsampled telemetry overhead %.2f%% exceeds the 5%% gate\n",
+                 100.0 * overhead);
+    return 1;
+  }
+  return 0;
+}
+
 std::string pct_json(const Percentiles& p) {
   std::string out = "{\"p50_us\": " + obs::json_number(p.p50);
   out += ", \"p95_us\": " + obs::json_number(p.p95);
@@ -237,37 +325,30 @@ std::string pct_json(const Percentiles& p) {
 int main(int argc, char** argv) {
   bool small = false;
   bool check = false;
+  bool overhead_check = false;
   std::string out = "BENCH_serve.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) {
       small = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--overhead-check") == 0) {
+      overhead_check = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_serve [--small] [--check] [--out <file>]\n");
+      std::fprintf(stderr,
+                   "usage: bench_serve [--small] [--check] [--overhead-check] "
+                   "[--out <file>]\n");
       return 2;
     }
   }
+  if (overhead_check) return run_overhead_check(small);
   const int iters = small ? 30 : 200;
 
-  // Cacheable request set: per circuit, one analyze (detail), one signoff
-  // report and one 5-point sweep.
   std::vector<BenchCase> cases;
   std::vector<std::pair<std::string, std::string>> loads;  // key -> text
-  for (int which = 0; which < 2; ++which) {
-    const std::string key = "c" + std::to_string(which);
-    loads.emplace_back(key, parser::write_circuit(bench_circuit(which)));
-    cases.push_back({key, "analyze",
-                     R"({"verb":"analyze","circuit":")" + key + R"(","detail":true})"});
-    cases.push_back({key, "report",
-                     R"({"verb":"report","circuit":")" + key +
-                         R"(","format":"json","signoff":true})"});
-    cases.push_back({key, "sweep",
-                     R"({"verb":"sweep","circuit":")" + key +
-                         R"(","from":1.0,"to":1.4,"steps":5})"});
-  }
+  build_cases(cases, loads);
 
   serve::ServiceConfig cold_config;
   cold_config.cache_bytes = 0;

@@ -23,14 +23,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "circuits/synthetic.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "parser/lct.h"
 #include "serve/client.h"
 #include "serve/json.h"
+#include "serve/protocol.h"
 #include "sta/analysis.h"
 
 using namespace mintc;
@@ -45,17 +49,32 @@ struct LoadGenConfig {
   int circuits = 8;
   int threads = 8;
   bool verify = false;
+  /// Attach a trace id to every Nth request (0 = none, 1 = all). Ids are
+  /// deterministic functions of the global request sequence number.
+  int trace_sample = 0;
   std::string out_path;
+  std::string trace_out;
 };
+
+/// Global request sequence for --trace-sample: every Nth request across all
+/// threads carries a trace id derived from its sequence number.
+std::atomic<long> g_request_seq{0};
 
 struct ThreadResult {
   std::vector<double> latencies_us;
+  std::map<std::string, std::vector<double>> verb_latencies_us;
   long requests = 0;
   long errors = 0;
   long cache_hits = 0;
+  long traced = 0;
   long verify_failures = 0;
   std::string first_error;
 };
+
+std::uint64_t trace_id_for(long seq) {
+  const std::uint64_t id = obs::Fnv1a().u64(static_cast<std::uint64_t>(seq)).digest();
+  return id != 0 ? id : 1;  // 0 is not a valid trace id
+}
 
 Circuit base_circuit(int which) {
   circuits::SyntheticParams params;
@@ -110,11 +129,20 @@ std::string verify_against_local(const Json& result, const Circuit& mirror,
 void run_stream(serve::Client& client, const LoadGenConfig& config, int stream,
                 ThreadResult& tr) {
   const auto timed_call = [&](Json request) -> Json {
+    const std::string verb = request.str_or("verb");
+    if (config.trace_sample > 0) {
+      const long seq = g_request_seq.fetch_add(1);
+      if (seq % config.trace_sample == 0) {
+        request.set("trace", Json(serve::trace_id_hex(trace_id_for(seq))));
+      }
+    }
     const auto start = std::chrono::steady_clock::now();
     Expected<Json> response = client.call(std::move(request));
-    tr.latencies_us.push_back(
+    const double us =
         std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
-            .count());
+            .count();
+    tr.latencies_us.push_back(us);
+    tr.verb_latencies_us[verb].push_back(us);
     ++tr.requests;
     if (!response) {
       ++tr.errors;
@@ -127,6 +155,7 @@ void run_stream(serve::Client& client, const LoadGenConfig& config, int stream,
       return Json();
     }
     if (response->get("cached").as_bool(false)) ++tr.cache_hits;
+    if (response->get("trace").is_string()) ++tr.traced;
     return response->get("result");
   };
 
@@ -225,23 +254,41 @@ int run_load_generator(const LoadGenConfig& config) {
     total.requests += tr.requests;
     total.errors += tr.errors;
     total.cache_hits += tr.cache_hits;
+    total.traced += tr.traced;
     total.verify_failures += tr.verify_failures;
     total.latencies_us.insert(total.latencies_us.end(), tr.latencies_us.begin(),
                               tr.latencies_us.end());
+    for (auto& [verb, v] : tr.verb_latencies_us) {
+      std::vector<double>& dst = total.verb_latencies_us[verb];
+      dst.insert(dst.end(), v.begin(), v.end());
+    }
     if (total.first_error.empty()) total.first_error = tr.first_error;
   }
   std::sort(total.latencies_us.begin(), total.latencies_us.end());
   const double p50 = percentile(total.latencies_us, 0.50);
   const double p95 = percentile(total.latencies_us, 0.95);
   const double p99 = percentile(total.latencies_us, 0.99);
+  // The tail quantile comes from an obs::Histogram (same 1-2-5 latency
+  // buckets as the server's serve.latency_us, interpolated inside the
+  // bucket) so client- and server-side p99.9 are directly comparable.
+  obs::Histogram aggregate(obs::latency_buckets_us());
+  for (const double us : total.latencies_us) aggregate.observe(us);
+  const double p999 = aggregate.quantile(0.999);
   const double rps = wall_s > 0 ? static_cast<double>(total.requests) / wall_s : 0.0;
 
   std::printf("%d streams x %d rounds over %d connection%s: %ld requests in %.2fs "
               "(%.0f req/s)\n",
               config.streams, config.rounds, threads, threads == 1 ? "" : "s",
               total.requests, wall_s, rps);
-  std::printf("latency us: p50 %.0f  p95 %.0f  p99 %.0f  max %.0f\n", p50, p95, p99,
-              total.latencies_us.empty() ? 0.0 : total.latencies_us.back());
+  std::printf("latency us: p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f  max %.0f\n", p50, p95,
+              p99, p999, total.latencies_us.empty() ? 0.0 : total.latencies_us.back());
+  for (const auto& [verb, v] : total.verb_latencies_us) {
+    obs::Histogram h(obs::latency_buckets_us());
+    for (const double us : v) h.observe(us);
+    std::printf("  %-11s %6zu reqs  p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f\n",
+                verb.c_str(), v.size(), h.quantile(0.50), h.quantile(0.95),
+                h.quantile(0.99), h.quantile(0.999));
+  }
   std::printf("errors %ld, cache hits %ld%s\n", total.errors, total.cache_hits,
               config.verify
                   ? (", verify failures " + std::to_string(total.verify_failures)).c_str()
@@ -265,10 +312,53 @@ int run_load_generator(const LoadGenConfig& config) {
     out.set("p50_us", Json(p50));
     out.set("p95_us", Json(p95));
     out.set("p99_us", Json(p99));
+    out.set("p999_us", Json(p999));
+    out.set("traced", Json(total.traced));
+    // Per-verb breakdown: interpolated quantiles over the shared latency
+    // buckets (exact counts, approximate tails — see obs::Histogram).
+    Json verbs = Json::object();
+    for (const auto& [verb, v] : total.verb_latencies_us) {
+      obs::Histogram h(obs::latency_buckets_us());
+      for (const double us : v) h.observe(us);
+      Json row = Json::object();
+      row.set("count", Json(static_cast<long>(v.size())));
+      row.set("p50_us", Json(h.quantile(0.50)));
+      row.set("p95_us", Json(h.quantile(0.95)));
+      row.set("p99_us", Json(h.quantile(0.99)));
+      row.set("p999_us", Json(h.quantile(0.999)));
+      row.set("max_us", Json(h.max()));
+      verbs.set(verb, std::move(row));
+    }
+    out.set("verbs", std::move(verbs));
     std::ofstream f(config.out_path);
     if (f) {
       f << out.dump() << "\n";
       std::printf("wrote %s\n", config.out_path.c_str());
+    }
+  }
+
+  if (!config.trace_out.empty()) {
+    // Drain the server's span ring buffer into a Chrome trace file: one
+    // sampled request's spans (protocol -> service -> session -> shards)
+    // load as a single tree in chrome://tracing.
+    serve::Client drain;
+    const Expected<bool> connected = drain.connect(config.address);
+    Json req = Json::object();
+    req.set("verb", Json("trace"));
+    Expected<Json> response =
+        connected ? drain.call(std::move(req)) : Expected<Json>(connected.error());
+    if (response && response->get("ok").as_bool(false)) {
+      const Json& result = response->get("result");
+      std::ofstream f(config.trace_out);
+      if (f) {
+        f << result.str_or("content");
+        std::printf("wrote %s (%ld events, %ld dropped)\n", config.trace_out.c_str(),
+                    result.long_or("events", 0), result.long_or("dropped", 0));
+      }
+    } else {
+      std::fprintf(stderr, "warning: trace drain failed: %s\n",
+                   response ? response->get("error").dump().c_str()
+                            : response.error().to_string().c_str());
     }
   }
   return (total.errors == 0 && total.verify_failures == 0) ? 0 : 1;
@@ -301,7 +391,9 @@ int usage() {
       "  one-shot:  --req '<json>'   send one request, print the response\n"
       "             --stats          shorthand for --req '{\"verb\":\"stats\"}'\n"
       "  load gen:  [--streams N] [--rounds R] [--circuits K] [--threads T]\n"
-      "             [--verify] [--out <file>]\n");
+      "             [--verify] [--out <file>]\n"
+      "             [--trace-sample N]  attach a trace id to every Nth request\n"
+      "             [--trace-out <file>]  drain the server trace ring after the run\n");
   return 2;
 }
 
@@ -330,6 +422,10 @@ int main(int argc, char** argv) {
       config.threads = std::atoi(argv[++i]);
     } else if (arg == "--verify") {
       config.verify = true;
+    } else if (arg == "--trace-sample" && has_value) {
+      config.trace_sample = std::max(0, std::atoi(argv[++i]));
+    } else if (arg == "--trace-out" && has_value) {
+      config.trace_out = argv[++i];
     } else if (arg == "--out" && has_value) {
       config.out_path = argv[++i];
     } else {

@@ -13,6 +13,15 @@
 // --stop-after <sec> exits on its own (CI smoke jobs); --metrics-out
 // dumps the obs metrics registry on shutdown.
 //
+// Telemetry flags:
+//   --prom-out <file> [--prom-interval <sec>]   periodic Prometheus text
+//       snapshots (runtime gauges refreshed before each write; default 10 s)
+//   --trace-out <file>     drain the span ring buffer as Chrome trace JSON
+//       on shutdown
+//   --trace-buffer <N>     span ring capacity (default 65536; 0 = unbounded)
+//   --slow-ms <T>          structured slow-request log above T milliseconds
+//   --no-telemetry         kill request-path telemetry (overhead baseline)
+//
 // Talk to it with timing_client, timing_tool --remote, or plain nc:
 //   echo '{"verb":"load","circuit":"e1","builtin":"example1"}' | nc -U s.sock
 #include <csignal>
@@ -40,6 +49,9 @@ int usage() {
       "                    [--cache-mb <M>] [--session-mb <M>]\n"
       "                    [--analyze-threads <N>] [--max-frame-mb <M>]\n"
       "                    [--stop-after <sec>] [--metrics-out <file>]\n"
+      "                    [--prom-out <file>] [--prom-interval <sec>]\n"
+      "                    [--trace-out <file>] [--trace-buffer <N>]\n"
+      "                    [--slow-ms <T>] [--no-telemetry]\n"
       "  --port 0 picks an ephemeral port (printed). With no listener flags,\n"
       "  defaults to --port 0.\n");
   return 2;
@@ -51,6 +63,10 @@ int main(int argc, char** argv) {
   serve::ServerConfig server_config;
   serve::ServiceConfig service_config;
   std::string metrics_out;
+  std::string prom_out;
+  std::string trace_out;
+  long prom_interval_sec = 10;
+  long trace_buffer = 65536;
   long stop_after_sec = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +91,20 @@ int main(int argc, char** argv) {
       stop_after_sec = std::atol(argv[++i]);
     } else if (arg == "--metrics-out" && has_value) {
       metrics_out = argv[++i];
+    } else if (arg == "--prom-out" && has_value) {
+      prom_out = argv[++i];
+    } else if (arg == "--prom-interval" && has_value) {
+      prom_interval_sec = std::atol(argv[++i]);
+      if (prom_interval_sec < 1) prom_interval_sec = 1;
+    } else if (arg == "--trace-out" && has_value) {
+      trace_out = argv[++i];
+    } else if (arg == "--trace-buffer" && has_value) {
+      trace_buffer = std::atol(argv[++i]);
+      if (trace_buffer < 0) trace_buffer = 0;
+    } else if (arg == "--slow-ms" && has_value) {
+      service_config.slow_request_us = 1000 * std::atol(argv[++i]);
+    } else if (arg == "--no-telemetry") {
+      service_config.telemetry = false;
     } else {
       return usage();
     }
@@ -82,6 +112,10 @@ int main(int argc, char** argv) {
   if (server_config.unix_path.empty() && server_config.tcp_port < 0) {
     server_config.tcp_port = 0;  // ephemeral loopback by default
   }
+
+  // A daemon's span buffer must be bounded: the ring drops the oldest
+  // events (counted + marked) instead of growing without limit.
+  obs::Tracer::instance().set_capacity(static_cast<size_t>(trace_buffer));
 
   serve::TimingService service(service_config);
   serve::SocketServer server(service, server_config);
@@ -102,14 +136,28 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
 
   long elapsed_ms = 0;
+  long next_prom_ms = prom_interval_sec * 1000;
   while (!g_stop) {
     struct timespec ts{0, 200 * 1000 * 1000};
     ::nanosleep(&ts, nullptr);
     elapsed_ms += 200;
+    if (!prom_out.empty() && elapsed_ms >= next_prom_ms) {
+      service.sample_runtime_gauges();
+      obs::write_prometheus_text(prom_out);
+      next_prom_ms += prom_interval_sec * 1000;
+    }
     if (stop_after_sec > 0 && elapsed_ms >= stop_after_sec * 1000) break;
   }
 
   server.stop();
+
+  if (!prom_out.empty()) {
+    service.sample_runtime_gauges();
+    if (obs::write_prometheus_text(prom_out)) std::printf("wrote %s\n", prom_out.c_str());
+  }
+  if (!trace_out.empty() && obs::write_chrome_trace(trace_out)) {
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
 
   const serve::ResultCache::Stats cs = service.cache().stats();
   const serve::TimingService::PoolStats ps = service.pool_stats();

@@ -135,8 +135,10 @@ void ThreadPool::worker_loop(int index) {
   };
   for (;;) {
     if (try_pop_own(index, task) || try_steal(index, task)) {
+      busy_.fetch_add(1, std::memory_order_relaxed);
       task();
       task = nullptr;
+      busy_.fetch_sub(1, std::memory_order_relaxed);
       executed_.fetch_add(1, std::memory_order_relaxed);
       const std::lock_guard<std::mutex> lk(control_mu_);
       if (--pending_ == 0) done_cv_.notify_all();

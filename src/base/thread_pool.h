@@ -104,6 +104,11 @@ class ThreadPool {
   /// Total tasks executed since construction.
   std::int64_t executed_count() const { return executed_.load(std::memory_order_relaxed); }
 
+  /// Workers currently inside a task body. Together with num_threads() this
+  /// yields an instantaneous utilization sample (busy / threads) — a gauge
+  /// the serve layer scrapes; approximate by nature, never used for control.
+  int busy_count() const { return busy_.load(std::memory_order_relaxed); }
+
   /// Index of the calling worker thread in [0, num_threads()), or -1 when
   /// called from a thread that is not one of this pool's workers.
   int worker_index() const;
@@ -129,6 +134,7 @@ class ThreadPool {
 
   std::atomic<std::int64_t> steals_{0};
   std::atomic<std::int64_t> executed_{0};
+  std::atomic<int> busy_{0};
   std::atomic<std::uint64_t> next_queue_{0};  // round-robin for external submits
 };
 

@@ -135,11 +135,22 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
     if (i) out << ",";
     out << "\n  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
         << json_escape(e.category) << "\", \"ph\": \"" << phase_of(e.kind)
-        << "\", \"ts\": " << json_number(e.ts_us) << ", \"pid\": 1, \"tid\": 1";
+        << "\", \"ts\": " << json_number(e.ts_us) << ", \"pid\": 1, \"tid\": " << e.tid;
     if (e.kind == EventKind::kInstant) out << ", \"s\": \"t\"";
-    if (e.kind == EventKind::kCounter) {
-      out << ", \"args\": {\"value\": " << json_number(e.value) << "}";
+    // Merge the counter sample, the owning trace id and any span args into
+    // one "args" object. e.args is a pre-rendered JSON object — splice its
+    // members rather than nesting it.
+    std::string members;
+    if (e.kind == EventKind::kCounter) members += "\"value\": " + json_number(e.value);
+    if (e.trace_id != 0) {
+      if (!members.empty()) members += ", ";
+      members += "\"trace\": \"" + hash_hex(e.trace_id) + "\"";
     }
+    if (e.args.size() > 2 && e.args.front() == '{' && e.args.back() == '}') {
+      if (!members.empty()) members += ", ";
+      members += e.args.substr(1, e.args.size() - 2);
+    }
+    if (!members.empty()) out << ", \"args\": {" << members << "}";
     out << "}";
   }
   out << "\n], \"displayTimeUnit\": \"ms\", \"metadata\": " << run_metadata_json() << "}\n";
@@ -166,7 +177,7 @@ std::string metrics_json(const std::vector<MetricPoint>& points) {
             << ", \"sum\": " << json_number(p.sum) << ", \"min\": " << json_number(p.min)
             << ", \"max\": " << json_number(p.max) << ", \"p50\": " << json_number(p.p50)
             << ", \"p95\": " << json_number(p.p95) << ", \"p99\": " << json_number(p.p99)
-            << ", \"bounds\": [";
+            << ", \"p999\": " << json_number(p.p999) << ", \"bounds\": [";
         for (size_t b = 0; b < p.bounds.size(); ++b) {
           if (b) out << ", ";
           out << json_number(p.bounds[b]);
@@ -224,8 +235,105 @@ bool write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& 
   return write_string(path, chrome_trace_json(events));
 }
 
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]* — map anything else
+// (the registry uses dots) to '_' and prefix the tool namespace.
+std::string prom_name(const std::string& name) {
+  std::string out = "mintc_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Label VALUES escape backslash, double-quote and newline per the text
+// exposition format (different from JSON escaping: no \t or \u).
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=\"" + prom_escape(labels[i].second) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!labels.empty()) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json_number(v);
+}
+
+}  // namespace
+
+std::string prometheus_text(const std::vector<MetricPoint>& points) {
+  std::ostringstream out;
+  // One # TYPE line per metric family (a name can appear with several label
+  // sets); the snapshot is sorted by key, so same-name points are adjacent.
+  std::string last_family;
+  for (const MetricPoint& p : points) {
+    const std::string base = prom_name(p.name);
+    const std::string family =
+        p.kind == MetricKind::kCounter ? base + "_total" : base;
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        if (family != last_family) out << "# TYPE " << family << " counter\n";
+        out << family << prom_labels(p.labels) << " " << prom_number(p.value) << "\n";
+        break;
+      case MetricKind::kGauge:
+        if (family != last_family) out << "# TYPE " << family << " gauge\n";
+        out << family << prom_labels(p.labels) << " " << prom_number(p.value) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        if (family != last_family) out << "# TYPE " << family << " histogram\n";
+        // The registry stores per-bucket counts; Prometheus buckets are
+        // CUMULATIVE and end with the mandatory le="+Inf" == _count.
+        long cum = 0;
+        for (size_t b = 0; b < p.buckets.size(); ++b) {
+          cum += p.buckets[b];
+          const std::string le =
+              b < p.bounds.size() ? prom_number(p.bounds[b]) : "+Inf";
+          out << base << "_bucket" << prom_labels(p.labels, "le=\"" + le + "\"") << " "
+              << cum << "\n";
+        }
+        out << base << "_sum" << prom_labels(p.labels) << " " << prom_number(p.sum) << "\n";
+        out << base << "_count" << prom_labels(p.labels) << " " << p.count << "\n";
+        break;
+      }
+    }
+    last_family = family;
+  }
+  return out.str();
+}
+
 bool write_metrics_json(const std::string& path) {
   return write_string(path, metrics_json(MetricsRegistry::instance().snapshot()));
+}
+
+bool write_prometheus_text(const std::string& path) {
+  return write_string(path, prometheus_text(MetricsRegistry::instance().snapshot()));
 }
 
 }  // namespace mintc::obs

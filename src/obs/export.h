@@ -91,8 +91,17 @@ std::string run_metadata_json();  // the process-wide metadata
 /// Render events as Chrome trace-event JSON ({"traceEvents": [...],
 /// "metadata": {...run header...}}).
 /// kBegin/kEnd become ph "B"/"E", kInstant "i", kCounter "C"; all events
-/// carry pid 1 / tid 1 and timestamps in microseconds.
+/// carry pid 1, the recording thread's tid, and timestamps in microseconds.
+/// A nonzero trace_id and any pre-rendered span args are merged into the
+/// event's "args" object (trace id as 16-char hex under key "trace").
 std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Render metric points in the Prometheus text exposition format. Names are
+/// prefixed "mintc_" with dots mapped to underscores; counters get the
+/// "_total" suffix; histograms emit CUMULATIVE "_bucket{le=...}" series
+/// (including "+Inf"), "_sum" and "_count", per the format spec. Label
+/// values escape backslash, double-quote and newline. Ends with a newline.
+std::string prometheus_text(const std::vector<MetricPoint>& points);
 
 /// Render metric points as {"meta": {...run header...}, "metrics": [...]}.
 std::string metrics_json(const std::vector<MetricPoint>& points);
@@ -104,6 +113,7 @@ std::string metrics_table(const std::vector<MetricPoint>& points);
 /// Returns false (and logs a warning) when the file cannot be written.
 bool write_chrome_trace(const std::string& path);
 bool write_metrics_json(const std::string& path);
+bool write_prometheus_text(const std::string& path);
 
 /// Write an explicit event list (e.g. a per-failure slice) to `path`.
 bool write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& events);

@@ -103,6 +103,17 @@ std::vector<double> default_buckets() {
   return b;
 }
 
+std::vector<double> latency_buckets_us() {
+  std::vector<double> b;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    b.push_back(decade);
+    b.push_back(2.0 * decade);
+    b.push_back(5.0 * decade);
+  }
+  b.push_back(1e7);
+  return b;
+}
+
 std::string MetricPoint::key() const { return render_key(name, labels); }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -175,6 +186,7 @@ std::vector<MetricPoint> MetricsRegistry::snapshot() const {
     p.p50 = entry.metric->quantile(0.50);
     p.p95 = entry.metric->quantile(0.95);
     p.p99 = entry.metric->quantile(0.99);
+    p.p999 = entry.metric->quantile(0.999);
     p.bounds = entry.metric->bounds();
     p.buckets = entry.metric->buckets();
     points.push_back(std::move(p));

@@ -86,6 +86,11 @@ class Histogram {
 /// pivot counts.
 std::vector<double> default_buckets();
 
+/// 1-2-5 per-decade bounds 1 us .. 10 s for microsecond latencies — shared
+/// by the serve layer's request histogram and timing_client's per-verb
+/// breakdown so their quantiles are comparable.
+std::vector<double> latency_buckets_us();
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 /// One metric's state at snapshot time.
@@ -96,7 +101,7 @@ struct MetricPoint {
   double value = 0.0;            // counter / gauge value
   long count = 0;                // histogram observation count
   double sum = 0.0, min = 0.0, max = 0.0;
-  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // histogram quantile estimates
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, p999 = 0.0;  // histogram quantiles
   std::vector<double> bounds;    // histogram upper bounds
   std::vector<long> buckets;     // histogram bucket counts (bounds + inf)
 

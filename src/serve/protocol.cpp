@@ -59,6 +59,64 @@ Expected<Json> parse_request(std::string_view line, size_t max_bytes) {
   return parsed;
 }
 
+namespace {
+
+// Decode a 1-16 hex-digit trace id; 0 on failure (0 is also an invalid id,
+// so callers need no separate error channel).
+std::uint64_t parse_trace_id(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  std::uint64_t id = 0;
+  for (const char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return 0;
+    id = (id << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return id;
+}
+
+}  // namespace
+
+Expected<TraceField> parse_trace_field(const Json& request) {
+  TraceField field;
+  if (!request.has("trace")) return field;
+  const Json& trace = request.get("trace");
+  field.present = true;
+  std::string hex;
+  if (trace.is_string()) {
+    hex = trace.as_string();
+    field.context.sampled = true;
+  } else if (trace.is_object()) {
+    if (!trace.get("id").is_string()) {
+      return make_error(ErrorKind::kInvalidArgument,
+                        "trace object needs a string \"id\" (1-16 hex digits)");
+    }
+    hex = trace.get("id").as_string();
+    field.context.sampled = trace.bool_or("sampled", true);
+  } else {
+    return make_error(ErrorKind::kInvalidArgument,
+                      "trace must be a hex-id string or {\"id\", \"sampled\"} object");
+  }
+  field.context.trace_id = parse_trace_id(hex);
+  if (field.context.trace_id == 0) {
+    return make_error(ErrorKind::kInvalidArgument,
+                      "trace id '" + hex + "' is not 1-16 hex digits (nonzero)");
+  }
+  return field;
+}
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
 Json ok_response(const Json& id, Json result, bool cached) {
   Json resp = Json::object();
   resp.set("id", id);

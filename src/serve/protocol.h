@@ -29,6 +29,7 @@
 #include <string_view>
 
 #include "base/error.h"
+#include "obs/trace.h"
 #include "serve/json.h"
 
 namespace mintc::serve {
@@ -60,6 +61,25 @@ class FrameReader {
 /// Decode one request line: must parse as a JSON object with a string
 /// "verb". The (optional) id is available on the returned object.
 Expected<Json> parse_request(std::string_view line, size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// The optional request "trace" field, decoded. Two spellings:
+///
+///   "trace": "1f00ba3c9d2e4455"                      — sampled, id in hex
+///   "trace": {"id": "1f00ba3c", "sampled": false}    — explicit flag
+///
+/// The id is 1-16 lower/upper hex digits (a 64-bit trace id), nonzero.
+/// Absent field -> {present=false, inactive context}. Malformed, zero, or
+/// oversized ids -> kInvalidArgument (the request is rejected rather than
+/// silently untraced, so a client's sampling config can't rot unnoticed).
+struct TraceField {
+  bool present = false;
+  obs::TraceContext context;
+};
+
+Expected<TraceField> parse_trace_field(const Json& request);
+
+/// 16-char lower-case hex rendering of a trace id (the wire spelling).
+std::string trace_id_hex(std::uint64_t trace_id);
 
 /// Response envelopes. `id` is the request's id field (null when absent).
 Json ok_response(const Json& id, Json result, bool cached);

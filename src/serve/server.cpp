@@ -135,11 +135,27 @@ Expected<bool> SocketServer::start() {
   running_.store(true, std::memory_order_release);
   started_ = true;
   io_thread_ = std::thread([this] { io_loop(); });
+
+  // Gauges only this layer can answer, refreshed when the service renders a
+  // `metrics` scrape: pool shape/throughput and the dispatch queue depth.
+  service_.set_runtime_sampler([this] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    const int threads = pool_.num_threads();
+    reg.gauge("pool.threads").set(static_cast<double>(threads));
+    reg.gauge("pool.busy").set(static_cast<double>(pool_.busy_count()));
+    reg.gauge("pool.utilization")
+        .set(threads > 0 ? static_cast<double>(pool_.busy_count()) / threads : 0.0);
+    reg.gauge("pool.executed").set(static_cast<double>(pool_.executed_count()));
+    reg.gauge("pool.steals").set(static_cast<double>(pool_.steal_count()));
+    reg.gauge("serve.queue_depth")
+        .set(static_cast<double>(queue_depth_.load(std::memory_order_relaxed)));
+  });
   return true;
 }
 
 void SocketServer::stop() {
   if (!started_) return;
+  service_.set_runtime_sampler(nullptr);  // the sampler captures `this`
   running_.store(false, std::memory_order_release);
   wake_io();
   if (io_thread_.joinable()) io_thread_.join();

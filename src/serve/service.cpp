@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 #include <vector>
+
+#include "base/log.h"
 
 #include "circuits/appendix_fig1.h"
 #include "circuits/example1.h"
@@ -25,19 +28,6 @@ namespace mintc::serve {
 namespace {
 
 obs::MetricsRegistry& registry() { return obs::MetricsRegistry::instance(); }
-
-/// Decade-ish upper bounds in microseconds: 1 us .. 10 s. The default
-/// exponential buckets top out at 4096 — useless for latency.
-std::vector<double> latency_bounds() {
-  std::vector<double> bounds;
-  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
-    bounds.push_back(decade);
-    bounds.push_back(2.0 * decade);
-    bounds.push_back(5.0 * decade);
-  }
-  bounds.push_back(1e7);
-  return bounds;
-}
 
 double elapsed_us(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
@@ -122,6 +112,70 @@ Json report_payload(const sta::TimingReport& report, const Circuit& circuit, boo
   return r;
 }
 
+/// Begin-event args for the request span: verb + circuit key (generation is
+/// tagged on the nested session span once the session is locked).
+std::string request_span_args(const std::string& verb, const Json& req) {
+  std::string args = "{\"verb\": \"" + obs::json_escape(verb) + "\"";
+  const std::string circuit = req.str_or("circuit");
+  if (!circuit.empty()) args += ", \"circuit\": \"" + obs::json_escape(circuit) + "\"";
+  args += "}";
+  return args;
+}
+
+/// Render the events belonging to `trace_id` (0 = all) as an indented tree
+/// with per-span durations — the slow-request log body. B/E matching is
+/// per-tid: fixpoint shards record on worker threads and interleave in
+/// buffer order.
+std::string span_tree_text(const std::vector<obs::TraceEvent>& events,
+                           std::uint64_t trace_id) {
+  struct Node {
+    const obs::TraceEvent* event;
+    double duration_us = -1.0;  // -1 = no matching end in range
+    size_t depth = 0;
+    int tid = 1;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<int, std::vector<size_t>> stacks;  // tid -> open node idx
+  for (const obs::TraceEvent& e : events) {
+    if (trace_id != 0 && e.trace_id != trace_id) continue;
+    std::vector<size_t>& stack = stacks[e.tid];
+    switch (e.kind) {
+      case obs::EventKind::kBegin:
+        nodes.push_back({&e, -1.0, stack.size(), e.tid});
+        stack.push_back(nodes.size() - 1);
+        break;
+      case obs::EventKind::kEnd:
+        if (!stack.empty()) {
+          Node& open = nodes[stack.back()];
+          open.duration_us = e.ts_us - open.event->ts_us;
+          stack.pop_back();
+        }
+        break;
+      case obs::EventKind::kInstant:
+        nodes.push_back({&e, 0.0, stack.size(), e.tid});
+        break;
+      case obs::EventKind::kCounter:
+        break;  // counter tracks are noise in a per-request tree
+    }
+  }
+  std::string out;
+  char buf[64];
+  for (const Node& n : nodes) {
+    out += "\n    ";
+    out.append(2 * n.depth, ' ');
+    out += n.event->name;
+    if (n.duration_us >= 0.0 && n.event->kind == obs::EventKind::kBegin) {
+      std::snprintf(buf, sizeof buf, " %.1fus", n.duration_us);
+      out += buf;
+    }
+    if (n.tid != 1) {
+      std::snprintf(buf, sizeof buf, " [tid %d]", n.tid);
+      out += buf;
+    }
+  }
+  return out;
+}
+
 std::string join_problems(const std::vector<std::string>& problems) {
   std::string msg;
   for (const std::string& p : problems) {
@@ -139,50 +193,104 @@ TimingService::TimingService(ServiceConfig config)
       requests_metric_(registry().counter("serve.requests")),
       errors_metric_(registry().counter("serve.errors")),
       session_evictions_metric_(registry().counter("session.evictions")),
+      slow_requests_metric_(registry().counter("serve.slow_requests")),
       sessions_metric_(registry().gauge("session.count")),
       session_bytes_metric_(registry().gauge("session.bytes")),
-      latency_metric_(registry().histogram("serve.latency_us", {}, latency_bounds())) {}
+      inflight_metric_(registry().gauge("serve.inflight")),
+      cache_bytes_metric_(registry().gauge("cache.bytes")),
+      cache_entries_metric_(registry().gauge("cache.entries")),
+      latency_metric_(
+          registry().histogram("serve.latency_us", {}, obs::latency_buckets_us())) {}
 
 std::string TimingService::handle_line(std::string_view line) {
   Expected<Json> request = parse_request(line, config_.max_frame_bytes);
   if (!request) {
-    errors_metric_.inc();
-    requests_metric_.inc();
+    if (config_.telemetry) {
+      errors_metric_.inc();
+      requests_metric_.inc();
+    }
     return encode_frame(error_response(Json(), request.error()));
   }
   return encode_frame(handle(*request));
+}
+
+Json TimingService::dispatch(const Json& request, const Json& id, const std::string& verb) {
+  if (verb == "load") return handle_load(request, id);
+  if (verb == "edit_batch") return handle_edit_batch(request, id);
+  if (verb == "analyze") return handle_analyze(request, id);
+  if (verb == "report") return handle_report(request, id);
+  if (verb == "sweep") return handle_sweep(request, id);
+  if (verb == "undo") return handle_undo(request, id);
+  if (verb == "min") return handle_min(request, id);
+  if (verb == "stats") return handle_stats(id);
+  if (verb == "metrics") return handle_metrics(id);
+  if (verb == "trace") return handle_trace(request, id);
+  return error_response(id, "unknown_verb", "unknown verb \"" + verb + "\"");
 }
 
 Json TimingService::handle(const Json& request) {
   const auto start = std::chrono::steady_clock::now();
   const Json& id = request.get("id");
   const std::string& verb = request.get("verb").as_string();
-  obs::TraceSpan span("serve.request", "serve");
 
-  Json response;
-  if (verb == "load") {
-    response = handle_load(request, id);
-  } else if (verb == "edit_batch") {
-    response = handle_edit_batch(request, id);
-  } else if (verb == "analyze") {
-    response = handle_analyze(request, id);
-  } else if (verb == "report") {
-    response = handle_report(request, id);
-  } else if (verb == "sweep") {
-    response = handle_sweep(request, id);
-  } else if (verb == "undo") {
-    response = handle_undo(request, id);
-  } else if (verb == "min") {
-    response = handle_min(request, id);
-  } else if (verb == "stats") {
-    response = handle_stats(id);
-  } else {
-    response = error_response(id, "unknown_verb", "unknown verb \"" + verb + "\"");
+  // A malformed trace field rejects the request: a client's sampling config
+  // must not rot into silent untraced traffic.
+  Expected<TraceField> trace = parse_trace_field(request);
+  if (!trace) {
+    if (config_.telemetry) {
+      requests_metric_.inc();
+      errors_metric_.inc();
+      latency_metric_.observe(elapsed_us(start));
+    }
+    return error_response(id, trace.error());
+  }
+  const bool traced = config_.telemetry && trace->context.active();
+
+  // Install the request's context for the handler's whole extent — the
+  // session solve, and (by value-capture + TraceContextScope in
+  // parallel_fixpoint) every fixpoint shard it forks. Inactive context when
+  // untraced: installing is two thread-local writes.
+  obs::TraceContextScope context_scope(traced ? trace->context : obs::TraceContext{});
+
+  size_t trace_mark = 0;
+  std::optional<obs::TraceSpan> span;
+  if (config_.telemetry) {
+    inflight_metric_.set(
+        static_cast<double>(inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
+    if (traced) trace_mark = obs::Tracer::instance().num_events();
+    span.emplace("serve.request", "serve", request_span_args(verb, request));
   }
 
-  requests_metric_.inc();
-  if (!response.get("ok").as_bool(false)) errors_metric_.inc();
-  latency_metric_.observe(elapsed_us(start));
+  Json response = dispatch(request, id, verb);
+
+  // The echo is protocol, not telemetry: a sampled id comes back even when
+  // config_.telemetry is off (the client's accounting must not depend on a
+  // server-side tuning knob).
+  if (trace->context.active()) {
+    response.set("trace", Json(trace_id_hex(trace->context.trace_id)));
+  }
+
+  if (config_.telemetry) {
+    span.reset();  // end serve.request before slicing the tree below
+    requests_metric_.inc();
+    if (!response.get("ok").as_bool(false)) errors_metric_.inc();
+    const double us = elapsed_us(start);
+    latency_metric_.observe(us);
+    if (config_.slow_request_us > 0 && us >= static_cast<double>(config_.slow_request_us)) {
+      slow_requests_metric_.inc();
+      std::string tree;
+      if (traced) {
+        tree = span_tree_text(obs::Tracer::instance().snapshot(trace_mark),
+                              trace->context.trace_id);
+      }
+      log_warn() << "serve: slow request verb=" << verb
+                 << " circuit=" << request.str_or("circuit", "-") << " us=" << us
+                 << " trace=" << (traced ? trace_id_hex(trace->context.trace_id) : "-")
+                 << tree;
+    }
+    inflight_metric_.set(
+        static_cast<double>(inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  }
   return response;
 }
 
@@ -776,6 +884,49 @@ Json TimingService::handle_stats(const Json& id) {
   result.set("cache", std::move(cache));
   result.set("metrics", std::move(metrics));
   return ok_response(id, std::move(result), false);
+}
+
+Json TimingService::handle_metrics(const Json& id) {
+  sample_runtime_gauges();
+  Json result = Json::object();
+  result.set("format", Json("prometheus"));
+  result.set("content", Json(obs::prometheus_text(registry().snapshot())));
+  return ok_response(id, std::move(result), false);
+}
+
+Json TimingService::handle_trace(const Json& req, const Json& id) {
+  const bool clear = req.bool_or("clear", true);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::vector<obs::TraceEvent> events = tracer.snapshot();
+  Json result = Json::object();
+  result.set("format", Json("chrome_trace"));
+  result.set("events", Json(static_cast<long>(events.size())));
+  result.set("dropped", Json(static_cast<long>(tracer.dropped())));
+  result.set("content", Json(obs::chrome_trace_json(events)));
+  if (clear) tracer.clear();
+  return ok_response(id, std::move(result), false);
+}
+
+void TimingService::set_runtime_sampler(std::function<void()> sampler) {
+  const std::lock_guard<std::mutex> lk(sampler_mu_);
+  runtime_sampler_ = std::move(sampler);
+}
+
+void TimingService::sample_runtime_gauges() {
+  const ResultCache::Stats cs = cache_.stats();
+  cache_bytes_metric_.set(static_cast<double>(cs.bytes));
+  cache_entries_metric_.set(static_cast<double>(cs.entries));
+  {
+    const std::lock_guard<std::mutex> lk(map_mu_);
+    sessions_metric_.set(static_cast<double>(pool_.size()));
+    session_bytes_metric_.set(static_cast<double>(pool_bytes_));
+  }
+  std::function<void()> sampler;
+  {
+    const std::lock_guard<std::mutex> lk(sampler_mu_);
+    sampler = runtime_sampler_;
+  }
+  if (sampler) sampler();
 }
 
 std::shared_ptr<TimingService::Entry> TimingService::find_entry(const std::string& key) {

@@ -27,6 +27,21 @@
 //               circuit (what lets `timing_tool min --remote` work)
 //   stats       service introspection: per-session pool state, cache
 //               hit/byte/eviction counters, latency/queue metrics
+//   metrics     the full metrics registry rendered in the Prometheus text
+//               exposition format (result.content) — a scrape endpoint;
+//               refreshes runtime gauges (pool/cache/in-flight) first
+//   trace       drain the span ring buffer as Chrome trace-event JSON
+//               (result.content), with event/dropped counts; "clear": false
+//               keeps the buffer
+//
+// Telemetry: every request may carry an optional "trace" field (see
+// protocol.h) — a sampled trace id turns recording ON for exactly this
+// request's thread (and the fixpoint shards it forks, which propagate the
+// context), tags every span with the id, and echoes the id in the response.
+// ServiceConfig.telemetry kills the whole request-path telemetry
+// (spans/metrics/trace activation) for overhead measurement;
+// slow_request_us triggers a structured warning log carrying the request's
+// span tree when a request exceeds the threshold.
 //
 // Caching: responses for the read-only verbs (analyze/report/sweep/min) are
 // cached under a content key — AnalysisSession::content_fingerprint (which
@@ -43,6 +58,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,6 +85,14 @@ struct ServiceConfig {
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Hard cap on `sweep` steps per request.
   long max_sweep_steps = 4096;
+  /// Request-path telemetry master switch: request spans, trace-context
+  /// activation, serve.* metric updates and the slow-request log. Off is the
+  /// baseline lane of `bench_serve --overhead-check`. Protocol behavior is
+  /// unchanged (a "trace" field is still validated and echoed).
+  bool telemetry = true;
+  /// Log a structured warning (with the request's span tree when sampled)
+  /// for requests slower than this many microseconds. 0 disables.
+  long slow_request_us = 0;
 };
 
 class TimingService {
@@ -97,6 +121,18 @@ class TimingService {
   /// Drop every session and cached result (bench_serve's cold lane).
   void reset();
 
+  /// Hook run at the top of the `metrics` verb (and write_prometheus_text
+  /// snapshots) to refresh gauges only the transport layer can sample —
+  /// thread-pool queue depth, worker utilization, steal rate. The socket
+  /// server installs it in start() and clears it in stop(); pass nullptr to
+  /// clear. Thread-safe.
+  void set_runtime_sampler(std::function<void()> sampler);
+
+  /// Refresh service-owned runtime gauges (cache/pool/in-flight) and invoke
+  /// the transport sampler. Called by the `metrics` verb; the daemon calls
+  /// it before periodic --prom-out snapshots.
+  void sample_runtime_gauges();
+
  private:
   struct Entry {
     std::string key;
@@ -118,6 +154,11 @@ class TimingService {
   Json handle_undo(const Json& req, const Json& id);
   Json handle_min(const Json& req, const Json& id);
   Json handle_stats(const Json& id);
+  Json handle_metrics(const Json& id);
+  Json handle_trace(const Json& req, const Json& id);
+
+  /// Dispatch to the verb handler (the body of handle() minus telemetry).
+  Json dispatch(const Json& request, const Json& id, const std::string& verb);
 
   /// Validate one edit op against the session's EVOLVING state and apply
   /// it; returns "" on success, a human-readable problem otherwise (the
@@ -145,9 +186,17 @@ class TimingService {
   obs::Counter& requests_metric_;
   obs::Counter& errors_metric_;
   obs::Counter& session_evictions_metric_;
+  obs::Counter& slow_requests_metric_;
   obs::Gauge& sessions_metric_;
   obs::Gauge& session_bytes_metric_;
+  obs::Gauge& inflight_metric_;
+  obs::Gauge& cache_bytes_metric_;
+  obs::Gauge& cache_entries_metric_;
   obs::Histogram& latency_metric_;
+
+  std::atomic<long> inflight_{0};
+  std::mutex sampler_mu_;
+  std::function<void()> runtime_sampler_;
 };
 
 }  // namespace mintc::serve

@@ -130,6 +130,9 @@ void ParallelFixpoint::process_component(SolveCtx& ctx, int comp) {
 }
 
 void ParallelFixpoint::run_chain(SolveCtx& ctx, int comp) {
+  // One span per task (a chain of components), nested under the request
+  // span via the propagated trace context; no-op when tracing is off.
+  const obs::TraceSpan span("parallel_fixpoint.shard", "sta");
   // Process `comp`, then chase one newly-ready successor inline and fork the
   // surplus. A linear dependency spine (deep pipeline) therefore runs as one
   // task; submissions happen only where the DAG genuinely widens.
@@ -149,7 +152,14 @@ void ParallelFixpoint::run_chain(SolveCtx& ctx, int comp) {
           next = t;
         } else {
           ctx.tasks.fetch_add(1, std::memory_order_relaxed);
-          pool_.submit([this, &ctx, t] { run_chain(ctx, t); });
+          // Forked shards run on arbitrary workers: carry the sampling
+          // request's trace context across the hop by value so shard spans
+          // keep its id (an inactive context makes the scope a no-op).
+          const obs::TraceContext trace = obs::current_trace_context();
+          pool_.submit([this, &ctx, t, trace] {
+            const obs::TraceContextScope scope(trace);
+            run_chain(ctx, t);
+          });
         }
       }
     }
@@ -180,8 +190,12 @@ FixpointResult ParallelFixpoint::solve(const ShiftTable& shifts,
   const std::int64_t steals_before = pool_.steal_count();
   ctx.tasks.store(static_cast<std::int64_t>(roots_.size()),
                   std::memory_order_relaxed);
+  const obs::TraceContext trace = obs::current_trace_context();
   for (const int root : roots_) {
-    pool_.submit([this, &ctx, root] { run_chain(ctx, root); });
+    pool_.submit([this, &ctx, root, trace] {
+      const obs::TraceContextScope scope(trace);
+      run_chain(ctx, root);
+    });
   }
   pool_.wait();
 

@@ -183,5 +183,111 @@ TEST_F(ExportTest, MetricsTableMentionsEveryMetric) {
   EXPECT_NE(table.find("test.table.two"), std::string::npos);
 }
 
+TEST_F(ExportTest, ChromeTraceMergesTraceIdAndSpanArgs) {
+  Tracer& t = Tracer::instance();
+  {
+    const TraceContextScope scope(TraceContext{0xdeadbeef01ull, true});
+    const TraceSpan span("serve.request", "serve", R"({"verb":"analyze"})");
+  }
+  const std::string json = chrome_trace_json(t.snapshot());
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  // Span args and the hex trace id are SPLICED into one "args" object, not
+  // nested under each other.
+  EXPECT_NE(json.find("\"verb\":\"analyze\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace\": \"000000deadbeef01\""), std::string::npos) << json;
+}
+
+TEST_F(ExportTest, BeginEndPairsBalanceUnlessTruncated) {
+  Tracer& t = Tracer::instance();
+  t.set_capacity(4);
+  t.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    const TraceSpan span("work", "test");
+  }
+  t.set_enabled(false);
+  // The wrapped ring may hold an unmatched E at the front — but the
+  // snapshot SAYS so via the truncation marker, which is the contract:
+  // B/E balance is only promised for marker-free exports.
+  const std::vector<TraceEvent> events = t.snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].name, kTruncationMarkerName);
+  const std::string json = chrome_trace_json(events);
+  EXPECT_TRUE(mintc::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find(kTruncationMarkerName), std::string::npos);
+  t.set_capacity(0);
+}
+
+TEST_F(ExportTest, PrometheusTextGoldenFormat) {
+  MetricsRegistry reg;  // local registry: exact golden output
+  reg.counter("serve.requests", {{"verb", "analyze"}}).inc(3);
+  reg.gauge("pool.depth").set(2.5);
+  const std::string text = prometheus_text(reg.snapshot());
+  const std::string expected =
+      "# TYPE mintc_pool_depth gauge\n"
+      "mintc_pool_depth 2.5\n"
+      "# TYPE mintc_serve_requests_total counter\n"
+      "mintc_serve_requests_total{verb=\"analyze\"} 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST_F(ExportTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("esc", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find(R"(path="a\\b\"c\nd")"), std::string::npos) << text;
+}
+
+TEST_F(ExportTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {}, {1.0, 2.0, 5.0});
+  for (const double v : {0.5, 1.5, 1.7, 3.0, 100.0}) h.observe(v);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE mintc_lat histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("mintc_lat_bucket{le=\"1\"} 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("mintc_lat_bucket{le=\"2\"} 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("mintc_lat_bucket{le=\"5\"} 4\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("mintc_lat_bucket{le=\"+Inf\"} 5\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("mintc_lat_count 5\n"), std::string::npos) << text;
+  const size_t sum_pos = text.find("mintc_lat_sum ");
+  ASSERT_NE(sum_pos, std::string::npos) << text;
+  EXPECT_NEAR(std::stod(text.substr(sum_pos + 14)), 106.7, 1e-9);
+
+  // Cumulative monotonicity, mechanically: successive bucket counts on the
+  // same family must be non-decreasing and end at _count.
+  long prev = -1;
+  size_t pos = 0;
+  while ((pos = text.find("mintc_lat_bucket{", pos)) != std::string::npos) {
+    const size_t space = text.find(' ', pos);
+    const long v = std::stol(text.substr(space + 1));
+    EXPECT_GE(v, prev);
+    prev = v;
+    ++pos;
+  }
+  EXPECT_EQ(prev, 5);
+}
+
+TEST_F(ExportTest, PrometheusOneTypeLinePerFamily) {
+  MetricsRegistry reg;
+  reg.counter("fam", {{"verb", "a"}}).inc();
+  reg.counter("fam", {{"verb", "b"}}).inc(2);
+  const std::string text = prometheus_text(reg.snapshot());
+  size_t type_lines = 0, pos = 0;
+  while ((pos = text.find("# TYPE mintc_fam_total counter", pos)) != std::string::npos) {
+    ++type_lines;
+    ++pos;
+  }
+  EXPECT_EQ(type_lines, 1u) << text;
+  EXPECT_NE(text.find("mintc_fam_total{verb=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("mintc_fam_total{verb=\"b\"} 2"), std::string::npos);
+}
+
+TEST_F(ExportTest, PrometheusSanitizesMetricNames) {
+  MetricsRegistry reg;
+  reg.gauge("pool.worker-utilization").set(0.5);
+  const std::string text = prometheus_text(reg.snapshot());
+  // Dots and dashes are not legal in Prometheus metric names.
+  EXPECT_NE(text.find("mintc_pool_worker_utilization 0.5"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace mintc::obs

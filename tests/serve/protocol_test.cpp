@@ -97,5 +97,70 @@ TEST(ServeProtocol, EncodeFrameIsExactlyOneLine) {
   EXPECT_EQ(frame.find('\n'), frame.size() - 1);  // no embedded newlines
 }
 
+TEST(ServeProtocol, TraceFieldAbsentIsInactive) {
+  const Expected<Json> request = parse_request(R"({"verb": "analyze"})");
+  ASSERT_TRUE(request);
+  const Expected<TraceField> trace = parse_trace_field(*request);
+  ASSERT_TRUE(trace);
+  EXPECT_FALSE(trace->present);
+  EXPECT_FALSE(trace->context.active());
+}
+
+TEST(ServeProtocol, TraceFieldStringFormRoundTrips) {
+  Json request = Json::object();
+  request.set("verb", Json("analyze"));
+  request.set("trace", Json(trace_id_hex(0xdeadbeef01ull)));
+  const Expected<TraceField> trace = parse_trace_field(request);
+  ASSERT_TRUE(trace);
+  EXPECT_TRUE(trace->present);
+  EXPECT_TRUE(trace->context.sampled);  // string form implies sampled
+  EXPECT_EQ(trace->context.trace_id, 0xdeadbeef01ull);
+  EXPECT_TRUE(trace->context.active());
+  EXPECT_EQ(trace_id_hex(trace->context.trace_id), "000000deadbeef01");
+}
+
+TEST(ServeProtocol, TraceFieldObjectFormCarriesSamplingFlag) {
+  Json request = Json::object();
+  Json field = Json::object();
+  field.set("id", Json("1F00"));  // upper-case hex accepted
+  field.set("sampled", Json(false));
+  request.set("trace", std::move(field));
+  const Expected<TraceField> trace = parse_trace_field(request);
+  ASSERT_TRUE(trace);
+  EXPECT_TRUE(trace->present);
+  EXPECT_EQ(trace->context.trace_id, 0x1f00u);
+  EXPECT_FALSE(trace->context.sampled);
+  EXPECT_FALSE(trace->context.active());  // id present but unsampled
+}
+
+TEST(ServeProtocol, TraceFieldRejectsMalformedIds) {
+  const auto expect_rejected = [](Json trace_value) {
+    Json request = Json::object();
+    request.set("verb", Json("analyze"));
+    request.set("trace", std::move(trace_value));
+    const Expected<TraceField> trace = parse_trace_field(request);
+    EXPECT_FALSE(trace.has_value());
+    if (!trace) EXPECT_EQ(trace.error().kind, ErrorKind::kInvalidArgument);
+  };
+  expect_rejected(Json("xyz"));                 // not hex
+  expect_rejected(Json(""));                    // empty
+  expect_rejected(Json("0"));                   // zero id: reserved
+  expect_rejected(Json("0000000000000000"));    // zero, fully spelled
+  expect_rejected(Json("11112222333344445"));   // 17 digits: oversized
+  expect_rejected(Json(7.0));                   // wrong type entirely
+  Json no_id = Json::object();
+  no_id.set("sampled", Json(true));
+  expect_rejected(std::move(no_id));            // object form without id
+  Json numeric_id = Json::object();
+  numeric_id.set("id", Json(5.0));
+  expect_rejected(std::move(numeric_id));       // id must be a hex STRING
+}
+
+TEST(ServeProtocol, TraceIdHexIsFixedWidthLowercase) {
+  EXPECT_EQ(trace_id_hex(1), "0000000000000001");
+  EXPECT_EQ(trace_id_hex(0xffffffffffffffffull), "ffffffffffffffff");
+  EXPECT_EQ(trace_id_hex(0xABCDEFull), "0000000000abcdef");
+}
+
 }  // namespace
 }  // namespace mintc::serve

@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "circuits/example1.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/lct.h"
 #include "parser/lcs.h"
 #include "sta/analysis.h"
@@ -378,6 +382,151 @@ TEST(ServeService, ResetDropsEverything) {
   EXPECT_EQ(service.cache().stats().entries, 0u);
   expect_error(service, req({{"verb", Json("analyze")}, {"circuit", Json("e1")}}),
                "not_loaded");
+}
+
+TEST(ServeService, MetricsVerbEmitsPrometheusText) {
+  TimingService service;
+  load_example1(service, "e1");
+  service.handle(req({{"verb", Json("analyze")}, {"circuit", Json("e1")}}));
+  const Json r = expect_ok(service, req({{"verb", Json("metrics")}})).get("result");
+  EXPECT_EQ(r.get("format").as_string(), "prometheus");
+  const std::string& text = r.get("content").as_string();
+  EXPECT_NE(text.find("# TYPE mintc_serve_requests_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mintc_serve_requests_total "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mintc_serve_latency_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("mintc_serve_latency_us_bucket{le=\"+Inf\"}"), std::string::npos);
+  // The verb refreshes runtime gauges before rendering.
+  EXPECT_NE(text.find("mintc_cache_bytes"), std::string::npos);
+  EXPECT_NE(text.find("mintc_session_count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("mintc_serve_inflight 1"), std::string::npos)
+      << "the metrics request itself is in flight\n" << text;
+}
+
+// The tentpole contract: one sampled request produces one coherent span
+// tree, sliced out of the shared ring by trace id via the `trace` verb.
+TEST(ServeService, TraceVerbReturnsTheSampledRequestTree) {
+  obs::Tracer::instance().clear();
+  TimingService service;  // analyze_threads=0: whole solve on this thread
+  load_example1(service, "e1");
+
+  const Json response = service.handle(req({{"verb", Json("analyze")},
+                                            {"circuit", Json("e1")},
+                                            {"trace", Json("deadbeef01")}}));
+  EXPECT_TRUE(response.get("ok").as_bool(false)) << response.dump();
+  EXPECT_EQ(response.get("trace").as_string(), "000000deadbeef01");
+
+  const Json r =
+      expect_ok(service, req({{"verb", Json("trace")}})).get("result");
+  EXPECT_EQ(r.get("format").as_string(), "chrome_trace");
+  EXPECT_GT(r.get("events").as_long(0), 0);
+  EXPECT_EQ(r.get("dropped").as_long(-1), 0);
+
+  const Expected<Json> parsed = parse_json(r.get("content").as_string());
+  ASSERT_TRUE(parsed) << "trace content must be valid Chrome trace JSON";
+  std::vector<std::pair<std::string, std::string>> ours;  // (ph, name)
+  for (const Json& e : parsed->get("traceEvents").items()) {
+    if (e.get("args").get("trace").as_string() == "000000deadbeef01") {
+      ours.emplace_back(e.get("ph").as_string(), e.get("name").as_string());
+    }
+  }
+  ASSERT_GE(ours.size(), 4u);
+  // Golden shape: the request span opens the tree and closes it last, with
+  // the session solve (and its fixpoint) strictly inside.
+  EXPECT_EQ(ours.front(), (std::pair<std::string, std::string>("B", "serve.request")));
+  EXPECT_EQ(ours.back(), (std::pair<std::string, std::string>("E", "serve.request")));
+  const auto index_of = [&](const char* ph, const char* name) {
+    for (size_t i = 0; i < ours.size(); ++i) {
+      if (ours[i].first == ph && ours[i].second == name) return static_cast<long>(i);
+    }
+    return -1L;
+  };
+  const long analyze_b = index_of("B", "session.analyze");
+  const long analyze_e = index_of("E", "session.analyze");
+  const long fix_b = index_of("B", "fixpoint.solve");
+  const long fix_e = index_of("E", "fixpoint.solve");
+  ASSERT_GE(analyze_b, 0);
+  ASSERT_GE(fix_b, 0);
+  EXPECT_LT(analyze_b, fix_b);   // fixpoint nests inside the session solve
+  EXPECT_LT(fix_e, analyze_e);
+  EXPECT_LT(analyze_e, static_cast<long>(ours.size()) - 1);
+
+  // The default drains the ring: a second drain starts empty.
+  const Json drained =
+      expect_ok(service, req({{"verb", Json("trace")}})).get("result");
+  EXPECT_EQ(drained.get("events").as_long(-1), 0);
+}
+
+TEST(ServeService, TraceVerbClearFalseKeepsTheBuffer) {
+  obs::Tracer::instance().clear();
+  TimingService service;
+  load_example1(service, "e1");
+  service.handle(req({{"verb", Json("analyze")},
+                      {"circuit", Json("e1")},
+                      {"trace", Json("abc123")}}));
+  const Json keep = expect_ok(service, req({{"verb", Json("trace")},
+                                            {"clear", Json(false)}}))
+                        .get("result");
+  const Json again = expect_ok(service, req({{"verb", Json("trace")}})).get("result");
+  EXPECT_EQ(again.get("events").as_long(-1), keep.get("events").as_long(-2));
+  obs::Tracer::instance().clear();
+}
+
+TEST(ServeService, UntracedRequestsRecordNoSpansAndEchoNothing) {
+  obs::Tracer::instance().clear();
+  TimingService service;
+  load_example1(service, "e1");
+  const Json response =
+      service.handle(req({{"verb", Json("analyze")}, {"circuit", Json("e1")}}));
+  EXPECT_TRUE(response.get("ok").as_bool(false));
+  EXPECT_TRUE(response.get("trace").is_null());
+  EXPECT_EQ(obs::Tracer::instance().num_events(), 0u);
+}
+
+TEST(ServeService, MalformedTraceFieldRejectsTheRequest) {
+  TimingService service;
+  load_example1(service, "e1");
+  const Json response = expect_error(service,
+                                     req({{"verb", Json("analyze")},
+                                          {"circuit", Json("e1")},
+                                          {"trace", Json("xyz")}}),
+                                     "invalid_argument");
+  EXPECT_NE(response.get("error").get("message").as_string().find("hex"),
+            std::string::npos)
+      << response.dump();
+}
+
+TEST(ServeService, SlowRequestThresholdCountsRequests) {
+  const long before =
+      obs::MetricsRegistry::instance().counter("serve.slow_requests").value();
+  ServiceConfig config;
+  config.slow_request_us = 1;  // every real request is slower than 1us
+  TimingService service(config);
+  load_example1(service, "e1");
+  service.handle(req({{"verb", Json("analyze")}, {"circuit", Json("e1")}}));
+  EXPECT_GE(obs::MetricsRegistry::instance().counter("serve.slow_requests").value(),
+            before + 2);
+}
+
+TEST(ServeService, TelemetryOffServesIdenticallyWithoutRecording) {
+  obs::Tracer::instance().clear();
+  ServiceConfig config;
+  config.telemetry = false;
+  TimingService service(config);
+  load_example1(service, "e1");
+
+  // A sampled trace field is still validated and echoed (protocol), but no
+  // spans are recorded and no context is installed (telemetry).
+  const Json response = service.handle(req({{"verb", Json("analyze")},
+                                            {"circuit", Json("e1")},
+                                            {"trace", Json("beef")}}));
+  EXPECT_TRUE(response.get("ok").as_bool(false)) << response.dump();
+  EXPECT_EQ(response.get("trace").as_string(), "000000000000beef");
+  EXPECT_EQ(obs::Tracer::instance().num_events(), 0u);
+  expect_error(service, req({{"verb", Json("analyze")},
+                             {"circuit", Json("e1")},
+                             {"trace", Json("not-hex")}}),
+               "invalid_argument");
 }
 
 }  // namespace

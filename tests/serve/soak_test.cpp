@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuits/synthetic.h"
+#include "obs/trace.h"
 #include "parser/lct.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -246,6 +247,58 @@ TEST(ServeSoak, SocketStreamsBitIdentical) {
   EXPECT_EQ(stats.errors.load(), 0) << stats.first_problem;
   EXPECT_EQ(stats.mismatches.load(), 0) << stats.first_problem;
   EXPECT_EQ(stats.responses.load(), streams * (1 + 2 * rounds));
+}
+
+// Telemetry must be an OBSERVER: with every request sampled (the worst
+// case) and the ring bounded small enough to wrap, analyses remain
+// bit-identical and every response echoes its request's trace id.
+TEST(ServeSoak, FullySampledTrafficStaysBitIdentical) {
+  const int streams = env_int("MINTC_SOAK_TRACED_STREAMS", 64);
+  const int rounds = env_int("MINTC_SOAK_ROUNDS", 3);
+  const int threads = 8;
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_capacity(4096);  // small: force ring wrap under load
+  tracer.clear();
+
+  ServiceConfig config;
+  config.session_bytes = 1u << 30;
+  TimingService service(config);
+  StreamStats stats;
+  std::atomic<long> seq{0};
+  std::atomic<long> echo_misses{0};
+
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int s = next.fetch_add(1); s < streams; s = next.fetch_add(1)) {
+        run_stream(
+            [&](Json request) -> Json {
+              const std::string id = trace_id_hex(
+                  static_cast<std::uint64_t>(seq.fetch_add(1) + 1));
+              request.set("trace", Json(id));  // 100% sampling
+              const std::string frame = service.handle_line(request.dump());
+              Expected<Json> response =
+                  parse_json(std::string_view(frame).substr(0, frame.size() - 1));
+              if (!response) return Json();
+              if (response->get("trace").as_string() != id) echo_misses.fetch_add(1);
+              return std::move(*response);
+            },
+            s, rounds, stats);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(stats.errors.load(), 0) << stats.first_problem;
+  EXPECT_EQ(stats.mismatches.load(), 0) << stats.first_problem;
+  EXPECT_EQ(stats.responses.load(), streams * (1 + 2 * rounds)) << "lost responses";
+  EXPECT_EQ(echo_misses.load(), 0) << "responses must echo their trace id";
+  EXPECT_GT(tracer.num_events(), 0u) << "sampling on: spans must be recorded";
+
+  tracer.set_capacity(0);
+  tracer.clear();
 }
 
 }  // namespace
