@@ -12,11 +12,12 @@
 // Exact p50/p95/p99 per lane over --iters requests, plus a mixed
 // multi-threaded edit+analyze throughput lane on a fresh service.
 //
-// Writes BENCH_serve.json (--out <path> overrides). --small shrinks the
-// iteration counts for CI smoke runs; --check gates the acceptance
-// criterion: per circuit, the warm cache serves the request mix at least 5x
-// faster (sum of p50s) than recomputation, and cached responses are
-// identical to recomputed ones modulo wall-clock metadata fields.
+// Writes BENCH_serve.json (BENCH_overhead.json in --overhead-check mode;
+// --out <path> overrides). --small shrinks the iteration counts for CI
+// smoke runs; --check gates the acceptance criterion: per circuit, the warm
+// cache serves the request mix at least 5x faster (sum of p50s) than
+// recomputation, and cached responses are identical to recomputed ones
+// modulo wall-clock metadata fields.
 #include <algorithm>
 #include <atomic>
 #include <cctype>
@@ -32,6 +33,7 @@
 #include "base/table.h"
 #include "circuits/synthetic.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
 #include "parser/lct.h"
 #include "serve/json.h"
 #include "serve/service.h"
@@ -244,15 +246,22 @@ void build_cases(std::vector<BenchCase>& cases,
 
 /// --overhead-check: price of telemetry on the unsampled hot path.
 ///
-/// Two cache-off services (every request pays full compute) differing only
-/// in ServiceConfig::telemetry; no request carries a trace field, so the
-/// "on" lane measures exactly what production pays for unsampled traffic:
-/// metric increments, the latency histogram observe, and the in-flight
-/// gauge — spans stay dormant. Reps alternate off/on so clock drift and
-/// thermal state hit both sides equally, and each side keeps its MINIMUM
-/// per-rep p50 (the least-noisy estimate of intrinsic cost). Gate: the
-/// request-mix p50 sum with telemetry on must be within 5% of off.
-int run_overhead_check(bool small) {
+/// Three cache-off services (every request pays full compute):
+///   off   — ServiceConfig::telemetry = false: the bare protocol;
+///   on    — default telemetry, no trace field, cost not requested: what
+///           production pays for unsampled traffic — metric increments, the
+///           latency/cpu/relaxations observes, the CostAccount charges and
+///           the in-flight gauge; spans stay dormant;
+///   full  — telemetry on, the sampling profiler running at 2ms AND every
+///           request opting into the "cost" echo: the everything-on
+///           diagnostic posture.
+/// Reps alternate lanes so clock drift and thermal state hit all sides
+/// equally, and each side keeps its MINIMUM per-rep p50 (the least-noisy
+/// estimate of intrinsic cost). Gates: the request-mix p50 sum of "on" AND
+/// of "full" must each be within 5% of "off". Emits BENCH_overhead.json
+/// (--out overrides) with the gated off/on and off/full ratios so
+/// bench_compare can watch them against the committed baseline.
+int run_overhead_check(bool small, const std::string& out) {
   const int iters = small ? 20 : 100;
   const int reps = small ? 3 : 5;
 
@@ -267,49 +276,104 @@ int run_overhead_check(bool small) {
   serve::ServiceConfig on_config;
   on_config.cache_bytes = 0;  // telemetry stays at its default (on)
   serve::TimingService on_service(on_config);
+  serve::TimingService full_service(on_config);
   for (const auto& [key, text] : loads) {
     load_into(off_service, key, text);
     load_into(on_service, key, text);
+    load_into(full_service, key, text);
   }
+  const auto with_cost = [](const std::string& request) {
+    return request.substr(0, request.size() - 1) + R"(,"cost":true})";
+  };
   for (const BenchCase& spec : cases) {  // warm sessions + code paths
     (void)run_lane(off_service, spec.request, 2);
     (void)run_lane(on_service, spec.request, 2);
+    (void)run_lane(full_service, with_cost(spec.request), 2);
   }
 
-  std::printf("== serve: telemetry overhead (unsampled, cache off, min of %d reps) ==\n",
-              reps);
-  TextTable table({"case", "off p50 us", "on p50 us", "overhead"});
-  double off_total = 0.0, on_total = 0.0;
+  std::printf(
+      "== serve: telemetry overhead (unsampled, cache off, min of %d reps) ==\n", reps);
+  TextTable table({"case", "off p50 us", "on p50 us", "full p50 us", "on", "full"});
+  struct CaseRow {
+    const BenchCase* spec;
+    double off = 0.0, on = 0.0, full = 0.0;
+  };
+  std::vector<CaseRow> rows;
+  double off_total = 0.0, on_total = 0.0, full_total = 0.0;
+  obs::Profiler::instance().start(2000);  // the "full" posture: sampler live
   for (const BenchCase& spec : cases) {
-    double off_best = 0.0, on_best = 0.0;
+    CaseRow row;
+    row.spec = &spec;
+    const std::string full_request = with_cost(spec.request);
     for (int rep = 0; rep < reps; ++rep) {
       const double off_p50 = run_lane(off_service, spec.request, iters).latency.p50;
       const double on_p50 = run_lane(on_service, spec.request, iters).latency.p50;
-      if (rep == 0 || off_p50 < off_best) off_best = off_p50;
-      if (rep == 0 || on_p50 < on_best) on_best = on_p50;
+      const double full_p50 = run_lane(full_service, full_request, iters).latency.p50;
+      if (rep == 0 || off_p50 < row.off) row.off = off_p50;
+      if (rep == 0 || on_p50 < row.on) row.on = on_p50;
+      if (rep == 0 || full_p50 < row.full) row.full = full_p50;
     }
-    off_total += off_best;
-    on_total += on_best;
-    char offs[32], ons[32], ov[32];
-    std::snprintf(offs, sizeof offs, "%.1f", off_best);
-    std::snprintf(ons, sizeof ons, "%.1f", on_best);
-    std::snprintf(ov, sizeof ov, "%+.2f%%",
-                  off_best > 0 ? 100.0 * (on_best / off_best - 1.0) : 0.0);
-    table.add_row({spec.circuit + "/" + spec.verb, offs, ons, ov});
+    off_total += row.off;
+    on_total += row.on;
+    full_total += row.full;
+    char offs[32], ons[32], fulls[32], ov_on[32], ov_full[32];
+    std::snprintf(offs, sizeof offs, "%.1f", row.off);
+    std::snprintf(ons, sizeof ons, "%.1f", row.on);
+    std::snprintf(fulls, sizeof fulls, "%.1f", row.full);
+    std::snprintf(ov_on, sizeof ov_on, "%+.2f%%",
+                  row.off > 0 ? 100.0 * (row.on / row.off - 1.0) : 0.0);
+    std::snprintf(ov_full, sizeof ov_full, "%+.2f%%",
+                  row.off > 0 ? 100.0 * (row.full / row.off - 1.0) : 0.0);
+    table.add_row({spec.circuit + "/" + spec.verb, offs, ons, fulls, ov_on, ov_full});
+    rows.push_back(row);
   }
+  obs::Profiler::instance().stop();
+  obs::Profiler::instance().clear();
   std::printf("%s\n", table.to_string().c_str());
 
-  const double overhead = off_total > 0 ? on_total / off_total - 1.0 : 0.0;
-  std::printf("request-mix p50 sum: off %.1fus, on %.1fus -> overhead %+.2f%% "
-              "(gate: <= 5%%)\n",
-              off_total, on_total, 100.0 * overhead);
-  if (overhead > 0.05) {
+  const double on_overhead = off_total > 0 ? on_total / off_total - 1.0 : 0.0;
+  const double full_overhead = off_total > 0 ? full_total / off_total - 1.0 : 0.0;
+  std::printf("request-mix p50 sum: off %.1fus, on %.1fus (%+.2f%%), "
+              "full %.1fus (%+.2f%%)  (gate: each <= 5%%)\n",
+              off_total, on_total, 100.0 * on_overhead, full_total,
+              100.0 * full_overhead);
+
+  // Emit the lane sums and the gated RATIOS (off/on, off/full — both drop
+  // when overhead grows, so bench_compare's higher-better gate watches them).
+  std::ofstream json(out);
+  json << "{\"meta\": " << obs::run_metadata_json(obs::run_metadata())
+       << ", \"iters\": " << iters << ", \"reps\": " << reps << ", \"cases\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i) json << ", ";
+    json << "{\"circuit\": \"" << rows[i].spec->circuit << "\", \"verb\": \""
+         << rows[i].spec->verb << "\", \"off_p50_us\": " << obs::json_number(rows[i].off)
+         << ", \"on_p50_us\": " << obs::json_number(rows[i].on)
+         << ", \"full_p50_us\": " << obs::json_number(rows[i].full) << "}";
+  }
+  json << "], \"mix\": {\"off_p50_sum_us\": " << obs::json_number(off_total)
+       << ", \"on_p50_sum_us\": " << obs::json_number(on_total)
+       << ", \"full_p50_sum_us\": " << obs::json_number(full_total)
+       << ", \"telemetry_speedup\": "
+       << obs::json_number(on_total > 0 ? off_total / on_total : 0.0)
+       << ", \"attribution_speedup\": "
+       << obs::json_number(full_total > 0 ? off_total / full_total : 0.0) << "}}\n";
+  json.close();
+  std::printf("wrote %s\n", out.c_str());
+
+  int rc = 0;
+  if (on_overhead > 0.05) {
     std::fprintf(stderr,
                  "FAIL: unsampled telemetry overhead %.2f%% exceeds the 5%% gate\n",
-                 100.0 * overhead);
-    return 1;
+                 100.0 * on_overhead);
+    rc = 1;
   }
-  return 0;
+  if (full_overhead > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: attribution+profiler overhead %.2f%% exceeds the 5%% gate\n",
+                 100.0 * full_overhead);
+    rc = 1;
+  }
+  return rc;
 }
 
 std::string pct_json(const Percentiles& p) {
@@ -326,7 +390,7 @@ int main(int argc, char** argv) {
   bool small = false;
   bool check = false;
   bool overhead_check = false;
-  std::string out = "BENCH_serve.json";
+  std::string out;  // defaults depend on the mode, resolved below
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) {
       small = true;
@@ -343,7 +407,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (overhead_check) return run_overhead_check(small);
+  if (out.empty()) out = overhead_check ? "BENCH_overhead.json" : "BENCH_serve.json";
+  if (overhead_check) return run_overhead_check(small, out);
   const int iters = small ? 30 : 200;
 
   std::vector<BenchCase> cases;

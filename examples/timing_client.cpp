@@ -52,6 +52,11 @@ struct LoadGenConfig {
   /// Attach a trace id to every Nth request (0 = none, 1 = all). Ids are
   /// deterministic functions of the global request sequence number.
   int trace_sample = 0;
+  /// Request the cost-attribution block on every Nth request (0 = none,
+  /// 1 = all). With --verify, every cost-bearing analyze is re-issued
+  /// without the block and the result payloads are byte-compared — the
+  /// envelope-only contract for attribution, checked over the real socket.
+  int cost_sample = 0;
   std::string out_path;
   std::string trace_out;
 };
@@ -68,6 +73,9 @@ struct ThreadResult {
   long cache_hits = 0;
   long traced = 0;
   long verify_failures = 0;
+  long costed = 0;             // responses carrying a cost block
+  long cost_cpu_us = 0;        // attributed CPU summed over them
+  long cost_relaxations = 0;   // attributed engine work summed over them
   std::string first_error;
 };
 
@@ -128,12 +136,18 @@ std::string verify_against_local(const Json& result, const Circuit& mirror,
 
 void run_stream(serve::Client& client, const LoadGenConfig& config, int stream,
                 ThreadResult& tr) {
+  // Returns the whole response envelope (null on error) so callers can see
+  // the envelope-level trace echo and cost block next to the result.
   const auto timed_call = [&](Json request) -> Json {
     const std::string verb = request.str_or("verb");
-    if (config.trace_sample > 0) {
+    if (config.trace_sample > 0 || config.cost_sample > 0) {
       const long seq = g_request_seq.fetch_add(1);
-      if (seq % config.trace_sample == 0) {
+      if (config.trace_sample > 0 && seq % config.trace_sample == 0) {
         request.set("trace", Json(serve::trace_id_hex(trace_id_for(seq))));
+      }
+      if (config.cost_sample > 0 && seq % config.cost_sample == 0 &&
+          !request.get("cost").is_bool()) {  // an explicit false stays false
+        request.set("cost", Json(true));
       }
     }
     const auto start = std::chrono::steady_clock::now();
@@ -156,7 +170,12 @@ void run_stream(serve::Client& client, const LoadGenConfig& config, int stream,
     }
     if (response->get("cached").as_bool(false)) ++tr.cache_hits;
     if (response->get("trace").is_string()) ++tr.traced;
-    return response->get("result");
+    if (response->get("cost").is_object()) {
+      ++tr.costed;
+      tr.cost_cpu_us += response->get("cost").long_or("cpu_us", 0);
+      tr.cost_relaxations += response->get("cost").long_or("relaxations", 0);
+    }
+    return std::move(*response);
   };
 
   const std::string key = "stream-" + std::to_string(stream);
@@ -178,7 +197,8 @@ void run_stream(serve::Client& client, const LoadGenConfig& config, int stream,
   load.set("text", Json(text));
   const Json loaded = timed_call(std::move(load));
   if (loaded.is_null()) return;
-  const ClockSchedule schedule = schedule_from_json(loaded.get("schedule"));
+  const ClockSchedule schedule =
+      schedule_from_json(loaded.get("result").get("schedule"));
 
   for (int round = 0; round < config.rounds; ++round) {
     // Deterministic perturbation: bump one path's max delay by a
@@ -198,12 +218,16 @@ void run_stream(serve::Client& client, const LoadGenConfig& config, int stream,
     if (timed_call(std::move(batch)).is_null()) return;
     mirror.set_path_delay(p, delay);
 
-    Json analyze = Json::object();
-    analyze.set("verb", Json("analyze"));
-    analyze.set("circuit", Json(key));
-    analyze.set("detail", Json(true));
-    const Json result = timed_call(std::move(analyze));
-    if (result.is_null()) return;
+    const auto make_analyze = [&] {
+      Json analyze = Json::object();
+      analyze.set("verb", Json("analyze"));
+      analyze.set("circuit", Json(key));
+      analyze.set("detail", Json(true));
+      return analyze;
+    };
+    const Json response = timed_call(make_analyze());
+    if (response.is_null()) return;
+    const Json& result = response.get("result");
     if (config.verify) {
       const std::string mismatch = verify_against_local(result, mirror, schedule);
       if (!mismatch.empty()) {
@@ -211,6 +235,31 @@ void run_stream(serve::Client& client, const LoadGenConfig& config, int stream,
         if (tr.first_error.empty()) {
           tr.first_error = "verify: " + mismatch + " (stream " + std::to_string(stream) +
                            ", round " + std::to_string(round) + ")";
+        }
+      }
+      if (response.get("cost").is_object()) {
+        // Attribution is envelope-only: re-issue the identical analyze with
+        // the cost block scrubbed (no "cost" field) and byte-compare the
+        // result payloads. Any difference means attribution leaked into a
+        // (cacheable) payload.
+        Json again = make_analyze();
+        again.set("cost", Json(false));
+        const Json replay = timed_call(std::move(again));
+        if (!replay.is_null()) {
+          if (replay.get("cost").is_object()) {
+            ++tr.verify_failures;
+            if (tr.first_error.empty()) {
+              tr.first_error = "verify: cost block echoed without \"cost\": true";
+            }
+          } else if (replay.get("result").dump() != result.dump()) {
+            ++tr.verify_failures;
+            if (tr.first_error.empty()) {
+              tr.first_error = "verify: cost-bearing result payload differs from the "
+                               "scrubbed replay (stream " +
+                               std::to_string(stream) + ", round " +
+                               std::to_string(round) + ")";
+            }
+          }
         }
       }
     }
@@ -256,6 +305,9 @@ int run_load_generator(const LoadGenConfig& config) {
     total.cache_hits += tr.cache_hits;
     total.traced += tr.traced;
     total.verify_failures += tr.verify_failures;
+    total.costed += tr.costed;
+    total.cost_cpu_us += tr.cost_cpu_us;
+    total.cost_relaxations += tr.cost_relaxations;
     total.latencies_us.insert(total.latencies_us.end(), tr.latencies_us.begin(),
                               tr.latencies_us.end());
     for (auto& [verb, v] : tr.verb_latencies_us) {
@@ -293,6 +345,10 @@ int run_load_generator(const LoadGenConfig& config) {
               config.verify
                   ? (", verify failures " + std::to_string(total.verify_failures)).c_str()
                   : "");
+  if (total.costed > 0) {
+    std::printf("cost: %ld attributed responses, %ld us server cpu, %ld relaxations\n",
+                total.costed, total.cost_cpu_us, total.cost_relaxations);
+  }
   if (!total.first_error.empty()) {
     std::printf("first error: %s\n", total.first_error.c_str());
   }
@@ -314,6 +370,9 @@ int run_load_generator(const LoadGenConfig& config) {
     out.set("p99_us", Json(p99));
     out.set("p999_us", Json(p999));
     out.set("traced", Json(total.traced));
+    out.set("costed", Json(total.costed));
+    out.set("cost_cpu_us", Json(total.cost_cpu_us));
+    out.set("cost_relaxations", Json(total.cost_relaxations));
     // Per-verb breakdown: interpolated quantiles over the shared latency
     // buckets (exact counts, approximate tails — see obs::Histogram).
     Json verbs = Json::object();
@@ -393,6 +452,9 @@ int usage() {
       "  load gen:  [--streams N] [--rounds R] [--circuits K] [--threads T]\n"
       "             [--verify] [--out <file>]\n"
       "             [--trace-sample N]  attach a trace id to every Nth request\n"
+      "             [--cost-sample N]   request cost attribution on every Nth request\n"
+      "                                 (with --verify, byte-checks the envelope-only\n"
+      "                                 contract against a scrubbed replay)\n"
       "             [--trace-out <file>]  drain the server trace ring after the run\n");
   return 2;
 }
@@ -424,6 +486,8 @@ int main(int argc, char** argv) {
       config.verify = true;
     } else if (arg == "--trace-sample" && has_value) {
       config.trace_sample = std::max(0, std::atoi(argv[++i]));
+    } else if (arg == "--cost-sample" && has_value) {
+      config.cost_sample = std::max(0, std::atoi(argv[++i]));
     } else if (arg == "--trace-out" && has_value) {
       config.trace_out = argv[++i];
     } else if (arg == "--out" && has_value) {

@@ -22,6 +22,15 @@
 //   --slow-ms <T>          structured slow-request log above T milliseconds
 //   --no-telemetry         kill request-path telemetry (overhead baseline)
 //
+// Observability flags (the cost-attribution / ops-dashboard layer):
+//   --audit-out <file> [--audit-rotate-mb <M>]   per-request JSONL audit log
+//       with trace id, verb, cache hit/miss and CostAccount totals
+//   --status-html <file> [--status-interval <sec>]   periodically (and on
+//       shutdown) write the live ops dashboard as a single HTML file
+//   --profile [--profile-us <T>] [--profile-out <file>]   run the sampling
+//       span profiler at interval T (default 2000us); --profile-out writes
+//       the collapsed flamegraph text on shutdown
+//
 // Talk to it with timing_client, timing_tool --remote, or plain nc:
 //   echo '{"verb":"load","circuit":"e1","builtin":"example1"}' | nc -U s.sock
 #include <csignal>
@@ -29,9 +38,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <fstream>
 #include <string>
 
 #include "obs/export.h"
+#include "obs/profiler.h"
 #include "serve/server.h"
 #include "serve/service.h"
 
@@ -52,6 +63,9 @@ int usage() {
       "                    [--prom-out <file>] [--prom-interval <sec>]\n"
       "                    [--trace-out <file>] [--trace-buffer <N>]\n"
       "                    [--slow-ms <T>] [--no-telemetry]\n"
+      "                    [--audit-out <file>] [--audit-rotate-mb <M>]\n"
+      "                    [--status-html <file>] [--status-interval <sec>]\n"
+      "                    [--profile] [--profile-us <T>] [--profile-out <file>]\n"
       "  --port 0 picks an ephemeral port (printed). With no listener flags,\n"
       "  defaults to --port 0.\n");
   return 2;
@@ -65,9 +79,13 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string prom_out;
   std::string trace_out;
+  std::string status_html_out;
+  std::string profile_out;
   long prom_interval_sec = 10;
+  long status_interval_sec = 10;
   long trace_buffer = 65536;
   long stop_after_sec = 0;
+  long profile_interval_us = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,6 +123,23 @@ int main(int argc, char** argv) {
       service_config.slow_request_us = 1000 * std::atol(argv[++i]);
     } else if (arg == "--no-telemetry") {
       service_config.telemetry = false;
+    } else if (arg == "--audit-out" && has_value) {
+      service_config.audit_path = argv[++i];
+    } else if (arg == "--audit-rotate-mb" && has_value) {
+      service_config.audit_rotate_bytes = static_cast<size_t>(std::atol(argv[++i])) << 20;
+    } else if (arg == "--status-html" && has_value) {
+      status_html_out = argv[++i];
+    } else if (arg == "--status-interval" && has_value) {
+      status_interval_sec = std::atol(argv[++i]);
+      if (status_interval_sec < 1) status_interval_sec = 1;
+    } else if (arg == "--profile") {
+      if (profile_interval_us <= 0) profile_interval_us = 2000;
+    } else if (arg == "--profile-us" && has_value) {
+      profile_interval_us = std::atol(argv[++i]);
+      if (profile_interval_us < 200) profile_interval_us = 200;
+    } else if (arg == "--profile-out" && has_value) {
+      profile_out = argv[++i];
+      if (profile_interval_us <= 0) profile_interval_us = 2000;
     } else {
       return usage();
     }
@@ -116,6 +151,9 @@ int main(int argc, char** argv) {
   // A daemon's span buffer must be bounded: the ring drops the oldest
   // events (counted + marked) instead of growing without limit.
   obs::Tracer::instance().set_capacity(static_cast<size_t>(trace_buffer));
+  if (profile_interval_us > 0) {
+    obs::Profiler::instance().start(profile_interval_us);
+  }
 
   serve::TimingService service(service_config);
   serve::SocketServer server(service, server_config);
@@ -135,16 +173,35 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
+  const auto write_text_file = [](const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    return static_cast<bool>(out);
+  };
+
   long elapsed_ms = 0;
   long next_prom_ms = prom_interval_sec * 1000;
+  long next_history_ms = 1000;
+  long next_status_ms = status_interval_sec * 1000;
   while (!g_stop) {
     struct timespec ts{0, 200 * 1000 * 1000};
     ::nanosleep(&ts, nullptr);
     elapsed_ms += 200;
+    if (elapsed_ms >= next_history_ms) {
+      // One HistoryRing sample per second: with the default 240-slot ring
+      // the status sparklines cover the last four minutes.
+      service.record_history_sample();
+      next_history_ms += 1000;
+    }
     if (!prom_out.empty() && elapsed_ms >= next_prom_ms) {
       service.sample_runtime_gauges();
       obs::write_prometheus_text(prom_out);
       next_prom_ms += prom_interval_sec * 1000;
+    }
+    if (!status_html_out.empty() && elapsed_ms >= next_status_ms) {
+      write_text_file(status_html_out, service.status_html());
+      next_status_ms += status_interval_sec * 1000;
     }
     if (stop_after_sec > 0 && elapsed_ms >= stop_after_sec * 1000) break;
   }
@@ -157,6 +214,17 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty() && obs::write_chrome_trace(trace_out)) {
     std::printf("wrote %s\n", trace_out.c_str());
+  }
+  if (!status_html_out.empty() &&
+      write_text_file(status_html_out, service.status_html())) {
+    std::printf("wrote %s\n", status_html_out.c_str());
+  }
+  if (profile_interval_us > 0) {
+    obs::Profiler::instance().stop();
+    if (!profile_out.empty() &&
+        write_text_file(profile_out, obs::Profiler::instance().collapsed())) {
+      std::printf("wrote %s\n", profile_out.c_str());
+    }
   }
 
   const serve::ResultCache::Stats cs = service.cache().stats();

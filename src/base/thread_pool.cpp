@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ctime>
 #include <utility>
 
 namespace mintc::base {
 
 namespace {
+
+// Cumulative CPU time of the calling thread, for the per-worker stats.
+// Degrades to 0 where the per-thread clock is unavailable.
+std::int64_t thread_cpu_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+#else
+  return 0;
+#endif
+}
+
 // Identifies the pool (if any) the current thread belongs to, so nested
 // submit() calls land on the submitting worker's own deque and
 // worker_index() works without a map lookup.
@@ -42,6 +56,8 @@ ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   queues_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  counters_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) counters_.push_back(std::make_unique<WorkerCounters>());
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -59,6 +75,20 @@ ThreadPool::~ThreadPool() {
 }
 
 int ThreadPool::worker_index() const { return tl_pool == this ? tl_index : -1; }
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const WorkerCounters& c = *counters_[i];
+    out[i].executed = c.executed.load(std::memory_order_relaxed);
+    out[i].cpu_seconds =
+        static_cast<double>(c.cpu_ns.load(std::memory_order_relaxed)) * 1e-9;
+    out[i].busy = c.busy.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> qlk(queues_[i]->mu);
+    out[i].queued = static_cast<std::int64_t>(queues_[i]->tasks.size());
+  }
+  return out;
+}
 
 void ThreadPool::submit(std::function<void()> task) {
   assert(task && "null task submitted");
@@ -135,11 +165,16 @@ void ThreadPool::worker_loop(int index) {
   };
   for (;;) {
     if (try_pop_own(index, task) || try_steal(index, task)) {
+      WorkerCounters& me = *counters_[static_cast<size_t>(index)];
       busy_.fetch_add(1, std::memory_order_relaxed);
+      me.busy.store(true, std::memory_order_relaxed);
       task();
       task = nullptr;
+      me.busy.store(false, std::memory_order_relaxed);
       busy_.fetch_sub(1, std::memory_order_relaxed);
       executed_.fetch_add(1, std::memory_order_relaxed);
+      me.executed.fetch_add(1, std::memory_order_relaxed);
+      me.cpu_ns.store(thread_cpu_ns(), std::memory_order_relaxed);
       const std::lock_guard<std::mutex> lk(control_mu_);
       if (--pending_ == 0) done_cv_.notify_all();
       continue;

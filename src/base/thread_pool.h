@@ -113,10 +113,35 @@ class ThreadPool {
   /// called from a thread that is not one of this pool's workers.
   int worker_index() const;
 
+  /// Point-in-time view of one worker for ops introspection (the serve
+  /// status dashboard's worker table). `cpu_seconds` is the worker THREAD's
+  /// cumulative CPU time (CLOCK_THREAD_CPUTIME_ID, refreshed after each
+  /// task; 0 where the clock is unavailable) — a skewed worker singles out
+  /// a queue hot spot that the pool-wide executed/steal totals average away.
+  struct WorkerStats {
+    std::int64_t executed = 0;   // tasks this worker ran
+    std::int64_t queued = 0;     // tasks waiting in this worker's own deque
+    double cpu_seconds = 0.0;    // worker thread CPU since pool start
+    bool busy = false;           // inside a task body right now
+  };
+
+  /// One entry per worker, index-aligned with worker_index(). Approximate
+  /// by nature (counters are relaxed, queues are locked one at a time);
+  /// observability only, never used for control.
+  std::vector<WorkerStats> worker_stats() const;
+
  private:
   struct Queue {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
+  };
+
+  // Per-worker observability counters, written only by the owning worker
+  // (relaxed stores) and read by worker_stats().
+  struct WorkerCounters {
+    std::atomic<std::int64_t> executed{0};
+    std::atomic<std::int64_t> cpu_ns{0};
+    std::atomic<bool> busy{false};
   };
 
   void worker_loop(int index);
@@ -124,6 +149,7 @@ class ThreadPool {
   bool try_steal(int thief, std::function<void()>& out);
 
   std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<WorkerCounters>> counters_;
   std::vector<std::thread> workers_;
 
   std::mutex control_mu_;

@@ -1,0 +1,87 @@
+// Per-request cost attribution: a CostAccount accumulates the CPU time and
+// engine work (edge relaxations, sweeps, solves) a single request caused,
+// across every thread that did work on its behalf.
+//
+// Wiring: the serve handler owns a CostAccount for the request and installs
+// a pointer to it in the thread-local TraceContext (trace.h). The context is
+// already copied BY VALUE into every thread-pool task the request forks
+// (ParallelFixpoint shards, session solves), so the pointer rides along for
+// free — each worker charges the same account through relaxed atomics.
+//
+// Charging discipline:
+//   * CPU time: each thread that works for the request measures its OWN
+//     thread CPU clock (CLOCK_THREAD_CPUTIME_ID) around the work and adds
+//     the delta. The handler thread covers scalar solves and rendering; the
+//     ParallelFixpoint shards add their slices from inside run_chain. The
+//     total is real CPU burned, not wall time — a request that waited in a
+//     queue is not charged for the wait.
+//   * Engine work: the fixpoint engines charge relaxations/sweeps ONCE at
+//     solve completion from their own EngineStats, so the account matches
+//     what `stats` reports bit-for-bit and nothing is double counted.
+//
+// Cache hits charge (almost) nothing by construction: a cached response
+// never reaches an engine, so only the handler's lookup/render CPU appears.
+//
+// When no account is installed (cost attribution off, or a worker running
+// someone else's task) every charge helper is a pointer test — the hot
+// paths stay within the telemetry overhead budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mintc::obs {
+
+/// Work attributed to one request. Charged concurrently from every thread
+/// the request touched; read once by the handler when building the response.
+struct CostAccount {
+  std::atomic<std::int64_t> cpu_us{0};         // thread CPU time, microseconds
+  std::atomic<std::int64_t> relaxations{0};    // eq.17 edge relaxations
+  std::atomic<std::int64_t> sweeps{0};         // fixpoint sweeps (max shard depth)
+  std::atomic<std::int64_t> solves{0};         // engine solve completions
+
+  void add_cpu_us(std::int64_t us) {
+    if (us > 0) cpu_us.fetch_add(us, std::memory_order_relaxed);
+  }
+  void add_solve(std::int64_t relaxed_edges, std::int64_t sweep_count) {
+    relaxations.fetch_add(relaxed_edges, std::memory_order_relaxed);
+    sweeps.fetch_add(sweep_count, std::memory_order_relaxed);
+    solves.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// The calling thread's current account (nullptr when none installed) —
+/// reads the thread-local TraceContext. One TLS read; safe on hot paths
+/// when hoisted out of inner loops.
+CostAccount* current_cost_account();
+
+/// This thread's CPU time in microseconds (CLOCK_THREAD_CPUTIME_ID).
+/// Returns 0 where the clock is unavailable, so deltas degrade to zero
+/// rather than garbage.
+std::int64_t thread_cpu_now_us();
+
+/// RAII: measure this thread's CPU time across a scope and charge the delta
+/// to the account captured at CONSTRUCTION (so a task that installs the
+/// request context after constructing the timer still charges correctly
+/// pass the account explicitly in that case). No-op when account is null.
+class ThreadCpuTimer {
+ public:
+  explicit ThreadCpuTimer(CostAccount* account)
+      : account_(account), start_us_(account ? thread_cpu_now_us() : 0) {}
+  ~ThreadCpuTimer() {
+    if (account_ != nullptr) account_->add_cpu_us(thread_cpu_now_us() - start_us_);
+  }
+  ThreadCpuTimer(const ThreadCpuTimer&) = delete;
+  ThreadCpuTimer& operator=(const ThreadCpuTimer&) = delete;
+
+ private:
+  CostAccount* account_;
+  std::int64_t start_us_;
+};
+
+/// Charge a completed engine solve to the current thread's account, if any.
+/// Called once per solve by the fixpoint engines (scalar and parallel) with
+/// the EngineStats totals, keeping account == stats by construction.
+void charge_solve(std::int64_t relaxations, std::int64_t sweeps);
+
+}  // namespace mintc::obs

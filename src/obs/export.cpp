@@ -13,6 +13,9 @@
 #ifndef MINTC_VERSION
 #define MINTC_VERSION "dev"
 #endif
+#ifndef MINTC_GIT_SHA
+#define MINTC_GIT_SHA "unknown"
+#endif
 
 namespace mintc::obs {
 
@@ -95,6 +98,21 @@ std::string json_number(double v) {
 RunMetadata& run_metadata() {
   static RunMetadata meta{"mintc " MINTC_VERSION, "", "", "", 0.0};
   return meta;
+}
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      MINTC_VERSION,
+      MINTC_GIT_SHA,
+#if defined(__clang__)
+      "clang " __clang_version__,
+#elif defined(__GNUC__)
+      "gcc " __VERSION__,
+#else
+      "unknown",
+#endif
+  };
+  return info;
 }
 
 std::uint64_t fnv1a64(std::string_view bytes) {
@@ -324,6 +342,31 @@ std::string prometheus_text(const std::vector<MetricPoint>& points) {
       }
     }
     last_family = family;
+  }
+  // Companion gauges for histogram extremes and the far tail: Prometheus
+  // histograms carry no min/max and bucket-interpolated tail quantiles are
+  // coarse, so export the registry's exact observed min/max (and its p99.9
+  // estimate) as <base>_min/_max/_p999 gauge families. Emitted suffix-major
+  // so each derived family stays contiguous with a single # TYPE line even
+  // when a name has several label sets.
+  struct Derived {
+    const char* suffix;
+    double MetricPoint::* value;
+  };
+  static constexpr Derived kDerived[] = {
+      {"_min", &MetricPoint::min},
+      {"_max", &MetricPoint::max},
+      {"_p999", &MetricPoint::p999},
+  };
+  for (const Derived& d : kDerived) {
+    last_family.clear();
+    for (const MetricPoint& p : points) {
+      if (p.kind != MetricKind::kHistogram) continue;
+      const std::string family = prom_name(p.name) + d.suffix;
+      if (family != last_family) out << "# TYPE " << family << " gauge\n";
+      out << family << prom_labels(p.labels) << " " << prom_number(p.*(d.value)) << "\n";
+      last_family = family;
+    }
   }
   return out.str();
 }

@@ -40,6 +40,18 @@ struct RunMetadata {
 /// The mutable process-wide metadata (defaults to the tool version only).
 RunMetadata& run_metadata();
 
+/// Compile-time build identity: project version (MINTC_VERSION), git commit
+/// (MINTC_GIT_SHA, "unknown" outside a checkout) and the compiler string.
+/// Surfaced as the `mintc_build_info` info-gauge, in the `stats` verb and
+/// on the status dashboard — so an operator can tie any scrape or page to
+/// an exact binary.
+struct BuildInfo {
+  std::string version;
+  std::string git;
+  std::string compiler;
+};
+const BuildInfo& build_info();
+
 /// JSON string-escape (\" \\ control chars) and number rendering (non-finite
 /// values clamped to +-1e308/0 — JSON has no Inf/NaN literals). Shared by
 /// every JSON writer in the tree (metrics, trace, report).
@@ -99,7 +111,10 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events);
 /// Render metric points in the Prometheus text exposition format. Names are
 /// prefixed "mintc_" with dots mapped to underscores; counters get the
 /// "_total" suffix; histograms emit CUMULATIVE "_bucket{le=...}" series
-/// (including "+Inf"), "_sum" and "_count", per the format spec. Label
+/// (including "+Inf"), "_sum" and "_count", per the format spec, plus
+/// companion "_min"/"_max"/"_p999" gauge families carrying the exact
+/// observed extremes and the far-tail estimate (appended after the main
+/// families so each derived family keeps a single # TYPE line). Label
 /// values escape backslash, double-quote and newline. Ends with a newline.
 std::string prometheus_text(const std::vector<MetricPoint>& points);
 

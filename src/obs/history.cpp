@@ -1,0 +1,67 @@
+#include "obs/history.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mintc::obs {
+
+HistoryRing::HistoryRing(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 2)) {
+  ring_.reserve(capacity_);
+}
+
+void HistoryRing::record(Sample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[head_] = std::move(sample);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<HistoryRing::Sample> HistoryRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<double> HistoryRing::series(const std::string& name) const {
+  const std::vector<Sample> samples = snapshot();
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const Sample& sample : samples) {
+    double v = std::numeric_limits<double>::quiet_NaN();
+    for (const auto& [key, value] : sample.values) {
+      if (key == name) {
+        v = value;
+        break;
+      }
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t HistoryRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t HistoryRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void HistoryRing::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace mintc::obs

@@ -1,0 +1,54 @@
+// Fixed-capacity ring of periodic metric snapshots — the memory behind the
+// status dashboard's sparklines. The daemon records one Sample per tick
+// (a timestamp plus a small set of named values pulled from the registry);
+// when the ring is full the oldest sample is overwritten, so a long-lived
+// server keeps a bounded sliding window of recent history.
+//
+// Concurrency: one mutex. Recording happens a few times a second and
+// snapshots happen when a human loads the status page, so contention is
+// not a concern — correctness under TSan is (the recorder is the daemon
+// tick thread, the reader is a pool worker serving the `status` verb).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mintc::obs {
+
+class HistoryRing {
+ public:
+  explicit HistoryRing(std::size_t capacity = 240);
+
+  struct Sample {
+    double t_seconds = 0.0;  // seconds since an epoch the recorder chooses
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  void record(Sample sample);
+
+  /// Buffered samples, oldest first.
+  std::vector<Sample> snapshot() const;
+
+  /// One named series across the buffered samples, oldest first — NaN where
+  /// a sample lacks the name, so consumers can skip gaps without losing
+  /// alignment with the timestamps.
+  std::vector<double> series(const std::string& name) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Total record() calls, including samples the ring has since dropped.
+  std::size_t total_recorded() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;   // index of the oldest sample once wrapped
+  std::size_t total_ = 0;  // lifetime record() count
+  std::vector<Sample> ring_;
+};
+
+}  // namespace mintc::obs

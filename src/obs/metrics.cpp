@@ -69,6 +69,21 @@ double Histogram::quantile(double q) const {
   return quantile_locked(q);
 }
 
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.p50 = quantile_locked(0.50);
+  s.p95 = quantile_locked(0.95);
+  s.p99 = quantile_locked(0.99);
+  s.p999 = quantile_locked(0.999);
+  s.buckets = buckets_;
+  return s;
+}
+
 double Histogram::quantile_locked(double q) const {
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return min_;
@@ -179,16 +194,20 @@ std::vector<MetricPoint> MetricsRegistry::snapshot() const {
     p.name = entry.name;
     p.labels = entry.labels;
     p.kind = MetricKind::kHistogram;
-    p.count = entry.metric->count();
-    p.sum = entry.metric->sum();
-    p.min = entry.metric->min();
-    p.max = entry.metric->max();
-    p.p50 = entry.metric->quantile(0.50);
-    p.p95 = entry.metric->quantile(0.95);
-    p.p99 = entry.metric->quantile(0.99);
-    p.p999 = entry.metric->quantile(0.999);
+    // One lock acquisition for the whole point — reading through the
+    // per-field accessors would let an observe() interleave and break the
+    // count == sum-of-buckets invariant the exporters rely on.
+    Histogram::Snapshot s = entry.metric->snapshot();
+    p.count = s.count;
+    p.sum = s.sum;
+    p.min = s.min;
+    p.max = s.max;
+    p.p50 = s.p50;
+    p.p95 = s.p95;
+    p.p99 = s.p99;
+    p.p999 = s.p999;
     p.bounds = entry.metric->bounds();
-    p.buckets = entry.metric->buckets();
+    p.buckets = std::move(s.buckets);
     points.push_back(std::move(p));
   }
   std::sort(points.begin(), points.end(),

@@ -70,6 +70,23 @@ class Histogram {
   double quantile(double q) const;
   void reset();
 
+  /// Every statistic under ONE lock acquisition, so the copy is internally
+  /// consistent (count == sum of buckets, quantiles computed from the same
+  /// state) even while writers race. Registry snapshots read through this;
+  /// per-field accessors above can interleave with writers between calls.
+  struct Snapshot {
+    long count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    std::vector<long> buckets;
+  };
+  Snapshot snapshot() const;
+
  private:
   double quantile_locked(double q) const;
 

@@ -1,0 +1,190 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace mintc::obs {
+
+namespace profiler_detail {
+std::atomic<bool> g_profiler_on{false};
+}  // namespace profiler_detail
+
+Profiler& Profiler::instance() {
+  static Profiler* profiler = new Profiler();  // leaked: outlive TLS leases
+  return *profiler;
+}
+
+Profiler::~Profiler() { stop(); }
+
+// Thread-local registration handle: leases a stack slot on the thread's
+// first push, marks it dead (reusable) when the thread exits.
+struct Profiler::StackLease {
+  ThreadStack* stack = nullptr;
+  ~StackLease() {
+    if (stack != nullptr) Profiler::instance().release_stack(stack);
+  }
+};
+
+Profiler::ThreadStack* Profiler::lease_stack() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& stack : stacks_) {
+    if (!stack->live.load(std::memory_order_relaxed)) {
+      stack->depth.store(0, std::memory_order_relaxed);
+      stack->live.store(true, std::memory_order_relaxed);
+      return stack.get();
+    }
+  }
+  stacks_.push_back(std::make_unique<ThreadStack>());
+  stacks_.back()->live.store(true, std::memory_order_relaxed);
+  return stacks_.back().get();
+}
+
+void Profiler::release_stack(ThreadStack* stack) {
+  // The entry stays allocated (the registry owns it); marking it dead stops
+  // the sampler from walking it and lets a future thread reuse the slot.
+  std::lock_guard<std::mutex> lock(mu_);
+  stack->depth.store(0, std::memory_order_relaxed);
+  stack->live.store(false, std::memory_order_relaxed);
+}
+
+Profiler::StackLease& Profiler::thread_lease() {
+  thread_local StackLease lease;
+  return lease;
+}
+
+void Profiler::push_frame(const char* name) {
+  StackLease& lease = thread_lease();
+  if (lease.stack == nullptr) lease.stack = lease_stack();
+  ThreadStack* stack = lease.stack;
+  const int depth = stack->depth.load(std::memory_order_relaxed);
+  if (depth < kMaxDepth) {
+    stack->frames[static_cast<std::size_t>(depth)].store(name, std::memory_order_relaxed);
+  }
+  stack->depth.store(depth + 1, std::memory_order_release);
+}
+
+void Profiler::pop_frame() {
+  ThreadStack* stack = thread_lease().stack;
+  if (stack == nullptr) return;
+  const int depth = stack->depth.load(std::memory_order_relaxed);
+  if (depth > 0) stack->depth.store(depth - 1, std::memory_order_release);
+}
+
+void Profiler::start(long interval_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (sampler_.joinable()) return;
+  interval_us_ = std::max<long>(interval_us, 200);
+  stop_requested_ = false;
+  profiler_detail::g_profiler_on.store(true, std::memory_order_relaxed);
+  sampler_ = std::thread([this] { run_sampler(); });
+}
+
+void Profiler::stop() {
+  std::thread sampler;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!sampler_.joinable()) return;
+    profiler_detail::g_profiler_on.store(false, std::memory_order_relaxed);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    sampler = std::move(sampler_);
+  }
+  sampler.join();
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  total_samples_ = 0;
+  idle_samples_ = 0;
+}
+
+void Profiler::run_sampler() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    sample_once();
+    stop_cv_.wait_for(lock, std::chrono::microseconds(interval_us_),
+                      [this] { return stop_requested_; });
+  }
+}
+
+void Profiler::sample_once() {
+  // Called with mu_ held. Walk every live stack; a race with the owning
+  // thread's push/pop can misread at most one tick (see header).
+  std::string path;
+  for (const auto& stack : stacks_) {
+    if (!stack->live.load(std::memory_order_relaxed)) continue;
+    ++total_samples_;
+    int depth = stack->depth.load(std::memory_order_acquire);
+    if (depth <= 0) {
+      ++idle_samples_;
+      continue;
+    }
+    depth = std::min(depth, kMaxDepth);
+    path.clear();
+    for (int i = 0; i < depth; ++i) {
+      const char* frame = stack->frames[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+      if (!path.empty()) path.push_back(';');
+      path += (frame != nullptr) ? frame : "?";
+    }
+    ++samples_[path];
+  }
+}
+
+Profiler::Profile Profiler::profile() const {
+  Profile out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.interval_us = interval_us_;
+  out.total_samples = total_samples_;
+  out.idle_samples = idle_samples_;
+  out.stacks.assign(samples_.begin(), samples_.end());
+  std::stable_sort(out.stacks.begin(), out.stacks.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::string Profiler::collapsed() const {
+  const Profile prof = profile();
+  std::string out;
+  for (const auto& [path, count] : prof.stacks) {
+    out += path;
+    out.push_back(' ');
+    out += std::to_string(count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Profiler::top_table(int top_n) const {
+  const Profile prof = profile();
+  // Self samples: the innermost frame of each sampled path owns its ticks.
+  std::map<std::string, long> self;
+  for (const auto& [path, count] : prof.stacks) {
+    const std::size_t leaf = path.rfind(';');
+    self[leaf == std::string::npos ? path : path.substr(leaf + 1)] += count;
+  }
+  std::vector<std::pair<std::string, long>> rows(self.begin(), self.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (static_cast<int>(rows.size()) > top_n) rows.resize(static_cast<std::size_t>(top_n));
+
+  long busy = prof.total_samples - prof.idle_samples;
+  if (busy <= 0) busy = 1;
+  std::ostringstream out;
+  out << "profiler: " << prof.total_samples << " ticks @ " << prof.interval_us
+      << "us (" << prof.idle_samples << " idle)\n";
+  char line[160];
+  for (const auto& [frame, count] : rows) {
+    const double pct = 100.0 * static_cast<double>(count) / static_cast<double>(busy);
+    const double est_ms =
+        static_cast<double>(count) * static_cast<double>(prof.interval_us) / 1000.0;
+    std::snprintf(line, sizeof(line), "%8ld  %5.1f%%  %9.1fms  %s\n", count, pct,
+                  est_ms, frame.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace mintc::obs

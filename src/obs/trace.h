@@ -48,15 +48,26 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
+
 namespace mintc::obs {
+
+struct CostAccount;  // cost.h — charged through the context's cost pointer
 
 /// Request-scoped trace identity, carried across the wire (serve protocol
 /// "trace" field) and across threads (TraceContextScope). A context is
 /// ACTIVE — i.e. forces recording on this thread — when it is sampled and
 /// has a nonzero id.
+///
+/// `cost` rides along independently of sampling: the serve layer attributes
+/// CPU/work to every telemetry-on request, not just the traced ones. The
+/// account is owned by the request handler and outlives every task the
+/// request forks (the engines join their pools before returning), so the
+/// raw pointer is safe to copy across threads with the rest of the context.
 struct TraceContext {
   std::uint64_t trace_id = 0;
   bool sampled = false;
+  CostAccount* cost = nullptr;
 
   bool active() const { return sampled && trace_id != 0; }
 };
@@ -175,19 +186,29 @@ class Tracer {
 
 /// RAII span: begin at construction (if tracing is enabled), end at
 /// destruction. Nest freely; chrome://tracing stacks nested spans.
+///
+/// Spans are also the profiler's unit of attribution: when the sampling
+/// profiler is running (profiler.h), construction pushes `name` onto the
+/// thread's current span path and destruction pops it — one relaxed load
+/// when the profiler is off, matching the tracer's disabled budget. The
+/// name must therefore be a string literal (the const char* parameter
+/// already enforces the idiom).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "mintc")
       : name_(name), category_(category) {
     active_ = Tracer::instance().begin_span(name_, category_);
+    profiled_ = Profiler::try_push(name_);
   }
   /// Span with begin-event args (a pre-rendered JSON object, e.g.
   /// R"({"verb":"analyze"})") — how the serve layer tags request spans.
   TraceSpan(const char* name, const char* category, std::string args)
       : name_(name), category_(category) {
     active_ = Tracer::instance().begin_span(name_, category_, std::move(args));
+    profiled_ = Profiler::try_push(name_);
   }
   ~TraceSpan() {
+    if (profiled_) Profiler::pop();
     if (active_) Tracer::instance().end_span(name_, category_);
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -197,6 +218,7 @@ class TraceSpan {
   const char* name_;
   const char* category_;
   bool active_ = false;
+  bool profiled_ = false;
 };
 
 }  // namespace mintc::obs

@@ -10,6 +10,7 @@
 #include "base/strings.h"
 #include "base/table.h"
 #include "obs/export.h"
+#include "report/html.h"
 #include "viz/svg.h"
 
 namespace mintc::report {
@@ -184,68 +185,6 @@ std::string chain_names(const SlackDB& db, const BorrowChain& c) {
 
 // ---------------------------------------------------------------- HTML --
 
-std::string html_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-// Shared stylesheet: palette roles as CSS custom properties, light values
-// by default, dark values under prefers-color-scheme (the dashboard is a
-// static file — the OS setting selects the mode).
-const char* kDashboardCss = R"css(
-  :root {
-    color-scheme: light;
-    --surface: #fcfcfb; --card: #ffffff; --border: #e3e2de; --grid: #e9e8e4;
-    --text-1: #0b0b0b; --text-2: #52514e;
-    --series-1: #2a78d6; --series-2: #eb6834;
-    --good: #008300; --bad: #e34948;
-  }
-  @media (prefers-color-scheme: dark) {
-    :root {
-      color-scheme: dark;
-      --surface: #1a1a19; --card: #222221; --border: #3a3936; --grid: #31302d;
-      --text-1: #ffffff; --text-2: #c3c2b7;
-      --series-1: #3987e5; --series-2: #d95926;
-      --good: #00a300; --bad: #e66767;
-    }
-  }
-  body { background: var(--surface); color: var(--text-1);
-         font: 14px/1.45 system-ui, sans-serif; margin: 24px auto; max-width: 1080px;
-         padding: 0 16px; }
-  h1 { font-size: 20px; margin: 0 0 4px; }
-  h2 { font-size: 15px; margin: 0 0 8px; color: var(--text-1); }
-  .meta { color: var(--text-2); font-size: 12px; margin-bottom: 16px; }
-  .badge { display: inline-block; padding: 2px 10px; border-radius: 10px;
-           font-weight: 600; font-size: 13px; color: #ffffff; vertical-align: 2px; }
-  .badge.pass { background: var(--good); }
-  .badge.fail { background: var(--bad); }
-  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
-  .tile { background: var(--card); border: 1px solid var(--border);
-          border-radius: 8px; padding: 10px 16px; min-width: 120px; }
-  .tile .v { font-size: 22px; font-weight: 600; }
-  .tile .v.bad { color: var(--bad); }
-  .tile .k { font-size: 12px; color: var(--text-2); }
-  section { background: var(--card); border: 1px solid var(--border);
-            border-radius: 8px; padding: 14px 16px; margin: 14px 0; }
-  .figure { background: #ffffff; border-radius: 4px; overflow-x: auto; }
-  table { border-collapse: collapse; width: 100%; font-size: 13px; }
-  th { text-align: left; color: var(--text-2); font-weight: 600;
-       border-bottom: 1px solid var(--border); padding: 4px 10px 4px 0; }
-  td { border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
-       font-variant-numeric: tabular-nums; }
-  td.bad { color: var(--bad); font-weight: 600; }
-  .note { color: var(--text-2); font-size: 12px; margin-top: 6px; }
-)css";
 
 /// Vertical-bar histogram as inline SVG. Buckets entirely at or below zero
 /// (violations) render in the status color; tooltips carry exact ranges.
@@ -361,20 +300,8 @@ std::string borrow_chains_svg(const SlackDB& db) {
   return out.str();
 }
 
-void tile(std::ostringstream& out, const std::string& value, const std::string& key,
-          bool bad = false) {
-  out << "    <div class=\"tile\"><div class=\"v" << (bad ? " bad" : "") << "\">" << value
-      << "</div><div class=\"k\">" << key << "</div></div>\n";
-}
-
-std::string html_head(const std::string& title) {
-  std::ostringstream out;
-  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
-      << "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
-      << "<title>" << html_escape(title) << "</title>\n<style>" << kDashboardCss
-      << "</style>\n</head>\n<body>\n";
-  return out.str();
-}
+// html_escape / dashboard CSS / html_head / tile live in report/html.h, shared
+// with the serve layer's live status dashboard.
 
 std::string meta_line(const SlackDB& db) {
   const obs::RunMetadata meta = meta_for(db);

@@ -1,0 +1,225 @@
+#include "report/html.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mintc::report {
+
+namespace {
+
+std::string fmt(double v, int digits = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+// Compact axis/tooltip numbers: 2500000 -> "2.5M", 1500 -> "1.5k".
+std::string fmt_compact(double v) {
+  const double a = std::fabs(v);
+  char buf[48];
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3gG", v / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gM", v / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3gk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Shared stylesheet: palette roles as CSS custom properties, light values
+// by default, dark values under prefers-color-scheme (the dashboards are
+// static files — the OS setting selects the mode).
+const char* dashboard_css() {
+  return R"css(
+  :root {
+    color-scheme: light;
+    --surface: #fcfcfb; --card: #ffffff; --border: #e3e2de; --grid: #e9e8e4;
+    --text-1: #0b0b0b; --text-2: #52514e;
+    --series-1: #2a78d6; --series-2: #eb6834;
+    --good: #008300; --bad: #e34948;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface: #1a1a19; --card: #222221; --border: #3a3936; --grid: #31302d;
+      --text-1: #ffffff; --text-2: #c3c2b7;
+      --series-1: #3987e5; --series-2: #d95926;
+      --good: #00a300; --bad: #e66767;
+    }
+  }
+  body { background: var(--surface); color: var(--text-1);
+         font: 14px/1.45 system-ui, sans-serif; margin: 24px auto; max-width: 1080px;
+         padding: 0 16px; }
+  h1 { font-size: 20px; margin: 0 0 4px; }
+  h2 { font-size: 15px; margin: 0 0 8px; color: var(--text-1); }
+  .meta { color: var(--text-2); font-size: 12px; margin-bottom: 16px; }
+  .badge { display: inline-block; padding: 2px 10px; border-radius: 10px;
+           font-weight: 600; font-size: 13px; color: #ffffff; vertical-align: 2px; }
+  .badge.pass { background: var(--good); }
+  .badge.fail { background: var(--bad); }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+  .tile { background: var(--card); border: 1px solid var(--border);
+          border-radius: 8px; padding: 10px 16px; min-width: 120px; }
+  .tile .v { font-size: 22px; font-weight: 600; }
+  .tile .v.bad { color: var(--bad); }
+  .tile .k { font-size: 12px; color: var(--text-2); }
+  section { background: var(--card); border: 1px solid var(--border);
+            border-radius: 8px; padding: 14px 16px; margin: 14px 0; }
+  .figure { background: #ffffff; border-radius: 4px; overflow-x: auto; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th { text-align: left; color: var(--text-2); font-weight: 600;
+       border-bottom: 1px solid var(--border); padding: 4px 10px 4px 0; }
+  td { border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+       font-variant-numeric: tabular-nums; }
+  td.bad { color: var(--bad); font-weight: 600; }
+  .note { color: var(--text-2); font-size: 12px; margin-top: 6px; }
+  .sparks { display: flex; flex-wrap: wrap; gap: 16px; }
+  .spark .k { font-size: 12px; color: var(--text-2); }
+)css";
+}
+
+std::string html_head(const std::string& title) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+      << "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
+      << "<title>" << html_escape(title) << "</title>\n<style>" << dashboard_css()
+      << "</style>\n</head>\n<body>\n";
+  return out.str();
+}
+
+void tile(std::ostringstream& out, const std::string& value, const std::string& key,
+          bool bad) {
+  out << "    <div class=\"tile\"><div class=\"v" << (bad ? " bad" : "") << "\">" << value
+      << "</div><div class=\"k\">" << key << "</div></div>\n";
+}
+
+std::string sparkline_svg(const std::vector<double>& values, double width, double height) {
+  std::ostringstream out;
+  out << "<svg viewBox=\"0 0 " << fmt(width, 0) << " " << fmt(height, 0) << "\" width=\""
+      << fmt(width, 0) << "\" height=\"" << fmt(height, 0) << "\" role=\"img\">\n";
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (const double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = any ? std::min(lo, v) : v;
+    hi = any ? std::max(hi, v) : v;
+    any = true;
+  }
+  if (!any || values.size() < 2) {
+    out << "  <text x=\"4\" y=\"" << fmt(height / 2.0, 0)
+        << "\" fill=\"var(--text-2)\" font-size=\"11\">no data</text>\n</svg>\n";
+    return out.str();
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;  // flat series draws mid-height
+  const double mt = 4.0, mb = 4.0, ml = 2.0, mr = 44.0;
+  const double plot_w = width - ml - mr, plot_h = height - mt - mb;
+  const double dx = plot_w / static_cast<double>(values.size() - 1);
+  // NaN gaps break the polyline into segments.
+  bool open = false;
+  double last_x = ml, last_y = mt + plot_h;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      if (open) out << "\" fill=\"none\" stroke=\"var(--series-1)\" stroke-width=\"1.5\"/>\n";
+      open = false;
+      continue;
+    }
+    const double x = ml + dx * static_cast<double>(i);
+    const double y = mt + plot_h * (1.0 - (values[i] - lo) / (hi - lo));
+    if (!open) out << "  <polyline points=\"";
+    out << fmt(x, 1) << "," << fmt(y, 1) << " ";
+    open = true;
+    last_x = x;
+    last_y = y;
+  }
+  if (open) out << "\" fill=\"none\" stroke=\"var(--series-1)\" stroke-width=\"1.5\"/>\n";
+  // Label the most recent value next to the line's end.
+  double last = 0.0;
+  for (size_t i = values.size(); i-- > 0;) {
+    if (std::isfinite(values[i])) {
+      last = values[i];
+      break;
+    }
+  }
+  out << "  <circle cx=\"" << fmt(last_x, 1) << "\" cy=\"" << fmt(last_y, 1)
+      << "\" r=\"2\" fill=\"var(--series-1)\"/>\n"
+      << "  <text x=\"" << fmt(last_x + 5.0, 1) << "\" y=\"" << fmt(last_y + 4.0, 1)
+      << "\" fill=\"var(--text-2)\" font-size=\"11\">" << fmt_compact(last)
+      << "</text>\n</svg>\n";
+  return out.str();
+}
+
+std::string bucket_bars_svg(const std::vector<double>& bounds,
+                            const std::vector<long>& buckets, const std::string& unit) {
+  std::ostringstream out;
+  size_t nb = buckets.size();
+  while (nb > 1 && buckets[nb - 1] == 0) --nb;
+  long total = 0, maxc = 1;
+  for (size_t b = 0; b < nb; ++b) {
+    total += buckets[b];
+    maxc = std::max(maxc, buckets[b]);
+  }
+  const double w = 640.0, hgt = 160.0, ml = 40.0, mr = 10.0, mt = 14.0, mb = 30.0;
+  out << "<svg viewBox=\"0 0 " << fmt(w, 0) << " " << fmt(hgt, 0) << "\" width=\""
+      << fmt(w, 0) << "\" role=\"img\">\n";
+  if (total == 0 || nb == 0) {
+    out << "  <text x=\"20\" y=\"30\" fill=\"var(--text-2)\" font-size=\"12\">no data"
+           "</text>\n</svg>\n";
+    return out.str();
+  }
+  const double plot_w = w - ml - mr, plot_h = hgt - mt - mb;
+  const double bw = plot_w / static_cast<double>(nb);
+  const auto lo_edge = [&](size_t b) { return b == 0 ? 0.0 : bounds[b - 1]; };
+  for (int g = 0; g <= 4; ++g) {
+    const double y = mt + plot_h * g / 4.0;
+    out << "  <line x1=\"" << fmt(ml, 1) << "\" y1=\"" << fmt(y, 1) << "\" x2=\""
+        << fmt(w - mr, 1) << "\" y2=\"" << fmt(y, 1) << "\" stroke=\"var(--grid)\"/>\n";
+  }
+  out << "  <text x=\"4\" y=\"" << fmt(mt + 4.0, 1)
+      << "\" fill=\"var(--text-2)\" font-size=\"11\">" << maxc << "</text>\n";
+  for (size_t b = 0; b < nb; ++b) {
+    const double bar_h = plot_h * static_cast<double>(buckets[b]) / static_cast<double>(maxc);
+    const double x = ml + bw * static_cast<double>(b) + 1.0;
+    const double y = mt + plot_h - bar_h;
+    out << "  <rect x=\"" << fmt(x, 1) << "\" y=\"" << fmt(y, 1) << "\" width=\""
+        << fmt(std::max(1.0, bw - 2.0), 1) << "\" height=\"" << fmt(bar_h, 1)
+        << "\" rx=\"2\" fill=\"var(--series-1)\"><title>(" << fmt_compact(lo_edge(b)) << ", "
+        << (b < bounds.size() ? fmt_compact(bounds[b]) : std::string("+inf")) << "] "
+        << html_escape(unit) << ": " << buckets[b] << "</title></rect>\n";
+  }
+  out << "  <line x1=\"" << fmt(ml, 1) << "\" y1=\"" << fmt(mt + plot_h, 1) << "\" x2=\""
+      << fmt(w - mr, 1) << "\" y2=\"" << fmt(mt + plot_h, 1)
+      << "\" stroke=\"var(--border)\"/>\n";
+  const size_t step = std::max<size_t>(1, nb / 6);
+  for (size_t k = 0; k < nb; k += step) {
+    const double x = ml + bw * static_cast<double>(k) + bw / 2.0;
+    out << "  <text x=\"" << fmt(x, 1) << "\" y=\"" << fmt(hgt - mb + 14.0, 1)
+        << "\" text-anchor=\"middle\" fill=\"var(--text-2)\" font-size=\"11\">"
+        << (k < bounds.size() ? fmt_compact(bounds[k]) : std::string("+inf"))
+        << "</text>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace mintc::report

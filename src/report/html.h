@@ -1,0 +1,42 @@
+// Shared building blocks for the self-contained HTML dashboards: the signoff
+// report (report/export.cpp) and the serve layer's live status page
+// (serve/status.cpp) render with the same stylesheet and helpers so the two
+// surfaces look and behave identically (light/dark via the OS setting, no
+// external assets, no script dependencies).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mintc::report {
+
+/// Escape &, <, >, " for text and attribute positions.
+std::string html_escape(const std::string& s);
+
+/// The dashboard stylesheet: palette roles as CSS custom properties (light
+/// values by default, dark under prefers-color-scheme), tiles, sections,
+/// tables, badges.
+const char* dashboard_css();
+
+/// "<!DOCTYPE html>...<style>...</style></head><body>" with `title` escaped
+/// into <title>. Callers append content and close </body></html>.
+std::string html_head(const std::string& title);
+
+/// One metric tile (value over a small caption) into a .tiles flex row.
+void tile(std::ostringstream& out, const std::string& value, const std::string& key,
+          bool bad = false);
+
+/// Inline-SVG sparkline of a series, oldest first; NaN entries are gaps.
+/// Renders "no data" when nothing is finite. The final value is labeled.
+std::string sparkline_svg(const std::vector<double>& values, double width = 240.0,
+                          double height = 48.0);
+
+/// Inline-SVG vertical-bar chart of histogram bucket counts. `bounds` are
+/// the ascending upper bounds; `buckets` has bounds.size()+1 entries (last
+/// = +inf). Trailing empty buckets are dropped for data-fit x bounds;
+/// tooltips carry exact ranges in `unit`.
+std::string bucket_bars_svg(const std::vector<double>& bounds,
+                            const std::vector<long>& buckets, const std::string& unit);
+
+}  // namespace mintc::report

@@ -1,0 +1,74 @@
+// Size-rotated JSONL audit log of served requests — the durable side of
+// cost attribution. One line per request with the trace id, verb, circuit
+// key, cache hit/miss, outcome, wall latency and the request's CostAccount
+// totals, so "which request burned the CPU last night" is a grep, not a
+// reproduction.
+//
+// Rotation: when the current file would exceed `rotate_bytes`, it is
+// renamed to "<path>.1" (replacing any previous .1) and a fresh file is
+// opened — bounded at ~2x rotate_bytes of disk, no external logrotate
+// needed. Writes are line-buffered under a mutex and flushed per record;
+// an audit line is worth a syscall, and the serve path is not latency-bound
+// on the log (tested at the bench's overhead gate).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace mintc::serve {
+
+struct AuditRecord {
+  double t_seconds = 0.0;        // seconds since service start
+  std::string trace;             // 16-char hex id, "" when unsampled
+  std::string verb;
+  std::string circuit;           // "" when the verb carries no key
+  bool ok = false;
+  bool cached = false;
+  double wall_us = 0.0;
+  std::int64_t cpu_us = 0;       // CostAccount totals (0 when attribution off)
+  std::int64_t relaxations = 0;
+  std::int64_t sweeps = 0;
+  std::int64_t solves = 0;
+};
+
+class AuditLog {
+ public:
+  /// Opens `path` for append. `rotate_bytes` caps the active file (clamped
+  /// to >= 4096); 0 keeps the default of 8 MiB.
+  AuditLog(std::string path, std::size_t rotate_bytes);
+  ~AuditLog();
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Append one JSONL record (with trailing newline) and flush. Silently
+  /// drops records when the file cannot be (re)opened — the service must
+  /// keep serving through a full disk.
+  void append(const AuditRecord& record);
+
+  /// Records written since construction (drops excluded).
+  std::int64_t written() const;
+  /// Times the active file was rotated to "<path>.1".
+  std::int64_t rotations() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void open_locked();
+  void rotate_locked();
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::size_t rotate_bytes_;
+  std::FILE* file_ = nullptr;
+  std::size_t bytes_ = 0;  // size of the active file
+  std::int64_t written_ = 0;
+  std::int64_t rotations_ = 0;
+};
+
+/// Render one record as its JSONL line (no trailing newline) — exposed for
+/// tests and for the status page's slow-request table tooling.
+std::string audit_json_line(const AuditRecord& record);
+
+}  // namespace mintc::serve

@@ -150,12 +150,16 @@ Expected<bool> SocketServer::start() {
     reg.gauge("serve.queue_depth")
         .set(static_cast<double>(queue_depth_.load(std::memory_order_relaxed)));
   });
+  // The status page's worker table: per-worker execution/CPU/queue state
+  // straight from the dispatch pool.
+  service_.set_worker_stats_provider([this] { return pool_.worker_stats(); });
   return true;
 }
 
 void SocketServer::stop() {
   if (!started_) return;
-  service_.set_runtime_sampler(nullptr);  // the sampler captures `this`
+  service_.set_runtime_sampler(nullptr);  // both hooks capture `this`
+  service_.set_worker_stats_provider(nullptr);
   running_.store(false, std::memory_order_release);
   wake_io();
   if (io_thread_.joinable()) io_thread_.join();

@@ -13,6 +13,7 @@
 #include "circuits/example1.h"
 #include "circuits/example2.h"
 #include "circuits/gaas.h"
+#include "obs/cost.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "opt/mlp.h"
@@ -32,6 +33,15 @@ obs::MetricsRegistry& registry() { return obs::MetricsRegistry::instance(); }
 double elapsed_us(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Wide powers-of-4 bounds for per-request engine-work counts
+/// (serve.relaxations): 1 .. 64M covers a cache hit (0) through the largest
+/// sweep request without wasting buckets on microsecond-style resolution.
+std::vector<double> work_count_buckets() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 67108864.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
 }
 
 /// Rough warm-session footprint for the pool's byte budget: the Circuit,
@@ -199,8 +209,29 @@ TimingService::TimingService(ServiceConfig config)
       inflight_metric_(registry().gauge("serve.inflight")),
       cache_bytes_metric_(registry().gauge("cache.bytes")),
       cache_entries_metric_(registry().gauge("cache.entries")),
+      uptime_metric_(registry().gauge("server.uptime_seconds")),
       latency_metric_(
-          registry().histogram("serve.latency_us", {}, obs::latency_buckets_us())) {}
+          registry().histogram("serve.latency_us", {}, obs::latency_buckets_us())),
+      cpu_metric_(registry().histogram("serve.cpu_us", {}, obs::latency_buckets_us())),
+      relaxations_metric_(
+          registry().histogram("serve.relaxations", {}, work_count_buckets())),
+      history_(config.history_capacity) {
+  // Info-gauge idiom: constant 1 with the identity in the labels, so any
+  // scrape can join build identity against the numeric series.
+  const obs::BuildInfo& build = obs::build_info();
+  registry()
+      .gauge("build_info", {{"version", build.version},
+                            {"git", build.git},
+                            {"compiler", build.compiler}})
+      .set(1.0);
+  if (!config_.audit_path.empty()) {
+    audit_ = std::make_unique<AuditLog>(config_.audit_path, config_.audit_rotate_bytes);
+  }
+}
+
+double TimingService::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
 
 std::string TimingService::handle_line(std::string_view line) {
   Expected<Json> request = parse_request(line, config_.max_frame_bytes);
@@ -225,6 +256,7 @@ Json TimingService::dispatch(const Json& request, const Json& id, const std::str
   if (verb == "stats") return handle_stats(id);
   if (verb == "metrics") return handle_metrics(id);
   if (verb == "trace") return handle_trace(request, id);
+  if (verb == "status") return handle_status(request, id);
   return error_response(id, "unknown_verb", "unknown verb \"" + verb + "\"");
 }
 
@@ -250,7 +282,17 @@ Json TimingService::handle(const Json& request) {
   // session solve, and (by value-capture + TraceContextScope in
   // parallel_fixpoint) every fixpoint shard it forks. Inactive context when
   // untraced: installing is two thread-local writes.
-  obs::TraceContextScope context_scope(traced ? trace->context : obs::TraceContext{});
+  //
+  // Cost attribution rides the same context but independently of sampling:
+  // when telemetry is on, EVERY request carries an account, so the
+  // serve.cpu_us / serve.relaxations histograms and the audit log see full
+  // traffic, not just the sampled slice. The account lives on this stack
+  // frame; forked fixpoint shards are joined before dispatch returns, so the
+  // pointer never outlives it.
+  obs::CostAccount account;
+  obs::TraceContext context = traced ? trace->context : obs::TraceContext{};
+  if (config_.telemetry) context.cost = &account;
+  obs::TraceContextScope context_scope(context);
 
   size_t trace_mark = 0;
   std::optional<obs::TraceSpan> span;
@@ -261,7 +303,14 @@ Json TimingService::handle(const Json& request) {
     span.emplace("serve.request", "serve", request_span_args(verb, request));
   }
 
-  Json response = dispatch(request, id, verb);
+  Json response;
+  {
+    // The handler thread charges its own CPU slice (parse/render/cache and
+    // any scalar solve); pool shards charge theirs in run_chain. The two
+    // never overlap — ThreadPool::wait() blocks, it does not help-execute.
+    const obs::ThreadCpuTimer cpu_timer(config_.telemetry ? &account : nullptr);
+    response = dispatch(request, id, verb);
+  }
 
   // The echo is protocol, not telemetry: a sampled id comes back even when
   // config_.telemetry is off (the client's accounting must not depend on a
@@ -270,12 +319,62 @@ Json TimingService::handle(const Json& request) {
     response.set("trace", Json(trace_id_hex(trace->context.trace_id)));
   }
 
+  const std::int64_t cost_cpu_us = account.cpu_us.load(std::memory_order_relaxed);
+  const std::int64_t cost_relax = account.relaxations.load(std::memory_order_relaxed);
+  const std::int64_t cost_sweeps = account.sweeps.load(std::memory_order_relaxed);
+  const std::int64_t cost_solves = account.solves.load(std::memory_order_relaxed);
+  const bool ok = response.get("ok").as_bool(false);
+  const bool cached = response.get("cached").as_bool(false);
+
+  // Opt-in cost echo, always at the ENVELOPE level — cached result payloads
+  // stay byte-identical whether or not attribution is requested.
+  if (request.bool_or("cost", false)) {
+    Json cost = Json::object();
+    cost.set("cpu_us", Json(static_cast<long>(cost_cpu_us)));
+    cost.set("relaxations", Json(static_cast<long>(cost_relax)));
+    cost.set("sweeps", Json(static_cast<long>(cost_sweeps)));
+    cost.set("solves", Json(static_cast<long>(cost_solves)));
+    response.set("cost", std::move(cost));
+  }
+
   if (config_.telemetry) {
     span.reset();  // end serve.request before slicing the tree below
     requests_metric_.inc();
-    if (!response.get("ok").as_bool(false)) errors_metric_.inc();
+    if (!ok) errors_metric_.inc();
     const double us = elapsed_us(start);
     latency_metric_.observe(us);
+    cpu_metric_.observe(static_cast<double>(cost_cpu_us));
+    relaxations_metric_.observe(static_cast<double>(cost_relax));
+    const std::string trace_hex =
+        traced ? trace_id_hex(trace->context.trace_id) : std::string();
+    if (audit_) {
+      AuditRecord record;
+      record.t_seconds = uptime_seconds();
+      record.trace = trace_hex;
+      record.verb = verb;
+      record.circuit = request.str_or("circuit");
+      record.ok = ok;
+      record.cached = cached;
+      record.wall_us = us;
+      record.cpu_us = cost_cpu_us;
+      record.relaxations = cost_relax;
+      record.sweeps = cost_sweeps;
+      record.solves = cost_solves;
+      audit_->append(record);
+    }
+    {
+      SlowEntry entry;
+      entry.t_seconds = uptime_seconds();
+      entry.us = us;
+      entry.cpu_us = cost_cpu_us;
+      entry.relaxations = cost_relax;
+      entry.cached = cached;
+      entry.ok = ok;
+      entry.verb = verb;
+      entry.circuit = request.str_or("circuit");
+      entry.trace = trace_hex;
+      record_slow(std::move(entry));
+    }
     if (config_.slow_request_us > 0 && us >= static_cast<double>(config_.slow_request_us)) {
       slow_requests_metric_.inc();
       std::string tree;
@@ -285,13 +384,63 @@ Json TimingService::handle(const Json& request) {
       }
       log_warn() << "serve: slow request verb=" << verb
                  << " circuit=" << request.str_or("circuit", "-") << " us=" << us
-                 << " trace=" << (traced ? trace_id_hex(trace->context.trace_id) : "-")
-                 << tree;
+                 << " cpu_us=" << cost_cpu_us << " relaxations=" << cost_relax
+                 << " trace=" << (traced ? trace_hex : "-") << tree;
     }
     inflight_metric_.set(
         static_cast<double>(inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
   }
   return response;
+}
+
+void TimingService::record_slow(SlowEntry entry) {
+  const std::lock_guard<std::mutex> lk(slow_mu_);
+  // Insertion sort into the top-K: the vector is tiny (<= kSlowTopK) and
+  // almost every request falls off the end immediately.
+  if (slow_.size() >= kSlowTopK && entry.us <= slow_.back().us) return;
+  const auto pos = std::upper_bound(
+      slow_.begin(), slow_.end(), entry,
+      [](const SlowEntry& a, const SlowEntry& b) { return a.us > b.us; });
+  slow_.insert(pos, std::move(entry));
+  if (slow_.size() > kSlowTopK) slow_.pop_back();
+}
+
+std::vector<TimingService::SlowEntry> TimingService::slow_requests() const {
+  const std::lock_guard<std::mutex> lk(slow_mu_);
+  return slow_;
+}
+
+void TimingService::set_worker_stats_provider(
+    std::function<std::vector<base::ThreadPool::WorkerStats>()> provider) {
+  const std::lock_guard<std::mutex> lk(sampler_mu_);
+  worker_stats_provider_ = std::move(provider);
+}
+
+void TimingService::record_history_sample() {
+  const double t = uptime_seconds();
+  const long requests = requests_metric_.value();
+  // Rate since the previous tick (the ring holds rates, not monotone
+  // totals, so the sparklines read directly as req/s).
+  double rps = 0.0;
+  if (t > last_history_t_ && requests >= last_history_requests_) {
+    rps = static_cast<double>(requests - last_history_requests_) / (t - last_history_t_);
+  }
+  last_history_t_ = t;
+  last_history_requests_ = requests;
+
+  const ResultCache::Stats cs = cache_.stats();
+  obs::HistoryRing::Sample sample;
+  sample.t_seconds = t;
+  sample.values = {
+      {"rps", rps},
+      {"latency_p50_us", latency_metric_.quantile(0.50)},
+      {"latency_p95_us", latency_metric_.quantile(0.95)},
+      {"cpu_p50_us", cpu_metric_.quantile(0.50)},
+      {"inflight", static_cast<double>(inflight_.load(std::memory_order_relaxed))},
+      {"cache_bytes", static_cast<double>(cs.bytes)},
+      {"sessions", static_cast<double>(pool_stats().sessions)},
+  };
+  history_.record(std::move(sample));
 }
 
 Json TimingService::handle_load(const Json& req, const Json& id) {
@@ -879,7 +1028,24 @@ Json TimingService::handle_stats(const Json& id) {
     metrics.push(std::move(row));
   }
 
+  // Server identity + lifetime, mirrored on the status page and as the
+  // build_info / server.uptime_seconds Prometheus series.
+  const obs::BuildInfo& build = obs::build_info();
+  Json server = Json::object();
+  server.set("uptime_seconds", Json(uptime_seconds()));
+  server.set("version", Json(build.version));
+  server.set("git", Json(build.git));
+  server.set("compiler", Json(build.compiler));
+  if (audit_) {
+    Json audit = Json::object();
+    audit.set("path", Json(audit_->path()));
+    audit.set("written", Json(audit_->written()));
+    audit.set("rotations", Json(audit_->rotations()));
+    server.set("audit", std::move(audit));
+  }
+
   Json result = Json::object();
+  result.set("server", std::move(server));
   result.set("sessions", std::move(sessions));
   result.set("cache", std::move(cache));
   result.set("metrics", std::move(metrics));
@@ -913,6 +1079,7 @@ void TimingService::set_runtime_sampler(std::function<void()> sampler) {
 }
 
 void TimingService::sample_runtime_gauges() {
+  uptime_metric_.set(uptime_seconds());
   const ResultCache::Stats cs = cache_.stats();
   cache_bytes_metric_.set(static_cast<double>(cs.bytes));
   cache_entries_metric_.set(static_cast<double>(cs.entries));

@@ -33,6 +33,20 @@
 //   trace       drain the span ring buffer as Chrome trace-event JSON
 //               (result.content), with event/dropped counts; "clear": false
 //               keeps the buffer
+//   status      the live ops dashboard as a single self-contained HTML
+//               document (result.content): uptime/build tiles, latency and
+//               CPU histograms, HistoryRing sparklines, session/cache
+//               tables, top-K slow requests with trace ids, and the
+//               sampling profiler's flame view ("top": N sizes the tables)
+//
+// Cost attribution: when telemetry is on, every request carries an
+// obs::CostAccount through the thread-local TraceContext — the handler
+// thread and every fixpoint shard charge their CPU slices, and the engines
+// charge relaxations/sweeps at solve completion. The totals feed the
+// serve.cpu_us / serve.relaxations histograms, the audit log and the slow
+// log; a request with "cost": true gets them echoed as a response-envelope
+// "cost" block (never inside result — cached payloads stay byte-identical
+// whether or not attribution is requested).
 //
 // Telemetry: every request may carry an optional "trace" field (see
 // protocol.h) — a sampled trace id turns recording ON for exactly this
@@ -56,6 +70,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -66,7 +81,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_pool.h"
+#include "obs/history.h"
 #include "obs/metrics.h"
+#include "serve/audit.h"
 #include "serve/cache.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
@@ -93,6 +111,14 @@ struct ServiceConfig {
   /// Log a structured warning (with the request's span tree when sampled)
   /// for requests slower than this many microseconds. 0 disables.
   long slow_request_us = 0;
+  /// Per-request JSONL audit log path ("" disables). Every handled request
+  /// appends one line with its trace id, verb, circuit key, cache hit/miss
+  /// and CostAccount totals; see audit.h for rotation semantics.
+  std::string audit_path;
+  /// Active-audit-file size cap before rotation to "<path>.1".
+  size_t audit_rotate_bytes = 8u << 20;
+  /// Samples kept in the status dashboard's metric HistoryRing.
+  size_t history_capacity = 240;
 };
 
 class TimingService {
@@ -128,10 +154,51 @@ class TimingService {
   /// clear. Thread-safe.
   void set_runtime_sampler(std::function<void()> sampler);
 
-  /// Refresh service-owned runtime gauges (cache/pool/in-flight) and invoke
-  /// the transport sampler. Called by the `metrics` verb; the daemon calls
-  /// it before periodic --prom-out snapshots.
+  /// Refresh service-owned runtime gauges (cache/pool/in-flight/uptime) and
+  /// invoke the transport sampler. Called by the `metrics` verb; the daemon
+  /// calls it before periodic --prom-out snapshots.
   void sample_runtime_gauges();
+
+  /// Hook returning per-worker stats of the transport's thread pool for the
+  /// status page's worker table; installed by the socket server alongside
+  /// the runtime sampler. Thread-safe; pass nullptr to clear.
+  void set_worker_stats_provider(
+      std::function<std::vector<base::ThreadPool::WorkerStats>()> provider);
+
+  /// Append one sample (request rate, latency/CPU quantiles, cache and pool
+  /// state) to the status dashboard's HistoryRing. The daemon calls this on
+  /// its tick; tests call it directly.
+  void record_history_sample();
+  const obs::HistoryRing& history() const { return history_; }
+
+  /// One slow-log row: the top-K slowest requests since start, kept for the
+  /// status page (independent of the slow-request warning log).
+  struct SlowEntry {
+    double t_seconds = 0.0;  // seconds since service start
+    double us = 0.0;         // wall latency
+    std::int64_t cpu_us = 0;
+    std::int64_t relaxations = 0;
+    bool cached = false;
+    bool ok = false;
+    std::string verb;
+    std::string circuit;
+    std::string trace;  // 16-char hex id, "" when unsampled
+  };
+  /// Slowest requests so far, most expensive first (at most kSlowTopK).
+  std::vector<SlowEntry> slow_requests() const;
+
+  /// The live ops dashboard as a single self-contained HTML document —
+  /// the body of the `status` verb and of `timing_serve --status-html`.
+  /// `top_n` sizes the slow-request and profiler tables.
+  std::string status_html(int top_n = 16);
+
+  /// Seconds since construction.
+  double uptime_seconds() const;
+
+  /// The audit log, when ServiceConfig.audit_path configured one.
+  AuditLog* audit() { return audit_.get(); }
+
+  static constexpr size_t kSlowTopK = 16;
 
  private:
   struct Entry {
@@ -156,6 +223,10 @@ class TimingService {
   Json handle_stats(const Json& id);
   Json handle_metrics(const Json& id);
   Json handle_trace(const Json& req, const Json& id);
+  Json handle_status(const Json& req, const Json& id);  // status.cpp
+
+  /// Record one finished request in the top-K slow log.
+  void record_slow(SlowEntry entry);
 
   /// Dispatch to the verb handler (the body of handle() minus telemetry).
   Json dispatch(const Json& request, const Json& id, const std::string& verb);
@@ -192,11 +263,26 @@ class TimingService {
   obs::Gauge& inflight_metric_;
   obs::Gauge& cache_bytes_metric_;
   obs::Gauge& cache_entries_metric_;
+  obs::Gauge& uptime_metric_;
   obs::Histogram& latency_metric_;
+  obs::Histogram& cpu_metric_;          // serve.cpu_us: attributed CPU/request
+  obs::Histogram& relaxations_metric_;  // serve.relaxations: engine work/request
 
   std::atomic<long> inflight_{0};
   std::mutex sampler_mu_;
   std::function<void()> runtime_sampler_;
+  std::function<std::vector<base::ThreadPool::WorkerStats>()> worker_stats_provider_;
+
+  const std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+  std::unique_ptr<AuditLog> audit_;
+
+  obs::HistoryRing history_;
+  // Rate baseline for record_history_sample(): requests seen at last tick.
+  double last_history_t_ = 0.0;
+  long last_history_requests_ = 0;
+
+  mutable std::mutex slow_mu_;
+  std::vector<SlowEntry> slow_;  // kept sorted, slowest first, <= kSlowTopK
 };
 
 }  // namespace mintc::serve

@@ -10,6 +10,7 @@
 #include "base/approx.h"
 #include "base/strings.h"
 #include "base/table.h"
+#include "obs/cost.h"
 #include "obs/trace.h"
 
 namespace mintc::sta {
@@ -67,6 +68,10 @@ FixpointResult compute_early_departures(const TimingView& view, const ShiftTable
   }
   res.stats.sweeps = res.sweeps;
   res.stats.solve_seconds = timer.seconds();
+  // The early fixpoint is a solve of its own: charge it so a request's
+  // CostAccount reconciles with EngineStats.edge_relaxations (which sums the
+  // departure AND early passes).
+  obs::charge_solve(res.stats.edge_relaxations, res.sweeps);
   return res;
 }
 

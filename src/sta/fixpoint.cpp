@@ -7,6 +7,7 @@
 
 #include "graph/digraph.h"
 #include "graph/scc.h"
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -122,6 +123,9 @@ FixpointResult compute_departures(const TimingView& view, const ShiftTable& shif
         .inc(res.stats.edge_relaxations);
     reg.histogram("fixpoint.sweeps_per_solve", {{"scheme", scheme}})
         .observe(static_cast<double>(res.sweeps));
+    // Attribute the solve's work to the requesting context (serve layer);
+    // one pointer test when no account is installed.
+    obs::charge_solve(res.stats.edge_relaxations, res.sweeps);
     if (tracing && res.diverged) tracer.instant("fixpoint.diverged", "sta");
     return std::move(res);
   };
@@ -365,6 +369,7 @@ FixpointResult warm_departures(const TimingView& view, const ShiftTable& shifts,
   sweeps.inc(res.sweeps);
   relaxations.inc(res.stats.edge_relaxations);
   sweeps_hist.observe(static_cast<double>(res.sweeps));
+  obs::charge_solve(res.stats.edge_relaxations, res.sweeps);
   return res;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/cost.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -130,6 +131,11 @@ void ParallelFixpoint::process_component(SolveCtx& ctx, int comp) {
 }
 
 void ParallelFixpoint::run_chain(SolveCtx& ctx, int comp) {
+  // Charge this task's CPU slice to the requesting account (the pointer
+  // rides in the propagated trace context). The submitting handler blocks
+  // in pool_.wait() while shards run, so shard CPU would otherwise be
+  // invisible to its own thread-CPU clock.
+  const obs::ThreadCpuTimer cpu(obs::current_cost_account());
   // One span per task (a chain of components), nested under the request
   // span via the propagated trace context; no-op when tracing is off.
   const obs::TraceSpan span("parallel_fixpoint.shard", "sta");
@@ -234,6 +240,7 @@ FixpointResult ParallelFixpoint::solve(const ShiftTable& shifts,
   reg.counter("fixpoint.sweeps", {{"scheme", "parallel"}}).inc(res.sweeps);
   reg.counter("fixpoint.edge_relaxations", {{"scheme", "parallel"}})
       .inc(res.stats.edge_relaxations);
+  obs::charge_solve(res.stats.edge_relaxations, res.sweeps);
   return res;
 }
 

@@ -1,0 +1,133 @@
+// CostAccount / ThreadCpuTimer / charge_solve: the per-request attribution
+// primitives. The serve-layer round trip (account totals == EngineStats on
+// the wire) lives in tests/serve/cost_attribution_test.cpp; here we pin the
+// obs-level contracts: context carriage, charging discipline, and the
+// cross-thread aggregation the fixpoint shards rely on.
+#include "obs/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace mintc::obs {
+namespace {
+
+TEST(CostAccount, StartsZeroAndAccumulates) {
+  CostAccount account;
+  EXPECT_EQ(account.cpu_us.load(), 0);
+  EXPECT_EQ(account.relaxations.load(), 0);
+  account.add_cpu_us(120);
+  account.add_cpu_us(30);
+  account.add_solve(1000, 4);
+  account.add_solve(500, 2);
+  EXPECT_EQ(account.cpu_us.load(), 150);
+  EXPECT_EQ(account.relaxations.load(), 1500);
+  EXPECT_EQ(account.sweeps.load(), 6);
+  EXPECT_EQ(account.solves.load(), 2);
+}
+
+TEST(CostAccount, NegativeCpuDeltasAreDropped) {
+  // A CLOCK_THREAD_CPUTIME_ID read can regress across CPU migration on some
+  // kernels; the account must never go backwards because of it.
+  CostAccount account;
+  account.add_cpu_us(-5);
+  EXPECT_EQ(account.cpu_us.load(), 0);
+}
+
+TEST(CostAccount, CurrentAccountIsNullByDefault) {
+  EXPECT_EQ(current_cost_account(), nullptr);
+  charge_solve(100, 1);  // must be a safe no-op without an account
+  EXPECT_EQ(current_cost_account(), nullptr);
+}
+
+TEST(CostAccount, TraceContextCarriesTheAccount) {
+  CostAccount account;
+  TraceContext context;
+  context.cost = &account;
+  {
+    TraceContextScope scope(context);
+    EXPECT_EQ(current_cost_account(), &account);
+    charge_solve(42, 3);
+    {
+      // A nested scope without an account masks the outer one — exactly the
+      // behavior a nested untraced sub-request needs.
+      TraceContextScope inner((TraceContext()));
+      EXPECT_EQ(current_cost_account(), nullptr);
+      charge_solve(1000, 1);  // charged nowhere
+    }
+    EXPECT_EQ(current_cost_account(), &account);
+  }
+  EXPECT_EQ(current_cost_account(), nullptr);
+  EXPECT_EQ(account.relaxations.load(), 42);
+  EXPECT_EQ(account.sweeps.load(), 3);
+  EXPECT_EQ(account.solves.load(), 1);
+}
+
+TEST(CostAccount, AccountRidesWithoutSampling) {
+  // Cost attribution is independent of trace sampling: an unsampled context
+  // (trace_id == 0) still carries the account.
+  CostAccount account;
+  TraceContext context;  // inactive: no id, not sampled
+  context.cost = &account;
+  TraceContextScope scope(context);
+  EXPECT_FALSE(current_trace_context().active());
+  EXPECT_EQ(current_cost_account(), &account);
+}
+
+TEST(CostAccount, ThreadCpuTimerChargesBusyTime) {
+  CostAccount account;
+  {
+    ThreadCpuTimer timer(&account);
+    // Burn a visible amount of thread CPU (~a few ms).
+    volatile double sink = 1.0;
+    for (int i = 0; i < 4000000; ++i) sink = sink * 1.0000001 + 0.5;
+  }
+  EXPECT_GT(account.cpu_us.load(), 0);
+}
+
+TEST(CostAccount, ThreadCpuTimerWithNullAccountIsANoOp) {
+  ThreadCpuTimer timer(nullptr);  // must not crash or read the clock result
+  SUCCEED();
+}
+
+TEST(CostAccount, ThreadCpuNowIsMonotonicOnThisThread) {
+  const std::int64_t a = thread_cpu_now_us();
+  volatile long sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  const std::int64_t b = thread_cpu_now_us();
+  EXPECT_GE(b, a);
+}
+
+TEST(CostAccount, AggregatesAcrossThreads) {
+  // The fixpoint-shard pattern: the context (with its account pointer) is
+  // copied by value into worker tasks; every worker charges the one shared
+  // account concurrently.
+  CostAccount account;
+  TraceContext context;
+  context.cost = &account;
+
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([context] {  // copied by value, like a pool task
+      TraceContextScope scope(context);
+      for (int i = 0; i < kChargesPerThread; ++i) charge_solve(3, 1);
+      current_cost_account()->add_cpu_us(7);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(account.relaxations.load(), 3L * kThreads * kChargesPerThread);
+  EXPECT_EQ(account.sweeps.load(), 1L * kThreads * kChargesPerThread);
+  EXPECT_EQ(account.solves.load(), 1L * kThreads * kChargesPerThread);
+  EXPECT_EQ(account.cpu_us.load(), 7L * kThreads);
+}
+
+}  // namespace
+}  // namespace mintc::obs

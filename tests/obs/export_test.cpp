@@ -221,12 +221,31 @@ TEST_F(ExportTest, PrometheusTextGoldenFormat) {
   MetricsRegistry reg;  // local registry: exact golden output
   reg.counter("serve.requests", {{"verb", "analyze"}}).inc(3);
   reg.gauge("pool.depth").set(2.5);
+  auto& h = reg.histogram("serve.latency_us", {}, {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(4.0);
+  h.observe(40.0);
   const std::string text = prometheus_text(reg.snapshot());
+  // The derived _min/_max/_p999 gauges trail the snapshot-ordered families:
+  // they are synthesized in a second pass so each suffix gets exactly one
+  // # TYPE line even when several histograms contribute.
   const std::string expected =
       "# TYPE mintc_pool_depth gauge\n"
       "mintc_pool_depth 2.5\n"
+      "# TYPE mintc_serve_latency_us histogram\n"
+      "mintc_serve_latency_us_bucket{le=\"1\"} 1\n"
+      "mintc_serve_latency_us_bucket{le=\"10\"} 2\n"
+      "mintc_serve_latency_us_bucket{le=\"+Inf\"} 3\n"
+      "mintc_serve_latency_us_sum 44.5\n"
+      "mintc_serve_latency_us_count 3\n"
       "# TYPE mintc_serve_requests_total counter\n"
-      "mintc_serve_requests_total{verb=\"analyze\"} 3\n";
+      "mintc_serve_requests_total{verb=\"analyze\"} 3\n"
+      "# TYPE mintc_serve_latency_us_min gauge\n"
+      "mintc_serve_latency_us_min 0.5\n"
+      "# TYPE mintc_serve_latency_us_max gauge\n"
+      "mintc_serve_latency_us_max 40\n"
+      "# TYPE mintc_serve_latency_us_p999 gauge\n"
+      "mintc_serve_latency_us_p999 39.91\n";
   EXPECT_EQ(text, expected);
 }
 

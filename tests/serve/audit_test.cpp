@@ -1,0 +1,173 @@
+// AuditLog: JSONL rendering, append/flush accounting, size rotation to
+// "<path>.1", and the service integration (every handled request becomes
+// exactly one line).
+#include "serve/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/service.h"
+
+namespace mintc::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  return path;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+TEST(ServeAudit, JsonLineGolden) {
+  AuditRecord r;
+  r.t_seconds = 1.5;
+  r.trace = "00000000deadbeef";
+  r.verb = "analyze";
+  r.circuit = "e1";
+  r.ok = true;
+  r.cached = false;
+  r.wall_us = 321.2;
+  r.cpu_us = 300;
+  r.relaxations = 4096;
+  r.sweeps = 12;
+  r.solves = 2;
+  EXPECT_EQ(audit_json_line(r),
+            "{\"t\": 1.500, \"trace\": \"00000000deadbeef\", \"verb\": \"analyze\", "
+            "\"circuit\": \"e1\", \"ok\": true, \"cached\": false, \"us\": 321.2, "
+            "\"cpu_us\": 300, \"relaxations\": 4096, \"sweeps\": 12, \"solves\": 2}");
+}
+
+TEST(ServeAudit, LinesParseAsJsonAndEscapeContent) {
+  AuditRecord r;
+  r.verb = "load";
+  r.circuit = "we\"ird\\key";
+  const std::string line = audit_json_line(r);
+  const Expected<Json> parsed = parse_json(line);
+  ASSERT_TRUE(parsed) << line;
+  EXPECT_EQ(parsed->get("circuit").as_string(), "we\"ird\\key");
+  EXPECT_FALSE(parsed->get("ok").as_bool(true));
+  EXPECT_EQ(parsed->get("relaxations").as_long(-1), 0);
+}
+
+TEST(ServeAudit, AppendWritesOneFlushedLinePerRecord) {
+  const std::string path = temp_path("audit_append.jsonl");
+  AuditLog log(path, 1u << 20);
+  AuditRecord r;
+  r.verb = "analyze";
+  for (int i = 0; i < 5; ++i) {
+    r.t_seconds = i;
+    log.append(r);  // flushed per record: readable without closing the log
+  }
+  EXPECT_EQ(log.written(), 5);
+  EXPECT_EQ(log.rotations(), 0);
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 5u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(parse_json(line)) << line;
+  }
+}
+
+TEST(ServeAudit, RotatesAtTheSizeCapKeepingOnePredecessor) {
+  const std::string path = temp_path("audit_rotate.jsonl");
+  // 4096 is the clamp floor; each record is ~150 bytes, so ~100 records
+  // force several rotations.
+  AuditLog log(path, 1);  // clamped up to 4096
+  AuditRecord r;
+  r.verb = "analyze";
+  r.circuit = "rotating";
+  for (int i = 0; i < 100; ++i) {
+    r.t_seconds = i;
+    log.append(r);
+  }
+  EXPECT_EQ(log.written(), 100);
+  EXPECT_GE(log.rotations(), 1);
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_TRUE(file_exists(path + ".1"));
+  // Bounded disk: active + one predecessor, both under ~1x the cap plus one
+  // record of slack.
+  for (const std::string& p : {path, path + ".1"}) {
+    std::ifstream in(p, std::ios::ate | std::ios::binary);
+    EXPECT_LE(in.tellg(), static_cast<std::streamoff>(4096 + 256)) << p;
+  }
+  // Every surviving line is intact JSON — rotation never tears a record.
+  for (const std::string& line : read_lines(path)) {
+    EXPECT_TRUE(parse_json(line)) << line;
+  }
+}
+
+TEST(ServeAudit, ResumesSizeAccountingAcrossReopen) {
+  const std::string path = temp_path("audit_resume.jsonl");
+  AuditRecord r;
+  r.verb = "analyze";
+  {
+    AuditLog log(path, 4096);
+    for (int i = 0; i < 10; ++i) log.append(r);
+  }
+  const size_t before = read_lines(path).size();
+  AuditLog log(path, 4096);  // same file: appends, does not truncate
+  log.append(r);
+  EXPECT_EQ(read_lines(path).size(), before + 1);
+}
+
+TEST(ServeAudit, ServiceWritesOneRecordPerHandledRequest) {
+  const std::string path = temp_path("audit_service.jsonl");
+  ServiceConfig config;
+  config.audit_path = path;
+  TimingService service(config);
+  ASSERT_NE(service.audit(), nullptr);
+
+  Json load = Json::object();
+  load.set("verb", Json("load"));
+  load.set("circuit", Json("e1"));
+  load.set("builtin", Json("example1"));
+  Json analyze = Json::object();
+  analyze.set("verb", Json("analyze"));
+  analyze.set("circuit", Json("e1"));
+  Json bad = Json::object();
+  bad.set("verb", Json("nope"));
+
+  service.handle(load);
+  service.handle(analyze);
+  service.handle(analyze);  // cached
+  service.handle(bad);      // errors are audited too
+  EXPECT_EQ(service.audit()->written(), 4);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  const Expected<Json> first_analyze = parse_json(lines[1]);
+  ASSERT_TRUE(first_analyze);
+  EXPECT_EQ(first_analyze->get("verb").as_string(), "analyze");
+  EXPECT_TRUE(first_analyze->get("ok").as_bool(false));
+  EXPECT_FALSE(first_analyze->get("cached").as_bool(true));
+  EXPECT_GT(first_analyze->get("relaxations").as_long(0), 0);
+  const Expected<Json> hit = parse_json(lines[2]);
+  ASSERT_TRUE(hit);
+  EXPECT_TRUE(hit->get("cached").as_bool(false));
+  EXPECT_EQ(hit->get("relaxations").as_long(-1), 0);
+  const Expected<Json> err = parse_json(lines[3]);
+  ASSERT_TRUE(err);
+  EXPECT_FALSE(err->get("ok").as_bool(true));
+}
+
+}  // namespace
+}  // namespace mintc::serve
