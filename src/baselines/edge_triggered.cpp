@@ -15,9 +15,10 @@ double slot_fraction(int p_from, int p_to, int num_phases) {
 namespace {
 
 // Worst delay of path `p` measured edge-to-edge: source clock-to-Q +
-// combinational + destination setup.
+// combinational + destination setup + destination clock skew.
 double edge_to_edge_delay(const Circuit& c, const CombPath& p) {
-  return c.element(p.from).dq + p.delay + c.element(p.to).setup;
+  const Element& dst = c.element(p.to);
+  return c.element(p.from).dq + p.delay + dst.setup + dst.skew;
 }
 
 BaselineResult finish(const Circuit& circuit, std::string method, double tc) {
@@ -65,12 +66,12 @@ BaselineResult jouppi_borrowing(const Circuit& circuit) {
       if (late <= 0.0) continue;
       if (!dst.is_latch()) return false;
       const double width = tc / k;  // symmetric schedule phase width
-      if (late + dst.setup > width) return false;
+      if (late + dst.setup + dst.skew > width) return false;
       for (const int ne : circuit.fanout(p.to)) {
         const CombPath& q = circuit.path(ne);
         const Element& nxt = circuit.element(q.to);
         const double span2 = slot_fraction(dst.phase, nxt.phase, k) * tc;
-        if (late + dst.dq + q.delay + nxt.setup > span2) return false;
+        if (late + dst.dq + q.delay + nxt.setup + nxt.skew > span2) return false;
       }
     }
     return true;

@@ -42,13 +42,14 @@ UnrolledAnalysis unrolled_analysis(const TimingView& view, const ShiftTable& shi
       }
       if (view.is_latch(i)) {
         cur[static_cast<size_t>(i)] = std::max(0.0, arrival);
-        if (cur[static_cast<size_t>(i)] + view.setup(i) > shifts.width(view.phase(i)) + 1e-9) {
+        if (cur[static_cast<size_t>(i)] + view.setup_margin(i) >
+            shifts.width(view.phase(i)) + 1e-9) {
           res.setup_ok = false;
           if (res.first_violation_cycle < 0) res.first_violation_cycle = m;
         }
       } else {
         cur[static_cast<size_t>(i)] = 0.0;
-        if (arrival > -view.setup(i) + 1e-9) {
+        if (arrival > -view.setup_margin(i) + 1e-9) {
           res.setup_ok = false;
           if (res.first_violation_cycle < 0) res.first_violation_cycle = m;
         }

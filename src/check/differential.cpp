@@ -24,6 +24,7 @@ const char* to_string(CheckKind kind) {
     case CheckKind::kSimAgreement: return "sim-agreement";
     case CheckKind::kSessionAgreement: return "session-agreement";
     case CheckKind::kParallelAgreement: return "parallel-agreement";
+    case CheckKind::kSkewAgreement: return "skew-agreement";
   }
   return "?";
 }
@@ -312,6 +313,54 @@ DifferentialReport check_circuit(const Circuit& circuit, uint64_t rng_seed,
       if (!diff.empty()) {
         fail(CheckKind::kSessionAgreement, what + ": session after undo: " + diff);
       }
+    }
+  }
+
+  // Skew leg: the whole agreement matrix again, on a copy with deterministic
+  // random per-latch skews. Every engine reads Element::skew through its own
+  // path (LP rows, difference constraints, the view's fused margins, the
+  // simulator's setup checks), so any disagreement about what skew means
+  // surfaces here. One level deep only: the inner run has check_skew off.
+  if (options.check_skew && circuit.num_elements() > 0) {
+    std::mt19937_64 skew_rng(rng_seed ^ 0x5ce3a11u);
+    std::uniform_real_distribution<double> skew_mag(0.0, options.skew_magnitude * tc_scale);
+    Circuit skewed = circuit;
+    for (int i = 0; i < skewed.num_elements(); ++i) {
+      skewed.element(i).skew = skew_mag(skew_rng);
+    }
+    DifferentialOptions inner = options;
+    inner.check_skew = false;
+    inner.inject_solver_skew = 0.0;
+    const DifferentialReport inner_rep = check_circuit(skewed, rng_seed, inner);
+    for (const CheckFailure& f : inner_rep.failures) {
+      fail(CheckKind::kSkewAgreement,
+           std::string("[skewed: ") + check::to_string(f.kind) + "] " + f.detail);
+    }
+
+    // AnalysisSession route to the same skewed circuit: cold on the base
+    // circuit, per-latch set_element_skew edits (a warm, slack-only path),
+    // then undo back — each state bit-identical to a fresh check_schedule.
+    sta::AnalysisOptions an;
+    an.check_hold = true;
+    const ClockSchedule relaxed = lp->schedule.scaled(options.slack_factor);
+    sta::AnalysisSession session(circuit, relaxed, an);
+    std::string diff =
+        diff_reports(session.analyze(), sta::check_schedule(circuit, relaxed, an));
+    if (!diff.empty()) {
+      fail(CheckKind::kSkewAgreement, "session before skew edits: " + diff);
+    }
+    const size_t mark = session.mark();
+    for (int i = 0; i < circuit.num_elements(); ++i) {
+      session.set_element_skew(i, skewed.element(i).skew);
+    }
+    diff = diff_reports(session.analyze(), sta::check_schedule(skewed, relaxed, an));
+    if (!diff.empty()) {
+      fail(CheckKind::kSkewAgreement, "session after skew edits: " + diff);
+    }
+    session.undo_to(mark);
+    diff = diff_reports(session.analyze(), sta::check_schedule(circuit, relaxed, an));
+    if (!diff.empty()) {
+      fail(CheckKind::kSkewAgreement, "session after skew undo: " + diff);
     }
   }
 

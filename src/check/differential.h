@@ -17,7 +17,10 @@
 //     from-scratch solve,
 //   * an sta::AnalysisSession driven through the same perturbation (and its
 //     undo) reproduces fresh check_schedule reports BIT-identically, and
-//   * the token simulator's steady state matches the analytic fixpoint.
+//   * the token simulator's steady state matches the analytic fixpoint, and
+//   * the whole matrix holds again under deterministic random per-latch
+//     clock skews, reached both by construction and by AnalysisSession
+//     set_element_skew edits (kSkewAgreement).
 //
 // This is the oracle behind the fuzzer (fuzzer.h) and the shrinker
 // (shrink.h): any failure here is a bug in at least one engine.
@@ -40,6 +43,7 @@ enum class CheckKind {
   kSimAgreement,          // token-sim steady state != analytic fixpoint
   kSessionAgreement,      // AnalysisSession warm/undo != fresh check_schedule
   kParallelAgreement,     // ParallelFixpoint != scalar kSccOrdered bitwise
+  kSkewAgreement,         // engines disagree under random per-latch skews
 };
 
 const char* to_string(CheckKind kind);
@@ -65,6 +69,14 @@ struct DifferentialOptions {
   double max_perturb = 0.2;
   bool check_simulation = true;
   int sim_max_generations = 1024;
+  /// Skew leg: re-run the whole agreement matrix on a copy of the circuit
+  /// with deterministic random per-latch skews (drawn from rng_seed), plus
+  /// an AnalysisSession leg that reaches the skewed circuit via
+  /// set_element_skew edits (and returns via undo) demanding bit-identity
+  /// with fresh analyses. Any inner disagreement reports as kSkewAgreement.
+  bool check_skew = true;
+  /// Per-latch skews are drawn uniformly from [0, skew_magnitude * Tc*].
+  double skew_magnitude = 0.05;
   /// Fault injection for demos and shrinker tests: bump path 0's delay by
   /// this relative amount in the copy handed to the graph solver only, so
   /// the engines see different circuits and must disagree. 0 = off.

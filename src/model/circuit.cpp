@@ -206,13 +206,14 @@ std::vector<std::string> Circuit::validate() const {
                          " outside 1.." + std::to_string(num_phases_));
     }
     if (!std::isfinite(e.setup) || !std::isfinite(e.dq) || !std::isfinite(e.hold) ||
-        !std::isfinite(e.min_dq())) {
+        !std::isfinite(e.min_dq()) || !std::isfinite(e.skew)) {
       problems.push_back("element '" + e.name + "' has a non-finite timing parameter");
       continue;  // the sign/ordering checks below are meaningless on NaN
     }
     if (e.setup < 0.0) problems.push_back("element '" + e.name + "' has negative setup time");
     if (e.dq < 0.0) problems.push_back("element '" + e.name + "' has negative Δ_DQ");
     if (e.hold < 0.0) problems.push_back("element '" + e.name + "' has negative hold time");
+    if (e.skew < 0.0) problems.push_back("element '" + e.name + "' has negative clock skew");
     if (e.is_latch() && e.dq < e.setup) {
       problems.push_back("element '" + e.name +
                          "' violates the paper's assumption Δ_DQ >= Δ_DC (Δ_DQ=" +

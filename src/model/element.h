@@ -32,6 +32,7 @@ struct Element {
   double dq = 0.0;       // Δ_DQ (latch) / clock-to-Q (flip-flop)
   double hold = 0.0;     // Δ_H, used by the short-path extension
   double dq_min = -1.0;  // minimum propagation delay; < 0 means "same as dq"
+  double skew = 0.0;     // σ, local clock-edge uncertainty charged at capture
 
   double min_dq() const { return dq_min < 0.0 ? dq : dq_min; }
   bool is_latch() const { return kind == ElementKind::kLatch; }

@@ -1,5 +1,7 @@
 #include "model/timing_view.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace mintc {
@@ -80,14 +82,23 @@ TimingView::TimingView(const Circuit& circuit) {
   hold_.resize(l);
   dq_.resize(l);
   min_dq_.resize(l);
+  skew_.resize(l);
+  setup_margin_.resize(l);
+  hold_margin_.resize(l);
   for (int i = 0; i < num_elements_; ++i) {
     const Element& e = circuit.element(i);
+    assert(std::isfinite(e.skew) && e.skew >= 0.0 &&
+           "element skew must be finite and nonnegative (Circuit::validate rejects it)");
     latch_[static_cast<size_t>(i)] = e.is_latch() ? 1 : 0;
     phase_[static_cast<size_t>(i)] = e.phase;
     setup_[static_cast<size_t>(i)] = e.setup;
     hold_[static_cast<size_t>(i)] = e.hold;
     dq_[static_cast<size_t>(i)] = e.dq;
     min_dq_[static_cast<size_t>(i)] = e.min_dq();
+    skew_[static_cast<size_t>(i)] = e.skew;
+    setup_margin_[static_cast<size_t>(i)] = e.setup + e.skew;
+    hold_margin_[static_cast<size_t>(i)] = e.hold + e.skew;
+    if (e.skew > max_skew_) max_skew_ = e.skew;
     divergence_base_ += e.dq;
   }
 
@@ -212,6 +223,7 @@ void TimingView::set_element_min_dq(int i, double min_dq) {
 void TimingView::set_element_setup(int i, double setup) {
   if (setup == setup_[static_cast<size_t>(i)]) return;
   setup_[static_cast<size_t>(i)] = setup;
+  setup_margin_[static_cast<size_t>(i)] = setup + skew_[static_cast<size_t>(i)];
   params_dirty_ = true;
   ++generation_;
 }
@@ -219,6 +231,26 @@ void TimingView::set_element_setup(int i, double setup) {
 void TimingView::set_element_hold(int i, double hold) {
   if (hold == hold_[static_cast<size_t>(i)]) return;
   hold_[static_cast<size_t>(i)] = hold;
+  hold_margin_[static_cast<size_t>(i)] = hold + skew_[static_cast<size_t>(i)];
+  params_dirty_ = true;
+  ++generation_;
+}
+
+void TimingView::set_element_skew(int i, double skew) {
+  assert(std::isfinite(skew) && skew >= 0.0 && "element skew must be finite and nonnegative");
+  const double old = skew_[static_cast<size_t>(i)];
+  if (skew == old) return;
+  skew_[static_cast<size_t>(i)] = skew;
+  setup_margin_[static_cast<size_t>(i)] = setup_[static_cast<size_t>(i)] + skew;
+  hold_margin_[static_cast<size_t>(i)] = hold_[static_cast<size_t>(i)] + skew;
+  if (skew > max_skew_) {
+    max_skew_ = skew;
+  } else if (old == max_skew_) {
+    // The previous maximum shrank: rescan. Skew edits are rare next to
+    // fixpoint sweeps, so O(l) here is fine.
+    max_skew_ = 0.0;
+    for (const double s : skew_) max_skew_ = std::max(max_skew_, s);
+  }
   params_dirty_ = true;
   ++generation_;
 }

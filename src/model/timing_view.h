@@ -152,6 +152,17 @@ class TimingView {
   double hold(int i) const { return hold_[static_cast<size_t>(i)]; }
   double dq(int i) const { return dq_[static_cast<size_t>(i)]; }
   double min_dq(int i) const { return min_dq_[static_cast<size_t>(i)]; }
+  double skew(int i) const { return skew_[static_cast<size_t>(i)]; }
+  /// Fused capture-side margins: setup(i) + skew(i) and hold(i) + skew(i).
+  /// The local clock-edge uncertainty σ_i is charged where a token is
+  /// *captured* (the setup/hold checks), never in the eq. 17 propagation
+  /// term — departures stay skew-free, which is what keeps every fixpoint
+  /// scheme bit-identical under per-latch skew (see DESIGN.md §5.9).
+  double setup_margin(int i) const { return setup_margin_[static_cast<size_t>(i)]; }
+  double hold_margin(int i) const { return hold_margin_[static_cast<size_t>(i)]; }
+  /// max over elements of skew(i); 0 for an empty circuit. The nonoverlap
+  /// (C3) margin uses the worst local uncertainty. Maintained incrementally.
+  double max_skew() const { return max_skew_; }
 
   // -- Fan-in CSR -----------------------------------------------------------
   // Edges entering element i are fanin_begin(i) .. fanin_end(i), in the same
@@ -206,6 +217,7 @@ class TimingView {
   void set_element_min_dq(int i, double min_dq);     // resolved min Δ_DQ
   void set_element_setup(int i, double setup);       // slack-only parameter
   void set_element_hold(int i, double hold);         // slack-only parameter
+  void set_element_skew(int i, double skew);         // slack-only parameter (σ_i >= 0)
 
   /// Bumped by every mutation; lets caches detect any drift cheaply.
   uint64_t generation() const { return generation_; }
@@ -230,7 +242,9 @@ class TimingView {
 
   std::vector<char> latch_;
   std::vector<int> phase_;
-  std::vector<double> setup_, hold_, dq_, min_dq_;
+  std::vector<double> setup_, hold_, dq_, min_dq_, skew_;
+  std::vector<double> setup_margin_, hold_margin_;  // setup+skew / hold+skew
+  double max_skew_ = 0.0;
 
   std::vector<EdgeIndex> fanin_offset_;  // l + 1
   std::vector<int> src_, dst_, path_of_edge_, shift_index_;

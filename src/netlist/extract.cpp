@@ -41,6 +41,7 @@ Expected<Circuit> extract_timing_model(const Netlist& netlist, const DelayModel&
     e.dq = s.dq;
     e.hold = s.hold;
     e.dq_min = s.dq_min;
+    e.skew = s.skew;
     circuit.add_element(std::move(e));
   }
 

@@ -42,6 +42,7 @@ struct Storage {
   double dq = 0.0;
   double hold = 0.0;
   double dq_min = -1.0;
+  double skew = 0.0;
 };
 
 /// Logical-effort-flavored delay calculator: a gate's delay is

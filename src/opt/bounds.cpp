@@ -18,7 +18,8 @@ double path_span_bound(const Circuit& circuit) {
     // phases — and at two periods for a same-phase path, whose token
     // crosses a full cycle boundary.
     const double periods = (src.phase == dst.phase) ? 2.0 : 1.0;
-    bound = std::max(bound, (src.dq + p.delay + dst.setup) / periods);
+    // The destination's capture margin includes its local clock skew.
+    bound = std::max(bound, (src.dq + p.delay + dst.setup + dst.skew) / periods);
   }
   return bound;
 }

@@ -1,5 +1,6 @@
 #include "opt/constraints.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mintc::opt {
@@ -7,6 +8,14 @@ namespace mintc::opt {
 namespace {
 
 std::string phi(int p) { return "phi" + std::to_string(p); }
+
+// Effective capture-side skew of one element: its per-latch σ_i floored by
+// the legacy global option. With all Element::skew zero this degenerates to
+// the old scalar behavior bit-for-bit; with clock_skew zero it reads the
+// per-latch model field.
+double eff_skew(const Element& e, const GeneratorOptions& options) {
+  return std::max(e.skew, options.clock_skew);
+}
 
 }  // namespace
 
@@ -57,7 +66,12 @@ GeneratedLp generate_lp(const Circuit& circuit, const GeneratorOptions& options)
   // with the optional skew/separation margin folded into the RHS.
   if (options.enforce_nonoverlap) {
     const KMatrix K = circuit.k_matrix();
-    const double margin = options.min_phase_separation + options.clock_skew;
+    // The nonoverlap guard protects every latch pair, so it charges the
+    // worst effective skew in the circuit (max over per-latch σ_i, floored
+    // by the global option).
+    double worst_skew = options.clock_skew;
+    for (const Element& e : circuit.elements()) worst_skew = std::max(worst_skew, e.skew);
+    const double margin = options.min_phase_separation + worst_skew;
     for (int i = 1; i <= k; ++i) {
       for (int j = 1; j <= k; ++j) {
         if (!K.at(i, j)) continue;
@@ -96,9 +110,9 @@ GeneratedLp generate_lp(const Circuit& circuit, const GeneratorOptions& options)
     const int p = e.phase;
     if (e.is_latch()) {
       if (!options.arrival_based_setup) {
-        // L1 (eq. 16): D_i + Δ_DCi (+ skew) <= T_pi.
+        // L1 (eq. 16): D_i + Δ_DCi (+ σ_i) <= T_pi.
         m.add_row("L1:setup(" + e.name + ")", {{d_var(i), 1.0}, {t_var(p), -1.0}},
-                  lp::Sense::kLe, -(e.setup + options.clock_skew));
+                  lp::Sense::kLe, -(e.setup + eff_skew(e, options)));
         out.counts.l1 += 1;
       } else {
         // Eq. (10): A_i + Δ_DCi <= T_pi, one row per fanin path.
@@ -114,7 +128,7 @@ GeneratedLp generate_lp(const Circuit& circuit, const GeneratorOptions& options)
                      {v.tc, -static_cast<double>(c_flag(pj, p))},
                      {t_var(p), -1.0}},
                     lp::Sense::kLe,
-                    -(src.dq + path.delay + e.setup + options.clock_skew));
+                    -(src.dq + path.delay + e.setup + eff_skew(e, options)));
           out.counts.l1 += 1;
         }
       }
@@ -134,7 +148,7 @@ GeneratedLp generate_lp(const Circuit& circuit, const GeneratorOptions& options)
              {s_var(pj), 1.0},
              {s_var(p), -1.0},
              {v.tc, -static_cast<double>(c_flag(pj, p))}},
-            lp::Sense::kLe, -(src.dq + path.delay + e.setup + options.clock_skew));
+            lp::Sense::kLe, -(src.dq + path.delay + e.setup + eff_skew(e, options)));
         out.delay_row_of_path[static_cast<size_t>(pi)] = row;
         out.counts.ff_setup += 1;
       }
@@ -175,18 +189,22 @@ GeneratedLp generate_lp(const Circuit& circuit, const GeneratorOptions& options)
         const Element& src = circuit.element(path.from);
         const int pj = src.phase;
         const double c = static_cast<double>(c_flag(pj, p));
+        // The capture edge may arrive up to σ_i late, so the hold margin is
+        // Δ_Hi + σ_i. (The pre-skew scalar option never reached hold rows —
+        // a pessimism gap this per-latch form closes; with all skews and the
+        // global option zero the RHS is unchanged.)
         if (e.is_latch()) {
-          // Tc + δ_DQj + δ_ji + S_{pj,pi} >= T_pi + Δ_Hi
-          // (1-C)*Tc + s_pj - s_pi - T_pi >= Δ_Hi - δ_DQj - δ_ji
+          // Tc + δ_DQj + δ_ji + S_{pj,pi} >= T_pi + Δ_Hi + σ_i
+          // (1-C)*Tc + s_pj - s_pi - T_pi >= Δ_Hi + σ_i - δ_DQj - δ_ji
           m.add_row("HOLD:" + e.name + "<-" + src.name,
                     {{v.tc, 1.0 - c}, {s_var(pj), 1.0}, {s_var(p), -1.0}, {t_var(p), -1.0}},
-                    lp::Sense::kGe, e.hold - src.min_dq() - path.min_delay);
+                    lp::Sense::kGe, e.hold + eff_skew(e, options) - src.min_dq() - path.min_delay);
         } else {
           // Flip-flop holds against the leading edge: (1-C)*Tc + s_pj - s_pi
-          // >= Δ_Hi - δ_DQj - δ_ji.
+          // >= Δ_Hi + σ_i - δ_DQj - δ_ji.
           m.add_row("HOLD:" + e.name + "<-" + src.name,
                     {{v.tc, 1.0 - c}, {s_var(pj), 1.0}, {s_var(p), -1.0}}, lp::Sense::kGe,
-                    e.hold - src.min_dq() - path.min_delay);
+                    e.hold + eff_skew(e, options) - src.min_dq() - path.min_delay);
         }
         out.counts.hold += 1;
       }

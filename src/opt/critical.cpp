@@ -68,7 +68,7 @@ CriticalReport find_critical_segments(const Circuit& circuit, const ClockSchedul
     if (view.is_latch(dst)) {
       slack = departure[static_cast<size_t>(dst)] - arrival_term;
     } else {
-      slack = -view.setup(dst) - arrival_term;
+      slack = -view.setup_margin(dst) - arrival_term;
     }
     report.path_slack[static_cast<size_t>(p)] = slack;
     if (approx_eq(slack, 0.0, eps)) report.tight_paths.push_back(p);
@@ -78,7 +78,7 @@ CriticalReport find_critical_segments(const Circuit& circuit, const ClockSchedul
   for (int i = 0; i < view.num_elements(); ++i) {
     if (!view.is_latch(i)) continue;
     const double slack =
-        shifts.width(view.phase(i)) - view.setup(i) - departure[static_cast<size_t>(i)];
+        shifts.width(view.phase(i)) - view.setup_margin(i) - departure[static_cast<size_t>(i)];
     if (approx_eq(slack, 0.0, eps)) report.setup_critical.push_back(i);
   }
 

@@ -1,5 +1,6 @@
 #include "opt/graph_solver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -60,10 +61,12 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
   }
   // C2 ordering.
   for (int p = 1; p < k; ++p) sys.add(s_of(p), s_of(p + 1), 0.0);
-  // C3 nonoverlap.
+  // C3 nonoverlap. Mirrors generate_lp: the margin charges the worst
+  // effective skew (max over per-latch σ_i, floored by the global option).
   if (opt.enforce_nonoverlap) {
     const KMatrix K = circuit.k_matrix();
-    const double margin = opt.min_phase_separation + opt.clock_skew;
+    const double margin =
+        opt.min_phase_separation + std::max(view.max_skew(), opt.clock_skew);
     for (int i = 1; i <= k; ++i) {
       for (int j = 1; j <= k; ++j) {
         if (!K.at(i, j)) continue;
@@ -75,7 +78,10 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
 
   for (int i = 0; i < l; ++i) {
     const int p = view.phase(i);
-    const double setup_skew = view.setup(i) + opt.clock_skew;
+    // Per-element capture margins, floored by the legacy global option
+    // (same effective-skew rule as generate_lp's eff_skew).
+    const double setup_skew = view.setup(i) + std::max(view.skew(i), opt.clock_skew);
+    const double hold_skew = view.hold(i) + std::max(view.skew(i), opt.clock_skew);
     const int dn = sys.d_node[static_cast<size_t>(i)];
     const EdgeIndex fi_end = view.fanin_end(i);
     // L3: D >= 0  ->  s_p - dh <= 0.
@@ -107,7 +113,7 @@ DiffSystem build_system(const Circuit& circuit, const TimingView& view,
     if (opt.hold_constraints) {
       for (EdgeIndex fe = view.fanin_begin(i); fe < fi_end; ++fe) {
         const double c = static_cast<double>(view.edge_cross(fe));
-        const double rhs_base = -(view.hold(i) - view.edge_min_const(fe));
+        const double rhs_base = -(hold_skew - view.edge_min_const(fe));
         const int src_phase = view.phase(view.edge_src(fe));
         if (view.is_latch(i)) {
           // e_p - s_pj <= (1-C)*Tc - hold + delta.

@@ -166,8 +166,10 @@ bool satisfies_p1(const Circuit& circuit, const ClockSchedule& schedule,
     // L3.
     if (definitely_lt(d, 0.0, eps)) return false;
     if (view.is_latch(i)) {
-      // L1 (eq. 16).
-      if (definitely_gt(d + view.setup(i), shifts.width(view.phase(i)), eps)) return false;
+      // L1 (eq. 16), with the capture margin setup + σ_i (fused in the view).
+      if (definitely_gt(d + view.setup_margin(i), shifts.width(view.phase(i)), eps)) {
+        return false;
+      }
       // L2 as an equality (eq. 17).
       const double expect = mintc::departure_update(view, shifts, departure, i);
       if (!approx_eq(d, expect, eps)) return false;
@@ -176,7 +178,7 @@ bool satisfies_p1(const Circuit& circuit, const ClockSchedule& schedule,
       // every fan-in edge must precede the leading edge by the setup time.
       if (!approx_eq(d, 0.0, eps)) return false;
       const double a = arrival_update(view, shifts, departure, i);
-      if (view.fanin_count(i) > 0 && definitely_gt(a, -view.setup(i), eps)) return false;
+      if (view.fanin_count(i) > 0 && definitely_gt(a, -view.setup_margin(i), eps)) return false;
     }
   }
   return true;

@@ -17,4 +17,22 @@ lp::ParametricResult sweep_path_delay(const Circuit& circuit, int path_index, do
       lo, hi, samples, solver);
 }
 
+lp::ParametricResult sweep_clock_skew(const Circuit& circuit, double lo, double hi,
+                                      int samples, const GeneratorOptions& options) {
+  const lp::SimplexSolver solver;
+  // Broadcast σ through the first-class Element::skew field (not the
+  // GeneratorOptions::clock_skew floor) so the sweep exercises the same
+  // per-element path every other engine reads; the two are constructed to
+  // generate identical LPs.
+  Circuit scratch = circuit;
+  return lp::sweep_parameter(
+      [&](double theta) {
+        for (int i = 0; i < scratch.num_elements(); ++i) {
+          scratch.element(i).skew = theta;
+        }
+        return generate_lp(scratch, options).model;
+      },
+      lo, hi, samples, solver);
+}
+
 }  // namespace mintc::opt

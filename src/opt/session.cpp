@@ -24,6 +24,11 @@ void CycleTimeSession::set_element_dq(int e, double dq) {
   validated_ = false;
 }
 
+void CycleTimeSession::set_element_skew(int e, double skew) {
+  circuit_.element(e).skew = skew;
+  validated_ = false;
+}
+
 bool CycleTimeSession::ensure_valid() {
   if (validated_) return true;
   if (!circuit_.validate().empty()) return false;

@@ -52,6 +52,11 @@ class CycleTimeSession {
   /// assumption, so the cached validation is dropped and the next solve
   /// re-validates.
   void set_element_dq(int e, double dq);
+  /// Perturb an element's clock skew σ. Skew only moves setup/hold RHS
+  /// terms and the C3 margin, but a negative or non-finite value is
+  /// invalid, so the cached validation is dropped and the next solve
+  /// re-validates.
+  void set_element_skew(int e, double skew);
 
   /// Algorithm MLP on the current circuit, warm-started from the cached
   /// simplex basis when one exists.

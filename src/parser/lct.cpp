@@ -176,6 +176,11 @@ Expected<Circuit> parse_circuit(std::string_view text) {
         } else if (key == "dqmin") {
           if (!parse_finite(value, dv)) return parse_error(line_no, "bad dqmin");
           e.dq_min = dv;
+        } else if (key == "skew") {
+          if (!parse_finite(value, dv) || dv < 0.0) {
+            return parse_error(line_no, "bad skew (must be finite and nonnegative)");
+          }
+          e.skew = dv;
         } else {
           return parse_error(line_no, "unknown attribute '" + key + "'");
         }
@@ -246,6 +251,7 @@ std::string write_circuit(const Circuit& circuit) {
         << fmt_time(e.dq, 6);
     if (e.hold != 0.0) out << " hold=" << fmt_time(e.hold, 6);
     if (e.dq_min >= 0.0) out << " dqmin=" << fmt_time(e.dq_min, 6);
+    if (e.skew != 0.0) out << " skew=" << fmt_time(e.skew, 6);
     out << "\n";
   }
   for (const CombPath& p : circuit.paths()) {

@@ -1,6 +1,7 @@
 #include "parser/verilog.h"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -153,10 +154,12 @@ class Parser {
         const int id = nl.add_latch(s.name, s.phase, net_of(s.d), net_of(s.q), s.setup, s.dq);
         nl.storage(id).hold = s.hold;
         nl.storage(id).dq_min = s.dq_min;
+        nl.storage(id).skew = s.skew;
       } else {
         const int id =
             nl.add_flipflop(s.name, s.phase, net_of(s.d), net_of(s.q), s.setup, s.dq);
         nl.storage(id).hold = s.hold;
+        nl.storage(id).skew = s.skew;
       }
     }
     return nl;
@@ -173,7 +176,7 @@ class Parser {
     std::string name;
     bool is_latch = true;
     int phase = 1;
-    double setup = 0.0, dq = 0.0, hold = 0.0, dq_min = -1.0;
+    double setup = 0.0, dq = 0.0, hold = 0.0, dq_min = -1.0, skew = 0.0;
     std::string d, q;
   };
 
@@ -257,11 +260,22 @@ class Parser {
         const std::string key = cur().text;
         advance();
         if (auto e = expect_punct("(")) return e;
+        // Accept a sign so negative values reach the per-parameter
+        // diagnostics below instead of a generic token error.
+        double sign = 1.0;
+        if (cur().kind == Token::Kind::kPunct && cur().text == "-") {
+          sign = -1.0;
+          advance();
+        }
         if (cur().kind != Token::Kind::kNumber) return err("expected numeric parameter");
         double value = 0.0;
         if (!parse_double(cur().text, value)) return err("bad number");
+        value *= sign;
         advance();
         if (auto e = expect_punct(")")) return e;
+        if (value < 0.0 && key != "dqmin" && key != "skew") {
+          return err("parameter '" + key + "' must be nonnegative");
+        }
         if (key == "phase") {
           s.phase = static_cast<int>(value);
         } else if (key == "setup") {
@@ -272,6 +286,11 @@ class Parser {
           s.hold = value;
         } else if (key == "dqmin") {
           s.dq_min = value;
+        } else if (key == "skew") {
+          if (!std::isfinite(value) || value < 0.0) {
+            return err("skew must be finite and nonnegative");
+          }
+          s.skew = value;
         } else {
           return err("unknown parameter '" + key + "'");
         }

@@ -71,6 +71,7 @@ std::string endpoint_json(const EndpointRecord& r) {
       << "\", \"kind\": \"" << to_string(r.kind) << "\", \"phase\": " << r.phase
       << ", \"departure\": " << json_number(r.departure)
       << ", \"arrival\": " << json_number(r.arrival)
+      << ", \"skew\": " << json_number(r.skew)
       << ", \"setup_slack\": " << json_number(r.setup_slack)
       << ", \"hold_slack\": " << json_number(r.hold_slack)
       << ", \"borrow\": " << json_number(r.borrow) << ", \"origin_path\": " << r.origin_path
@@ -129,6 +130,8 @@ std::string summary_json(const SlackDB& db) {
       << ", \"worst_setup_slack\": " << json_number(db.worst_setup_slack())
       << ", \"worst_hold_slack\": " << json_number(db.worst_hold_slack())
       << ", \"total_borrow\": " << json_number(db.total_borrow)
+      << ", \"max_skew\": " << json_number(db.max_skew)
+      << ", \"skew_tolerance\": " << json_number(db.skew_tolerance)
       << ", \"overlapping_phases\": [";
   for (size_t i = 0; i < db.overlapping_phases.size(); ++i) {
     if (i) out << ", ";
@@ -316,8 +319,8 @@ std::string meta_line(const SlackDB& db) {
 void endpoint_table_html(std::ostringstream& out, const SlackDB& db,
                          const std::vector<int>& ids) {
   out << "<table>\n<tr><th>endpoint</th><th>kind</th><th>phase</th><th>arrival</th>"
-         "<th>departure</th><th>setup slack</th><th>hold slack</th><th>borrow</th>"
-         "<th>tight</th></tr>\n";
+         "<th>departure</th><th>skew</th><th>setup slack</th><th>hold slack</th>"
+         "<th>borrow</th><th>tight</th></tr>\n";
   for (const int id : ids) {
     const EndpointRecord& r = db.endpoints[static_cast<size_t>(id)];
     std::string tight;
@@ -327,7 +330,8 @@ void endpoint_table_html(std::ostringstream& out, const SlackDB& db,
     }
     out << "<tr><td>" << html_escape(r.name) << "</td><td>" << to_string(r.kind)
         << "</td><td>phi" << r.phase << "</td><td>" << fmt_or_dash(r.arrival) << "</td><td>"
-        << fmt_time(r.departure) << "</td><td" << (r.setup_slack < 0 ? " class=\"bad\"" : "")
+        << fmt_time(r.departure) << "</td><td>" << fmt_time(r.skew) << "</td><td"
+        << (r.setup_slack < 0 ? " class=\"bad\"" : "")
         << ">" << fmt_or_dash(r.setup_slack) << "</td><td"
         << (r.hold_slack < 0 ? " class=\"bad\"" : "") << ">" << fmt_or_dash(r.hold_slack)
         << "</td><td>" << fmt_time(r.borrow) << "</td><td>" << tight << "</td></tr>\n";
@@ -349,6 +353,8 @@ std::string report_table(const SlackDB& db) {
       << fmt_or_dash(db.worst_setup_slack()) << ", worst hold slack "
       << fmt_or_dash(db.worst_hold_slack()) << ", total borrow " << fmt_time(db.total_borrow)
       << ")\n";
+  out << "clock skew: max per-endpoint " << fmt_time(db.max_skew) << ", uniform tolerance "
+      << fmt_time(db.skew_tolerance) << "\n";
   if (!db.overlapping_phases.empty()) {
     out << "overlapping phases:";
     for (const auto& [i, j] : db.overlapping_phases) {
@@ -358,8 +364,8 @@ std::string report_table(const SlackDB& db) {
   }
 
   out << "\nworst " << db.worst_endpoints.size() << " endpoints by setup slack:\n";
-  TextTable endpoints({"endpoint", "kind", "phase", "arrival", "departure", "setup slack",
-                       "hold slack", "borrow", "tight"});
+  TextTable endpoints({"endpoint", "kind", "phase", "arrival", "departure", "skew",
+                       "setup slack", "hold slack", "borrow", "tight"});
   for (const int id : db.worst_endpoints) {
     const EndpointRecord& r = db.endpoints[static_cast<size_t>(id)];
     std::string tight;
@@ -368,7 +374,7 @@ std::string report_table(const SlackDB& db) {
       tight += r.tight[i];
     }
     endpoints.add_row({r.name, to_string(r.kind), "phi" + std::to_string(r.phase),
-                       fmt_or_dash(r.arrival), fmt_time(r.departure),
+                       fmt_or_dash(r.arrival), fmt_time(r.departure), fmt_time(r.skew),
                        fmt_or_dash(r.setup_slack), fmt_or_dash(r.hold_slack),
                        fmt_time(r.borrow), tight});
   }
@@ -416,6 +422,7 @@ std::string report_html(const Circuit& circuit, const SlackDB& db) {
   tile(out, fmt_or_dash(db.worst_hold_slack()), "worst hold slack",
        db.worst_hold_slack() < 0);
   tile(out, fmt_time(db.total_borrow), "total borrowed time");
+  tile(out, fmt_time(db.skew_tolerance), "uniform skew tolerance");
   tile(out, std::to_string(db.num_constraints), "constraints");
   tile(out, std::to_string(db.endpoints.size()), "endpoints");
   out << "  </div>\n";

@@ -177,10 +177,12 @@ SlackDB build_slackdb(const Circuit& circuit, const ClockSchedule& schedule,
     r.phase = el.phase;
     r.departure = t.departure;
     r.arrival = t.arrival;
+    r.skew = el.skew;
     r.setup_slack = t.setup_slack;
     r.hold_slack = t.hold_slack;
     r.borrow = el.is_latch() ? std::max(0.0, t.departure) : 0.0;
     db.total_borrow += r.borrow;
+    db.max_skew = std::max(db.max_skew, el.skew);
     if (std::isfinite(r.setup_slack)) finite_setup.push_back(r.setup_slack);
     if (el.is_latch()) borrows.push_back(r.borrow);
     if (!db.analysis.provenance.empty()) {
@@ -235,6 +237,16 @@ SlackDB build_slackdb(const Circuit& circuit, const ClockSchedule& schedule,
 
   db.setup_hist = summarize(finite_setup, options.histogram_buckets);
   db.borrow_hist = summarize(borrows, options.histogram_buckets);
+
+  // Every setup and hold slack loses exactly δ when a uniform extra skew δ
+  // is added at every endpoint (σ enters the checks linearly, coefficient
+  // -1), so the design's skew tolerance at this schedule is the worst slack
+  // itself, floored at zero.
+  double worst = db.analysis.worst_setup_slack;
+  if (std::isfinite(db.analysis.worst_hold_slack)) {
+    worst = std::min(worst, db.analysis.worst_hold_slack);
+  }
+  db.skew_tolerance = std::isfinite(worst) ? std::max(0.0, worst) : 0.0;
 
   db.build_seconds = timer.seconds();
   mirror_into_registry(db);

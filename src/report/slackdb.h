@@ -46,6 +46,7 @@ struct EndpointRecord {
   int phase = 1;
   double departure = 0.0;    // D_i, relative to the start of its phase
   double arrival = 0.0;      // A_i (-inf when no fanin)
+  double skew = 0.0;         // σ_i, clock uncertainty charged at this capture
   double setup_slack = 0.0;
   double hold_slack = 0.0;   // +inf when unchecked / no fanin
   /// Time borrowed from the phase: max(0, D_i) for latches (data flowed
@@ -104,6 +105,12 @@ struct SlackDB {
   std::vector<int> worst_paths;      // path ids, smallest slack first
   std::vector<BorrowChain> borrow_chains;  // sorted by total borrow, desc
   double total_borrow = 0.0;         // sum over all endpoints
+  /// Skew-tolerance summary: the largest per-endpoint σ and the additional
+  /// UNIFORM skew the design absorbs before its worst setup slack goes
+  /// negative (slack is linear in a uniform skew increment, so this is just
+  /// the worst slack itself when feasible; 0 when already failing).
+  double max_skew = 0.0;
+  double skew_tolerance = 0.0;
 
   HistogramSummary setup_hist;   // finite setup slacks
   HistogramSummary borrow_hist;  // latch borrow amounts

@@ -626,7 +626,8 @@ std::string TimingService::apply_edit(sta::AnalysisSession& s, const Json& e) {
     const int p = path_index(err);
     if (!err.empty()) return err;
     s.set_path_label(p, e.str_or("label"));
-  } else if (op == "set_element_dq" || op == "set_element_setup" || op == "set_element_hold") {
+  } else if (op == "set_element_dq" || op == "set_element_setup" ||
+             op == "set_element_hold" || op == "set_element_skew") {
     const int i = element_index(err);
     const std::optional<double> v = err.empty() ? require_num(e, "value", err) : std::nullopt;
     if (!err.empty()) return err;
@@ -635,6 +636,8 @@ std::string TimingService::apply_edit(sta::AnalysisSession& s, const Json& e) {
       s.set_element_dq(i, *v);
     } else if (op == "set_element_setup") {
       s.set_element_setup(i, *v);
+    } else if (op == "set_element_skew") {
+      s.set_element_skew(i, *v);
     } else {
       s.set_element_hold(i, *v);
     }
@@ -796,7 +799,17 @@ Json TimingService::handle_sweep(const Json& req, const Json& id) {
     return error_response(id, "not_loaded", "circuit \"" + key + "\" is not loaded");
   }
 
-  // Scale factors: an explicit "factors" array, or a from/to/steps range.
+  // Two sweep parameters: "scale" (default) multiplies the schedule per
+  // step, "clock_skew" broadcasts a uniform per-latch skew per step — the
+  // serve route to a design's skew-tolerance curve.
+  const std::string param = req.str_or("param", "scale");
+  if (param != "scale" && param != "clock_skew") {
+    return error_response(id, "invalid_argument",
+                          "param must be one of scale, clock_skew (got \"" + param + "\")");
+  }
+  const bool skew_sweep = param == "clock_skew";
+
+  // Sweep values: an explicit "factors" array, or a from/to/steps range.
   std::vector<double> factors;
   if (req.get("factors").is_array()) {
     for (const Json& f : req.get("factors").items()) {
@@ -806,8 +819,8 @@ Json TimingService::handle_sweep(const Json& req, const Json& id) {
       factors.push_back(f.as_number());
     }
   } else {
-    const double from = req.num_or("from", 0.9);
-    const double to = req.num_or("to", 1.1);
+    const double from = req.num_or("from", skew_sweep ? 0.0 : 0.9);
+    const double to = req.num_or("to", skew_sweep ? 1.0 : 1.1);
     const long steps = req.long_or("steps", 5);
     if (steps < 1) return error_response(id, "invalid_argument", "steps must be >= 1");
     if (steps > config_.max_sweep_steps) {
@@ -826,8 +839,11 @@ Json TimingService::handle_sweep(const Json& req, const Json& id) {
                               std::to_string(config_.max_sweep_steps));
   }
   for (const double f : factors) {
-    if (!std::isfinite(f) || f <= 0.0) {
-      return error_response(id, "invalid_argument", "factors must be finite and positive");
+    // A skew of exactly zero is meaningful; a scale of zero is not.
+    if (!std::isfinite(f) || (skew_sweep ? f < 0.0 : f <= 0.0)) {
+      return error_response(id, "invalid_argument",
+                            skew_sweep ? "skews must be finite and nonnegative"
+                                       : "factors must be finite and positive");
     }
   }
 
@@ -835,7 +851,7 @@ Json TimingService::handle_sweep(const Json& req, const Json& id) {
   bool cached = false;
   entry->session->with([&](sta::AnalysisSession& s) {
     obs::Fnv1a h;
-    h.u64(s.content_fingerprint()).str("sweep");
+    h.u64(s.content_fingerprint()).str("sweep").str(param);
     for (const double f : factors) h.num(f);
     const std::uint64_t cache_key = h.digest();
     if (std::optional<std::string> hit = cache_.get(cache_key)) {
@@ -847,20 +863,26 @@ Json TimingService::handle_sweep(const Json& req, const Json& id) {
       }
     }
     const std::uint64_t generation = s.generation();
-    // Every step scales the ORIGINAL schedule (not the previous step's) and
+    // Every step edits from the ORIGINAL state (not the previous step's) and
     // the undo log restores the pre-sweep state exactly — content
     // fingerprint included (checked below via the generation-independent
-    // fingerprint cache keys).
+    // fingerprint cache keys). A skew sweep broadcasts each value over every
+    // element, so consecutive steps simply overwrite each other.
     const ClockSchedule base = s.schedule();
     const size_t mark = s.mark();
     result = Json::object();
+    result.set("param", Json(param));
     result.set("base_cycle", Json(base.cycle));
     Json rows = Json::array();
     for (const double f : factors) {
-      s.set_schedule(base.scaled(f));
+      if (skew_sweep) {
+        for (int i = 0; i < s.circuit().num_elements(); ++i) s.set_element_skew(i, f);
+      } else {
+        s.set_schedule(base.scaled(f));
+      }
       const sta::TimingReport& report = s.analyze();
       Json row = Json::object();
-      row.set("factor", Json(f));
+      row.set(skew_sweep ? "skew" : "factor", Json(f));
       row.set("cycle", Json(s.schedule().cycle));
       row.set("feasible", Json(report.feasible));
       row.set("converged", Json(report.converged));

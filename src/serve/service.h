@@ -20,8 +20,11 @@
 //               contract), optionally with per-element detail
 //   report      signoff SlackDB rendered in-memory as json/text/html
 //               (single- or multi-corner) — no temp files anywhere
-//   sweep       re-analyze across a Tc range (schedule scaled in shape),
-//               state restored exactly via the undo log
+//   sweep       re-analyze across a parameter range, state restored exactly
+//               via the undo log. "param": "scale" (default) scales the
+//               schedule in shape per step; "param": "clock_skew" broadcasts
+//               a uniform per-latch skew per step — the design's
+//               skew-tolerance curve over the wire
 //   undo        rewind the last edit batch (or to an explicit mark)
 //   min         MLP minimum cycle time + optimal schedule for the loaded
 //               circuit (what lets `timing_tool min --remote` work)

@@ -107,14 +107,14 @@ SimResult simulate_tokens(const Circuit& circuit, const ClockSchedule& schedule,
     if (view.is_latch(r.element)) {
       depart_abs = std::max(open, arrive);
       const double d_rel = depart_abs - open;
-      if (d_rel + view.setup(r.element) > shifts.width(view.phase(r.element)) + 1e-9 &&
+      if (d_rel + view.setup_margin(r.element) > shifts.width(view.phase(r.element)) + 1e-9 &&
           res.first_violation_generation < 0) {
         res.setup_ok = false;
         res.first_violation_generation = r.generation;
       }
     } else {
       depart_abs = open;  // flip-flop: clock edge launches
-      if (arrive > open - view.setup(r.element) + 1e-9 &&
+      if (arrive > open - view.setup_margin(r.element) + 1e-9 &&
           res.first_violation_generation < 0) {
         res.setup_ok = false;
         res.first_violation_generation = r.generation;

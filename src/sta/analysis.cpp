@@ -136,10 +136,13 @@ TimingReport assemble_report(const Circuit& circuit, const ClockSchedule& schedu
     t.departure = rep.fixpoint.departure[static_cast<size_t>(i)];
     t.arrival = arrival[static_cast<size_t>(i)];
     if (e.is_latch()) {
-      t.setup_slack = schedule.T(e.phase) - e.setup - t.departure;
+      // The capture margin is setup + local clock skew (the view's fused
+      // setup_margin): the trailing edge may arrive up to σ_i early, so the
+      // data must settle that much sooner.
+      t.setup_slack = schedule.T(e.phase) - view.setup_margin(i) - t.departure;
     } else {
-      // Flip-flop: arrival must precede the leading edge by the setup time.
-      t.setup_slack = (t.arrival == kNegInf) ? kInf : (-e.setup - t.arrival);
+      // Flip-flop: arrival must precede the leading edge by setup + skew.
+      t.setup_slack = (t.arrival == kNegInf) ? kInf : (-view.setup_margin(i) - t.arrival);
     }
     if (t.setup_slack < rep.worst_setup_slack) {
       rep.worst_setup_slack = t.setup_slack;
@@ -175,11 +178,12 @@ TimingReport assemble_report(const Circuit& circuit, const ClockSchedule& schedu
       }
       if (earliest_next == kInf) continue;  // no fanin: nothing to corrupt
       if (e.is_latch()) {
-        // The next token must arrive at least hold after the trailing edge.
-        t.hold_slack = earliest_next - (schedule.T(e.phase) + e.hold);
+        // The next token must arrive at least hold + skew after the trailing
+        // edge (the edge may arrive up to σ_i late).
+        t.hold_slack = earliest_next - (schedule.T(e.phase) + view.hold_margin(i));
       } else {
         // ... or after the leading edge for a flip-flop.
-        t.hold_slack = earliest_next - e.hold;
+        t.hold_slack = earliest_next - view.hold_margin(i);
       }
       if (t.hold_slack < rep.worst_hold_slack) {
         rep.worst_hold_slack = t.hold_slack;

@@ -20,6 +20,8 @@ std::vector<Corner> standard_corners(double spread) {
 Circuit derate(const Circuit& circuit, const Corner& corner) {
   Circuit out(circuit.name() + "@" + corner.name, circuit.num_phases());
   for (const Element& e : circuit.elements()) {
+    // `Element d = e` carries skew across unscaled: σ is a clock-network
+    // budget, not a silicon delay, so corners do not derate it.
     Element d = e;
     d.setup = e.setup * corner.delay_scale;
     d.dq = e.dq * corner.delay_scale;

@@ -65,7 +65,7 @@ ProvenanceReport constraint_provenance(const Circuit& circuit, const ClockSchedu
         origin.term = 0.0;
       }
     }
-    const double l1_slack = schedule.T(view.phase(i)) - view.setup(i) - d;
+    const double l1_slack = schedule.T(view.phase(i)) - view.setup_margin(i) - d;
     if (std::fabs(l1_slack) <= eps) {
       rep.tight.push_back({"L1", "L1[" + circuit.element(i).name + "]", l1_slack});
     }
@@ -119,7 +119,7 @@ ProvenanceReport constraint_provenance(const Circuit& circuit, const ClockSchedu
   for (int i = 0; i < l; ++i) {
     if (!view.is_latch(i)) continue;
     const double d = departure[static_cast<size_t>(i)];
-    const double slack = schedule.T(view.phase(i)) - view.setup(i) - d;
+    const double slack = schedule.T(view.phase(i)) - view.setup_margin(i) - d;
     if (worst < 0 || slack < worst_slack - eps) {
       worst = i;
       worst_slack = slack;

@@ -77,7 +77,7 @@ std::uint64_t AnalysisSession::content_fingerprint() const {
     h.str(e.name);
     h.i32(static_cast<std::int32_t>(e.kind));
     h.i32(e.phase);
-    h.num(e.setup).num(e.hold).num(e.dq).num(e.dq_min);
+    h.num(e.setup).num(e.hold).num(e.dq).num(e.dq_min).num(e.skew);
   }
   h.i32(circuit_.num_paths());
   for (const CombPath& p : circuit_.paths()) {
@@ -141,6 +141,12 @@ void AnalysisSession::apply_element_setup(int i, double setup) {
 void AnalysisSession::apply_element_hold(int i, double hold) {
   circuit_.element(i).hold = hold;
   if (view_) view_->set_element_hold(i, hold);
+  touch();
+}
+
+void AnalysisSession::apply_element_skew(int i, double skew) {
+  circuit_.element(i).skew = skew;
+  if (view_) view_->set_element_skew(i, skew);
   touch();
 }
 
@@ -251,6 +257,17 @@ void AnalysisSession::set_element_hold(int i, double hold) {
   apply_element_hold(i, hold);
 }
 
+void AnalysisSession::set_element_skew(int i, double skew) {
+  const double old = circuit_.element(i).skew;
+  if (skew == old) return;
+  UndoRecord rec;
+  rec.kind = UndoRecord::Kind::kElementSkew;
+  rec.index = i;
+  rec.value = old;
+  undo_.push_back(std::move(rec));
+  apply_element_skew(i, skew);
+}
+
 void AnalysisSession::set_schedule(const ClockSchedule& schedule) {
   if (schedule.cycle == schedule_.cycle && schedule.start == schedule_.start &&
       schedule.width == schedule_.width && has_schedule_) {
@@ -274,7 +291,8 @@ void AnalysisSession::apply_derating(double delay_scale, double min_scale) {
          "derating requires an unmodified structure");
   // Same arithmetic as sta::derate (corners.cpp), applied to the pristine
   // reference, so a session corner is bit-identical to a cold analysis of
-  // the derated copy.
+  // the derated copy. Clock skew is a clock-network property, not a silicon
+  // delay: corners leave it unscaled (both here and in sta::derate).
   for (int i = 0; i < circuit_.num_elements(); ++i) {
     const Element& e = pristine_elements_[static_cast<size_t>(i)];
     const double setup = e.setup * delay_scale;
@@ -353,6 +371,9 @@ void AnalysisSession::undo() {
       break;
     case UndoRecord::Kind::kElementHold:
       apply_element_hold(rec.index, rec.value);
+      break;
+    case UndoRecord::Kind::kElementSkew:
+      apply_element_skew(rec.index, rec.value);
       break;
     case UndoRecord::Kind::kSchedule:
       apply_schedule(rec.schedule);
@@ -547,9 +568,9 @@ void AnalysisSession::refresh_report_warm(FixpointResult fp) {
     t.departure = rep.fixpoint.departure[static_cast<size_t>(i)];
     t.arrival = arrival_update(view, shifts, rep.fixpoint.departure, i);
     if (e.is_latch()) {
-      t.setup_slack = schedule_.T(e.phase) - e.setup - t.departure;
+      t.setup_slack = schedule_.T(e.phase) - view.setup_margin(i) - t.departure;
     } else {
-      t.setup_slack = (t.arrival == kNegInf) ? kInf : (-e.setup - t.arrival);
+      t.setup_slack = (t.arrival == kNegInf) ? kInf : (-view.setup_margin(i) - t.arrival);
     }
     if (t.setup_slack < rep.worst_setup_slack) {
       rep.worst_setup_slack = t.setup_slack;
@@ -578,9 +599,9 @@ void AnalysisSession::refresh_report_warm(FixpointResult fp) {
       }
       if (earliest_next == kInf) continue;  // no fanin: nothing to corrupt
       if (e.is_latch()) {
-        t.hold_slack = earliest_next - (schedule_.T(e.phase) + e.hold);
+        t.hold_slack = earliest_next - (schedule_.T(e.phase) + view.hold_margin(i));
       } else {
-        t.hold_slack = earliest_next - e.hold;
+        t.hold_slack = earliest_next - view.hold_margin(i);
       }
       if (t.hold_slack < rep.worst_hold_slack) {
         rep.worst_hold_slack = t.hold_slack;

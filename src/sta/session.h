@@ -78,6 +78,11 @@ class AnalysisSession {
   void set_element_dq_min(int i, double dq_min);
   void set_element_setup(int i, double setup);
   void set_element_hold(int i, double hold);
+  /// Local clock-edge uncertainty σ_i (>= 0, finite). A slack-only
+  /// parameter: it never enters the eq. 17 propagation term, so editing it
+  /// preserves the warm-start precondition (the fixpoint is untouched; only
+  /// the setup/hold margins move).
+  void set_element_skew(int i, double skew);
 
   /// Swap the clock schedule. Warm start survives iff the phase count is
   /// unchanged and no S_ij shrank (ShiftDelta::shifts_nondecreasing).
@@ -148,6 +153,7 @@ class AnalysisSession {
       kElementDqMin,
       kElementSetup,
       kElementHold,
+      kElementSkew,
       kSchedule,
       kPathRemoved,
       kElementRemoved,
@@ -168,6 +174,7 @@ class AnalysisSession {
   void apply_element_dq_min(int i, double dq_min);
   void apply_element_setup(int i, double setup);
   void apply_element_hold(int i, double hold);
+  void apply_element_skew(int i, double skew);
   void apply_schedule(const ClockSchedule& schedule);
   void touch();  // invalidate the cached report (counted once per batch)
   void note_mutation();  // bump generation(), dirty the content fingerprint

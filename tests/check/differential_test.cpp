@@ -216,6 +216,44 @@ TEST(Shrink, RebuildHelpersRemapIndices) {
   EXPECT_EQ(no_b.element(no_b.path(0).to).name, "A");
 }
 
+// The skew leg is on by default (PassesOnEveryNamedCircuit and
+// PassesOnFuzzBattery above already exercise it); these push the magnitude
+// well past the default and sweep a fresh seed range.
+TEST(Differential, SkewLegPassesWithAggressiveMagnitude) {
+  DifferentialOptions opt;
+  opt.skew_magnitude = 0.25;  // up to a quarter of Tc* per latch
+  for (const Circuit& c : {circuits::example1(80.0), circuits::example2(),
+                           circuits::gaas_datapath(), circuits::appendix_fig1()}) {
+    const DifferentialReport rep = check_circuit(c, 7, opt);
+    EXPECT_TRUE(rep.ok()) << c.name() << ":\n" << rep.to_string();
+  }
+}
+
+TEST(Differential, SkewLegPassesOnFuzzBattery) {
+  DifferentialOptions opt;
+  opt.skew_magnitude = 0.10;
+  for (uint64_t seed = 41; seed <= 100; ++seed) {
+    const Circuit c = fuzz_circuit(seed);
+    const DifferentialReport rep = check_circuit(c, seed * 131 + 3, opt);
+    EXPECT_TRUE(rep.ok()) << "fuzz seed " << seed << " (" << c.name() << "):\n"
+                          << rep.to_string();
+  }
+}
+
+TEST(Differential, SkewLegIsDeterministicAndOptional) {
+  const Circuit c = circuits::example2();
+  DifferentialOptions on;
+  const DifferentialReport a = check_circuit(c, 12, on);
+  const DifferentialReport b = check_circuit(c, 12, on);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+  EXPECT_TRUE(a.ok()) << a.to_string();
+  DifferentialOptions off;
+  off.check_skew = false;
+  const DifferentialReport rep = check_circuit(c, 12, off);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_FALSE(rep.has(CheckKind::kSkewAgreement));
+}
+
 TEST(Fuzzer, CircuitsAreDeterministicPerSeed) {
   for (const uint64_t seed : {1u, 9u, 23u}) {
     const Circuit a = fuzz_circuit(seed);

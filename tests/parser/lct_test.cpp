@@ -205,5 +205,43 @@ TEST(LctFiles, MissingFileIsIoError) {
   EXPECT_EQ(c.error().kind, ErrorKind::kIo);
 }
 
+TEST(LctParser, SkewAttributeParsed) {
+  const auto c = parse_circuit(
+      "circuit t\nphases 2\n"
+      "latch A phase=1 setup=1 dq=2 skew=0.5\n"
+      "flipflop B phase=2 setup=1 cq=2 skew=0.25\n");
+  ASSERT_TRUE(c) << c.error().to_string();
+  EXPECT_DOUBLE_EQ(c->element(0).skew, 0.5);
+  EXPECT_DOUBLE_EQ(c->element(1).skew, 0.25);  // flip-flops carry σ too
+}
+
+TEST(LctParser, NegativeSkewRejectedWithLineNumber) {
+  const auto c = parse_circuit(
+      "circuit t\nphases 1\nlatch A phase=1 setup=1 dq=2 skew=-0.5\n");
+  ASSERT_FALSE(c);
+  EXPECT_NE(c.error().message.find("line 3"), std::string::npos);
+  EXPECT_NE(c.error().message.find("skew"), std::string::npos);
+}
+
+TEST(LctParser, NonFiniteSkewRejected) {
+  EXPECT_FALSE(parse_circuit("circuit t\nphases 1\nlatch A phase=1 setup=1 dq=2 skew=inf\n"));
+  EXPECT_FALSE(parse_circuit("circuit t\nphases 1\nlatch A phase=1 setup=1 dq=2 skew=nan\n"));
+}
+
+TEST(LctWriter, SkewRoundTripsAndZeroIsOmitted) {
+  Circuit original = circuits::example1(80.0);
+  original.element(0).skew = 1.25;
+  original.element(2).skew = 0.5;
+  const std::string text = write_circuit(original);
+  EXPECT_NE(text.find("skew="), std::string::npos);
+  const auto back = parse_circuit(text);
+  ASSERT_TRUE(back) << back.error().to_string();
+  for (int i = 0; i < original.num_elements(); ++i) {
+    EXPECT_DOUBLE_EQ(back->element(i).skew, original.element(i).skew) << i;
+  }
+  // All-zero skews stay invisible: the seed corpus round-trips byte-stable.
+  EXPECT_EQ(write_circuit(circuits::example1(80.0)).find("skew="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mintc::parser

@@ -105,6 +105,35 @@ TEST(Verilog, RejectsMalformedInputs) {
       "module m (x);\n buf g (only_output);\nendmodule\n"));           // arity
 }
 
+TEST(Verilog, SkewParameterParsedAndExtracted) {
+  const auto nl = parse_verilog(
+      "module m (clk1);\n"
+      "  wire d1, q1, d2, q2;\n"
+      "  latch #(.phase(1), .setup(0.3), .dq(0.5), .skew(0.2)) A (.d(d1), .q(q1));\n"
+      "  dff #(.phase(1), .setup(0.3), .cq(0.5), .skew(0.1)) B (.d(d2), .q(q2));\n"
+      "  buf g1 (d2, q1);\n"
+      "  buf g2 (d1, q2);\n"
+      "endmodule\n");
+  ASSERT_TRUE(nl) << nl.error().to_string();
+  EXPECT_DOUBLE_EQ(nl->storages()[0].skew, 0.2);
+  EXPECT_DOUBLE_EQ(nl->storages()[1].skew, 0.1);
+  const auto c = netlist::extract_timing_model(*nl);
+  ASSERT_TRUE(c) << c.error().to_string();
+  EXPECT_DOUBLE_EQ(c->element(0).skew, 0.2);
+  EXPECT_DOUBLE_EQ(c->element(1).skew, 0.1);
+}
+
+TEST(Verilog, NegativeSkewRejectedWithLineNumber) {
+  const auto nl = parse_verilog(
+      "module m (clk1);\n"
+      "  wire d1, q1;\n"
+      "  latch #(.phase(1), .setup(0.3), .dq(0.5), .skew(-0.2)) A (.d(d1), .q(q1));\n"
+      "endmodule\n");
+  ASSERT_FALSE(nl);
+  EXPECT_NE(nl.error().message.find("skew"), std::string::npos);
+  EXPECT_NE(nl.error().message.find("3"), std::string::npos);
+}
+
 TEST(Verilog, LoadFromFile) {
   const std::string path = testing::TempDir() + "/acc.v";
   {

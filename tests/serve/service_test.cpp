@@ -234,6 +234,108 @@ TEST(ServeService, SweepScalesFromBaseAndRestoresState) {
   EXPECT_TRUE(analyzed.get("feasible").as_bool(false));
 }
 
+TEST(ServeService, SkewEditInvalidatesCacheAndChangesFingerprint) {
+  TimingService service;
+  const std::string fp0 =
+      load_example1(service, "e1").get("result").get("fingerprint").as_string();
+  const Json analyze = req({{"verb", Json("analyze")}, {"circuit", Json("e1")}});
+  const Json before = service.handle(analyze);
+  EXPECT_TRUE(service.handle(analyze).get("cached").as_bool(false));
+
+  Json edits = Json::array();
+  edits.push(req({{"op", Json("set_element_skew")},
+                  {"element", Json(0L)},
+                  {"value", Json(5.0)}}));
+  const Json r = expect_ok(service, req({{"verb", Json("edit_batch")},
+                                         {"circuit", Json("e1")},
+                                         {"edits", std::move(edits)}}))
+                     .get("result");
+  EXPECT_NE(r.get("fingerprint").as_string(), fp0);
+
+  // The skew edit must reach a fresh analysis, never the pre-edit cache
+  // entry: at the exact optimum, 5 ns of capture skew eats the slack.
+  const Json after = service.handle(analyze);
+  EXPECT_FALSE(after.get("cached").as_bool(true));
+  EXPECT_LT(after.get("result").get("worst_setup_slack").as_number(),
+            before.get("result").get("worst_setup_slack").as_number() - 4.9);
+
+  // Negative and non-finite skews are rejected at the protocol boundary.
+  Json bad = Json::array();
+  bad.push(req({{"op", Json("set_element_skew")},
+                {"element", Json(0L)},
+                {"value", Json(-1.0)}}));
+  expect_error(service, req({{"verb", Json("edit_batch")},
+                             {"circuit", Json("e1")},
+                             {"edits", std::move(bad)}}),
+               "invalid_argument");
+}
+
+TEST(ServeService, SkewSweepProducesToleranceCurveAndRestoresState) {
+  TimingService service;
+  const std::string fp0 =
+      load_example1(service, "e1").get("result").get("fingerprint").as_string();
+  const Json base = service.handle(req({{"verb", Json("analyze")},
+                                        {"circuit", Json("e1")}}))
+                        .get("result");
+  // The last point deliberately exceeds the base slack so the design tips
+  // over: a uniform skew sigma costs every setup check exactly sigma.
+  const double s0 = base.get("worst_setup_slack").as_number();
+  const double sigma_kill = s0 + 1.0;
+  Json skews = Json::array();
+  skews.push(Json(0.0));  // zero skew is a legal sweep point
+  skews.push(Json(2.0));
+  skews.push(Json(sigma_kill));
+  const Json r = expect_ok(service, req({{"verb", Json("sweep")},
+                                         {"circuit", Json("e1")},
+                                         {"param", Json("clock_skew")},
+                                         {"factors", Json(skews)}}))
+                     .get("result");
+  EXPECT_EQ(r.get("param").as_string(), "clock_skew");
+  const Json& rows = r.get("results");
+  ASSERT_EQ(rows.size(), 3u);
+  // Rows are keyed by "skew"; the schedule itself never moves.
+  EXPECT_DOUBLE_EQ(rows.at(1).get("skew").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(rows.at(1).get("cycle").as_number(), 110.0);
+  // The curve is the base slack shifted down point by point.
+  EXPECT_DOUBLE_EQ(rows.at(0).get("worst_setup_slack").as_number(), s0);
+  EXPECT_NEAR(rows.at(1).get("worst_setup_slack").as_number(), s0 - 2.0, 1e-9);
+  EXPECT_NEAR(rows.at(2).get("worst_setup_slack").as_number(), s0 - sigma_kill, 1e-9);
+  EXPECT_TRUE(rows.at(0).get("feasible").as_bool(false));
+  EXPECT_FALSE(rows.at(2).get("feasible").as_bool(true));
+
+  // The sweep restored the pre-sweep content exactly.
+  EXPECT_EQ(r.get("fingerprint").as_string(), fp0);
+  const Json again = expect_ok(service, req({{"verb", Json("analyze")},
+                                             {"circuit", Json("e1")}}))
+                         .get("result");
+  EXPECT_EQ(again.get("fingerprint").as_string(), fp0);
+
+  // Repeat is a cache hit; the same values under param=scale are NOT (the
+  // parameter is part of the cache identity) — and a scale of 0 is invalid
+  // while a skew of 0 was accepted above.
+  const Json repeat = service.handle(req({{"verb", Json("sweep")},
+                                          {"circuit", Json("e1")},
+                                          {"param", Json("clock_skew")},
+                                          {"factors", Json(skews)}}));
+  EXPECT_TRUE(repeat.get("cached").as_bool(false)) << repeat.dump();
+  expect_error(service, req({{"verb", Json("sweep")},
+                             {"circuit", Json("e1")},
+                             {"param", Json("scale")},
+                             {"factors", Json(skews)}}),
+               "invalid_argument");
+  Json neg = Json::array();
+  neg.push(Json(-0.5));
+  expect_error(service, req({{"verb", Json("sweep")},
+                             {"circuit", Json("e1")},
+                             {"param", Json("clock_skew")},
+                             {"factors", std::move(neg)}}),
+               "invalid_argument");
+  expect_error(service, req({{"verb", Json("sweep")},
+                             {"circuit", Json("e1")},
+                             {"param", Json("voltage")}}),
+               "invalid_argument");
+}
+
 TEST(ServeService, MinVerbMatchesLoadOptimum) {
   TimingService service;
   load_example1(service, "e1");

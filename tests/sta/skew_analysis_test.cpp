@@ -1,0 +1,145 @@
+// Clock skew through the analysis stack: σ is charged at the CAPTURING
+// endpoint only — setup and hold slacks each lose exactly σ_i, eq. (17)
+// departures never move (the fixpoint stays skew-independent by design),
+// corners leave σ unscaled, and AnalysisSession skew edits are warm,
+// undoable, and bit-identical to fresh analyses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuits/example2.h"
+#include "circuits/gaas.h"
+#include "opt/mlp.h"
+#include "sta/analysis.h"
+#include "sta/corners.h"
+#include "sta/session.h"
+
+namespace mintc {
+namespace sta {
+namespace {
+
+AnalysisOptions with_hold() {
+  AnalysisOptions o;
+  o.check_hold = true;
+  return o;
+}
+
+Circuit skewed_example2(double scale) {
+  Circuit c = circuits::example2();
+  for (int i = 0; i < c.num_elements(); ++i) {
+    c.element(i).skew = scale * static_cast<double>(i + 1);
+  }
+  return c;
+}
+
+void expect_reports_identical(const TimingReport& a, const TimingReport& b) {
+  ASSERT_EQ(a.elements.size(), b.elements.size());
+  for (size_t i = 0; i < a.elements.size(); ++i) {
+    EXPECT_EQ(a.elements[i].departure, b.elements[i].departure);
+    EXPECT_EQ(a.elements[i].arrival, b.elements[i].arrival);
+    EXPECT_EQ(a.elements[i].setup_slack, b.elements[i].setup_slack);
+    EXPECT_EQ(a.elements[i].hold_slack, b.elements[i].hold_slack);
+  }
+  EXPECT_EQ(a.setup_ok, b.setup_ok);
+  EXPECT_EQ(a.hold_ok, b.hold_ok);
+  EXPECT_EQ(a.worst_setup_slack, b.worst_setup_slack);
+  EXPECT_EQ(a.worst_hold_slack, b.worst_hold_slack);
+}
+
+TEST(SkewAnalysis, DeparturesAreSkewIndependent) {
+  const auto opt = opt::minimize_cycle_time(circuits::example2());
+  ASSERT_TRUE(opt.has_value());
+  const TimingReport plain = check_schedule(circuits::example2(), opt->schedule, with_hold());
+  const TimingReport skewed = check_schedule(skewed_example2(0.2), opt->schedule, with_hold());
+  ASSERT_EQ(plain.elements.size(), skewed.elements.size());
+  for (size_t i = 0; i < plain.elements.size(); ++i) {
+    EXPECT_EQ(plain.elements[i].departure, skewed.elements[i].departure);
+    EXPECT_EQ(plain.elements[i].arrival, skewed.elements[i].arrival);
+  }
+}
+
+TEST(SkewAnalysis, SetupAndHoldSlackEachLoseExactlySigma) {
+  const auto opt = opt::minimize_cycle_time(circuits::example2());
+  ASSERT_TRUE(opt.has_value());
+  // Relax the schedule so every slack is finite and positive pre-skew.
+  const ClockSchedule relaxed = opt->schedule.scaled(1.5);
+  const TimingReport plain = check_schedule(circuits::example2(), relaxed, with_hold());
+  const Circuit skewed_c = skewed_example2(0.1);
+  const TimingReport skewed = check_schedule(skewed_c, relaxed, with_hold());
+  for (size_t i = 0; i < plain.elements.size(); ++i) {
+    const double sigma = skewed_c.element(static_cast<int>(i)).skew;
+    EXPECT_NEAR(skewed.elements[i].setup_slack, plain.elements[i].setup_slack - sigma,
+                1e-12);
+    if (std::isfinite(plain.elements[i].hold_slack)) {
+      EXPECT_NEAR(skewed.elements[i].hold_slack, plain.elements[i].hold_slack - sigma,
+                  1e-12);
+    }
+  }
+}
+
+TEST(SkewAnalysis, ZeroSkewIsBitIdentical) {
+  const auto opt = opt::minimize_cycle_time(circuits::gaas_datapath());
+  ASSERT_TRUE(opt.has_value());
+  Circuit zero = circuits::gaas_datapath();
+  for (int i = 0; i < zero.num_elements(); ++i) zero.element(i).skew = 0.0;
+  expect_reports_identical(check_schedule(circuits::gaas_datapath(), opt->schedule, with_hold()),
+                           check_schedule(zero, opt->schedule, with_hold()));
+}
+
+TEST(SkewAnalysis, CornersLeaveSkewUnscaled) {
+  const Circuit c = skewed_example2(0.3);
+  for (const Corner& corner : standard_corners(0.2)) {
+    const Circuit d = derate(c, corner);
+    for (int i = 0; i < c.num_elements(); ++i) {
+      EXPECT_EQ(d.element(i).skew, c.element(i).skew) << corner.name;
+    }
+  }
+}
+
+TEST(SkewAnalysis, SessionSkewEditIsWarmUndoableAndExact) {
+  const auto opt = opt::minimize_cycle_time(circuits::example2());
+  ASSERT_TRUE(opt.has_value());
+  const ClockSchedule relaxed = opt->schedule.scaled(1.25);
+  const Circuit skewed_c = skewed_example2(0.15);
+
+  AnalysisSession session(circuits::example2(), relaxed, with_hold());
+  const TimingReport cold = session.analyze();
+  expect_reports_identical(cold, check_schedule(circuits::example2(), relaxed, with_hold()));
+  const std::uint64_t fp_before = session.content_fingerprint();
+
+  const size_t mark = session.mark();
+  for (int i = 0; i < skewed_c.num_elements(); ++i) {
+    session.set_element_skew(i, skewed_c.element(i).skew);
+  }
+  EXPECT_NE(session.content_fingerprint(), fp_before);  // serve-cache soundness
+  expect_reports_identical(session.analyze(),
+                           check_schedule(skewed_c, relaxed, with_hold()));
+
+  session.undo_to(mark);
+  EXPECT_EQ(session.content_fingerprint(), fp_before);
+  expect_reports_identical(session.analyze(),
+                           check_schedule(circuits::example2(), relaxed, with_hold()));
+}
+
+TEST(SkewAnalysis, SessionDeratingComposesWithSkew) {
+  // apply_derating scales silicon delays but not σ; the session must agree
+  // with sta::derate on a skewed circuit bit-for-bit.
+  const auto opt = opt::minimize_cycle_time(circuits::example2());
+  ASSERT_TRUE(opt.has_value());
+  const ClockSchedule relaxed = opt->schedule.scaled(1.25);
+  const Circuit skewed_c = skewed_example2(0.15);
+  Corner slow;
+  slow.name = "slow";
+  slow.delay_scale = 1.1;
+  slow.min_scale = 0.95;
+
+  AnalysisSession session(skewed_c, relaxed, with_hold());
+  session.apply_derating(slow.delay_scale, slow.min_scale);
+  expect_reports_identical(session.analyze(),
+                           check_schedule(derate(skewed_c, slow), relaxed, with_hold()));
+}
+
+}  // namespace
+}  // namespace sta
+}  // namespace mintc
